@@ -1,0 +1,59 @@
+// §3.3's opening design choice: bmc_score "can either REPLACE or be
+// COMBINED with cha_score()".  The paper combines; this ablation measures
+// the passed-over alternative — ordering by bmc_score alone, no VSIDS
+// tiebreak, no fallback.
+//
+//   $ ./bench_ablation_combine [--budget SECONDS]
+#include <cstdio>
+
+#include "harness.hpp"
+#include "util/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace refbmc;
+  using namespace refbmc::benchharness;
+  using bmc::OrderingPolicy;
+
+  const Options opts = Options::parse(argc, argv);
+  const double budget = opts.get_double("budget", 5.0);
+
+  std::vector<model::Benchmark> rows;
+  rows.push_back(model::with_distractor(model::arbiter_safe(8), 24, 103));
+  rows.push_back(model::with_distractor(model::fifo_safe(4), 32, 104));
+  rows.push_back(model::with_distractor(model::peterson_safe(), 32, 106));
+  rows.push_back(model::accumulator_reach(16, 4, 255));
+  rows.push_back(model::with_distractor(model::fifo_buggy(4), 24, 105));
+  rows.push_back(model::with_distractor(model::needle(10, 8, 24, 30), 32, 109));
+
+  const OrderingPolicy policies[] = {
+      OrderingPolicy::Baseline, OrderingPolicy::Replace,
+      OrderingPolicy::Static, OrderingPolicy::Dynamic};
+  std::printf("Replace vs combine (§3.3 design choice; solver seconds)\n\n");
+  std::printf("%-26s %10s %10s %10s %10s\n", "model", "vsids", "replace",
+              "static*", "dynamic*");
+
+  double totals[4] = {0, 0, 0, 0};
+  std::uint64_t decs[4] = {0, 0, 0, 0};
+  for (const auto& bm : rows) {
+    std::printf("%-26s", bm.name.c_str());
+    for (int i = 0; i < 4; ++i) {
+      const PolicyRun run = run_policy(bm, policies[i], budget);
+      const double t =
+          run.cumulative_time.empty() ? 0.0 : run.cumulative_time.back();
+      totals[i] += t;
+      decs[i] += run.result.total_decisions();
+      std::printf(" %9.3f%s", t, run.finished ? " " : "^");
+    }
+    std::printf("\n");
+  }
+  std::printf("\n%-26s %10.3f %10.3f %10.3f %10.3f\n", "TOTAL", totals[0],
+              totals[1], totals[2], totals[3]);
+  std::printf("%-26s %10llu %10llu %10llu %10llu  (decisions)\n", "",
+              static_cast<unsigned long long>(decs[0]),
+              static_cast<unsigned long long>(decs[1]),
+              static_cast<unsigned long long>(decs[2]),
+              static_cast<unsigned long long>(decs[3]));
+  std::printf("(* = the paper's combined configurations; replace is the "
+              "alternative it passes over)\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation of the dynamic policy's switch threshold (§3.3).  The paper
+// fixes "#decisions > #original_literals / 64"; this bench sweeps the
+// divisor (larger divisor = earlier fallback to VSIDS; "never" = the
+// static configuration).
+//
+//   $ ./bench_ablation_switch [--budget SECONDS]
+#include <cstdio>
+
+#include "harness.hpp"
+#include "util/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace refbmc;
+  using namespace refbmc::benchharness;
+
+  const Options opts = Options::parse(argc, argv);
+  const double budget = opts.get_double("budget", 5.0);
+
+  std::vector<model::Benchmark> rows;
+  rows.push_back(model::with_distractor(model::arbiter_safe(8), 24, 103));
+  rows.push_back(model::with_distractor(model::fifo_safe(4), 32, 104));
+  rows.push_back(model::with_distractor(model::peterson_safe(), 32, 106));
+  rows.push_back(model::accumulator_reach(16, 4, 255));
+  rows.push_back(model::with_distractor(model::needle(10, 8, 24, 30), 32, 109));
+
+  const int divisors[] = {16, 64, 256, 0};  // 0 = never switch (static)
+  std::printf("Dynamic switch-threshold ablation (decisions > #literals / "
+              "divisor)\n\n");
+  std::printf("%-26s %10s %10s %10s %10s  (seconds)\n", "model", "div=16",
+              "div=64*", "div=256", "never");
+
+  double totals[4] = {0, 0, 0, 0};
+  for (const auto& bm : rows) {
+    std::printf("%-26s", bm.name.c_str());
+    for (int i = 0; i < 4; ++i) {
+      bmc::EngineConfig cfg;
+      if (divisors[i] == 0) {
+        cfg.policy = bmc::OrderingPolicy::Static;
+      } else {
+        cfg.policy = bmc::OrderingPolicy::Dynamic;
+        cfg.dynamic_switch_divisor = divisors[i];
+      }
+      const PolicyRun run = run_policy(bm, cfg.policy, budget, cfg);
+      const double t =
+          run.cumulative_time.empty() ? 0.0 : run.cumulative_time.back();
+      totals[i] += t;
+      std::printf(" %9.3f%s", t, run.finished ? " " : "^");
+    }
+    std::printf("\n");
+  }
+  std::printf("\n%-26s %10.3f %10.3f %10.3f %10.3f\n", "TOTAL", totals[0],
+              totals[1], totals[2], totals[3]);
+  std::printf("(* = the paper's setting; expected: 64 competitive with the "
+              "best, never/static close behind)\n");
+  return 0;
+}

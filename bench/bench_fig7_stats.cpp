@@ -1,0 +1,84 @@
+// Fig. 7 of the paper: per-depth number of decisions and number of
+// implications, standard BMC vs. refine_order BMC, on one hard circuit
+// (the paper uses IBM circuit 02_3_b2 up to depth ~65; we use the
+// distractor-wrapped arbiter, our closest analogue: a passing property
+// whose proof needs a small stable register core inside a wide cone,
+// with real search at every depth).
+//
+//   $ ./bench_fig7_stats [--depth N]
+//
+// Prints two aligned series per statistic; the expected shape is the
+// refined ordering tracking one to two orders of magnitude below the
+// baseline once the ranking has locked onto the core (after the first
+// few depths).
+#include <cstdio>
+
+#include "bmc/engine.hpp"
+#include "model/benchgen.hpp"
+#include "util/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace refbmc;
+  using bmc::OrderingPolicy;
+
+  const Options opts = Options::parse(argc, argv);
+  const int depth = opts.get_int("depth", 14);
+
+  model::Benchmark bm =
+      model::with_distractor(model::arbiter_safe(8), 24, 103);
+  std::printf("Fig 7 statistics on %s (x = unrolling depth)\n\n",
+              bm.name.c_str());
+
+  bmc::BmcResult results[2];
+  const OrderingPolicy policies[2] = {OrderingPolicy::Baseline,
+                                      OrderingPolicy::Static};
+  for (int i = 0; i < 2; ++i) {
+    bmc::EngineConfig cfg;
+    cfg.policy = policies[i];
+    cfg.max_depth = depth;
+    bmc::BmcEngine engine(bm.net, cfg);
+    results[i] = engine.run();
+  }
+
+  std::printf("Number of Decisions\n");
+  std::printf("%5s %12s %12s %8s\n", "k", "BMC", "ref_ord_BMC", "ratio");
+  for (int k = 0; k <= depth; ++k) {
+    const auto& b = results[0].per_depth[static_cast<std::size_t>(k)];
+    const auto& r = results[1].per_depth[static_cast<std::size_t>(k)];
+    std::printf("%5d %12llu %12llu %7.2fx\n", k,
+                static_cast<unsigned long long>(b.decisions),
+                static_cast<unsigned long long>(r.decisions),
+                r.decisions ? static_cast<double>(b.decisions) /
+                                  static_cast<double>(r.decisions)
+                            : 0.0);
+  }
+
+  std::printf("\nNumber of Implications\n");
+  std::printf("%5s %12s %12s %8s\n", "k", "BMC", "ref_ord_BMC", "ratio");
+  for (int k = 0; k <= depth; ++k) {
+    const auto& b = results[0].per_depth[static_cast<std::size_t>(k)];
+    const auto& r = results[1].per_depth[static_cast<std::size_t>(k)];
+    std::printf("%5d %12llu %12llu %7.2fx\n", k,
+                static_cast<unsigned long long>(b.propagations),
+                static_cast<unsigned long long>(r.propagations),
+                r.propagations ? static_cast<double>(b.propagations) /
+                                     static_cast<double>(r.propagations)
+                               : 0.0);
+  }
+
+  std::uint64_t bd = results[0].total_decisions(),
+                rd = results[1].total_decisions();
+  std::uint64_t bp = results[0].total_propagations(),
+                rp = results[1].total_propagations();
+  std::printf("\ntotals: decisions %llu vs %llu (%.2fx), implications %llu "
+              "vs %llu (%.2fx)\n",
+              static_cast<unsigned long long>(bd),
+              static_cast<unsigned long long>(rd),
+              rd ? static_cast<double>(bd) / static_cast<double>(rd) : 0.0,
+              static_cast<unsigned long long>(bp),
+              static_cast<unsigned long long>(rp),
+              rp ? static_cast<double>(bp) / static_cast<double>(rp) : 0.0);
+  std::printf("(paper, 02_3_b2: both statistics visibly lower for "
+              "ref_ord_BMC across depths — smaller search trees)\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// The paper's conclusion: "our method can be combined with these
+// incremental techniques to further improve their performance."  This
+// bench crosses the two axes — scratch vs. incremental instance handling
+// × baseline VSIDS vs. dynamic refined ordering — on a suite subset.
+//
+//   $ ./bench_incremental [--budget SECONDS]
+//
+// Expected shape: incremental < scratch for both orderings (clause
+// reuse), and the refined ordering improves both, so the combination
+// (incremental + dynamic) sits in or near the best column.
+#include <cstdio>
+
+#include "harness.hpp"
+#include "util/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace refbmc;
+  using namespace refbmc::benchharness;
+  using bmc::OrderingPolicy;
+
+  const Options opts = Options::parse(argc, argv);
+  const double budget = opts.get_double("budget", 5.0);
+
+  std::vector<model::Benchmark> rows;
+  rows.push_back(model::with_distractor(model::arbiter_safe(8), 24, 103));
+  rows.push_back(model::with_distractor(model::fifo_safe(4), 32, 104));
+  rows.push_back(model::with_distractor(model::peterson_safe(), 32, 106));
+  rows.push_back(model::accumulator_reach(16, 4, 255));
+  rows.push_back(model::with_distractor(model::fifo_buggy(4), 24, 105));
+  rows.push_back(model::with_distractor(model::needle(10, 8, 24, 30), 32, 109));
+
+  struct Mode {
+    const char* name;
+    OrderingPolicy policy;
+    bool incremental;
+  };
+  const Mode modes[] = {
+      {"scratch+vsids", OrderingPolicy::Baseline, false},
+      {"scratch+dyn", OrderingPolicy::Dynamic, false},
+      {"incr+vsids", OrderingPolicy::Baseline, true},
+      {"incr+dyn", OrderingPolicy::Dynamic, true},
+  };
+
+  std::printf("Scratch vs incremental × baseline vs refined (solver "
+              "seconds)\n\n");
+  std::printf("%-26s", "model");
+  for (const Mode& m : modes) std::printf(" %13s", m.name);
+  std::printf("\n");
+
+  double totals[4] = {0, 0, 0, 0};
+  std::uint64_t conflicts[4] = {0, 0, 0, 0};
+  for (const auto& bm : rows) {
+    std::printf("%-26s", bm.name.c_str());
+    for (int i = 0; i < 4; ++i) {
+      bmc::EngineConfig cfg;
+      cfg.policy = modes[i].policy;
+      cfg.incremental = modes[i].incremental;
+      const PolicyRun run = run_policy(bm, modes[i].policy, budget, cfg);
+      const double t =
+          run.cumulative_time.empty() ? 0.0 : run.cumulative_time.back();
+      totals[i] += t;
+      conflicts[i] += run.result.total_conflicts();
+      std::printf(" %12.3f%s", t, run.finished ? " " : "^");
+    }
+    std::printf("\n");
+  }
+  std::printf("\n%-26s", "TOTAL");
+  for (int i = 0; i < 4; ++i) std::printf(" %13.3f", totals[i]);
+  std::printf("\n%-26s", "conflicts");
+  for (int i = 0; i < 4; ++i)
+    std::printf(" %13llu", static_cast<unsigned long long>(conflicts[i]));
+  std::printf("\n%-26s", "RATIO");
+  for (int i = 0; i < 4; ++i)
+    std::printf(" %12.0f%%", 100.0 * totals[i] / totals[0]);
+  std::printf("\n\n(^ = hit the per-run budget; times compared at the "
+              "deepest common depth)\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Micro-benchmarks (google-benchmark) for the substrate components:
+// BCP throughput, end-to-end solving, CNF generation, core extraction,
+// and the decision heap.
+#include <benchmark/benchmark.h>
+
+#include "bmc/ranking.hpp"
+#include "bmc/unroller.hpp"
+#include "model/benchgen.hpp"
+#include "sat/solver.hpp"
+#include "util/heap.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace refbmc;
+
+sat::Cnf pigeonhole(int pigeons, int holes) {
+  sat::Cnf cnf;
+  cnf.num_vars = pigeons * holes;
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<sat::Lit> clause;
+    for (int h = 0; h < holes; ++h)
+      clause.push_back(sat::Lit::make(p * holes + h));
+    cnf.add_clause(clause);
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int p1 = 0; p1 < pigeons; ++p1)
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+        cnf.add_clause({sat::Lit::make(p1 * holes + h, true),
+                        sat::Lit::make(p2 * holes + h, true)});
+  return cnf;
+}
+
+void BM_BcpChain(benchmark::State& state) {
+  // A long implication chain: one unit + N binary clauses; solving is
+  // pure BCP, so this measures propagation throughput.
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sat::Solver s;
+    for (int i = 0; i < n; ++i) s.new_var();
+    for (int i = 0; i + 1 < n; ++i)
+      s.add_clause({sat::Lit::make(i, true), sat::Lit::make(i + 1)});
+    state.ResumeTiming();
+    s.add_clause({sat::Lit::make(0)});  // triggers the full chain
+    benchmark::DoNotOptimize(s.solve());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BcpChain)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SolvePigeonhole(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const sat::Cnf cnf = pigeonhole(n + 1, n);
+  for (auto _ : state) {
+    sat::Solver s;
+    for (int v = 0; v < cnf.num_vars; ++v) s.new_var();
+    for (const auto& c : cnf.clauses) s.add_clause(c);
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_SolvePigeonhole)->Arg(6)->Arg(7)->Arg(8);
+
+void BM_SolveWithCdg(benchmark::State& state) {
+  // CDG on/off on the same formula — the §3.1 overhead at solver level.
+  const sat::Cnf cnf = pigeonhole(8, 7);
+  const bool track = state.range(0) != 0;
+  for (auto _ : state) {
+    sat::SolverConfig cfg;
+    cfg.track_cdg = track;
+    sat::Solver s(cfg);
+    for (int v = 0; v < cnf.num_vars; ++v) s.new_var();
+    for (const auto& c : cnf.clauses) s.add_clause(c);
+    benchmark::DoNotOptimize(s.solve());
+  }
+}
+BENCHMARK(BM_SolveWithCdg)->Arg(0)->Arg(1);
+
+void BM_CoreExtraction(benchmark::State& state) {
+  const sat::Cnf cnf = pigeonhole(8, 7);
+  sat::Solver s;
+  for (int v = 0; v < cnf.num_vars; ++v) s.new_var();
+  for (const auto& c : cnf.clauses) s.add_clause(c);
+  if (s.solve() != sat::Result::Unsat) state.SkipWithError("not unsat");
+  for (auto _ : state) benchmark::DoNotOptimize(s.unsat_core_vars());
+}
+BENCHMARK(BM_CoreExtraction);
+
+void BM_UnrollInstance(benchmark::State& state) {
+  const auto bm = model::with_distractor(model::fifo_safe(5), 32, 1);
+  const bmc::Unroller unr(bm.net);
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) benchmark::DoNotOptimize(unr.unroll(depth));
+  const auto inst = unr.unroll(depth);
+  state.counters["cnf_vars"] = static_cast<double>(inst.num_vars());
+  state.counters["cnf_clauses"] = static_cast<double>(inst.num_clauses());
+}
+BENCHMARK(BM_UnrollInstance)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_RankingProject(benchmark::State& state) {
+  const auto bm = model::with_distractor(model::fifo_safe(5), 32, 1);
+  const bmc::Unroller unr(bm.net);
+  const auto inst = unr.unroll(20);
+  bmc::CoreRanking ranking;
+  std::vector<sat::Var> fake_core;
+  for (std::size_t v = 1; v < inst.num_vars(); v += 3)
+    fake_core.push_back(static_cast<sat::Var>(v));
+  ranking.update(inst, fake_core, 5);
+  for (auto _ : state) benchmark::DoNotOptimize(ranking.project(inst));
+}
+BENCHMARK(BM_RankingProject);
+
+void BM_HeapChurn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<double> score(static_cast<std::size_t>(n));
+  Rng rng(7);
+  for (auto& x : score) x = rng.next_double();
+  const auto gt = [&score](int a, int b) {
+    return score[static_cast<std::size_t>(a)] >
+           score[static_cast<std::size_t>(b)];
+  };
+  for (auto _ : state) {
+    IndexedMaxHeap<decltype(gt)> heap(gt);
+    for (int i = 0; i < n; ++i) heap.insert(i);
+    // Interleaved pops and re-inserts, like decide/backtrack churn.
+    for (int i = 0; i < n / 2; ++i) {
+      const int v = heap.pop();
+      score[static_cast<std::size_t>(v)] = rng.next_double();
+      heap.insert(v);
+    }
+    while (!heap.empty()) benchmark::DoNotOptimize(heap.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HeapChurn)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

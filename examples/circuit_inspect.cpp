@@ -1,0 +1,44 @@
+// Circuit inspection: statistics, completeness thresholds, and Graphviz
+// export for the benchmark models (or any AIGER file).
+//
+//   $ ./circuit_inspect                 # inspect the built-in suite
+//   $ ./circuit_inspect model.aag       # inspect an AIGER model
+//   $ ./circuit_inspect --dot model.aag # dump Graphviz to stdout
+#include <cstdio>
+#include <iostream>
+
+#include "mc/reach.hpp"
+#include "model/aiger.hpp"
+#include "model/benchgen.hpp"
+#include "model/stats.hpp"
+#include "util/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace refbmc;
+
+  const Options opts = Options::parse(argc, argv);
+
+  if (!opts.positionals().empty()) {
+    const model::Netlist net =
+        model::read_aiger_file(opts.positionals()[0]);
+    if (opts.get_bool("dot", false)) {
+      model::write_dot(std::cout, net);
+      return 0;
+    }
+    std::printf("%s: %s\n", opts.positionals()[0].c_str(),
+                model::analyze(net).to_string().c_str());
+    return 0;
+  }
+
+  std::printf("%-26s %-60s %9s\n", "model", "statistics", "diameter");
+  for (const auto& bm : model::quick_suite()) {
+    const model::NetlistStats stats = model::analyze(bm.net);
+    std::string diameter = "-";
+    if (bm.net.num_latches() <= 20 && bm.net.num_inputs() <= 8)
+      diameter = std::to_string(mc::compute_diameter(bm.net));
+    std::printf("%-26s %-60s %9s\n", bm.name.c_str(),
+                stats.to_string().c_str(), diameter.c_str());
+  }
+  std::printf("\n(--dot <file.aag> exports Graphviz; small models only)\n");
+  return 0;
+}

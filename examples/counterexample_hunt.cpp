@@ -1,0 +1,50 @@
+// Counter-example hunting across a family of protocol bugs.
+//
+//   $ ./counterexample_hunt [--bound N]
+//
+// Runs refined-ordering BMC on the buggy control-logic benchmarks
+// (arbiter, FIFO, Peterson, traffic), prints each counter-example, and
+// replays every trace on the cycle-accurate simulator as a cross-check —
+// the workflow of a verification engineer triaging failures.
+#include <cstdio>
+#include <vector>
+
+#include "bmc/engine.hpp"
+#include "model/benchgen.hpp"
+#include "util/options.hpp"
+
+int main(int argc, char** argv) {
+  using namespace refbmc;
+  const Options opts = Options::parse(argc, argv);
+  const int bound = opts.get_int("bound", 24);
+
+  std::vector<model::Benchmark> targets;
+  targets.push_back(model::arbiter_buggy(6));
+  targets.push_back(model::fifo_buggy(4));
+  targets.push_back(model::peterson_buggy());
+  targets.push_back(model::traffic_buggy(4));
+  targets.push_back(model::with_distractor(model::fifo_buggy(4), 24, 2024));
+
+  int failures_found = 0;
+  for (const auto& bm : targets) {
+    std::printf("=== %s ===\n", bm.name.c_str());
+    bmc::EngineConfig cfg;
+    cfg.policy = bmc::OrderingPolicy::Dynamic;
+    cfg.max_depth = bound;
+    bmc::BmcEngine engine(bm.net, cfg);
+    const bmc::BmcResult r = engine.run();
+
+    if (r.status != bmc::BmcResult::Status::CounterexampleFound) {
+      std::printf("no counter-example up to depth %d (unexpected!)\n\n",
+                  bound);
+      continue;
+    }
+    ++failures_found;
+    const bool replays = bmc::validate_trace(bm.net, *r.counterexample);
+    std::printf("bug confirmed at depth %d (simulator replay: %s)\n",
+                r.counterexample_depth, replays ? "ok" : "FAILED");
+    std::printf("%s\n", r.counterexample->to_string(bm.net).c_str());
+  }
+  std::printf("found %d/%zu injected bugs\n", failures_found, targets.size());
+  return failures_found == static_cast<int>(targets.size()) ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Unbounded proofs with k-induction — BMC refutes, induction proves.
+//
+//   $ ./prove_unbounded [--max-k N] [--policy baseline|static|dynamic]
+//
+// Runs temporal induction on a set of passing and failing properties.
+// For passing ones, the invariant is proven for ALL depths (not just up
+// to a bound); for failing ones the base case yields the usual validated
+// counter-example.  The refined decision ordering (§3.2–3.3) is applied
+// to both instance sequences — base cases and inductive steps each form
+// their own highly correlated UNSAT chain.
+#include <cstdio>
+
+#include "bmc/induction.hpp"
+#include "model/benchgen.hpp"
+#include "util/options.hpp"
+
+namespace {
+
+refbmc::bmc::OrderingPolicy parse_policy(const std::string& name) {
+  using refbmc::bmc::OrderingPolicy;
+  if (name == "baseline") return OrderingPolicy::Baseline;
+  if (name == "static") return OrderingPolicy::Static;
+  if (name == "dynamic") return OrderingPolicy::Dynamic;
+  throw std::invalid_argument("unknown --policy: " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace refbmc;
+
+  const Options opts = Options::parse(argc, argv);
+  const int max_k = opts.get_int("max-k", 24);
+  const auto policy = parse_policy(opts.get("policy", "dynamic"));
+
+  std::vector<model::Benchmark> targets;
+  targets.push_back(model::peterson_safe());
+  targets.push_back(model::gray_safe(6));
+  targets.push_back(model::counter_safe(5, 12, 20));
+  targets.push_back(model::arbiter_safe(6));
+  targets.push_back(model::fifo_buggy(3));    // failing: base case fires
+  targets.push_back(model::traffic_buggy(4)); // failing
+
+  int proved = 0, refuted = 0;
+  for (const auto& bm : targets) {
+    bmc::InductionConfig cfg;
+    cfg.policy = policy;
+    cfg.max_k = max_k;
+    bmc::InductionProver prover(bm.net, cfg);
+    const bmc::InductionResult r = prover.run();
+
+    switch (r.status) {
+      case bmc::InductionResult::Status::Proved:
+        ++proved;
+        std::printf("%-14s PROVED with k=%d   (base dec %llu, step dec "
+                    "%llu, %.3fs)\n",
+                    bm.name.c_str(), r.k,
+                    static_cast<unsigned long long>(r.base_decisions),
+                    static_cast<unsigned long long>(r.step_decisions),
+                    r.total_time_sec);
+        break;
+      case bmc::InductionResult::Status::CounterexampleFound:
+        ++refuted;
+        std::printf("%-14s FAILS at depth %d (trace validated on the "
+                    "simulator)\n",
+                    bm.name.c_str(), r.k);
+        break;
+      case bmc::InductionResult::Status::BoundReached:
+        std::printf("%-14s undecided up to k=%d\n", bm.name.c_str(), max_k);
+        break;
+      case bmc::InductionResult::Status::ResourceLimit:
+        std::printf("%-14s resource limit\n", bm.name.c_str());
+        break;
+    }
+  }
+  std::printf("\n%d proved, %d refuted of %zu properties\n", proved, refuted,
+              targets.size());
+  return (proved + refuted == static_cast<int>(targets.size())) ? 0 : 1;
+}

@@ -1,0 +1,6 @@
+#include "bmc/cnf.hpp"
+
+// Header-only data carrier; this translation unit exists so the module has
+// a home for future out-of-line helpers and to keep the build graph
+// uniform (one .cpp per public header).
+namespace refbmc::bmc {}

@@ -1,0 +1,46 @@
+// BMC instance container: the CNF of Eq. 1 plus the variable-origin map
+// that ties every CNF variable back to a (netlist node, time frame) pair.
+//
+// The origin map is what makes the paper's ordering transferable between
+// instances: unsat-core variables of instance k are projected onto the
+// model ("register") axis through it, and the accumulated model-level
+// scores are pushed back down to the CNF variables of instance k+1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/netlist.hpp"
+#include "sat/dimacs.hpp"
+#include "sat/types.hpp"
+
+namespace refbmc::bmc {
+
+/// Where a CNF variable came from.
+struct VarOrigin {
+  model::NodeId node = model::kConstNode;
+  int frame = -1;  // -1 for the auxiliary constant-false variable
+};
+
+struct BmcInstance {
+  int depth = 0;                  // the k of Eq. 1
+  sat::Cnf cnf;                   // clauses of Eq. 1
+  std::vector<VarOrigin> origin;  // per CNF variable
+  sat::Lit bad_lit;               // literal asserted by the ¬P(V^k) unit
+  /// Literal of the bad signal at each frame 0..depth (filled by the
+  /// unroller; used by induction and custom property shapes).
+  std::vector<sat::Lit> bad_frames;
+  /// Variables of each latch at each frame: latch_frames[f][i] is the
+  /// i-th cone latch (order of latches()) at frame f.
+  std::vector<std::vector<sat::Var>> latch_frames;
+
+  std::size_t num_vars() const { return origin.size(); }
+  std::size_t num_clauses() const { return cnf.clauses.size(); }
+  std::uint64_t num_literals() const {
+    std::uint64_t n = 0;
+    for (const auto& c : cnf.clauses) n += c.size();
+    return n;
+  }
+};
+
+}  // namespace refbmc::bmc

@@ -1,0 +1,276 @@
+#include "bmc/engine.hpp"
+
+#include <algorithm>
+
+#include "bmc/shtrichman.hpp"
+#include "mc/reach.hpp"
+#include "sat/core_verify.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+#include "util/timer.hpp"
+
+namespace refbmc::bmc {
+
+std::uint64_t BmcResult::total_decisions() const {
+  std::uint64_t n = 0;
+  for (const auto& d : per_depth) n += d.decisions;
+  return n;
+}
+std::uint64_t BmcResult::total_propagations() const {
+  std::uint64_t n = 0;
+  for (const auto& d : per_depth) n += d.propagations;
+  return n;
+}
+std::uint64_t BmcResult::total_conflicts() const {
+  std::uint64_t n = 0;
+  for (const auto& d : per_depth) n += d.conflicts;
+  return n;
+}
+
+BmcEngine::BmcEngine(const model::Netlist& net, EngineConfig config,
+                     std::size_t bad_index)
+    : net_(net),
+      config_(config),
+      bad_index_(bad_index),
+      unroller_(net, bad_index, config.bad_mode),
+      ranking_(config.weighting) {
+  REFBMC_EXPECTS(config_.start_depth >= 0);
+  REFBMC_EXPECTS(config_.max_depth >= config_.start_depth);
+}
+
+sat::SolverConfig BmcEngine::solver_config_for_policy() const {
+  sat::SolverConfig scfg = config_.solver;
+  switch (config_.policy) {
+    case OrderingPolicy::Baseline:
+      scfg.rank_mode = sat::RankMode::None;
+      break;
+    case OrderingPolicy::Static:
+    case OrderingPolicy::Shtrichman:
+      scfg.rank_mode = sat::RankMode::Static;
+      break;
+    case OrderingPolicy::Dynamic:
+      scfg.rank_mode = sat::RankMode::Dynamic;
+      break;
+    case OrderingPolicy::Replace:
+      scfg.rank_mode = sat::RankMode::Replace;
+      break;
+  }
+  scfg.dynamic_switch_divisor = config_.dynamic_switch_divisor;
+  // Core tracking is what feeds the ranking refinement; the baseline
+  // and the Shtrichman ordering do not need it (paper's standard BMC).
+  scfg.track_cdg = uses_core_ranking() || config_.always_track_cdg;
+  scfg.conflict_limit = config_.per_instance_conflict_limit;
+  return scfg;
+}
+
+BmcResult BmcEngine::run() {
+  if (config_.incremental) {
+    REFBMC_EXPECTS_MSG(config_.bad_mode == BadMode::Last,
+                       "incremental mode supports BadMode::Last only");
+    REFBMC_EXPECTS_MSG(config_.policy != OrderingPolicy::Shtrichman,
+                       "incremental mode does not support the Shtrichman "
+                       "ordering");
+    return run_incremental();
+  }
+  return run_scratch();
+}
+
+BmcResult BmcEngine::run_scratch() {
+  BmcResult result;
+  Timer total_timer;
+  const Deadline total_deadline(config_.total_time_limit_sec);
+
+  for (int k = config_.start_depth; k <= config_.max_depth; ++k) {
+    if (total_deadline.expired()) {
+      result.status = BmcResult::Status::ResourceLimit;
+      break;
+    }
+
+    // gen_cnf_formula(M, P, k)
+    const BmcInstance inst = unroller_.unroll(k);
+
+    // sat_check(F, varRank): fresh solver per instance, as in Fig. 5.
+    sat::SolverConfig scfg = solver_config_for_policy();
+    const double remaining = total_deadline.remaining_sec();
+    if (config_.per_instance_time_limit_sec > 0.0 ||
+        config_.total_time_limit_sec > 0.0) {
+      scfg.time_limit_sec =
+          config_.per_instance_time_limit_sec > 0.0
+              ? std::min(config_.per_instance_time_limit_sec, remaining)
+              : remaining;
+    }
+
+    sat::Solver solver(scfg);
+    for (std::size_t v = 0; v < inst.num_vars(); ++v) solver.new_var();
+    for (const auto& clause : inst.cnf.clauses) solver.add_clause(clause);
+
+    if (config_.policy == OrderingPolicy::Shtrichman) {
+      solver.set_variable_rank(shtrichman_rank(inst));
+    } else if (uses_core_ranking()) {
+      solver.set_variable_rank(ranking_.project(inst));
+    }
+
+    const sat::Result res = solver.solve();
+
+    DepthStats stats;
+    stats.depth = k;
+    stats.result = res;
+    stats.decisions = solver.stats().decisions;
+    stats.propagations = solver.stats().propagations;
+    stats.conflicts = solver.stats().conflicts;
+    stats.time_sec = solver.stats().solve_time_sec;
+    stats.cnf_vars = inst.num_vars();
+    stats.cnf_clauses = inst.num_clauses();
+    stats.rank_switched = solver.stats().rank_switched;
+
+    if (res == sat::Result::Sat) {
+      Trace trace = extract_trace(net_, inst, solver);
+      if (config_.validate_counterexamples) {
+        REFBMC_ASSERT_MSG(validate_trace(net_, trace, bad_index_),
+                          "BMC produced a counter-example that does not "
+                          "replay on the simulator");
+      }
+      result.per_depth.push_back(stats);
+      result.status = BmcResult::Status::CounterexampleFound;
+      result.counterexample = std::move(trace);
+      result.counterexample_depth = k;
+      result.last_completed_depth = k;
+      break;
+    }
+    if (res == sat::Result::Unknown) {
+      result.per_depth.push_back(stats);
+      result.status = BmcResult::Status::ResourceLimit;
+      break;
+    }
+
+    // UNSAT: update_ranking(unsatVars, varRank).
+    if (scfg.track_cdg) {
+      const std::vector<sat::Var> core_vars = solver.unsat_core_vars();
+      stats.core_vars = core_vars.size();
+      stats.core_clauses = solver.unsat_core().size();
+      if (config_.verify_cores) {
+        const sat::CoreCheck check = sat::verify_core(solver);
+        REFBMC_ASSERT_MSG(check.core_unsat,
+                          "extracted unsat core is not unsatisfiable");
+      }
+      if (uses_core_ranking()) ranking_.update(inst, core_vars, k);
+    }
+    result.per_depth.push_back(stats);
+    result.last_completed_depth = k;
+    REFBMC_DEBUG() << "depth " << k << " UNSAT, decisions=" << stats.decisions
+                   << ", core_vars=" << stats.core_vars;
+  }
+
+  result.total_time_sec = total_timer.elapsed_sec();
+  return result;
+}
+
+BmcResult BmcEngine::run_incremental() {
+  BmcResult result;
+  Timer total_timer;
+  const Deadline total_deadline(config_.total_time_limit_sec);
+
+  sat::Solver solver(solver_config_for_policy());
+  IncrementalUnroller unroller(net_, solver, bad_index_);
+  const bool track_cores =
+      uses_core_ranking() || config_.always_track_cdg;
+
+  sat::SolverStats prev = solver.stats();
+  for (int k = config_.start_depth; k <= config_.max_depth; ++k) {
+    if (total_deadline.expired()) {
+      result.status = BmcResult::Status::ResourceLimit;
+      break;
+    }
+    const sat::Lit assumption = unroller.activation(k);
+    if (uses_core_ranking())
+      solver.set_variable_rank(ranking_.project(unroller.origin()));
+
+    const double remaining = total_deadline.remaining_sec();
+    double limit = -1.0;
+    if (config_.per_instance_time_limit_sec > 0.0 ||
+        config_.total_time_limit_sec > 0.0) {
+      limit = config_.per_instance_time_limit_sec > 0.0
+                  ? std::min(config_.per_instance_time_limit_sec, remaining)
+                  : remaining;
+    }
+    solver.set_resource_limits(config_.per_instance_conflict_limit, limit);
+
+    const sat::Result res = solver.solve({assumption});
+
+    DepthStats stats;
+    stats.depth = k;
+    stats.result = res;
+    stats.decisions = solver.stats().decisions - prev.decisions;
+    stats.propagations = solver.stats().propagations - prev.propagations;
+    stats.conflicts = solver.stats().conflicts - prev.conflicts;
+    stats.time_sec = solver.stats().solve_time_sec - prev.solve_time_sec;
+    stats.cnf_vars = unroller.origin().size();
+    stats.cnf_clauses = solver.num_original_clauses();
+    stats.rank_switched = solver.stats().rank_switched;
+    prev = solver.stats();
+
+    if (res == sat::Result::Sat) {
+      BmcInstance view;  // origin/depth adaptor for trace extraction
+      view.depth = k;
+      view.origin = unroller.origin();
+      Trace trace = extract_trace(net_, view, solver);
+      if (config_.validate_counterexamples) {
+        REFBMC_ASSERT_MSG(validate_trace(net_, trace, bad_index_),
+                          "BMC produced a counter-example that does not "
+                          "replay on the simulator");
+      }
+      result.per_depth.push_back(stats);
+      result.status = BmcResult::Status::CounterexampleFound;
+      result.counterexample = std::move(trace);
+      result.counterexample_depth = k;
+      result.last_completed_depth = k;
+      break;
+    }
+    if (res == sat::Result::Unknown) {
+      result.per_depth.push_back(stats);
+      result.status = BmcResult::Status::ResourceLimit;
+      break;
+    }
+
+    // UNSAT at depth k: harvest the core, refine, deactivate the guard.
+    if (track_cores) {
+      const std::vector<sat::Var> core_vars = solver.unsat_core_vars();
+      stats.core_vars = core_vars.size();
+      stats.core_clauses = solver.unsat_core().size();
+      if (config_.verify_cores) {
+        const sat::CoreCheck check = sat::verify_core(solver);
+        REFBMC_ASSERT_MSG(check.core_unsat,
+                          "extracted unsat core is not unsatisfiable");
+      }
+      if (uses_core_ranking())
+        ranking_.update(unroller.origin(), core_vars, k);
+    }
+    unroller.deactivate(k);
+    result.per_depth.push_back(stats);
+    result.last_completed_depth = k;
+  }
+
+  result.total_time_sec = total_timer.elapsed_sec();
+  return result;
+}
+
+BmcResult check_invariant(const model::Netlist& net, int max_depth,
+                          OrderingPolicy policy, std::size_t bad_index) {
+  EngineConfig cfg;
+  cfg.policy = policy;
+  cfg.max_depth = max_depth;
+  BmcEngine engine(net, cfg, bad_index);
+  return engine.run();
+}
+
+CompleteCheckResult check_invariant_complete(const model::Netlist& net,
+                                             OrderingPolicy policy,
+                                             std::size_t bad_index) {
+  CompleteCheckResult result;
+  result.threshold = mc::compute_diameter(net);
+  result.bmc = check_invariant(net, result.threshold, policy, bad_index);
+  result.proven = result.bmc.status == BmcResult::Status::BoundReached;
+  return result;
+}
+
+}  // namespace refbmc::bmc

@@ -1,0 +1,164 @@
+// The BMC engine: standard BMC and the paper's refine_order_bmc (Fig. 5).
+//
+//   refine_order_bmc(M, P):
+//     initialize varRank
+//     for each k in the bound range:
+//       F = gen_cnf_formula(M, P, k)           // Eq. 1 via the Unroller
+//       (isSat, unsatVars) = sat_check(F, varRank)
+//       if isSat: return counter-example
+//       update_ranking(unsatVars, varRank)     // bmc_score accumulation
+//     return bound reached
+//
+// The ordering policy selects how varRank is used by the solver:
+//   Baseline   — ignored (pure Chaff VSIDS; the paper's "standard BMC");
+//   Static     — primary sort key for the whole search (§3.3);
+//   Dynamic    — primary key until #decisions > #literals/64, then VSIDS;
+//   Shtrichman — time-axis BFS ranks (related-work comparison), static.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bmc/cnf.hpp"
+#include "bmc/ranking.hpp"
+#include "bmc/trace.hpp"
+#include "bmc/unroller.hpp"
+#include "model/netlist.hpp"
+#include "sat/solver.hpp"
+
+namespace refbmc::bmc {
+
+enum class OrderingPolicy {
+  Baseline,    // pure VSIDS (the paper's "standard BMC")
+  Static,      // §3.3 static: bmc_score primary, cha_score tiebreak
+  Dynamic,     // §3.3 dynamic: static until difficulty, then VSIDS
+  Replace,     // §3.3's passed-over alternative: bmc_score only
+  Shtrichman,  // related work: time-axis BFS ordering
+};
+
+inline const char* to_string(OrderingPolicy p) {
+  switch (p) {
+    case OrderingPolicy::Baseline: return "baseline";
+    case OrderingPolicy::Static: return "static";
+    case OrderingPolicy::Dynamic: return "dynamic";
+    case OrderingPolicy::Replace: return "replace";
+    case OrderingPolicy::Shtrichman: return "shtrichman";
+  }
+  return "?";
+}
+
+struct EngineConfig {
+  OrderingPolicy policy = OrderingPolicy::Baseline;
+  BadMode bad_mode = BadMode::Last;
+  CoreWeighting weighting = CoreWeighting::Linear;  // §3.2 (ablatable)
+  int start_depth = 0;
+  int max_depth = 20;  // completeness threshold / bound
+  int dynamic_switch_divisor = 64;  // §3.3 (ablatable)
+  /// Incremental mode (the combination with incremental SAT proposed in
+  /// the paper's conclusion): one persistent solver, frames added once,
+  /// per-depth properties enabled by assumption.  Learned clauses — and
+  /// VSIDS activity — carry over between depths.  Requires BadMode::Last
+  /// and a policy other than Shtrichman.
+  bool incremental = false;
+  /// Collect unsat cores even for the baseline (costs the §3.1 overhead;
+  /// the baseline of the paper's Table 1 runs with this off).
+  bool always_track_cdg = false;
+  /// Self-check: validate every counter-example on the simulator and every
+  /// unsat core by re-solving (the latter is expensive; default off).
+  bool validate_counterexamples = true;
+  bool verify_cores = false;
+  // Resource limits (negative = unlimited).
+  double total_time_limit_sec = -1.0;
+  double per_instance_time_limit_sec = -1.0;
+  std::int64_t per_instance_conflict_limit = -1;
+  /// Base solver knobs (restarts, reduceDB, VSIDS period, …).  rank_mode,
+  /// track_cdg and limits are overridden per instance by the engine.
+  sat::SolverConfig solver;
+};
+
+/// Per-depth statistics — the series behind the paper's Fig. 7.
+struct DepthStats {
+  int depth = 0;
+  sat::Result result = sat::Result::Unknown;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;  // "implications"
+  std::uint64_t conflicts = 0;
+  double time_sec = 0.0;
+  std::size_t cnf_vars = 0;
+  std::size_t cnf_clauses = 0;
+  std::size_t core_clauses = 0;  // when UNSAT and cores tracked
+  std::size_t core_vars = 0;
+  bool rank_switched = false;  // dynamic policy fell back to VSIDS
+};
+
+struct BmcResult {
+  enum class Status {
+    CounterexampleFound,
+    BoundReached,     // all instances up to max_depth UNSAT
+    ResourceLimit,    // time/conflict budget exhausted
+  };
+  Status status = Status::BoundReached;
+  std::optional<Trace> counterexample;  // set when a cex was found
+  int counterexample_depth = -1;
+  int last_completed_depth = -1;
+  std::vector<DepthStats> per_depth;
+  double total_time_sec = 0.0;
+
+  std::uint64_t total_decisions() const;
+  std::uint64_t total_propagations() const;
+  std::uint64_t total_conflicts() const;
+};
+
+class BmcEngine {
+ public:
+  BmcEngine(const model::Netlist& net, EngineConfig config,
+            std::size_t bad_index = 0);
+
+  /// Runs the loop of Fig. 5 (or plain BMC for the Baseline policy).
+  BmcResult run();
+
+  /// Accumulated register-axis scores (inspectable between runs).
+  const CoreRanking& ranking() const { return ranking_; }
+  const Unroller& unroller() const { return unroller_; }
+
+ private:
+  BmcResult run_scratch();
+  BmcResult run_incremental();
+
+  bool uses_core_ranking() const {
+    return config_.policy == OrderingPolicy::Static ||
+           config_.policy == OrderingPolicy::Dynamic ||
+           config_.policy == OrderingPolicy::Replace;
+  }
+  sat::SolverConfig solver_config_for_policy() const;
+
+  const model::Netlist& net_;
+  EngineConfig config_;
+  std::size_t bad_index_;
+  Unroller unroller_;
+  CoreRanking ranking_;
+};
+
+/// One-call convenience used by examples: checks property `bad_index` of
+/// `net` up to `max_depth` with the given policy.
+BmcResult check_invariant(const model::Netlist& net, int max_depth,
+                          OrderingPolicy policy = OrderingPolicy::Dynamic,
+                          std::size_t bad_index = 0);
+
+/// BMC with an automatically computed completeness threshold (§2 of the
+/// paper: "k exceeds a predetermined completeness threshold" ⇒ the
+/// property is proven).  The threshold is the reachable-state-space
+/// diameter from explicit enumeration, so this is limited to small
+/// models (≤ 24 latches / 16 inputs); `proven` is true when the bound
+/// was exhausted without a counter-example.
+struct CompleteCheckResult {
+  BmcResult bmc;
+  int threshold = 0;
+  bool proven = false;
+};
+CompleteCheckResult check_invariant_complete(
+    const model::Netlist& net, OrderingPolicy policy = OrderingPolicy::Dynamic,
+    std::size_t bad_index = 0);
+
+}  // namespace refbmc::bmc

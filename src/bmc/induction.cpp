@@ -1,0 +1,189 @@
+#include "bmc/induction.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace refbmc::bmc {
+
+using sat::Lit;
+
+InductionProver::InductionProver(const model::Netlist& net,
+                                 InductionConfig config,
+                                 std::size_t bad_index)
+    : net_(net),
+      config_(config),
+      bad_index_(bad_index),
+      unroller_(net, bad_index, BadMode::Last),
+      base_ranking_(config.weighting),
+      step_ranking_(config.weighting) {
+  REFBMC_EXPECTS_MSG(config_.policy != OrderingPolicy::Shtrichman,
+                     "induction does not support the Shtrichman ordering");
+  REFBMC_EXPECTS(config_.max_k >= 0);
+}
+
+namespace {
+
+/// Appends pairwise state-distinctness ("simple path") constraints over
+/// the cone latches: for every frame pair i < j, at least one latch
+/// differs.  Difference indicator d ↔ (a xor b) is Tseitin-encoded in the
+/// direction the OR clause needs (d → a≠b).
+void add_simple_path_constraints(BmcInstance& inst) {
+  const int frames = inst.depth + 1;
+  const auto new_aux = [&inst]() {
+    const int v = static_cast<int>(inst.origin.size());
+    inst.origin.push_back(VarOrigin{model::kConstNode, -3});
+    return v;
+  };
+  for (int i = 0; i < frames; ++i) {
+    for (int j = i + 1; j < frames; ++j) {
+      const auto& li = inst.latch_frames[static_cast<std::size_t>(i)];
+      const auto& lj = inst.latch_frames[static_cast<std::size_t>(j)];
+      REFBMC_ASSERT(li.size() == lj.size());
+      if (li.empty()) continue;  // no latches: every frame pair "equal"
+      std::vector<Lit> any_diff;
+      for (std::size_t l = 0; l < li.size(); ++l) {
+        const Lit a = Lit::make(li[l]);
+        const Lit b = Lit::make(lj[l]);
+        const Lit d = Lit::make(new_aux());
+        // d → (a ≠ b)
+        inst.cnf.add_clause({~d, a, b});
+        inst.cnf.add_clause({~d, ~a, ~b});
+        any_diff.push_back(d);
+      }
+      inst.cnf.add_clause(any_diff);  // states at i and j differ
+    }
+  }
+  inst.cnf.num_vars = static_cast<int>(inst.origin.size());
+}
+
+}  // namespace
+
+InductionProver::SolveOutcome InductionProver::solve_instance(
+    const BmcInstance& inst, CoreRanking& ranking, int k,
+    std::uint64_t& decisions, std::uint64_t& conflicts,
+    double deadline_sec) {
+  sat::SolverConfig scfg = config_.solver;
+  switch (config_.policy) {
+    case OrderingPolicy::Baseline:
+      scfg.rank_mode = sat::RankMode::None;
+      break;
+    case OrderingPolicy::Static:
+      scfg.rank_mode = sat::RankMode::Static;
+      break;
+    case OrderingPolicy::Dynamic:
+      scfg.rank_mode = sat::RankMode::Dynamic;
+      break;
+    case OrderingPolicy::Replace:
+      scfg.rank_mode = sat::RankMode::Replace;
+      break;
+    case OrderingPolicy::Shtrichman:
+      REFBMC_ASSERT(false);
+      break;
+  }
+  scfg.dynamic_switch_divisor = config_.dynamic_switch_divisor;
+  scfg.track_cdg = config_.policy != OrderingPolicy::Baseline;
+  scfg.conflict_limit = config_.per_instance_conflict_limit;
+  scfg.time_limit_sec = deadline_sec;
+
+  SolveOutcome out{sat::Result::Unknown,
+                   std::make_unique<sat::Solver>(scfg)};
+  sat::Solver& solver = *out.solver;
+  for (std::size_t v = 0; v < inst.num_vars(); ++v) solver.new_var();
+  for (const auto& clause : inst.cnf.clauses) solver.add_clause(clause);
+  if (scfg.rank_mode != sat::RankMode::None)
+    solver.set_variable_rank(ranking.project(inst));
+
+  out.result = solver.solve();
+  decisions += solver.stats().decisions;
+  conflicts += solver.stats().conflicts;
+  if (out.result == sat::Result::Unsat && scfg.track_cdg)
+    ranking.update(inst, solver.unsat_core_vars(), k);
+  return out;
+}
+
+InductionResult InductionProver::run() {
+  InductionResult result;
+  Timer timer;
+  const Deadline deadline(config_.total_time_limit_sec);
+
+  for (int k = 0; k <= config_.max_k; ++k) {
+    if (deadline.expired()) {
+      result.status = InductionResult::Status::ResourceLimit;
+      break;
+    }
+    const double remaining =
+        config_.total_time_limit_sec > 0 ? deadline.remaining_sec() : -1.0;
+
+    // ---- base(k): counter-example of length exactly k? ----------------
+    {
+      BmcInstance base = unroller_.unroll_path(k, /*constrain_init=*/true);
+      base.cnf.add_clause({base.bad_frames[static_cast<std::size_t>(k)]});
+
+      const SolveOutcome out =
+          solve_instance(base, base_ranking_, k, result.base_decisions,
+                         result.base_conflicts, remaining);
+      if (out.result == sat::Result::Sat) {
+        Trace trace = extract_trace(net_, base, *out.solver);
+        if (config_.validate_counterexamples) {
+          REFBMC_ASSERT_MSG(validate_trace(net_, trace, bad_index_),
+                            "induction base case produced an invalid "
+                            "counter-example");
+        }
+        result.status = InductionResult::Status::CounterexampleFound;
+        result.k = k;
+        result.counterexample = std::move(trace);
+        result.total_time_sec = timer.elapsed_sec();
+        return result;
+      }
+      if (out.result == sat::Result::Unknown) {
+        result.status = InductionResult::Status::ResourceLimit;
+        result.total_time_sec = timer.elapsed_sec();
+        return result;
+      }
+    }
+
+    // ---- step(k): unreachable-of-bad is k-inductive? --------------------
+    {
+      BmcInstance step = unroller_.unroll_path(k + 1, /*no init*/ false);
+      for (int f = 0; f <= k; ++f)
+        step.cnf.add_clause(
+            {~step.bad_frames[static_cast<std::size_t>(f)]});
+      step.cnf.add_clause(
+          {step.bad_frames[static_cast<std::size_t>(k + 1)]});
+      if (config_.simple_path) add_simple_path_constraints(step);
+
+      const SolveOutcome out =
+          solve_instance(step, step_ranking_, k, result.step_decisions,
+                         result.step_conflicts, remaining);
+      if (out.result == sat::Result::Unsat) {
+        result.status = InductionResult::Status::Proved;
+        result.k = k;
+        result.total_time_sec = timer.elapsed_sec();
+        return result;
+      }
+      if (out.result == sat::Result::Unknown) {
+        result.status = InductionResult::Status::ResourceLimit;
+        result.total_time_sec = timer.elapsed_sec();
+        return result;
+      }
+    }
+  }
+
+  if (result.status != InductionResult::Status::ResourceLimit)
+    result.status = InductionResult::Status::BoundReached;
+  result.total_time_sec = timer.elapsed_sec();
+  return result;
+}
+
+InductionResult prove_invariant(const model::Netlist& net, int max_k,
+                                OrderingPolicy policy,
+                                std::size_t bad_index) {
+  InductionConfig cfg;
+  cfg.policy = policy;
+  cfg.max_k = max_k;
+  InductionProver prover(net, cfg, bad_index);
+  return prover.run();
+}
+
+}  // namespace refbmc::bmc

@@ -1,0 +1,53 @@
+#include "bmc/shtrichman.hpp"
+
+#include <deque>
+
+#include "util/assert.hpp"
+
+namespace refbmc::bmc {
+
+std::vector<double> shtrichman_rank(const BmcInstance& inst) {
+  const std::size_t n = inst.num_vars();
+  // Build variable adjacency through shared clauses.  For BFS we walk
+  // clause → variables; visiting each clause once keeps this linear.
+  std::vector<std::vector<std::size_t>> clauses_of_var(n);
+  for (std::size_t ci = 0; ci < inst.cnf.clauses.size(); ++ci)
+    for (const sat::Lit l : inst.cnf.clauses[ci])
+      clauses_of_var[static_cast<std::size_t>(l.var())].push_back(ci);
+
+  std::vector<int> dist(n, -1);
+  std::vector<char> clause_done(inst.cnf.clauses.size(), 0);
+  std::deque<sat::Var> queue;
+
+  const sat::Var seed = inst.bad_lit.var();
+  REFBMC_ASSERT(static_cast<std::size_t>(seed) < n);
+  dist[static_cast<std::size_t>(seed)] = 0;
+  queue.push_back(seed);
+
+  int max_dist = 0;
+  while (!queue.empty()) {
+    const sat::Var v = queue.front();
+    queue.pop_front();
+    const int d = dist[static_cast<std::size_t>(v)];
+    if (d > max_dist) max_dist = d;
+    for (const std::size_t ci : clauses_of_var[static_cast<std::size_t>(v)]) {
+      if (clause_done[ci]) continue;
+      clause_done[ci] = 1;
+      for (const sat::Lit l : inst.cnf.clauses[ci]) {
+        const auto u = static_cast<std::size_t>(l.var());
+        if (dist[u] < 0) {
+          dist[u] = d + 1;
+          queue.push_back(l.var());
+        }
+      }
+    }
+  }
+
+  std::vector<double> rank(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v)
+    if (dist[v] >= 0)
+      rank[v] = static_cast<double>(max_dist + 1 - dist[v]);
+  return rank;
+}
+
+}  // namespace refbmc::bmc

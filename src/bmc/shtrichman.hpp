@@ -1,0 +1,23 @@
+// Shtrichman-style static ordering (related work, CAV'00 [13]).
+//
+// Shtrichman viewed the BMC instance as a combinational circuit on a
+// plane whose x-axis is time frames and sorted variables by breadth-first
+// search over the Variable Dependency Graph starting from the property
+// constraint — i.e. by their position on the *time axis*.  The paper under
+// reproduction contrasts its register-axis ordering with this; we
+// implement it as a comparison baseline.
+#pragma once
+
+#include <vector>
+
+#include "bmc/cnf.hpp"
+
+namespace refbmc::bmc {
+
+/// Per-CNF-variable ranks: the seed variables (those of the ¬P constraint,
+/// i.e. the bad literal's clause) get the highest rank, then descending by
+/// BFS distance through clause incidence.  Variables unreachable from the
+/// property get rank 0.
+std::vector<double> shtrichman_rank(const BmcInstance& inst);
+
+}  // namespace refbmc::bmc

@@ -1,0 +1,244 @@
+#include "bmc/unroller.hpp"
+
+#include "util/assert.hpp"
+
+namespace refbmc::bmc {
+
+using model::NodeId;
+using model::NodeKind;
+using model::Signal;
+using sat::Lit;
+
+Unroller::Unroller(const model::Netlist& net, std::size_t bad_index,
+                   BadMode mode)
+    : net_(net), mode_(mode) {
+  REFBMC_EXPECTS_MSG(bad_index < net.bad_properties().size(),
+                     "model has no such bad property");
+  bad_ = net.bad_properties()[bad_index].signal;
+  cone_ = net.cone_of_influence({bad_});
+  in_cone_.assign(net.num_nodes(), 0);
+  for (const NodeId id : cone_) in_cone_[id] = 1;
+}
+
+BmcInstance Unroller::unroll_path(int k, bool constrain_init) const {
+  REFBMC_EXPECTS(k >= 0);
+  BmcInstance inst;
+  inst.depth = k;
+
+  // var_of[node][frame]; allocated on demand, but we simply allocate for
+  // every cone node at every frame — the cone is exactly what Eq. 1 needs.
+  const int frames = k + 1;
+  std::vector<int> var_of(net_.num_nodes() * static_cast<std::size_t>(frames),
+                          -1);
+  const auto slot = [&](NodeId id, int frame) -> int& {
+    return var_of[static_cast<std::size_t>(frame) * net_.num_nodes() + id];
+  };
+
+  const auto new_var = [&](NodeId id, int frame) {
+    const int v = static_cast<int>(inst.origin.size());
+    inst.origin.push_back(VarOrigin{id, frame});
+    return v;
+  };
+
+  // Auxiliary constant-false variable, constrained by a unit clause.
+  const int const_var = new_var(model::kConstNode, -1);
+  inst.cnf.add_clause({Lit::make(const_var, true)});
+
+  for (int f = 0; f < frames; ++f)
+    for (const NodeId id : cone_)
+      if (id != model::kConstNode) slot(id, f) = new_var(id, f);
+
+  const auto lit_of = [&](Signal s, int frame) -> Lit {
+    // const_var is constrained to 0, so the constant-false signal maps to
+    // its positive literal and constant-true to its negation.
+    if (s.is_const()) return Lit::make(const_var, s.negated());
+    const int v = slot(s.node(), frame);
+    REFBMC_ASSERT_MSG(v >= 0, "signal outside the cone of influence");
+    return Lit::make(v, s.negated());
+  };
+
+  // Frame 0: initial-state predicate I(V^0) as unit clauses.
+  if (constrain_init) {
+    for (const NodeId id : net_.latches()) {
+      if (!in_cone_[id]) continue;
+      const sat::lbool init = net_.latch_init(id);
+      if (init.is_undef()) continue;  // unconstrained initial value
+      inst.cnf.add_clause(
+          {Lit::make(slot(id, 0), /*negated=*/init.is_false())});
+    }
+  }
+
+  // Each frame: Tseitin clauses for AND gates (the gate relations of T).
+  for (int f = 0; f < frames; ++f) {
+    for (const NodeId id : cone_) {
+      if (net_.kind(id) != NodeKind::And) continue;
+      const model::Node& n = net_.node(id);
+      const Lit out = Lit::make(slot(id, f));
+      const Lit a = lit_of(n.fanin0, f);
+      const Lit b = lit_of(n.fanin1, f);
+      inst.cnf.add_clause({~out, a});
+      inst.cnf.add_clause({~out, b});
+      inst.cnf.add_clause({out, ~a, ~b});
+    }
+  }
+
+  // Transition coupling: latch value at frame f equals its next-state
+  // function evaluated at frame f-1.
+  for (int f = 1; f < frames; ++f) {
+    for (const NodeId id : net_.latches()) {
+      if (!in_cone_[id]) continue;
+      const Lit cur = Lit::make(slot(id, f));
+      const Lit prev_next = lit_of(net_.latch_next(id), f - 1);
+      inst.cnf.add_clause({~cur, prev_next});
+      inst.cnf.add_clause({cur, ~prev_next});
+    }
+  }
+
+  // Expose per-frame bad literals and latch variables for the caller.
+  inst.bad_frames.reserve(static_cast<std::size_t>(frames));
+  inst.latch_frames.resize(static_cast<std::size_t>(frames));
+  for (int f = 0; f < frames; ++f) {
+    inst.bad_frames.push_back(lit_of(bad_, f));
+    for (const NodeId id : net_.latches())
+      if (in_cone_[id])
+        inst.latch_frames[static_cast<std::size_t>(f)].push_back(
+            static_cast<sat::Var>(slot(id, f)));
+  }
+
+  inst.cnf.num_vars = static_cast<int>(inst.origin.size());
+  return inst;
+}
+
+BmcInstance Unroller::unroll(int k) const {
+  BmcInstance inst = unroll_path(k, /*constrain_init=*/true);
+
+  const auto new_var = [&](NodeId id, int frame) {
+    const int v = static_cast<int>(inst.origin.size());
+    inst.origin.push_back(VarOrigin{id, frame});
+    return v;
+  };
+
+  // Property: ¬P, i.e. the bad signal.
+  if (mode_ == BadMode::Last) {
+    inst.bad_lit = inst.bad_frames[static_cast<std::size_t>(k)];
+    inst.cnf.add_clause({inst.bad_lit});
+  } else {
+    // bad at some frame: fresh variable any ↔ ⋁_f bad_f, asserted true.
+    // (One direction plus the assertion suffices for satisfiability, but
+    // the full equivalence keeps models meaningful for trace extraction.)
+    const int any = new_var(model::kConstNode, -2);
+    const Lit any_lit = Lit::make(any);
+    std::vector<Lit> big{~any_lit};
+    for (const Lit bf : inst.bad_frames) {
+      big.push_back(bf);
+      inst.cnf.add_clause({any_lit, ~bf});
+    }
+    inst.cnf.add_clause(big);
+    inst.cnf.add_clause({any_lit});
+    inst.bad_lit = any_lit;
+  }
+
+  inst.cnf.num_vars = static_cast<int>(inst.origin.size());
+  return inst;
+}
+
+// ---------------------------------------------------------------------------
+
+IncrementalUnroller::IncrementalUnroller(const model::Netlist& net,
+                                         sat::Solver& solver,
+                                         std::size_t bad_index)
+    : net_(net), solver_(solver) {
+  REFBMC_EXPECTS_MSG(bad_index < net.bad_properties().size(),
+                     "model has no such bad property");
+  REFBMC_EXPECTS_MSG(solver.num_vars() == 0,
+                     "incremental unroller needs a fresh solver");
+  bad_ = net.bad_properties()[bad_index].signal;
+  cone_ = net.cone_of_influence({bad_});
+  in_cone_.assign(net.num_nodes(), 0);
+  for (const NodeId id : cone_) in_cone_[id] = 1;
+
+  const_var_ = fresh_var(model::kConstNode, -1);
+  solver_.add_clause({Lit::make(const_var_, true)});
+}
+
+sat::Var IncrementalUnroller::fresh_var(model::NodeId node, int frame) {
+  const sat::Var v = solver_.new_var();
+  REFBMC_ASSERT(static_cast<std::size_t>(v) == origin_.size());
+  origin_.push_back(VarOrigin{node, frame});
+  return v;
+}
+
+sat::Lit IncrementalUnroller::lit_of(model::Signal s, int frame) const {
+  if (s.is_const()) return Lit::make(const_var_, s.negated());
+  const int v = var_of_[static_cast<std::size_t>(frame) * net_.num_nodes() +
+                        s.node()];
+  REFBMC_ASSERT_MSG(v >= 0, "signal outside the cone of influence");
+  return Lit::make(v, s.negated());
+}
+
+void IncrementalUnroller::encode_frame(int f) {
+  // Allocate this frame's variables.
+  var_of_.resize(static_cast<std::size_t>(f + 1) * net_.num_nodes(), -1);
+  for (const NodeId id : cone_) {
+    if (id == model::kConstNode) continue;
+    var_of_[static_cast<std::size_t>(f) * net_.num_nodes() + id] =
+        fresh_var(id, f);
+  }
+
+  if (f == 0) {
+    // Initial-state predicate I(V⁰).
+    for (const NodeId id : net_.latches()) {
+      if (!in_cone_[id]) continue;
+      const sat::lbool init = net_.latch_init(id);
+      if (init.is_undef()) continue;
+      solver_.add_clause({Lit::make(
+          var_of_[id], /*negated=*/init.is_false())});
+    }
+  } else {
+    // Latch coupling to the previous frame.
+    for (const NodeId id : net_.latches()) {
+      if (!in_cone_[id]) continue;
+      const Lit cur = lit_of(model::Signal::make(id), f);
+      const Lit prev_next = lit_of(net_.latch_next(id), f - 1);
+      solver_.add_clause({~cur, prev_next});
+      solver_.add_clause({cur, ~prev_next});
+    }
+  }
+
+  // Gate relations of this frame.
+  for (const NodeId id : cone_) {
+    if (net_.kind(id) != NodeKind::And) continue;
+    const model::Node& n = net_.node(id);
+    const Lit out = lit_of(model::Signal::make(id), f);
+    const Lit a = lit_of(n.fanin0, f);
+    const Lit b = lit_of(n.fanin1, f);
+    solver_.add_clause({~out, a});
+    solver_.add_clause({~out, b});
+    solver_.add_clause({out, ~a, ~b});
+  }
+}
+
+sat::Lit IncrementalUnroller::activation(int k) {
+  REFBMC_EXPECTS(k >= 0);
+  while (encoded_depth_ < k) encode_frame(++encoded_depth_);
+  while (static_cast<int>(activation_.size()) <= k) {
+    const int depth = static_cast<int>(activation_.size());
+    const sat::Var a = fresh_var(model::kConstNode, -2);
+    const Lit a_lit = Lit::make(a);
+    // Guarded property: assuming a_lit asserts bad at frame `depth`.
+    solver_.add_clause({~a_lit, lit_of(bad_, depth)});
+    activation_.push_back(a_lit);
+    deactivated_.push_back(0);
+  }
+  return activation_[static_cast<std::size_t>(k)];
+}
+
+void IncrementalUnroller::deactivate(int k) {
+  REFBMC_EXPECTS(k >= 0 &&
+                 static_cast<std::size_t>(k) < activation_.size());
+  if (deactivated_[static_cast<std::size_t>(k)]) return;
+  deactivated_[static_cast<std::size_t>(k)] = 1;
+  solver_.add_clause({~activation_[static_cast<std::size_t>(k)]});
+}
+
+}  // namespace refbmc::bmc

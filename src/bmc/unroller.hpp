@@ -1,0 +1,104 @@
+// Time-frame expansion: builds the CNF of the paper's Eq. 1,
+//
+//     I(V^0) ∧ ⋀_{1<=i<=k} T(V^{i-1}, W^i, V^i) ∧ ¬P(V^k),
+//
+// for a Netlist model via Tseitin encoding of the (cone-of-influence
+// restricted) AIG at every frame.
+//
+// Encoding choices:
+//  * one CNF variable per (node, frame) for nodes in the sequential COI
+//    of the checked bad signal, plus one auxiliary constant-false var;
+//  * AND gates: 3 Tseitin clauses per frame;
+//  * latches: 2 equivalence clauses connecting latch(i) to its next-state
+//    function at frame i-1; initial values as unit clauses at frame 0
+//    (uninitialised latches are left unconstrained);
+//  * property: BadMode::Last asserts bad at frame k exactly (Eq. 1);
+//    BadMode::Any asserts bad at some frame ≤ k (the common alternative),
+//    encoded with a fresh disjunction variable.
+#pragma once
+
+#include "bmc/cnf.hpp"
+#include "model/netlist.hpp"
+#include "sat/solver.hpp"
+
+namespace refbmc::bmc {
+
+enum class BadMode {
+  Last,  // counter-example of length exactly k (paper's Eq. 1)
+  Any,   // counter-example of length at most k
+};
+
+class Unroller {
+ public:
+  /// `bad_index` selects the checked property of the model.
+  Unroller(const model::Netlist& net, std::size_t bad_index = 0,
+           BadMode mode = BadMode::Last);
+
+  /// Builds the full instance for depth k (independent of previous calls;
+  /// the paper's loop creates each instance from scratch).
+  BmcInstance unroll(int k) const;
+
+  /// Builds only the path portion: gate relations and latch couplings for
+  /// frames 0..k, the initial-state predicate iff `constrain_init`, and
+  /// NO property clause — per-frame bad literals are exposed in
+  /// `bad_frames` for the caller to constrain (used by k-induction).
+  BmcInstance unroll_path(int k, bool constrain_init) const;
+
+  /// Nodes in the sequential cone of influence of the property.
+  const std::vector<model::NodeId>& cone() const { return cone_; }
+  BadMode mode() const { return mode_; }
+
+ private:
+  const model::Netlist& net_;
+  model::Signal bad_;
+  BadMode mode_;
+  std::vector<model::NodeId> cone_;        // sorted
+  std::vector<char> in_cone_;              // per node
+};
+
+/// Incremental time-frame expansion (Eén–Sörensson style): one persistent
+/// solver accumulates the frames; the depth-k property ¬P(Vᵏ) is guarded
+/// by an activation literal and enabled via solve-under-assumptions.
+/// Learned clauses — and, for the refined ordering, VSIDS scores — carry
+/// over between depths.  This realises the combination with incremental
+/// SAT that the paper's conclusion proposes.
+class IncrementalUnroller {
+ public:
+  /// Clauses are pushed into `solver` (which must be fresh and outlive
+  /// this object).  Only BadMode::Last is supported.
+  IncrementalUnroller(const model::Netlist& net, sat::Solver& solver,
+                      std::size_t bad_index = 0);
+
+  /// Extends the encoding to depth k (monotonically) and returns the
+  /// assumption literal that asserts "bad at frame k".
+  sat::Lit activation(int k);
+
+  /// Permanently deactivates the depth-k property (call after UNSAT at k,
+  /// before moving on; keeps BCP from revisiting the dead guard clause).
+  void deactivate(int k);
+
+  /// CNF-variable origins, growing as frames are added (activation and
+  /// auxiliary variables map to the constant node).
+  const std::vector<VarOrigin>& origin() const { return origin_; }
+  int encoded_depth() const { return encoded_depth_; }
+  const std::vector<model::NodeId>& cone() const { return cone_; }
+
+ private:
+  sat::Var fresh_var(model::NodeId node, int frame);
+  sat::Lit lit_of(model::Signal s, int frame) const;
+  void encode_frame(int f);
+
+  const model::Netlist& net_;
+  sat::Solver& solver_;
+  model::Signal bad_;
+  std::vector<model::NodeId> cone_;
+  std::vector<char> in_cone_;
+  std::vector<VarOrigin> origin_;
+  std::vector<int> var_of_;  // node × frame → cnf var (-1 = absent)
+  std::vector<sat::Lit> activation_;  // per depth
+  std::vector<char> deactivated_;     // per depth
+  int const_var_ = -1;
+  int encoded_depth_ = -1;
+};
+
+}  // namespace refbmc::bmc

@@ -1,0 +1,166 @@
+#include "mc/reach.hpp"
+
+#include <deque>
+#include <unordered_set>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace refbmc::mc {
+
+using model::NodeId;
+using model::NodeKind;
+using model::Signal;
+
+namespace {
+
+/// Flat combinational evaluator over packed latch/input bit vectors
+/// (avoids Simulator's per-step allocation in the innermost loop).
+class Evaluator {
+ public:
+  explicit Evaluator(const model::Netlist& net) : net_(net) {
+    vals_.resize(net.num_nodes(), 0);
+  }
+
+  /// Evaluates all nodes for `state` (latch bits) and `inputs` (input bits).
+  void eval(std::uint64_t state, std::uint64_t inputs) {
+    const auto& latches = net_.latches();
+    for (std::size_t i = 0; i < latches.size(); ++i)
+      vals_[latches[i]] = static_cast<char>((state >> i) & 1ull);
+    const auto& ins = net_.inputs();
+    for (std::size_t i = 0; i < ins.size(); ++i)
+      vals_[ins[i]] = static_cast<char>((inputs >> i) & 1ull);
+    for (NodeId id = 1; id < net_.num_nodes(); ++id) {
+      const model::Node& n = net_.node(id);
+      if (n.kind != NodeKind::And) continue;
+      vals_[id] = static_cast<char>(value(n.fanin0) && value(n.fanin1));
+    }
+  }
+
+  bool value(Signal s) const { return (vals_[s.node()] != 0) != s.negated(); }
+
+  std::uint64_t next_state() const {
+    const auto& latches = net_.latches();
+    std::uint64_t ns = 0;
+    for (std::size_t i = 0; i < latches.size(); ++i)
+      if (value(net_.latch_next(latches[i]))) ns |= (1ull << i);
+    return ns;
+  }
+
+ private:
+  const model::Netlist& net_;
+  std::vector<char> vals_;
+};
+
+}  // namespace
+
+int compute_diameter(const model::Netlist& net) {
+  REFBMC_EXPECTS_MSG(net.num_latches() <= 24,
+                     "compute_diameter: too many latches (limit 24)");
+  REFBMC_EXPECTS_MSG(net.num_inputs() <= 16,
+                     "compute_diameter: too many inputs (limit 16)");
+  const std::uint64_t num_inputs_combos = 1ull << net.num_inputs();
+  Evaluator eval(net);
+
+  std::vector<std::size_t> free_bits;
+  std::uint64_t base = 0;
+  const auto& latches = net.latches();
+  for (std::size_t i = 0; i < latches.size(); ++i) {
+    const sat::lbool init = net.latch_init(latches[i]);
+    if (init.is_undef())
+      free_bits.push_back(i);
+    else if (init.is_true())
+      base |= (1ull << i);
+  }
+  REFBMC_EXPECTS_MSG(free_bits.size() <= 20,
+                     "compute_diameter: too many uninitialised latches");
+
+  std::unordered_set<std::uint64_t> visited;
+  std::deque<std::pair<std::uint64_t, int>> queue;
+  for (std::uint64_t combo = 0; combo < (1ull << free_bits.size()); ++combo) {
+    std::uint64_t s = base;
+    for (std::size_t j = 0; j < free_bits.size(); ++j)
+      if ((combo >> j) & 1ull) s |= (1ull << free_bits[j]);
+    if (visited.insert(s).second) queue.emplace_back(s, 0);
+  }
+
+  int diameter = 0;
+  while (!queue.empty()) {
+    const auto [state, depth] = queue.front();
+    queue.pop_front();
+    if (depth > diameter) diameter = depth;
+    for (std::uint64_t in = 0; in < num_inputs_combos; ++in) {
+      eval.eval(state, in);
+      const std::uint64_t ns = eval.next_state();
+      if (visited.insert(ns).second) queue.emplace_back(ns, depth + 1);
+    }
+  }
+  return diameter;
+}
+
+ReachResult explicit_reach(const model::Netlist& net, std::size_t bad_index) {
+  REFBMC_EXPECTS_MSG(net.num_latches() <= 24,
+                     "explicit_reach: too many latches (limit 24)");
+  REFBMC_EXPECTS_MSG(net.num_inputs() <= 16,
+                     "explicit_reach: too many inputs (limit 16)");
+  REFBMC_EXPECTS(bad_index < net.bad_properties().size());
+  const Signal bad = net.bad_properties()[bad_index].signal;
+
+  const std::uint64_t num_inputs_combos = 1ull << net.num_inputs();
+  Evaluator eval(net);
+
+  // Initial states: fixed bits from latch init; l_Undef bits enumerate.
+  std::vector<std::size_t> free_bits;
+  std::uint64_t base = 0;
+  const auto& latches = net.latches();
+  for (std::size_t i = 0; i < latches.size(); ++i) {
+    const sat::lbool init = net.latch_init(latches[i]);
+    if (init.is_undef())
+      free_bits.push_back(i);
+    else if (init.is_true())
+      base |= (1ull << i);
+  }
+  REFBMC_EXPECTS_MSG(free_bits.size() <= 20,
+                     "explicit_reach: too many uninitialised latches");
+
+  ReachResult result;
+  std::unordered_set<std::uint64_t> visited;
+  std::deque<std::pair<std::uint64_t, int>> queue;  // (state, depth)
+
+  for (std::uint64_t combo = 0; combo < (1ull << free_bits.size()); ++combo) {
+    std::uint64_t s = base;
+    for (std::size_t j = 0; j < free_bits.size(); ++j)
+      if ((combo >> j) & 1ull) s |= (1ull << free_bits[j]);
+    if (visited.insert(s).second) queue.emplace_back(s, 0);
+  }
+
+  while (!queue.empty()) {
+    const auto [state, depth] = queue.front();
+    queue.pop_front();
+    ++result.num_reachable_states;
+    if (depth > result.diameter) result.diameter = depth;
+
+    for (std::uint64_t in = 0; in < num_inputs_combos; ++in) {
+      eval.eval(state, in);
+      if (eval.value(bad)) {
+        // Bad is a function of (state, input): a counter-example of length
+        // `depth` transitions ends in this state.
+        if (!result.shortest_counterexample ||
+            depth < *result.shortest_counterexample) {
+          result.property_holds = false;
+          result.shortest_counterexample = depth;
+        }
+      }
+      const std::uint64_t ns = eval.next_state();
+      if (visited.insert(ns).second) queue.emplace_back(ns, depth + 1);
+    }
+    // BFS order guarantees the first bad hit is at minimal depth; stop
+    // expanding deeper once found (still finish current depth’s checks).
+    if (result.shortest_counterexample &&
+        depth >= *result.shortest_counterexample)
+      break;
+  }
+  return result;
+}
+
+}  // namespace refbmc::mc

@@ -1,0 +1,34 @@
+// AIGER reader/writer — both the ASCII (.aag) and the binary (.aig)
+// encodings, including the AIGER 1.9 `B` (bad state property) section.
+// This is the format of the public BMC benchmark collections (HWMCC).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "model/netlist.hpp"
+
+namespace refbmc::model {
+
+/// Parses an AIGER file, dispatching on the magic ("aag" = ASCII,
+/// "aig" = binary).  Latch init values follow AIGER 1.9: absent or 0 →
+/// initialised to 0, 1 → initialised to 1, the latch's own literal →
+/// uninitialised (l_Undef).  Throws std::invalid_argument on malformed
+/// input (bad header, cyclic/undefined AND references, literal out of
+/// range, odd LHS, truncated delta codes, …).
+Netlist read_aiger(std::istream& in);
+Netlist read_aiger_string(const std::string& text);
+Netlist read_aiger_file(const std::string& path);
+
+/// Writes ASCII AIGER with a symbol table for named inputs/latches and a
+/// `B` section for bad properties.
+void write_aiger(std::ostream& out, const Netlist& net);
+std::string to_aiger_string(const Netlist& net);
+void write_aiger_file(const std::string& path, const Netlist& net);
+
+/// Writes binary AIGER (delta-coded AND section; inputs/latches/ANDs are
+/// renumbered into the canonical dense order the format requires).
+void write_aiger_binary(std::ostream& out, const Netlist& net);
+std::string to_aiger_binary_string(const Netlist& net);
+
+}  // namespace refbmc::model

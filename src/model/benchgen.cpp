@@ -1,0 +1,548 @@
+#include "model/benchgen.hpp"
+
+#include <unordered_set>
+
+#include "model/builder.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace refbmc::model {
+namespace {
+
+/// Tap masks (bit i set = register bit i feeds the XOR) giving long orbits
+/// for Fibonacci LFSRs; from the standard maximal-length tables.  For
+/// widths not listed we fall back to the two top bits and rely on the
+/// generation-time orbit uniqueness check.
+std::uint64_t lfsr_taps(int bits) {
+  switch (bits) {
+    case 4: return (1ull << 3) | (1ull << 2);
+    case 5: return (1ull << 4) | (1ull << 2);
+    case 6: return (1ull << 5) | (1ull << 4);
+    case 7: return (1ull << 6) | (1ull << 5);
+    case 8: return (1ull << 7) | (1ull << 5) | (1ull << 4) | (1ull << 3);
+    case 10: return (1ull << 9) | (1ull << 6);
+    case 12: return (1ull << 11) | (1ull << 5) | (1ull << 3) | (1ull << 0);
+    case 16:
+      return (1ull << 15) | (1ull << 14) | (1ull << 12) | (1ull << 3);
+    case 20: return (1ull << 19) | (1ull << 16);
+    case 24:
+      return (1ull << 23) | (1ull << 22) | (1ull << 21) | (1ull << 16);
+    default:
+      return (1ull << (bits - 1)) | (1ull << (bits - 2));
+  }
+}
+
+bool parity64(std::uint64_t x) { return (__builtin_popcountll(x) & 1) != 0; }
+
+/// Builds the LFSR registers and returns the latch word; the update is
+/// s' = (s << 1) | xor(taps), matching the bit-math used to find targets.
+Word build_lfsr(Builder& b, int bits, std::uint64_t taps,
+                std::uint64_t seed) {
+  Word s = b.latch_word("lfsr", static_cast<std::size_t>(bits), seed);
+  std::vector<Signal> tap_bits;
+  for (int i = 0; i < bits; ++i)
+    if ((taps >> i) & 1ull) tap_bits.push_back(s[static_cast<std::size_t>(i)]);
+  Signal fb = Signal::constant(false);
+  for (const Signal t : tap_bits) fb = b.xor_(fb, t);
+  b.set_next_word(s, b.shift_left(s, fb));
+  return s;
+}
+
+std::uint64_t lfsr_step(std::uint64_t s, std::uint64_t taps, int bits) {
+  const std::uint64_t mask = (bits == 64) ? ~0ull : ((1ull << bits) - 1);
+  const std::uint64_t fb = parity64(s & taps) ? 1ull : 0ull;
+  return ((s << 1) | fb) & mask;
+}
+
+}  // namespace
+
+Benchmark counter_reach(int bits, std::uint64_t target, bool with_enable) {
+  REFBMC_EXPECTS(bits >= 1 && bits <= 62);
+  REFBMC_EXPECTS(target < (1ull << bits));
+  Benchmark bm;
+  Builder b(bm.net);
+  Word cnt = b.latch_word("cnt", static_cast<std::size_t>(bits), 0);
+  const Signal en =
+      with_enable ? bm.net.add_input("en") : Signal::constant(true);
+  b.set_next_word(cnt, b.mux_word(en, b.increment(cnt), cnt));
+  bm.net.add_bad(b.eq_const(cnt, target), "count_hits_target");
+  bm.name = "cnt" + std::to_string(bits) + (with_enable ? "e" : "") + "_t" +
+            std::to_string(target);
+  bm.expect_fail = true;
+  bm.expect_depth = static_cast<int>(target);
+  bm.suggested_bound = static_cast<int>(target) + 2;
+  return bm;
+}
+
+Benchmark counter_safe(int bits, std::uint64_t modulus,
+                       std::uint64_t forbidden) {
+  REFBMC_EXPECTS(bits >= 1 && bits <= 62);
+  REFBMC_EXPECTS(modulus >= 2 && modulus <= (1ull << bits));
+  REFBMC_EXPECTS(forbidden >= modulus && forbidden < (1ull << bits));
+  Benchmark bm;
+  Builder b(bm.net);
+  Word cnt = b.latch_word("cnt", static_cast<std::size_t>(bits), 0);
+  const Signal wrap = b.eq_const(cnt, modulus - 1);
+  b.set_next_word(
+      cnt, b.mux_word(wrap, b.constant_word(0, cnt.size()), b.increment(cnt)));
+  bm.net.add_bad(b.eq_const(cnt, forbidden), "count_beyond_modulus");
+  bm.name = "cntm" + std::to_string(bits) + "_m" + std::to_string(modulus);
+  bm.expect_fail = false;
+  bm.suggested_bound = 20;
+  return bm;
+}
+
+Benchmark shift_all_ones(int n) {
+  REFBMC_EXPECTS(n >= 1);
+  Benchmark bm;
+  Builder b(bm.net);
+  const Signal in = bm.net.add_input("in");
+  Word s = b.latch_word("sr", static_cast<std::size_t>(n), 0);
+  b.set_next_word(s, b.shift_left(s, in));
+  bm.net.add_bad(b.and_all(s), "all_ones");
+  bm.name = "shift" + std::to_string(n);
+  bm.expect_fail = true;
+  bm.expect_depth = n;
+  bm.suggested_bound = n + 2;
+  return bm;
+}
+
+Benchmark lfsr_hit(int bits, int steps) {
+  REFBMC_EXPECTS(bits >= 3 && bits <= 62);
+  REFBMC_EXPECTS(steps >= 1);
+  const std::uint64_t taps = lfsr_taps(bits);
+  const std::uint64_t seed = 1;
+  std::uint64_t s = seed;
+  std::unordered_set<std::uint64_t> seen{s};
+  for (int i = 0; i < steps; ++i) {
+    s = lfsr_step(s, taps, bits);
+    REFBMC_EXPECTS_MSG(seen.insert(s).second,
+                       "lfsr orbit repeats before the requested step count");
+  }
+  Benchmark bm;
+  Builder b(bm.net);
+  Word reg = build_lfsr(b, bits, taps, seed);
+  bm.net.add_bad(b.eq_const(reg, s), "orbit_state_hit");
+  bm.name = "lfsr" + std::to_string(bits) + "_s" + std::to_string(steps);
+  bm.expect_fail = true;
+  bm.expect_depth = steps;
+  bm.suggested_bound = steps + 2;
+  return bm;
+}
+
+Benchmark lfsr_safe(int bits) {
+  REFBMC_EXPECTS(bits >= 3 && bits <= 62);
+  const std::uint64_t taps = lfsr_taps(bits);
+  // The all-zero state is unreachable from a non-zero seed whenever the top
+  // bit is tapped (the feedback of 10…0 is 1); all our taps include it.
+  Benchmark bm;
+  Builder b(bm.net);
+  Word reg = build_lfsr(b, bits, taps, 1);
+  bm.net.add_bad(b.eq_const(reg, 0), "zero_state");
+  bm.name = "lfsr" + std::to_string(bits) + "_safe";
+  bm.expect_fail = false;
+  bm.suggested_bound = 24;
+  return bm;
+}
+
+Benchmark gray_safe(int bits) {
+  REFBMC_EXPECTS(bits >= 2 && bits <= 62);
+  Benchmark bm;
+  Builder b(bm.net);
+  Word cnt = b.latch_word("bin", static_cast<std::size_t>(bits), 0);
+  b.set_next_word(cnt, b.increment(cnt));
+  // Gray output g = b xor (b >> 1).
+  Word gray(cnt.size());
+  for (std::size_t i = 0; i < cnt.size(); ++i)
+    gray[i] =
+        (i + 1 < cnt.size()) ? b.xor_(cnt[i], cnt[i + 1]) : cnt[i];
+  // Shadow register holds the previous gray value.
+  Word prev = b.latch_word("prev", cnt.size(), 0);
+  b.set_next_word(prev, gray);
+  // Bad: the gray code changed in two or more bit positions in one step.
+  Word diff = b.xor_word(gray, prev);
+  std::vector<Signal> pairs;
+  for (std::size_t i = 0; i < diff.size(); ++i)
+    for (std::size_t j = i + 1; j < diff.size(); ++j)
+      pairs.push_back(b.and_(diff[i], diff[j]));
+  bm.net.add_bad(b.or_all(pairs), "multi_bit_change");
+  bm.name = "gray" + std::to_string(bits);
+  bm.expect_fail = false;
+  bm.suggested_bound = 20;
+  return bm;
+}
+
+Benchmark johnson_safe(int bits) {
+  REFBMC_EXPECTS(bits >= 3 && bits <= 62);
+  Benchmark bm;
+  Builder b(bm.net);
+  Word j = b.latch_word("jr", static_cast<std::size_t>(bits), 0);
+  b.set_next_word(j, b.shift_left(j, !j[j.size() - 1]));
+  // States of a Johnson counter are runs (1^a 0^b or 0^a 1^b shifted in);
+  // the local pattern 1,0,1 can never occur.
+  bm.net.add_bad(b.and_(j[0], b.and_(!j[1], j[2])), "broken_run");
+  bm.name = "johnson" + std::to_string(bits);
+  bm.expect_fail = false;
+  bm.suggested_bound = static_cast<int>(2 * bits) + 4;
+  return bm;
+}
+
+namespace {
+Benchmark make_arbiter(int n, bool buggy) {
+  REFBMC_EXPECTS(n >= 2 && n <= 62);
+  Benchmark bm;
+  Builder b(bm.net);
+  // One-hot token that advances only on an external tick (or any grant) —
+  // the token position is input-dependent, so one-hotness at depth k is a
+  // genuine proof obligation rather than a BCP-derivable constant.
+  Word tok(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    tok[static_cast<std::size_t>(i)] =
+        bm.net.add_latch(sat::lbool(i == 0), "tok[" + std::to_string(i) + "]");
+  Word req = b.input_word("req", static_cast<std::size_t>(n));
+  const Signal tick = bm.net.add_input("tick");
+  const Signal advance = b.or_(tick, b.or_all(b.and_word(tok, req)));
+  for (int i = 0; i < n; ++i) {
+    const Signal rotated = tok[static_cast<std::size_t>((i + n - 1) % n)];
+    bm.net.set_next(tok[static_cast<std::size_t>(i)],
+                    b.mux(advance, rotated, tok[static_cast<std::size_t>(i)]));
+  }
+  Word grant(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    Signal g = b.and_(tok[static_cast<std::size_t>(i)],
+                      req[static_cast<std::size_t>(i)]);
+    if (buggy && i == 0) g = req[0];  // priority bypass: granted out of turn
+    grant[static_cast<std::size_t>(i)] = g;
+  }
+  std::vector<Signal> pairs;
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      pairs.push_back(b.and_(grant[static_cast<std::size_t>(i)],
+                             grant[static_cast<std::size_t>(j)]));
+  bm.net.add_bad(b.or_all(pairs), "double_grant");
+  bm.name = std::string(buggy ? "arbbug" : "arb") + std::to_string(n);
+  bm.expect_fail = buggy;
+  bm.expect_depth = buggy ? 1 : -1;
+  bm.suggested_bound = buggy ? 4 : n + 4;
+  return bm;
+}
+}  // namespace
+
+Benchmark arbiter_safe(int n) { return make_arbiter(n, false); }
+Benchmark arbiter_buggy(int n) { return make_arbiter(n, true); }
+
+namespace {
+Benchmark make_fifo(int count_bits, bool buggy) {
+  REFBMC_EXPECTS(count_bits >= 2 && count_bits <= 16);
+  const std::uint64_t cap = (1ull << count_bits) - 2;
+  Benchmark bm;
+  Builder b(bm.net);
+  Word cnt = b.latch_word("cnt", static_cast<std::size_t>(count_bits), 0);
+  const Signal push = bm.net.add_input("push");
+  const Signal pop = bm.net.add_input("pop");
+  const Signal full = b.eq_const(cnt, buggy ? cap + 1 : cap);
+  const Signal empty = b.eq_const(cnt, 0);
+  const Signal do_push = b.and_(push, b.and_(!pop, !full));
+  const Signal do_pop = b.and_(pop, b.and_(!push, !empty));
+  const Word ones = b.constant_word(~0ull, cnt.size());
+  Word next = b.mux_word(do_push, b.increment(cnt),
+                         b.mux_word(do_pop, b.add_word(cnt, ones), cnt));
+  b.set_next_word(cnt, next);
+  bm.net.add_bad(b.eq_const(cnt, cap + 1), "overflow");
+  bm.name = std::string(buggy ? "fifobug" : "fifo") + std::to_string(count_bits);
+  bm.expect_fail = buggy;
+  bm.expect_depth = buggy ? static_cast<int>(cap + 1) : -1;
+  bm.suggested_bound = static_cast<int>(cap) + 4;
+  return bm;
+}
+}  // namespace
+
+Benchmark fifo_safe(int count_bits) { return make_fifo(count_bits, false); }
+Benchmark fifo_buggy(int count_bits) { return make_fifo(count_bits, true); }
+
+namespace {
+Benchmark make_peterson(bool buggy) {
+  Benchmark bm;
+  Builder b(bm.net);
+  // Program counters: 0 idle, 1 set-turn, 2 wait, 3 critical.
+  Word pc0 = b.latch_word("pc0", 2, 0);
+  Word pc1 = b.latch_word("pc1", 2, 0);
+  const Signal flag0 = bm.net.add_latch(sat::l_False, "flag0");
+  const Signal flag1 = bm.net.add_latch(sat::l_False, "flag1");
+  const Signal turn = bm.net.add_latch(sat::l_False, "turn");  // 0 / 1
+  const Signal sel = bm.net.add_input("sched");  // which process steps
+
+  struct Proc {
+    Word pc;
+    Signal flag, other_flag;
+    bool id;
+  };
+  const Proc procs[2] = {{pc0, flag0, flag1, false},
+                         {pc1, flag1, flag0, true}};
+
+  Word next_pc[2];
+  Signal next_flag[2];
+  Signal next_turn = turn;
+  for (int i = 0; i < 2; ++i) {
+    const Proc& p = procs[i];
+    const Signal active = (i == 0) ? !sel : sel;
+    const Signal at0 = b.eq_const(p.pc, 0);
+    const Signal at1 = b.eq_const(p.pc, 1);
+    const Signal at2 = b.eq_const(p.pc, 2);
+    const Signal at3 = b.eq_const(p.pc, 3);
+    // Correct Peterson: wait until flag[other]==0 or turn==i.
+    // Bug: turn is set to self in state 1 (instead of to the other),
+    // which lets both processes pass the wait test together.
+    const Signal turn_is_me = p.id ? turn : !turn;
+    const Signal can_enter = b.or_(!p.other_flag, turn_is_me);
+
+    // pc transition when active.
+    Word pc_next = p.pc;
+    pc_next = b.mux_word(at0, b.constant_word(1, 2), pc_next);
+    pc_next = b.mux_word(at1, b.constant_word(2, 2), pc_next);
+    pc_next = b.mux_word(b.and_(at2, can_enter), b.constant_word(3, 2),
+                         pc_next);
+    pc_next = b.mux_word(at3, b.constant_word(0, 2), pc_next);
+    next_pc[i] = b.mux_word(active, pc_next, p.pc);
+
+    // flag: set on leaving idle, cleared on leaving critical.
+    Signal f = p.flag;
+    f = b.mux(b.and_(active, at0), Signal::constant(true), f);
+    f = b.mux(b.and_(active, at3), Signal::constant(false), f);
+    next_flag[i] = f;
+
+    // turn: in state 1 set to the other process (correct) or self (bug).
+    const bool turn_value = buggy ? p.id : !p.id;
+    next_turn = b.mux(b.and_(active, at1),
+                      Signal::constant(turn_value), next_turn);
+  }
+  b.set_next_word(pc0, next_pc[0]);
+  b.set_next_word(pc1, next_pc[1]);
+  bm.net.set_next(flag0, next_flag[0]);
+  bm.net.set_next(flag1, next_flag[1]);
+  bm.net.set_next(turn, next_turn);
+
+  bm.net.add_bad(b.and_(b.eq_const(pc0, 3), b.eq_const(pc1, 3)),
+                 "mutual_exclusion_violated");
+  bm.name = buggy ? "petersonbug" : "peterson";
+  bm.expect_fail = buggy;
+  bm.expect_depth = buggy ? 6 : -1;
+  bm.suggested_bound = buggy ? 10 : 16;
+  return bm;
+}
+}  // namespace
+
+Benchmark peterson_safe() { return make_peterson(false); }
+Benchmark peterson_buggy() { return make_peterson(true); }
+
+namespace {
+Benchmark make_traffic(int timer_bits, bool buggy) {
+  REFBMC_EXPECTS(timer_bits >= 3 && timer_bits <= 16);
+  // North-south is green for t ∈ [0, green_end); east-west from
+  // green_end+1 (a one-tick all-red gap at t == green_end).  green_end is
+  // deliberately not a power of two so that neither activation collapses
+  // to a single timer bit — the disjointness proof has to reason about
+  // the full comparator chains.
+  const std::uint64_t green_end = (1ull << (timer_bits - 1)) - 2;
+  Benchmark bm;
+  Builder b(bm.net);
+  Word t = b.latch_word("timer", static_cast<std::size_t>(timer_bits), 0);
+  const Signal walk = bm.net.add_input("walk");
+  const Word end_w = b.constant_word(green_end, t.size());
+  const Signal ns_active = b.less_than(t, end_w);
+  // A pedestrian "walk" request pauses the timer during the green phase.
+  const Signal hold = b.and_(walk, ns_active);
+  b.set_next_word(t, b.mux_word(hold, t, b.increment(t)));
+  // Correct east-west activation: t > green_end.  Bug: t > green_end - 2,
+  // overlapping north-south at t == green_end - 1.
+  const Word bug_w = b.constant_word(green_end - 2, t.size());
+  const Signal ew_active =
+      buggy ? b.less_than(bug_w, t) : b.less_than(end_w, t);
+  bm.net.add_bad(b.and_(ns_active, ew_active), "both_directions_active");
+  bm.name = std::string(buggy ? "trafficbug" : "traffic") +
+            std::to_string(timer_bits);
+  bm.expect_fail = buggy;
+  bm.expect_depth = buggy ? static_cast<int>(green_end - 1) : -1;
+  bm.suggested_bound = static_cast<int>(green_end) + 4;
+  return bm;
+}
+}  // namespace
+
+Benchmark traffic_safe(int timer_bits) { return make_traffic(timer_bits, false); }
+Benchmark traffic_buggy(int timer_bits) { return make_traffic(timer_bits, true); }
+
+Benchmark accumulator_reach(int acc_bits, int in_bits, std::uint64_t target) {
+  REFBMC_EXPECTS(acc_bits >= 2 && acc_bits <= 62);
+  REFBMC_EXPECTS(in_bits >= 1 && in_bits < acc_bits);
+  REFBMC_EXPECTS(target < (1ull << acc_bits));
+  Benchmark bm;
+  Builder b(bm.net);
+  Word acc = b.latch_word("acc", static_cast<std::size_t>(acc_bits), 0);
+  Word in = b.input_word("in", static_cast<std::size_t>(in_bits));
+  Word ext = in;
+  ext.resize(acc.size(), Signal::constant(false));  // zero extension
+  b.set_next_word(acc, b.add_word(acc, ext));
+  bm.net.add_bad(b.eq_const(acc, target), "sum_hits_target");
+  const std::uint64_t max_step = (1ull << in_bits) - 1;
+  bm.name = "acc" + std::to_string(acc_bits) + "x" + std::to_string(in_bits) +
+            "_t" + std::to_string(target);
+  bm.expect_fail = true;
+  bm.expect_depth = static_cast<int>((target + max_step - 1) / max_step);
+  bm.suggested_bound = bm.expect_depth + 2;
+  return bm;
+}
+
+Benchmark accumulator_safe(int acc_bits, int in_bits, std::uint64_t target) {
+  REFBMC_EXPECTS(acc_bits >= 2 && acc_bits <= 62);
+  REFBMC_EXPECTS(in_bits >= 1 && in_bits + 1 < acc_bits);
+  REFBMC_EXPECTS_MSG((target & 1ull) == 1, "target must be odd");
+  Benchmark bm;
+  Builder b(bm.net);
+  Word acc = b.latch_word("acc", static_cast<std::size_t>(acc_bits), 0);
+  Word in = b.input_word("in", static_cast<std::size_t>(in_bits));
+  // Add input << 1: only even amounts, so acc stays even and an odd
+  // target is unreachable.  The unsat core concentrates on the low bit.
+  Word ext(acc.size(), Signal::constant(false));
+  for (std::size_t i = 0; i < in.size(); ++i) ext[i + 1] = in[i];
+  b.set_next_word(acc, b.add_word(acc, ext));
+  bm.net.add_bad(b.eq_const(acc, target), "odd_target_hit");
+  bm.name = "accsafe" + std::to_string(acc_bits) + "x" +
+            std::to_string(in_bits);
+  bm.expect_fail = false;
+  bm.suggested_bound = 14;
+  return bm;
+}
+
+Benchmark needle(int a_bits, int b_bits, std::uint64_t A, std::uint64_t B) {
+  REFBMC_EXPECTS(a_bits >= 2 && a_bits <= 62);
+  REFBMC_EXPECTS(b_bits >= 2 && b_bits <= 62);
+  REFBMC_EXPECTS(A < (1ull << a_bits) && B < (1ull << b_bits));
+  Benchmark bm;
+  Builder b(bm.net);
+  Word a = b.latch_word("a", static_cast<std::size_t>(a_bits), 0);
+  Word bb = b.latch_word("b", static_cast<std::size_t>(b_bits), 0);
+  const Signal en = bm.net.add_input("en");
+  b.set_next_word(a, b.increment(a));
+  b.set_next_word(bb, b.mux_word(en, b.increment(bb), bb));
+  bm.net.add_bad(b.and_(b.eq_const(a, A), b.eq_const(bb, B)),
+                 "joint_target");
+  bm.name = "needle" + std::to_string(a_bits) + "_" + std::to_string(b_bits) +
+            "_A" + std::to_string(A) + "_B" + std::to_string(B);
+  // `a` hits A only at depth A (before wrapping); `b` can reach B there
+  // iff B <= A.
+  bm.expect_fail = (B <= A);
+  bm.expect_depth = bm.expect_fail ? static_cast<int>(A) : -1;
+  bm.suggested_bound = static_cast<int>(A) + 3;
+  return bm;
+}
+
+Benchmark with_distractor(Benchmark base, int regs, std::uint64_t seed) {
+  REFBMC_EXPECTS(regs >= 2);
+  REFBMC_EXPECTS_MSG(base.net.bad_properties().size() == 1,
+                     "distractor expects exactly one bad property");
+  Rng rng(seed);
+  Builder b(base.net);
+  Netlist& net = base.net;
+
+  // Input-driven mixing network: a twisted shift chain with random XOR /
+  // AND couplings.  It is connected to the bad signal only through a
+  // disjunction with a fresh free input, so no unsatisfiability proof
+  // ever needs it — it is pure cone-of-influence and literal-count
+  // inflation, like the non-core gates of the paper's Fig. 3.
+  const Signal mix_in0 = net.add_input("dmix0");
+  const Signal mix_in1 = net.add_input("dmix1");
+  Word d(static_cast<std::size_t>(regs));
+  for (int i = 0; i < regs; ++i)
+    d[static_cast<std::size_t>(i)] = net.add_latch(
+        sat::lbool(false), "dreg[" + std::to_string(i) + "]");
+  for (int i = 0; i < regs; ++i) {
+    const Signal prev = d[static_cast<std::size_t>((i + regs - 1) % regs)];
+    const Signal other =
+        d[static_cast<std::size_t>(rng.next_int(0, regs - 1))];
+    Signal nxt;
+    switch (rng.next_int(0, 2)) {
+      case 0: nxt = b.xor_(prev, b.and_(other, mix_in0)); break;
+      case 1: nxt = b.mux(mix_in1, b.xor_(prev, other), prev); break;
+      default: nxt = b.xor_(prev, b.or_(other, mix_in0)); break;
+    }
+    net.set_next(d[static_cast<std::size_t>(i)], nxt);
+  }
+  std::vector<Signal> gobble;
+  for (int i = 0; i + 1 < regs; i += 2)
+    gobble.push_back(b.and_(d[static_cast<std::size_t>(i)],
+                            d[static_cast<std::size_t>(i + 1)]));
+  const Signal free_pass = net.add_input("dfree");
+  const Signal guard = b.or_(free_pass, b.or_all(gobble));
+
+  const BadProperty old = net.bad_properties()[0];
+  // Rebuild the (single) bad property as old ∧ guard.  `guard` is
+  // satisfiable at any frame via `dfree`, so verdict and earliest depth
+  // are unchanged.
+  net.replace_bad(0, b.and_(old.signal, guard), old.name + "_distracted");
+
+  base.name += "+d" + std::to_string(regs);
+  return base;
+}
+
+std::vector<Benchmark> standard_suite() {
+  std::vector<Benchmark> suite;
+  suite.reserve(37);
+  // Mirrors the character of the paper's Table 1: a mix of failing (F)
+  // and passing rows, a few easy ones, and a majority of search-heavy
+  // instances — distractor-wrapped variants standing in for the wide
+  // industrial cones of influence of the IBM circuits.
+  suite.push_back(counter_reach(8, 24, true));
+  suite.push_back(counter_reach(10, 18, true));
+  suite.push_back(with_distractor(counter_reach(8, 24, true), 24, 101));
+  suite.push_back(with_distractor(counter_reach(10, 18, true), 40, 110));
+  suite.push_back(counter_safe(8, 200, 250));
+  suite.push_back(with_distractor(counter_safe(8, 200, 250), 32, 102));
+  suite.push_back(with_distractor(counter_safe(12, 3000, 4000), 48, 111));
+  suite.push_back(shift_all_ones(12));
+  suite.push_back(lfsr_hit(16, 22));
+  suite.push_back(lfsr_safe(10));
+  suite.push_back(gray_safe(8));
+  suite.push_back(with_distractor(gray_safe(8), 24, 112));
+  suite.push_back(johnson_safe(12));
+  suite.push_back(arbiter_safe(8));
+  suite.push_back(arbiter_safe(16));
+  suite.push_back(with_distractor(arbiter_safe(8), 24, 103));
+  suite.push_back(with_distractor(arbiter_safe(12), 32, 113));
+  suite.push_back(arbiter_buggy(8));
+  suite.push_back(fifo_safe(4));
+  suite.push_back(fifo_safe(5));
+  suite.push_back(with_distractor(fifo_safe(4), 32, 104));
+  suite.push_back(with_distractor(fifo_safe(5), 24, 114));
+  suite.push_back(fifo_buggy(4));
+  suite.push_back(with_distractor(fifo_buggy(4), 24, 105));
+  suite.push_back(peterson_safe());
+  suite.push_back(with_distractor(peterson_safe(), 32, 106));
+  suite.push_back(with_distractor(peterson_buggy(), 24, 115));
+  suite.push_back(traffic_safe(4));
+  suite.push_back(traffic_buggy(4));
+  suite.push_back(accumulator_reach(12, 3, 70));
+  suite.push_back(accumulator_reach(16, 4, 255));
+  suite.push_back(with_distractor(accumulator_reach(12, 3, 70), 24, 108));
+  suite.push_back(with_distractor(accumulator_reach(16, 4, 255), 24, 116));
+  suite.push_back(accumulator_safe(12, 3, 63));
+  suite.push_back(needle(8, 8, 20, 10));
+  suite.push_back(needle(10, 8, 24, 30));
+  suite.push_back(with_distractor(needle(10, 8, 24, 30), 32, 109));
+  REFBMC_ASSERT(suite.size() == 37);
+  return suite;
+}
+
+std::vector<Benchmark> quick_suite() {
+  std::vector<Benchmark> suite;
+  suite.push_back(counter_reach(6, 10, true));
+  suite.push_back(counter_safe(6, 40, 50));
+  suite.push_back(shift_all_ones(8));
+  suite.push_back(arbiter_safe(6));
+  suite.push_back(fifo_buggy(3));
+  suite.push_back(peterson_safe());
+  suite.push_back(accumulator_safe(10, 3, 63));
+  suite.push_back(with_distractor(accumulator_safe(10, 3, 63), 12, 7));
+  return suite;
+}
+
+}  // namespace refbmc::model

@@ -1,0 +1,119 @@
+// Parameterized benchmark circuit families.
+//
+// The paper evaluates on the (proprietary) IBM Formal Verification
+// Benchmarks: 37 industrial circuits with passing and failing invariant
+// properties.  As a substitute we generate synthetic sequential circuits
+// with the structural property the paper's technique exploits — the unsat
+// cores of successive BMC instances concentrate on a stable subset of the
+// registers/gates (the "abstract model"), while the full cone of influence
+// is considerably larger.
+//
+// Each family is exercised directly in unit tests (cross-checked against
+// explicit-state reachability), and `standard_suite()` assembles a 37-row
+// mix of passing/failing, easy/hard instances for the Table 1 / Fig. 6 /
+// Fig. 7 benches.  `with_distractor` wraps a base circuit with
+// input-driven logic that enlarges the cone of influence without being
+// needed for any unsatisfiability proof — modelling the industrial
+// situation of Fig. 3/4 where the abstract model is a small slice of the
+// design.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/netlist.hpp"
+
+namespace refbmc::model {
+
+struct Benchmark {
+  std::string name;
+  Netlist net;  // exactly one bad property (index 0)
+  /// True when a counter-example exists within `suggested_bound`
+  /// transitions (most passing entries also hold globally, but e.g. the
+  /// passing `needle` variants fail only after a counter wrap far beyond
+  /// the bound).
+  bool expect_fail = false;
+  /// Earliest failing unrolling depth (transitions before the bad frame);
+  /// -1 when unknown / not applicable.
+  int expect_depth = -1;
+  /// Depth budget the benches/tests should unroll to.
+  int suggested_bound = 20;
+};
+
+// ---- deterministic counters -----------------------------------------------
+/// n-bit counter from 0; bad = (count == target).  With `with_enable`
+/// the increment is gated by a primary input (the earliest failure depth
+/// is unchanged but the instance requires real search).
+Benchmark counter_reach(int bits, std::uint64_t target, bool with_enable);
+/// Counter modulo `modulus`; bad = (count == forbidden) with
+/// forbidden >= modulus — never reachable (passing).
+Benchmark counter_safe(int bits, std::uint64_t modulus,
+                       std::uint64_t forbidden);
+
+// ---- shift structures ------------------------------------------------------
+/// n-bit shift register, input shifts in; bad = all bits 1 (fails at n).
+Benchmark shift_all_ones(int n);
+/// Fibonacci LFSR; bad = (state == orbit state after `steps`) — fails at
+/// exactly `steps` (orbit uniqueness is validated at generation time).
+Benchmark lfsr_hit(int bits, int steps);
+/// LFSR; bad = (state == a value off the orbit) — passing.
+Benchmark lfsr_safe(int bits);
+
+// ---- coding invariants ------------------------------------------------------
+/// Gray-coded counter with shadow register; bad = two output bits change
+/// in one step (passing).
+Benchmark gray_safe(int bits);
+/// Johnson (twisted-ring) counter; bad = an impossible state pattern
+/// 1,0,1 in the leading bits (passing for n >= 3).
+Benchmark johnson_safe(int bits);
+
+// ---- control logic -----------------------------------------------------------
+/// Rotating one-hot arbiter over n requesters; bad = two simultaneous
+/// grants (passing).
+Benchmark arbiter_safe(int n);
+/// Same with a priority-bypass bug: requester 0 is granted out of turn;
+/// fails at depth 1.
+Benchmark arbiter_buggy(int n);
+
+/// FIFO occupancy counter with full/empty guards; bad = overflow
+/// (count exceeds capacity).  The safe version passes; the buggy version
+/// has an off-by-one full check and fails at depth capacity+1.
+Benchmark fifo_safe(int count_bits);
+Benchmark fifo_buggy(int count_bits);
+
+/// Peterson's 2-process mutual exclusion; bad = both processes critical.
+/// The faithful version passes; the buggy one omits the turn check.
+Benchmark peterson_safe();
+Benchmark peterson_buggy();
+
+/// Two-intersection traffic-light controller with a timer; bad = both
+/// directions green (passing); buggy variant has a timer race (failing).
+Benchmark traffic_safe(int timer_bits);
+Benchmark traffic_buggy(int timer_bits);
+
+// ---- data-path search -----------------------------------------------------
+/// Accumulator acc += input (in_bits wide); bad = (acc == target).
+/// Fails at ceil(target / (2^in_bits - 1)); forces genuine SAT search.
+Benchmark accumulator_reach(int acc_bits, int in_bits, std::uint64_t target);
+/// Accumulator that adds only even amounts (input << 1); bad = acc equal
+/// to an odd target — parity invariant, passing.
+Benchmark accumulator_safe(int acc_bits, int in_bits, std::uint64_t target);
+/// Free-running counter ∧ input-gated counter must simultaneously hit
+/// (A, B); fails at max(A, B) when both reachable.
+Benchmark needle(int a_bits, int b_bits, std::uint64_t A, std::uint64_t B);
+
+// ---- modifiers --------------------------------------------------------------
+/// Adds `regs` input-driven distractor registers and a satisfiable guard:
+/// bad' = bad ∧ (fresh_input ∨ f(distractors)).  Keeps the verdict and the
+/// earliest failure depth, but inflates the cone of influence and literal
+/// counts with logic no unsat proof needs — the abstraction gap of Fig. 3.
+Benchmark with_distractor(Benchmark base, int regs, std::uint64_t seed);
+
+/// The 37-row evaluation suite used by the Table 1 / Fig. 6 benches.
+std::vector<Benchmark> standard_suite();
+
+/// A small subset (few seconds total) used by tests and quick benches.
+std::vector<Benchmark> quick_suite();
+
+}  // namespace refbmc::model

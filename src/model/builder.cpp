@@ -1,0 +1,131 @@
+#include "model/builder.hpp"
+
+namespace refbmc::model {
+
+Signal Builder::and_all(const std::vector<Signal>& xs) {
+  Signal acc = Signal::constant(true);
+  for (const Signal x : xs) acc = and_(acc, x);
+  return acc;
+}
+
+Signal Builder::or_all(const std::vector<Signal>& xs) {
+  Signal acc = Signal::constant(false);
+  for (const Signal x : xs) acc = or_(acc, x);
+  return acc;
+}
+
+Signal Builder::at_most_one(const std::vector<Signal>& xs) {
+  Signal ok = Signal::constant(true);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    for (std::size_t j = i + 1; j < xs.size(); ++j)
+      ok = and_(ok, !and_(xs[i], xs[j]));
+  return ok;
+}
+
+Word Builder::constant_word(std::uint64_t value, std::size_t width) {
+  REFBMC_EXPECTS(width <= 64);
+  Word w(width);
+  for (std::size_t i = 0; i < width; ++i)
+    w[i] = Signal::constant(((value >> i) & 1ull) != 0);
+  return w;
+}
+
+Word Builder::input_word(const std::string& name, std::size_t width) {
+  Word w(width);
+  for (std::size_t i = 0; i < width; ++i)
+    w[i] = net_.add_input(name + "[" + std::to_string(i) + "]");
+  return w;
+}
+
+Word Builder::latch_word(const std::string& name, std::size_t width,
+                         std::uint64_t init) {
+  Word w(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    const bool bit = ((init >> i) & 1ull) != 0;
+    w[i] = net_.add_latch(sat::lbool(bit),
+                          name + "[" + std::to_string(i) + "]");
+  }
+  return w;
+}
+
+void Builder::set_next_word(const Word& latches, const Word& next) {
+  REFBMC_EXPECTS(latches.size() == next.size());
+  for (std::size_t i = 0; i < latches.size(); ++i)
+    net_.set_next(latches[i], next[i]);
+}
+
+Word Builder::not_word(const Word& a) {
+  Word r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = !a[i];
+  return r;
+}
+
+Word Builder::and_word(const Word& a, const Word& b) {
+  REFBMC_EXPECTS(a.size() == b.size());
+  Word r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = and_(a[i], b[i]);
+  return r;
+}
+
+Word Builder::or_word(const Word& a, const Word& b) {
+  REFBMC_EXPECTS(a.size() == b.size());
+  Word r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = or_(a[i], b[i]);
+  return r;
+}
+
+Word Builder::xor_word(const Word& a, const Word& b) {
+  REFBMC_EXPECTS(a.size() == b.size());
+  Word r(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) r[i] = xor_(a[i], b[i]);
+  return r;
+}
+
+Word Builder::mux_word(Signal s, const Word& t, const Word& e) {
+  REFBMC_EXPECTS(t.size() == e.size());
+  Word r(t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) r[i] = mux(s, t[i], e[i]);
+  return r;
+}
+
+Word Builder::add_word(const Word& a, const Word& b, Signal carry_in) {
+  REFBMC_EXPECTS(a.size() == b.size());
+  Word sum(a.size());
+  Signal carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Signal axb = xor_(a[i], b[i]);
+    sum[i] = xor_(axb, carry);
+    carry = or_(and_(a[i], b[i]), and_(axb, carry));
+  }
+  return sum;
+}
+
+Signal Builder::eq_word(const Word& a, const Word& b) {
+  REFBMC_EXPECTS(a.size() == b.size());
+  Signal acc = Signal::constant(true);
+  for (std::size_t i = 0; i < a.size(); ++i) acc = and_(acc, xnor_(a[i], b[i]));
+  return acc;
+}
+
+Signal Builder::eq_const(const Word& a, std::uint64_t value) {
+  return eq_word(a, constant_word(value, a.size()));
+}
+
+Signal Builder::less_than(const Word& a, const Word& b) {
+  REFBMC_EXPECTS(a.size() == b.size());
+  // Ripple comparison from LSB: lt_i = (~a & b) | (a==b ? lt_{i-1} : 0)
+  Signal lt = Signal::constant(false);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    lt = or_(and_(!a[i], b[i]), and_(xnor_(a[i], b[i]), lt));
+  return lt;
+}
+
+Word Builder::shift_left(const Word& a, Signal in) {
+  Word r(a.size());
+  if (a.empty()) return r;
+  r[0] = in;
+  for (std::size_t i = 1; i < a.size(); ++i) r[i] = a[i - 1];
+  return r;
+}
+
+}  // namespace refbmc::model

@@ -1,0 +1,83 @@
+// Convenience layer for constructing circuits on a Netlist: gate-level
+// derived operators (or/xor/mux/…) and word-level helpers over vectors of
+// signals (little-endian: word[0] is the LSB).
+//
+// All functions reduce to AND/NOT on the underlying AIG, so structural
+// hashing and constant folding apply throughout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/netlist.hpp"
+
+namespace refbmc::model {
+
+using Word = std::vector<Signal>;
+
+class Builder {
+ public:
+  explicit Builder(Netlist& net) : net_(net) {}
+
+  Netlist& netlist() { return net_; }
+
+  // ---- bit-level ---------------------------------------------------------
+  Signal and_(Signal a, Signal b) { return net_.add_and(a, b); }
+  Signal or_(Signal a, Signal b) { return !net_.add_and(!a, !b); }
+  Signal xor_(Signal a, Signal b) {
+    return or_(and_(a, !b), and_(!a, b));
+  }
+  Signal xnor_(Signal a, Signal b) { return !xor_(a, b); }
+  Signal implies(Signal a, Signal b) { return or_(!a, b); }
+  /// if s then t else e.
+  Signal mux(Signal s, Signal t, Signal e) {
+    return or_(and_(s, t), and_(!s, e));
+  }
+
+  Signal and_all(const std::vector<Signal>& xs);
+  Signal or_all(const std::vector<Signal>& xs);
+
+  /// At most one of xs is 1 (pairwise encoding on the AIG).
+  Signal at_most_one(const std::vector<Signal>& xs);
+  Signal exactly_one(const std::vector<Signal>& xs) {
+    return and_(or_all(xs), at_most_one(xs));
+  }
+
+  // ---- word-level ----------------------------------------------------------
+  /// n-bit constant word with the given value (LSB first).
+  Word constant_word(std::uint64_t value, std::size_t width);
+  /// n fresh inputs named `name[i]`.
+  Word input_word(const std::string& name, std::size_t width);
+  /// n latches named `name[i]` with the i-th bit of `init` as initial value.
+  Word latch_word(const std::string& name, std::size_t width,
+                  std::uint64_t init = 0);
+  void set_next_word(const Word& latches, const Word& next);
+
+  Word not_word(const Word& a);
+  Word and_word(const Word& a, const Word& b);
+  Word or_word(const Word& a, const Word& b);
+  Word xor_word(const Word& a, const Word& b);
+  Word mux_word(Signal s, const Word& t, const Word& e);
+
+  /// a + b (+ carry_in), result truncated to a.size() bits.
+  Word add_word(const Word& a, const Word& b,
+                Signal carry_in = Signal::constant(false));
+  /// a + 1.
+  Word increment(const Word& a) {
+    return add_word(a, constant_word(0, a.size()), Signal::constant(true));
+  }
+
+  Signal eq_word(const Word& a, const Word& b);
+  Signal eq_const(const Word& a, std::uint64_t value);
+  /// Unsigned a < b.
+  Signal less_than(const Word& a, const Word& b);
+
+  /// Left shift by one, shifting `in` into the LSB.
+  Word shift_left(const Word& a, Signal in);
+
+ private:
+  Netlist& net_;
+};
+
+}  // namespace refbmc::model

@@ -1,0 +1,182 @@
+#include "model/netlist.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace refbmc::model {
+
+namespace {
+const std::string kEmptyName;
+}
+
+Netlist::Netlist() {
+  nodes_.push_back(Node{NodeKind::Const, Signal::constant(false),
+                        Signal::constant(false)});
+  names_.emplace_back();
+}
+
+Signal Netlist::add_input(std::string name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(
+      Node{NodeKind::Input, Signal::constant(false), Signal::constant(false)});
+  names_.emplace_back();
+  inputs_.push_back(id);
+  if (!name.empty()) set_name(id, std::move(name));
+  return Signal::make(id);
+}
+
+Signal Netlist::add_latch(sat::lbool init, std::string name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  // Until set_next, the latch holds its value (self-loop).
+  nodes_.push_back(
+      Node{NodeKind::Latch, Signal::make(id), Signal::constant(false)});
+  names_.emplace_back();
+  latch_pos_[id] = latches_.size();
+  latches_.push_back(id);
+  latch_init_.push_back(init);
+  if (!name.empty()) set_name(id, std::move(name));
+  return Signal::make(id);
+}
+
+void Netlist::set_next(Signal latch_sig, Signal next) {
+  REFBMC_EXPECTS_MSG(!latch_sig.negated(),
+                     "set_next expects the positive latch signal");
+  REFBMC_EXPECTS(latch_sig.node() < nodes_.size());
+  REFBMC_EXPECTS(next.node() < nodes_.size());
+  Node& n = nodes_[latch_sig.node()];
+  REFBMC_EXPECTS_MSG(n.kind == NodeKind::Latch, "set_next on a non-latch");
+  n.fanin0 = next;
+}
+
+Signal Netlist::add_and(Signal a, Signal b) {
+  REFBMC_EXPECTS(a.node() < nodes_.size() && b.node() < nodes_.size());
+  // Constant folding and trivial cases.
+  if (a.is_const_false() || b.is_const_false()) return Signal::constant(false);
+  if (a.is_const_true()) return b;
+  if (b.is_const_true()) return a;
+  if (a == b) return a;
+  if (a == !b) return Signal::constant(false);
+  // Canonical operand order for structural hashing.
+  if (b < a) std::swap(a, b);
+  const auto key = std::make_pair(a.raw(), b.raw());
+  if (const auto it = strash_.find(key); it != strash_.end())
+    return Signal::make(it->second);
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{NodeKind::And, a, b});
+  names_.emplace_back();
+  strash_.emplace(key, id);
+  ++num_ands_;
+  return Signal::make(id);
+}
+
+void Netlist::add_output(Signal s, std::string name) {
+  REFBMC_EXPECTS(s.node() < nodes_.size());
+  outputs_.push_back(s);
+  output_names_.push_back(std::move(name));
+}
+
+void Netlist::add_bad(Signal s, std::string name) {
+  REFBMC_EXPECTS(s.node() < nodes_.size());
+  bads_.push_back(BadProperty{s, std::move(name)});
+}
+
+void Netlist::replace_bad(std::size_t index, Signal s, std::string name) {
+  REFBMC_EXPECTS(index < bads_.size());
+  REFBMC_EXPECTS(s.node() < nodes_.size());
+  bads_[index] = BadProperty{s, std::move(name)};
+}
+
+sat::lbool Netlist::latch_init(NodeId latch) const {
+  const auto it = latch_pos_.find(latch);
+  REFBMC_EXPECTS_MSG(it != latch_pos_.end(), "not a latch");
+  return latch_init_[it->second];
+}
+
+Signal Netlist::latch_next(NodeId latch) const {
+  REFBMC_EXPECTS_MSG(kind(latch) == NodeKind::Latch, "not a latch");
+  return nodes_[latch].fanin0;
+}
+
+const std::string& Netlist::name(NodeId id) const {
+  REFBMC_EXPECTS(id < nodes_.size());
+  return names_[id];
+}
+
+void Netlist::set_name(NodeId id, std::string name) {
+  REFBMC_EXPECTS(id < nodes_.size());
+  if (!names_[id].empty()) name_index_.erase(names_[id]);
+  names_[id] = std::move(name);
+  if (!names_[id].empty()) name_index_[names_[id]] = id;
+}
+
+std::optional<NodeId> Netlist::find_by_name(const std::string& name) const {
+  const auto it = name_index_.find(name);
+  if (it == name_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<NodeId> Netlist::cone_of_influence(
+    const std::vector<Signal>& roots) const {
+  std::vector<bool> seen(nodes_.size(), false);
+  seen[kConstNode] = true;
+  std::vector<NodeId> work;
+  const auto push = [&](Signal s) {
+    if (!seen[s.node()]) {
+      seen[s.node()] = true;
+      work.push_back(s.node());
+    }
+  };
+  for (const Signal s : roots) push(s);
+  while (!work.empty()) {
+    const NodeId id = work.back();
+    work.pop_back();
+    const Node& n = nodes_[id];
+    switch (n.kind) {
+      case NodeKind::And:
+        push(n.fanin0);
+        push(n.fanin1);
+        break;
+      case NodeKind::Latch:
+        push(n.fanin0);  // next-state function
+        break;
+      case NodeKind::Input:
+      case NodeKind::Const:
+        break;
+    }
+  }
+  std::vector<NodeId> cone;
+  for (NodeId id = 0; id < nodes_.size(); ++id)
+    if (seen[id]) cone.push_back(id);
+  return cone;
+}
+
+void Netlist::check() const {
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    switch (n.kind) {
+      case NodeKind::Const:
+        if (id != kConstNode)
+          throw std::logic_error("netlist: stray constant node");
+        break;
+      case NodeKind::And:
+        if (n.fanin0.node() >= id || n.fanin1.node() >= id)
+          throw std::logic_error(
+              "netlist: AND fanin does not precede the node");
+        break;
+      case NodeKind::Latch:
+        if (n.fanin0.node() >= nodes_.size())
+          throw std::logic_error("netlist: latch next out of range");
+        break;
+      case NodeKind::Input:
+        break;
+    }
+  }
+  for (const Signal s : outputs_)
+    if (s.node() >= nodes_.size())
+      throw std::logic_error("netlist: output out of range");
+  for (const BadProperty& b : bads_)
+    if (b.signal.node() >= nodes_.size())
+      throw std::logic_error("netlist: bad signal out of range");
+}
+
+}  // namespace refbmc::model

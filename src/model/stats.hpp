@@ -1,0 +1,38 @@
+// Netlist inspection utilities: summary statistics (counts, logic depth,
+// cone sizes per property) and Graphviz DOT export for small circuits.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "model/netlist.hpp"
+
+namespace refbmc::model {
+
+struct NetlistStats {
+  std::size_t num_inputs = 0;
+  std::size_t num_latches = 0;
+  std::size_t num_ands = 0;
+  std::size_t num_outputs = 0;
+  std::size_t num_bads = 0;
+  /// Longest combinational AND-path (0 when there are no AND gates).
+  int logic_depth = 0;
+  /// Per bad property: nodes in its sequential cone of influence.
+  std::vector<std::size_t> coi_sizes;
+  /// Latches with l_Undef initial value.
+  std::size_t uninitialised_latches = 0;
+
+  std::string to_string() const;
+};
+
+NetlistStats analyze(const Netlist& net);
+
+/// Writes the circuit as a Graphviz digraph: inputs as diamonds, latches
+/// as boxes (with init value), AND gates as circles, dashed edges for
+/// complemented fanins, latch next-state edges dotted.  Intended for
+/// small teaching-sized circuits.
+void write_dot(std::ostream& out, const Netlist& net);
+std::string to_dot_string(const Netlist& net);
+
+}  // namespace refbmc::model

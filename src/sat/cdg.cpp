@@ -1,0 +1,77 @@
+#include "sat/cdg.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace refbmc::sat {
+
+void ConflictDependencyGraph::register_original(ClauseId id) {
+  REFBMC_ASSERT_MSG(id == kind_.size() + 1,
+                    "clause ids must be registered densely in order");
+  kind_.push_back(0);
+  offsets_.push_back(edges_.size());
+}
+
+void ConflictDependencyGraph::add_learned(
+    ClauseId id, const std::vector<ClauseId>& antecedents) {
+  REFBMC_ASSERT_MSG(id == kind_.size() + 1,
+                    "clause ids must be registered densely in order");
+  for (const ClauseId a : antecedents) {
+    REFBMC_ASSERT_MSG(a != kClauseIdUndef && a < id,
+                      "antecedent must be an earlier clause");
+    edges_.push_back(a);
+  }
+  kind_.push_back(1);
+  offsets_.push_back(edges_.size());
+  ++num_learned_;
+}
+
+void ConflictDependencyGraph::set_final_conflict(
+    const std::vector<ClauseId>& antecedents) {
+  final_ = antecedents;
+  has_final_ = true;
+}
+
+std::vector<ClauseId> ConflictDependencyGraph::original_core() const {
+  REFBMC_EXPECTS_MSG(has_final_, "no final conflict recorded (formula not "
+                                 "proven unsatisfiable)");
+  std::vector<ClauseId> core;
+  std::vector<bool> seen(kind_.size() + 1, false);
+  std::vector<ClauseId> work;
+
+  const auto push = [&](ClauseId id) {
+    REFBMC_ASSERT(id != kClauseIdUndef && id <= kind_.size());
+    if (!seen[id]) {
+      seen[id] = true;
+      work.push_back(id);
+    }
+  };
+
+  for (const ClauseId id : final_) push(id);
+
+  while (!work.empty()) {
+    const ClauseId id = work.back();
+    work.pop_back();
+    if (kind_[id - 1] == 0) {
+      core.push_back(id);
+      continue;
+    }
+    for (std::uint64_t e = offsets_[id - 1]; e < offsets_[id]; ++e)
+      push(edges_[static_cast<std::size_t>(e)]);
+  }
+
+  std::sort(core.begin(), core.end());
+  return core;
+}
+
+void ConflictDependencyGraph::clear() {
+  kind_.clear();
+  offsets_.assign(1, 0);
+  edges_.clear();
+  final_.clear();
+  num_learned_ = 0;
+  has_final_ = false;
+}
+
+}  // namespace refbmc::sat

@@ -1,0 +1,80 @@
+// Simplified Conflict-Dependency Graph (paper §3.1).
+//
+// During CDCL search every learned clause is derived by resolution from a
+// set of antecedent clauses (the conflicting clause plus the reason clauses
+// resolved during 1UIP analysis and clause minimization).  Recording those
+// dependencies as lists of pseudo-IDs — an integer per clause instead of its
+// literals — lets the solver keep deleting learned clauses (reduceDB) while
+// still being able to reconstruct a complete unsatisfiable core at the end:
+// traverse backward from the final (empty-clause) conflict and collect the
+// original-clause leaves.
+//
+// Ids are dense and monotonically increasing but original and learned ids
+// may interleave: with incremental solving, new original clauses arrive
+// after clauses have been learned.  Every id must be registered, in order,
+// as either original (leaf) or learned (with its antecedents).
+//
+// Memory: one uint32 per antecedent edge, "small compared to the number of
+// literals in the conflict clauses, which is often in the hundreds".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace refbmc::sat {
+
+class ConflictDependencyGraph {
+ public:
+  ConflictDependencyGraph() = default;
+
+  /// Registers the next clause id as an original clause (a graph leaf).
+  /// Ids must be registered densely in increasing order starting at 1.
+  void register_original(ClauseId id);
+
+  /// Registers the next clause id as a learned clause with its antecedent
+  /// ids (each antecedent must be a previously registered id).
+  void add_learned(ClauseId id, const std::vector<ClauseId>& antecedents);
+
+  /// Records the antecedents of the final conflict (the empty clause, or
+  /// the refutation of the current assumptions).  May be overwritten by a
+  /// later solve.
+  void set_final_conflict(const std::vector<ClauseId>& antecedents);
+  bool has_final_conflict() const { return has_final_; }
+
+  /// Backward traversal from the final conflict; returns the sorted ids of
+  /// original clauses that are reachable — the unsatisfiable core.
+  std::vector<ClauseId> original_core() const;
+
+  ClauseId num_clauses() const {
+    return static_cast<ClauseId>(kind_.size());
+  }
+  bool is_original(ClauseId id) const {
+    return id >= 1 && id <= kind_.size() && kind_[id - 1] == 0;
+  }
+
+  std::size_t num_learned_nodes() const { return num_learned_; }
+  /// Total antecedent edges (uint32 each) — the memory overhead measure.
+  std::size_t num_edges() const { return edges_.size(); }
+  std::size_t memory_bytes() const {
+    return edges_.capacity() * sizeof(ClauseId) +
+           offsets_.capacity() * sizeof(std::uint64_t) +
+           kind_.capacity() * sizeof(char);
+  }
+
+  void clear();
+
+ private:
+  // Per id (1-based → index id-1): kind (0 original, 1 learned) and the
+  // edge range [offsets_[id-1], offsets_[id]) into edges_; originals own
+  // empty ranges.  offsets_ has one extra leading 0.
+  std::vector<char> kind_;
+  std::vector<std::uint64_t> offsets_{0};
+  std::vector<ClauseId> edges_;
+  std::vector<ClauseId> final_;
+  std::size_t num_learned_ = 0;
+  bool has_final_ = false;
+};
+
+}  // namespace refbmc::sat

@@ -1,0 +1,48 @@
+#include "sat/clause.hpp"
+
+namespace refbmc::sat {
+
+ClauseRef ClauseArena::alloc(const std::vector<Lit>& lits, ClauseId id,
+                             bool learnt) {
+  REFBMC_EXPECTS(!lits.empty());
+  const auto cref = static_cast<ClauseRef>(data_.size());
+  data_.reserve(data_.size() + Clause::kHeaderWords + lits.size());
+  data_.push_back(id);
+  data_.push_back((static_cast<std::uint32_t>(lits.size()) << 2) |
+                  (learnt ? 2u : 0u));
+  data_.push_back(0);  // activity = 0.0f bit pattern
+  for (const Lit l : lits)
+    data_.push_back(static_cast<std::uint32_t>(l.index()));
+  return cref;
+}
+
+void ClauseArena::free_clause(ClauseRef cref) {
+  Clause c = get(cref);
+  REFBMC_ASSERT(!c.dead());
+  wasted_ += Clause::kHeaderWords + c.size();
+  c.mark_dead();
+}
+
+void ClauseArena::garbage_collect(
+    std::vector<std::pair<ClauseRef, ClauseRef>>& relocation) {
+  relocation.clear();
+  std::size_t write = 0;
+  std::size_t read = 0;
+  while (read < data_.size()) {
+    Clause c(data_.data() + read);
+    const std::size_t words = Clause::kHeaderWords + c.size();
+    if (!c.dead()) {
+      relocation.emplace_back(static_cast<ClauseRef>(read),
+                              static_cast<ClauseRef>(write));
+      if (write != read)
+        std::memmove(data_.data() + write, data_.data() + read,
+                     words * sizeof(std::uint32_t));
+      write += words;
+    }
+    read += words;
+  }
+  data_.resize(write);
+  wasted_ = 0;
+}
+
+}  // namespace refbmc::sat

@@ -1,0 +1,108 @@
+// Clause storage: a relocatable arena of 32-bit words.
+//
+// Clauses are referenced by ClauseRef (an offset into the arena), never by
+// pointer, so the arena can be garbage-collected when clause deletion has
+// left enough dead space.  Layout per clause:
+//
+//   [ id ] [ size<<2 | learnt<<1 | dead ] [ activity(float) ] [ lits... ]
+//
+// The id is the pseudo-ID from the paper's simplified conflict-dependency
+// graph (§3.1): it survives clause deletion, which is the whole point.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "sat/types.hpp"
+#include "util/assert.hpp"
+
+namespace refbmc::sat {
+
+using ClauseRef = std::uint32_t;
+constexpr ClauseRef kClauseRefUndef = UINT32_MAX;
+
+/// View over a clause stored in a ClauseArena.  Invalidated by
+/// ClauseArena::garbage_collect (re-fetch through the relocation map).
+class Clause {
+ public:
+  Clause(std::uint32_t* base) : base_(base) {}
+
+  ClauseId id() const { return base_[0]; }
+  std::uint32_t size() const { return base_[1] >> 2; }
+  bool learnt() const { return (base_[1] & 2u) != 0; }
+  bool dead() const { return (base_[1] & 1u) != 0; }
+  void mark_dead() { base_[1] |= 1u; }
+
+  float activity() const {
+    float a;
+    std::memcpy(&a, &base_[2], sizeof(float));
+    return a;
+  }
+  void set_activity(float a) { std::memcpy(&base_[2], &a, sizeof(float)); }
+
+  Lit operator[](std::uint32_t i) const {
+    return lit_from_raw(base_[3 + i]);
+  }
+  void set_lit(std::uint32_t i, Lit l) {
+    base_[3 + i] = static_cast<std::uint32_t>(l.index());
+  }
+  void swap_lits(std::uint32_t i, std::uint32_t j) {
+    std::swap(base_[3 + i], base_[3 + j]);
+  }
+
+  /// Shrinks the clause in place to its first `n` literals.
+  void shrink(std::uint32_t n) {
+    REFBMC_ASSERT(n <= size());
+    base_[1] = (n << 2) | (base_[1] & 3u);
+  }
+
+  static Lit lit_from_raw(std::uint32_t raw) {
+    return Lit::make(static_cast<Var>(raw >> 1), (raw & 1u) != 0);
+  }
+
+  static constexpr std::uint32_t kHeaderWords = 3;
+
+ private:
+  std::uint32_t* base_;
+};
+
+/// Bump allocator for clauses with mark-and-compact garbage collection.
+class ClauseArena {
+ public:
+  ClauseArena() = default;
+
+  /// Allocates a clause; returns its reference.
+  ClauseRef alloc(const std::vector<Lit>& lits, ClauseId id, bool learnt);
+
+  Clause get(ClauseRef cref) {
+    REFBMC_ASSERT(cref < data_.size());
+    return Clause(data_.data() + cref);
+  }
+  const Clause get(ClauseRef cref) const {
+    REFBMC_ASSERT(cref < data_.size());
+    return Clause(const_cast<std::uint32_t*>(data_.data()) + cref);
+  }
+
+  /// Marks a clause dead and accounts for its space.  The words remain
+  /// until garbage_collect().
+  void free_clause(ClauseRef cref);
+
+  std::size_t wasted_words() const { return wasted_; }
+  std::size_t used_words() const { return data_.size(); }
+
+  /// True when enough space is dead that compaction is worthwhile.
+  bool should_collect() const {
+    return wasted_ > 0 && wasted_ * 5 > data_.size();  // >20% dead
+  }
+
+  /// Compacts live clauses.  Fills `relocation` with old→new references for
+  /// every live clause so the solver can patch watches/reasons.
+  void garbage_collect(std::vector<std::pair<ClauseRef, ClauseRef>>& relocation);
+
+ private:
+  std::vector<std::uint32_t> data_;
+  std::size_t wasted_ = 0;
+};
+
+}  // namespace refbmc::sat

@@ -1,0 +1,83 @@
+#include "sat/dimacs.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace refbmc::sat {
+
+Cnf parse_dimacs(std::istream& in) {
+  Cnf cnf;
+  bool have_header = false;
+  std::vector<Lit> clause;
+  std::string token;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == 'c') continue;
+    std::istringstream ls(line);
+    if (line[0] == 'p') {
+      std::string p, fmt;
+      int nv = 0;
+      long long nc = 0;
+      if (!(ls >> p >> fmt >> nv >> nc) || fmt != "cnf" || nv < 0 || nc < 0)
+        throw std::invalid_argument("dimacs: malformed problem line: " + line);
+      if (have_header)
+        throw std::invalid_argument("dimacs: duplicate problem line");
+      have_header = true;
+      cnf.num_vars = nv;
+      cnf.clauses.reserve(static_cast<std::size_t>(nc));
+      continue;
+    }
+    long long v;
+    while (ls >> v) {
+      if (v == 0) {
+        cnf.clauses.push_back(clause);
+        clause.clear();
+        continue;
+      }
+      if (!have_header)
+        throw std::invalid_argument("dimacs: clause before problem line");
+      const long long mag = v > 0 ? v : -v;
+      if (mag > cnf.num_vars)
+        throw std::invalid_argument(
+            "dimacs: literal exceeds declared variable count");
+      clause.push_back(Lit::from_dimacs(static_cast<int>(v)));
+    }
+    if (!ls.eof())
+      throw std::invalid_argument("dimacs: unexpected token in: " + line);
+  }
+  if (!clause.empty())
+    throw std::invalid_argument("dimacs: unterminated final clause");
+  if (!have_header)
+    throw std::invalid_argument("dimacs: missing problem line");
+  return cnf;
+}
+
+Cnf parse_dimacs_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_dimacs(in);
+}
+
+Cnf parse_dimacs_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::invalid_argument("dimacs: cannot open file: " + path);
+  return parse_dimacs(in);
+}
+
+void write_dimacs(std::ostream& out, const Cnf& cnf) {
+  out << "p cnf " << cnf.num_vars << ' ' << cnf.clauses.size() << '\n';
+  for (const auto& clause : cnf.clauses) {
+    for (const Lit l : clause) out << l.to_dimacs() << ' ';
+    out << "0\n";
+  }
+}
+
+std::string to_dimacs_string(const Cnf& cnf) {
+  std::ostringstream os;
+  write_dimacs(os, cnf);
+  return os.str();
+}
+
+}  // namespace refbmc::sat

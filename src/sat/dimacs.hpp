@@ -1,0 +1,37 @@
+// DIMACS CNF reading/writing.
+//
+// Used by the `dimacs_solver` example, the test suite (crafted formulas),
+// and for dumping BMC instances for external inspection.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/types.hpp"
+
+namespace refbmc::sat {
+
+/// A plain CNF container: clauses over variables 0..num_vars-1.
+struct Cnf {
+  int num_vars = 0;
+  std::vector<std::vector<Lit>> clauses;
+
+  void add_clause(std::vector<Lit> lits) { clauses.push_back(std::move(lits)); }
+  std::size_t num_clauses() const { return clauses.size(); }
+};
+
+/// Parses DIMACS from a stream.  Accepts comment lines (`c ...`), the
+/// `p cnf V C` header, and zero-terminated clauses; tolerates a clause
+/// count that disagrees with the header (common in the wild) but rejects
+/// literals exceeding the declared variable count.
+/// Throws std::invalid_argument on malformed input.
+Cnf parse_dimacs(std::istream& in);
+Cnf parse_dimacs_string(const std::string& text);
+Cnf parse_dimacs_file(const std::string& path);
+
+/// Writes DIMACS.
+void write_dimacs(std::ostream& out, const Cnf& cnf);
+std::string to_dimacs_string(const Cnf& cnf);
+
+}  // namespace refbmc::sat

@@ -1,0 +1,62 @@
+#include "sat/heuristic.hpp"
+
+namespace refbmc::sat {
+
+DecisionHeuristic::DecisionHeuristic(int update_period)
+    : update_period_(update_period) {
+  REFBMC_EXPECTS(update_period > 0);
+}
+
+void DecisionHeuristic::add_var() {
+  score_.push_back(0.0);
+  score_.push_back(0.0);
+  new_.push_back(0);
+  new_.push_back(0);
+  rank_.push_back(0.0);
+  heap_.reserve_keys(static_cast<int>(rank_.size()));
+}
+
+void DecisionHeuristic::on_original_literal(Lit l) {
+  score_[static_cast<std::size_t>(l.index())] += 1.0;
+}
+
+void DecisionHeuristic::set_rank(Var v, double score) {
+  rank_[static_cast<std::size_t>(v)] = score;
+}
+
+void DecisionHeuristic::on_learned_literal(Lit l) {
+  new_[static_cast<std::size_t>(l.index())] += 1;
+}
+
+void DecisionHeuristic::on_conflict() {
+  if (++conflicts_since_update_ >= update_period_) {
+    conflicts_since_update_ = 0;
+    periodic_update();
+  }
+}
+
+void DecisionHeuristic::periodic_update() {
+  ++num_updates_;
+  for (std::size_t i = 0; i < score_.size(); ++i) {
+    score_[i] = score_[i] / 2.0 + static_cast<double>(new_[i]);
+    new_[i] = 0;
+  }
+  // Scores moved wholesale; the heap order is stale.
+  heap_.rebuild();
+}
+
+bool DecisionHeuristic::on_decision(std::uint64_t num_decisions,
+                                    std::uint64_t num_original_literals,
+                                    int switch_divisor) {
+  if (mode_ != RankMode::Dynamic || switched_) return false;
+  REFBMC_EXPECTS(switch_divisor > 0);
+  if (num_decisions >
+      num_original_literals / static_cast<std::uint64_t>(switch_divisor)) {
+    switched_ = true;
+    heap_.rebuild();  // primary key changed from bmc_score to cha_score
+    return true;
+  }
+  return false;
+}
+
+}  // namespace refbmc::sat

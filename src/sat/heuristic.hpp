@@ -1,0 +1,168 @@
+// Decision heuristics: Chaff-style VSIDS and the paper's refined ordering.
+//
+// VSIDS (paper §3.3, following Chaff): every literal l carries
+//     cha_score(l), initialised to its occurrence count in the original
+//     formula; periodically (every `update_period` conflicts)
+//     cha_score(l) = cha_score(l)/2 + new_lit_counts(l),
+// where new_lit_counts(l) counts the conflict clauses added since the last
+// update that contain l.  The free literal with the highest score is
+// decided first.
+//
+// Refined ordering (§3.2–3.3): an external per-variable rank — the
+// accumulated unsat-core score bmc_score(x) — is combined with VSIDS:
+//   * Static : order primarily by bmc_score, cha_score breaks ties, for
+//              the whole search.
+//   * Dynamic: same, but fall back to pure VSIDS once
+//              #decisions > #original_literals / switch_divisor
+//              (the paper fixes switch_divisor = 64).
+//
+// Implementation note: we keep a max-heap over *variables*; the primary
+// key is bmc_score(var) (identically 0 under RankMode::None), the
+// secondary key is max(cha_score(v), cha_score(~v)), and the decision
+// phase is the literal with the larger cha_score.  This realises
+// "bmc_score primary, cha_score tiebreak" with one mechanism.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/types.hpp"
+#include "util/heap.hpp"
+
+namespace refbmc::sat {
+
+enum class RankMode {
+  None,     // pure VSIDS (baseline BMC)
+  Static,   // bmc_score primary throughout, cha_score breaks ties
+  Dynamic,  // bmc_score primary, VSIDS fallback on difficulty
+  Replace,  // bmc_score only — the "replace" alternative of §3.3 that the
+            // paper mentions and passes over (ties broken by index)
+};
+
+inline const char* to_string(RankMode m) {
+  switch (m) {
+    case RankMode::None: return "vsids";
+    case RankMode::Static: return "static";
+    case RankMode::Dynamic: return "dynamic";
+    case RankMode::Replace: return "replace";
+  }
+  return "?";
+}
+
+class DecisionHeuristic {
+ public:
+  explicit DecisionHeuristic(int update_period = 256);
+
+  // The internal heap's comparator captures `this`; the object must stay
+  // where it was constructed.
+  DecisionHeuristic(const DecisionHeuristic&) = delete;
+  DecisionHeuristic& operator=(const DecisionHeuristic&) = delete;
+
+  void set_rank_mode(RankMode mode) { mode_ = mode; }
+  RankMode rank_mode() const { return mode_; }
+
+  /// Registers a new variable (scores start at 0 until literal counts are
+  /// seeded by on_original_literal).
+  void add_var();
+  int num_vars() const { return static_cast<int>(rank_.size()); }
+
+  /// Seeds cha_score: call once per literal occurrence in the original
+  /// formula.
+  void on_original_literal(Lit l);
+
+  /// Sets the external bmc_score for a variable (default 0).
+  void set_rank(Var v, double score);
+  double rank(Var v) const { return rank_[static_cast<std::size_t>(v)]; }
+
+  /// Accounts a literal of a freshly learned conflict clause.
+  void on_learned_literal(Lit l);
+
+  /// Called once per conflict; performs the periodic halve-and-add update
+  /// (and heap rebuild) when the period elapses.
+  void on_conflict();
+
+  /// Decision bookkeeping for the dynamic policy.  `num_original_literals`
+  /// is the literal count of the original formula.  Returns true when this
+  /// call switched the policy from rank-primary to pure VSIDS.
+  bool on_decision(std::uint64_t num_decisions,
+                   std::uint64_t num_original_literals, int switch_divisor);
+
+  /// True while the bmc_score is the primary sort key.
+  bool rank_active() const {
+    return (mode_ == RankMode::Static) || (mode_ == RankMode::Replace) ||
+           (mode_ == RankMode::Dynamic && !switched_);
+  }
+  bool switched() const { return switched_; }
+
+  /// Re-arms the dynamic fallback at the start of a new solve() call
+  /// (the switch decision is per SAT instance, per §3.3).
+  void reset_switch() {
+    if (switched_) {
+      switched_ = false;
+      heap_.rebuild();
+    }
+  }
+
+  double cha_score(Lit l) const {
+    return score_[static_cast<std::size_t>(l.index())];
+  }
+
+  // -- heap interface used by the solver ------------------------------
+  void insert(Var v) {
+    if (!heap_.contains(v)) heap_.insert(v);
+  }
+  bool heap_empty() const { return heap_.empty(); }
+  Var pop() { return heap_.pop(); }
+  void rebuild_heap() { heap_.rebuild(); }
+
+  /// Picks the decision phase for `v`: the literal with the larger
+  /// cha_score (positive wins ties).
+  Lit pick_phase(Var v) const {
+    const Lit pos = Lit::make(v, false);
+    const Lit neg = Lit::make(v, true);
+    return cha_score(neg) > cha_score(pos) ? neg : pos;
+  }
+
+  std::uint64_t num_updates() const { return num_updates_; }
+
+ private:
+  struct VarGreater {
+    const DecisionHeuristic* h;
+    bool operator()(int a, int b) const { return h->var_greater(a, b); }
+  };
+
+  bool var_greater(Var a, Var b) const {
+    if (rank_active()) {
+      const double ra = rank_[static_cast<std::size_t>(a)];
+      const double rb = rank_[static_cast<std::size_t>(b)];
+      if (ra != rb) return ra > rb;
+      if (mode_ == RankMode::Replace) return a < b;  // no VSIDS tiebreak
+    }
+    const double ca = var_cha(a);
+    const double cb = var_cha(b);
+    if (ca != cb) return ca > cb;
+    return a < b;  // deterministic total order
+  }
+
+  double var_cha(Var v) const {
+    const auto p = static_cast<std::size_t>(Lit::make(v, false).index());
+    const auto n = static_cast<std::size_t>(Lit::make(v, true).index());
+    return score_[p] > score_[n] ? score_[p] : score_[n];
+  }
+
+  void periodic_update();
+
+  RankMode mode_ = RankMode::None;
+  bool switched_ = false;
+  int update_period_;
+  int conflicts_since_update_ = 0;
+  std::uint64_t num_updates_ = 0;
+
+  std::vector<double> score_;       // per literal: cha_score
+  std::vector<std::uint32_t> new_;  // per literal: new_lit_counts
+  std::vector<double> rank_;        // per variable: bmc_score
+
+  IndexedMaxHeap<VarGreater> heap_{VarGreater{this}};
+};
+
+}  // namespace refbmc::sat

@@ -1,0 +1,88 @@
+#include "sat/reference_solver.hpp"
+
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace refbmc::sat {
+namespace {
+
+enum class Val : std::uint8_t { Undef, True, False };
+
+Val lit_value(const std::vector<Val>& assign, Lit l) {
+  const Val v = assign[static_cast<std::size_t>(l.var())];
+  if (v == Val::Undef) return Val::Undef;
+  const bool t = (v == Val::True) != l.negated();
+  return t ? Val::True : Val::False;
+}
+
+/// Returns false on conflict; otherwise applies all unit implications.
+bool unit_propagate(const Cnf& cnf, std::vector<Val>& assign) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& clause : cnf.clauses) {
+      int free_count = 0;
+      Lit free_lit = kLitUndef;
+      bool satisfied = false;
+      for (const Lit l : clause) {
+        const Val v = lit_value(assign, l);
+        if (v == Val::True) {
+          satisfied = true;
+          break;
+        }
+        if (v == Val::Undef) {
+          ++free_count;
+          free_lit = l;
+        }
+      }
+      if (satisfied) continue;
+      if (free_count == 0) return false;  // conflict
+      if (free_count == 1) {
+        assign[static_cast<std::size_t>(free_lit.var())] =
+            free_lit.negated() ? Val::False : Val::True;
+        changed = true;
+      }
+    }
+  }
+  return true;
+}
+
+bool dpll(const Cnf& cnf, std::vector<Val> assign) {
+  if (!unit_propagate(cnf, assign)) return false;
+  // Pick the first unassigned variable that still occurs in an
+  // unsatisfied clause.
+  for (const auto& clause : cnf.clauses) {
+    bool satisfied = false;
+    Lit branch = kLitUndef;
+    for (const Lit l : clause) {
+      const Val v = lit_value(assign, l);
+      if (v == Val::True) {
+        satisfied = true;
+        break;
+      }
+      if (v == Val::Undef && branch == kLitUndef) branch = l;
+    }
+    if (satisfied) continue;
+    REFBMC_ASSERT(branch != kLitUndef);  // conflict was excluded above
+    auto with_true = assign;
+    with_true[static_cast<std::size_t>(branch.var())] =
+        branch.negated() ? Val::False : Val::True;
+    if (dpll(cnf, std::move(with_true))) return true;
+    assign[static_cast<std::size_t>(branch.var())] =
+        branch.negated() ? Val::True : Val::False;
+    return dpll(cnf, std::move(assign));
+  }
+  return true;  // every clause satisfied
+}
+
+}  // namespace
+
+Result reference_solve(const Cnf& cnf) {
+  for (const auto& clause : cnf.clauses)
+    if (clause.empty()) return Result::Unsat;
+  std::vector<Val> assign(static_cast<std::size_t>(cnf.num_vars), Val::Undef);
+  return dpll(cnf, std::move(assign)) ? Result::Sat : Result::Unsat;
+}
+
+}  // namespace refbmc::sat

@@ -1,0 +1,16 @@
+// Reference solver: a tiny, obviously-correct DPLL without learning,
+// watched literals, or heuristics.  Exponential, usable only on small
+// formulas — it exists purely as an oracle for property-based tests of
+// the real CDCL solver.
+#pragma once
+
+#include "sat/dimacs.hpp"
+#include "sat/types.hpp"
+
+namespace refbmc::sat {
+
+/// Decides satisfiability of `cnf` by plain recursive DPLL with unit
+/// propagation.  Intended for formulas with at most ~30 variables.
+Result reference_solve(const Cnf& cnf);
+
+}  // namespace refbmc::sat

@@ -1,0 +1,675 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace refbmc::sat {
+
+Solver::Solver(SolverConfig config)
+    : config_(config), heuristic_(config.vsids_update_period) {
+  heuristic_.set_rank_mode(config_.rank_mode);
+}
+
+Var Solver::new_var() {
+  const Var v = num_vars();
+  assigns_.push_back(l_Undef);
+  level_.push_back(0);
+  reason_.push_back(kClauseRefUndef);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  seen_.push_back(0);
+  seen_closure_.push_back(0);
+  saved_phase_.push_back(0);
+  heuristic_.add_var();
+  heuristic_.insert(v);
+  return v;
+}
+
+void Solver::set_variable_rank(std::span<const double> rank_by_var) {
+  REFBMC_EXPECTS(rank_by_var.size() <= static_cast<std::size_t>(num_vars()));
+  for (std::size_t v = 0; v < rank_by_var.size(); ++v)
+    heuristic_.set_rank(static_cast<Var>(v), rank_by_var[v]);
+  heuristic_.rebuild_heap();
+}
+
+const std::vector<Lit>& Solver::original_clause(ClauseId id) const {
+  REFBMC_EXPECTS_MSG(is_original_clause(id), "not an original clause id");
+  return lits_by_id_[id - 1];
+}
+
+bool Solver::is_original_clause(ClauseId id) const {
+  return id >= 1 && id <= last_id_ && id_is_original_[id - 1] != 0;
+}
+
+bool Solver::add_clause(const std::vector<Lit>& lits) {
+  REFBMC_EXPECTS_MSG(decision_level() == 0,
+                     "clauses can only be added at the root level");
+  for (const Lit l : lits)
+    REFBMC_EXPECTS_MSG(!l.is_undef() && l.var() < num_vars(),
+                       "literal over unknown variable");
+
+  // Every call consumes an id so external clause indexing stays in sync.
+  const ClauseId id = ++last_id_;
+  id_is_original_.push_back(1);
+  original_ids_.push_back(id);
+  if (config_.track_cdg) cdg_.register_original(id);
+
+  // Dedup; detect tautology.
+  std::vector<Lit> c(lits.begin(), lits.end());
+  std::sort(c.begin(), c.end());
+  c.erase(std::unique(c.begin(), c.end()), c.end());
+  bool tautology = false;
+  for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+    if (c[i].var() == c[i + 1].var()) {
+      tautology = true;
+      break;
+    }
+  }
+  lits_by_id_.push_back(c);
+
+  if (tautology) return ok_;  // recorded but irrelevant to solving
+
+  num_orig_lits_ += c.size();
+  for (const Lit l : c) heuristic_.on_original_literal(l);
+
+  if (!ok_) return false;  // already unsat; id bookkeeping done above
+
+  if (c.empty()) {
+    ok_ = false;
+    if (config_.track_cdg) cdg_.set_final_conflict({id});
+    return false;
+  }
+
+  // Partition: non-false-at-root literals first.  False-at-root literals
+  // are kept (the clause stays intact for reason/core identity); they can
+  // never become true again since root assignments persist.
+  std::size_t num_non_false = 0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (value(c[i]) != l_False) std::swap(c[num_non_false++], c[i]);
+  }
+
+  if (num_non_false == 0) {
+    // Clause falsified by root-level units: the empty clause is derivable.
+    ok_ = false;
+    if (config_.track_cdg) {
+      std::vector<ClauseId> ants{id};
+      for (const Lit l : c) collect_reason_closure(l.var(), ants);
+      clear_closure_marks();
+      cdg_.set_final_conflict(ants);
+    }
+    return false;
+  }
+
+  const ClauseRef cref = arena_.alloc(c, id, /*learnt=*/false);
+
+  if (num_non_false == 1) {
+    if (value(c[0]) == l_True) return ok_;  // satisfied at root forever
+    // Effectively a unit clause: propagate immediately so later adds see
+    // the consequences.  No watches needed — it can never be falsified
+    // except through a root conflict, which we detect here.
+    enqueue(c[0], cref);
+    const ClauseRef confl = propagate();
+    if (confl != kClauseRefUndef) {
+      ok_ = false;
+      if (config_.track_cdg) analyze_final_conflict(confl);
+      return false;
+    }
+    return ok_;
+  }
+
+  attach_clause(cref);
+  return ok_;
+}
+
+void Solver::attach_clause(ClauseRef cref) {
+  const Clause c = arena_.get(cref);
+  REFBMC_ASSERT(c.size() >= 2);
+  watches_[static_cast<std::size_t>((~c[0]).index())].push_back(
+      Watcher{cref, c[1]});
+  watches_[static_cast<std::size_t>((~c[1]).index())].push_back(
+      Watcher{cref, c[0]});
+}
+
+void Solver::detach_clause(ClauseRef cref) {
+  const Clause c = arena_.get(cref);
+  for (const Lit w : {c[0], c[1]}) {
+    auto& wl = watches_[static_cast<std::size_t>((~w).index())];
+    for (std::size_t i = 0; i < wl.size(); ++i) {
+      if (wl[i].cref == cref) {
+        wl[i] = wl.back();
+        wl.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+void Solver::enqueue(Lit l, ClauseRef reason) {
+  REFBMC_ASSERT(value(l) == l_Undef);
+  const auto v = static_cast<std::size_t>(l.var());
+  assigns_[v] = lbool(!l.negated());
+  level_[v] = decision_level();
+  reason_[v] = reason;
+  trail_.push_back(l);
+}
+
+void Solver::cancel_until(int level) {
+  if (decision_level() <= level) return;
+  const int bound = trail_lim_[static_cast<std::size_t>(level)];
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= bound; --i) {
+    const Var v = trail_[static_cast<std::size_t>(i)].var();
+    if (config_.phase_saving)
+      saved_phase_[static_cast<std::size_t>(v)] =
+          assigns_[static_cast<std::size_t>(v)] == l_True ? 1 : 2;
+    assigns_[static_cast<std::size_t>(v)] = l_Undef;
+    reason_[static_cast<std::size_t>(v)] = kClauseRefUndef;
+    heuristic_.insert(v);
+  }
+  trail_.resize(static_cast<std::size_t>(bound));
+  trail_lim_.resize(static_cast<std::size_t>(level));
+  if (qhead_ > bound) qhead_ = bound;
+}
+
+ClauseRef Solver::propagate() {
+  ClauseRef confl = kClauseRefUndef;
+  while (qhead_ < static_cast<int>(trail_.size())) {
+    const Lit p = trail_[static_cast<std::size_t>(qhead_++)];
+    ++stats_.propagations;
+    auto& wl = watches_[static_cast<std::size_t>(p.index())];
+    std::size_t i = 0, j = 0;
+    const std::size_t n = wl.size();
+    while (i < n) {
+      const Watcher w = wl[i++];
+      if (value(w.blocker) == l_True) {
+        wl[j++] = w;
+        continue;
+      }
+      Clause c = arena_.get(w.cref);
+      // Ensure the false literal (~p) is at position 1.
+      const Lit not_p = ~p;
+      if (c[0] == not_p) c.swap_lits(0, 1);
+      REFBMC_ASSERT(c[1] == not_p);
+      const Lit first = c[0];
+      if (first != w.blocker && value(first) == l_True) {
+        wl[j++] = Watcher{w.cref, first};
+        continue;
+      }
+      // Look for a replacement watch.
+      bool found = false;
+      for (std::uint32_t k = 2; k < c.size(); ++k) {
+        if (value(c[k]) != l_False) {
+          c.swap_lits(1, k);
+          watches_[static_cast<std::size_t>((~c[1]).index())].push_back(
+              Watcher{w.cref, first});
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;
+      // Clause is unit or conflicting.
+      wl[j++] = Watcher{w.cref, first};
+      if (value(first) == l_False) {
+        confl = w.cref;
+        qhead_ = static_cast<int>(trail_.size());
+        while (i < n) wl[j++] = wl[i++];
+        break;
+      }
+      enqueue(first, w.cref);
+    }
+    wl.resize(j);
+    if (confl != kClauseRefUndef) break;
+  }
+  return confl;
+}
+
+void Solver::collect_reason_closure(Var v, std::vector<ClauseId>& antecedents) {
+  // Collects the ids of all clauses participating in the propagation
+  // derivation of `v`, transitively, stopping at decision/assumption
+  // variables (no reason clause).  Marks persist until
+  // clear_closure_marks() so repeated calls within one analysis dedup.
+  if (seen_closure_[static_cast<std::size_t>(v)]) return;
+  seen_closure_[static_cast<std::size_t>(v)] = 1;
+  closure_clear_.push_back(v);
+  std::vector<Var> work{v};
+  while (!work.empty()) {
+    const Var u = work.back();
+    work.pop_back();
+    const ClauseRef r = reason_[static_cast<std::size_t>(u)];
+    if (r == kClauseRefUndef) continue;  // decision or assumption
+    const Clause c = arena_.get(r);
+    antecedents.push_back(c.id());
+    for (std::uint32_t k = 0; k < c.size(); ++k) {
+      const Var w = c[k].var();
+      if (w == u || seen_closure_[static_cast<std::size_t>(w)]) continue;
+      seen_closure_[static_cast<std::size_t>(w)] = 1;
+      closure_clear_.push_back(w);
+      work.push_back(w);
+    }
+  }
+}
+
+void Solver::clear_closure_marks() {
+  for (const Var v : closure_clear_)
+    seen_closure_[static_cast<std::size_t>(v)] = 0;
+  closure_clear_.clear();
+}
+
+void Solver::analyze_final_conflict(ClauseRef confl) {
+  std::vector<ClauseId> ants;
+  const Clause c = arena_.get(confl);
+  ants.push_back(c.id());
+  for (std::uint32_t k = 0; k < c.size(); ++k)
+    collect_reason_closure(c[k].var(), ants);
+  clear_closure_marks();
+  cdg_.set_final_conflict(ants);
+}
+
+void Solver::analyze_assumption_refutation(Lit p) {
+  // `p` is an assumption that propagation (from the formula plus earlier
+  // assumptions) has driven false: the clauses in its reason closure
+  // derive the refutation of the assumption set.
+  std::vector<ClauseId> ants;
+  collect_reason_closure(p.var(), ants);
+  clear_closure_marks();
+  cdg_.set_final_conflict(ants);
+}
+
+int Solver::analyze(ClauseRef confl, std::vector<Lit>& learnt,
+                    std::vector<ClauseId>& antecedents) {
+  learnt.clear();
+  learnt.push_back(kLitUndef);  // slot for the asserting literal
+  antecedents.clear();
+
+  int path_count = 0;
+  Lit p = kLitUndef;
+  int index = static_cast<int>(trail_.size()) - 1;
+
+  do {
+    REFBMC_ASSERT(confl != kClauseRefUndef);
+    Clause c = arena_.get(confl);
+    if (config_.track_cdg) antecedents.push_back(c.id());
+    if (c.learnt()) bump_clause_activity(c);
+
+    for (std::uint32_t k = (p == kLitUndef) ? 0 : 1; k < c.size(); ++k) {
+      const Lit q = c[k];
+      const auto vq = static_cast<std::size_t>(q.var());
+      if (seen_[vq]) continue;
+      if (level_[vq] > 0) {
+        seen_[vq] = 1;
+        analyze_toclear_.push_back(q);
+        if (level_[vq] >= decision_level()) {
+          ++path_count;
+        } else {
+          learnt.push_back(q);
+        }
+      } else if (config_.track_cdg) {
+        // Root-level literal resolved away by its unit derivation.
+        collect_reason_closure(q.var(), antecedents);
+      }
+    }
+
+    // Next clause to resolve with: last seen trail literal.
+    while (!seen_[static_cast<std::size_t>(
+        trail_[static_cast<std::size_t>(index)].var())])
+      --index;
+    p = trail_[static_cast<std::size_t>(index)];
+    --index;
+    confl = reason_[static_cast<std::size_t>(p.var())];
+    seen_[static_cast<std::size_t>(p.var())] = 0;
+    --path_count;
+  } while (path_count > 0);
+  learnt[0] = ~p;
+
+  // Recursive clause minimization: drop literals implied by the rest.
+  std::uint32_t abstract = 0;
+  for (std::size_t i = 1; i < learnt.size(); ++i)
+    abstract |= abstract_level(learnt[i].var());
+  std::size_t kept = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    const Var v = learnt[i].var();
+    if (reason_[static_cast<std::size_t>(v)] == kClauseRefUndef ||
+        !lit_redundant(learnt[i], abstract, antecedents)) {
+      learnt[kept++] = learnt[i];
+    } else {
+      ++stats_.minimized_literals;
+    }
+  }
+  learnt.resize(kept);
+
+  // Find the backjump level: maximal level among learnt[1..].
+  int backjump = 0;
+  if (learnt.size() > 1) {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i) {
+      if (level_[static_cast<std::size_t>(learnt[i].var())] >
+          level_[static_cast<std::size_t>(learnt[max_i].var())])
+        max_i = i;
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    backjump = level_[static_cast<std::size_t>(learnt[1].var())];
+  }
+
+  for (const Lit l : analyze_toclear_)
+    seen_[static_cast<std::size_t>(l.var())] = 0;
+  analyze_toclear_.clear();
+  clear_closure_marks();
+
+  return backjump;
+}
+
+bool Solver::lit_redundant(Lit p, std::uint32_t abstract_levels,
+                           std::vector<ClauseId>& antecedents) {
+  // Checks whether ~p is implied by the other learnt literals through the
+  // implication graph.  On success the reason clauses used become
+  // antecedents of the learned clause; on failure all tentative marks and
+  // antecedents are rolled back.
+  std::vector<Lit> stack{p};
+  const std::size_t toclear_top = analyze_toclear_.size();
+  const std::size_t ants_top = antecedents.size();
+  const std::size_t closure_top = closure_clear_.size();
+
+  while (!stack.empty()) {
+    const Lit q = stack.back();
+    stack.pop_back();
+    const ClauseRef r = reason_[static_cast<std::size_t>(q.var())];
+    REFBMC_ASSERT(r != kClauseRefUndef);
+    const Clause c = arena_.get(r);
+    if (config_.track_cdg) antecedents.push_back(c.id());
+    for (std::uint32_t k = 1; k < c.size(); ++k) {
+      const Lit l = c[k];
+      const auto v = static_cast<std::size_t>(l.var());
+      if (seen_[v]) continue;
+      if (level_[v] == 0) {
+        if (config_.track_cdg) collect_reason_closure(l.var(), antecedents);
+        continue;
+      }
+      if (reason_[v] != kClauseRefUndef &&
+          (abstract_level(l.var()) & abstract_levels) != 0) {
+        seen_[v] = 1;
+        analyze_toclear_.push_back(l);
+        stack.push_back(l);
+      } else {
+        // Not removable: roll back tentative state.
+        for (std::size_t i = toclear_top; i < analyze_toclear_.size(); ++i)
+          seen_[static_cast<std::size_t>(analyze_toclear_[i].var())] = 0;
+        analyze_toclear_.resize(toclear_top);
+        for (std::size_t i = closure_top; i < closure_clear_.size(); ++i)
+          seen_closure_[static_cast<std::size_t>(closure_clear_[i])] = 0;
+        closure_clear_.resize(closure_top);
+        antecedents.resize(ants_top);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void Solver::bump_clause_activity(Clause c) {
+  c.set_activity(c.activity() + static_cast<float>(cla_inc_));
+  if (c.activity() > 1e20f) {
+    for (const ClauseRef cref : learned_crefs_) {
+      Clause lc = arena_.get(cref);
+      lc.set_activity(lc.activity() * 1e-20f);
+    }
+    cla_inc_ *= 1e-20;
+  }
+}
+
+void Solver::record_learned(const std::vector<Lit>& learnt,
+                            const std::vector<ClauseId>& antecedents) {
+  const ClauseId id = ++last_id_;
+  id_is_original_.push_back(0);
+  lits_by_id_.emplace_back();  // placeholder: learned lits live in the arena
+  ++stats_.learned_clauses;
+  stats_.learned_literals += learnt.size();
+  if (config_.track_cdg) cdg_.add_learned(id, antecedents);
+  for (const Lit l : learnt) heuristic_.on_learned_literal(l);
+
+  const ClauseRef cref = arena_.alloc(learnt, id, /*learnt=*/true);
+  Clause c = arena_.get(cref);
+  c.set_activity(static_cast<float>(cla_inc_));
+  if (learnt.size() >= 2) {
+    attach_clause(cref);
+    learned_crefs_.push_back(cref);
+  }
+  // Unit learned clauses are permanent root facts; they are not attached
+  // (nothing to watch) and never deleted (not in learned_crefs_), but they
+  // do serve as reasons, keeping the CDG complete.
+  enqueue(learnt[0], cref);
+}
+
+bool Solver::clause_locked(ClauseRef cref) const {
+  const Clause c = arena_.get(cref);
+  const Var v = c[0].var();
+  return reason_[static_cast<std::size_t>(v)] == cref &&
+         value(c[0]) == l_True;
+}
+
+void Solver::reduce_db() {
+  ++stats_.reduce_db_runs;
+  std::sort(learned_crefs_.begin(), learned_crefs_.end(),
+            [this](ClauseRef a, ClauseRef b) {
+              return arena_.get(a).activity() < arena_.get(b).activity();
+            });
+  const std::size_t target = learned_crefs_.size() / 2;
+  std::size_t kept = 0;
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i < learned_crefs_.size(); ++i) {
+    const ClauseRef cref = learned_crefs_[i];
+    const Clause c = arena_.get(cref);
+    if (removed < target && c.size() > 2 && !clause_locked(cref)) {
+      detach_clause(cref);
+      arena_.free_clause(cref);
+      ++removed;
+    } else {
+      learned_crefs_[kept++] = cref;
+    }
+  }
+  learned_crefs_.resize(kept);
+  stats_.deleted_clauses += removed;
+  if (arena_.should_collect()) garbage_collect();
+}
+
+void Solver::relocate(
+    ClauseRef& cref,
+    const std::vector<std::pair<ClauseRef, ClauseRef>>& map) const {
+  const auto it = std::lower_bound(
+      map.begin(), map.end(), cref,
+      [](const std::pair<ClauseRef, ClauseRef>& p, ClauseRef c) {
+        return p.first < c;
+      });
+  REFBMC_ASSERT(it != map.end() && it->first == cref);
+  cref = it->second;
+}
+
+void Solver::garbage_collect() {
+  ++stats_.arena_gcs;
+  std::vector<std::pair<ClauseRef, ClauseRef>> map;
+  arena_.garbage_collect(map);  // map is sorted by old ref (scan order)
+  for (auto& wl : watches_)
+    for (auto& w : wl) relocate(w.cref, map);
+  for (std::size_t v = 0; v < reason_.size(); ++v) {
+    if (reason_[v] != kClauseRefUndef && assigns_[v] != l_Undef)
+      relocate(reason_[v], map);
+    else
+      reason_[v] = kClauseRefUndef;
+  }
+  for (auto& cref : learned_crefs_) relocate(cref, map);
+}
+
+Lit Solver::pick_branch_literal() {
+  while (!heuristic_.heap_empty()) {
+    const Var v = heuristic_.pop();
+    if (value(v) != l_Undef) continue;
+    if (config_.phase_saving &&
+        saved_phase_[static_cast<std::size_t>(v)] != 0)
+      return Lit::make(v, saved_phase_[static_cast<std::size_t>(v)] == 2);
+    return heuristic_.pick_phase(v);
+  }
+  return kLitUndef;
+}
+
+std::int64_t Solver::luby(std::int64_t x) {
+  // Luby sequence 1,1,2,1,1,2,4,... at 0-based index x (MiniSat's scheme:
+  // find the finite subsequence containing x, then recurse into it).
+  std::int64_t size = 1;
+  std::int64_t seq = 0;
+  while (size < x + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) / 2;
+    --seq;
+    x = x % size;
+  }
+  return 1ll << seq;
+}
+
+Result Solver::solve(const std::vector<Lit>& assumptions) {
+  Timer timer;
+  assumptions_ = assumptions;
+  last_assumptions_ = assumptions;
+  for (const Lit a : assumptions_)
+    REFBMC_EXPECTS_MSG(!a.is_undef() && a.var() < num_vars(),
+                       "assumption over unknown variable");
+  heuristic_.reset_switch();
+  stats_.rank_switched = false;
+  solved_unsat_ = false;
+
+  if (!ok_) {
+    stats_.solve_time_sec += timer.elapsed_sec();
+    solved_unsat_ = true;
+    return Result::Unsat;
+  }
+
+  const Deadline deadline(config_.time_limit_sec);
+  const std::int64_t conflicts_at_solve_start =
+      static_cast<std::int64_t>(stats_.conflicts);
+  std::int64_t restart_budget =
+      config_.enable_restarts
+          ? config_.restart_base * luby(static_cast<std::int64_t>(stats_.restarts))
+          : -1;
+  std::int64_t conflicts_this_restart = 0;
+  std::int64_t reduce_limit =
+      config_.reduce_base +
+      static_cast<std::int64_t>(learned_crefs_.size());
+
+  std::vector<Lit> learnt;
+  std::vector<ClauseId> antecedents;
+
+  const auto finish = [&](Result r) {
+    cancel_until(0);
+    assumptions_.clear();
+    stats_.solve_time_sec += timer.elapsed_sec();
+    return r;
+  };
+
+  while (true) {
+    const ClauseRef confl = propagate();
+    if (confl != kClauseRefUndef) {
+      ++stats_.conflicts;
+      ++conflicts_this_restart;
+      if (decision_level() == 0) {
+        if (config_.track_cdg) analyze_final_conflict(confl);
+        ok_ = false;
+        solved_unsat_ = true;
+        return finish(Result::Unsat);
+      }
+      const int backjump = analyze(confl, learnt, antecedents);
+      cancel_until(backjump);
+      record_learned(learnt, antecedents);
+      decay_clause_activity();
+      heuristic_.on_conflict();
+
+      // Resource limits, checked at conflicts for low overhead.
+      if ((config_.conflict_limit >= 0 &&
+           static_cast<std::int64_t>(stats_.conflicts) -
+                   conflicts_at_solve_start >=
+               config_.conflict_limit) ||
+          ((stats_.conflicts & 127) == 0 && deadline.expired())) {
+        return finish(Result::Unknown);
+      }
+      continue;
+    }
+
+    // No conflict: restart / reduce / decide.
+    if (restart_budget >= 0 && conflicts_this_restart >= restart_budget) {
+      ++stats_.restarts;
+      conflicts_this_restart = 0;
+      restart_budget = config_.restart_base *
+                       luby(static_cast<std::int64_t>(stats_.restarts));
+      cancel_until(0);
+      continue;
+    }
+    if (config_.enable_reduce_db &&
+        static_cast<std::int64_t>(learned_crefs_.size()) >= reduce_limit) {
+      reduce_db();
+      reduce_limit =
+          static_cast<std::int64_t>(static_cast<double>(reduce_limit) *
+                                    config_.reduce_grow);
+    }
+
+    // Assumption decisions come first, in order, one level each.
+    Lit next = kLitUndef;
+    while (decision_level() < static_cast<int>(assumptions_.size())) {
+      const Lit a =
+          assumptions_[static_cast<std::size_t>(decision_level())];
+      if (value(a) == l_True) {
+        new_decision_level();  // placeholder level keeps indices aligned
+      } else if (value(a) == l_False) {
+        // The formula (plus earlier assumptions) refutes this assumption.
+        if (config_.track_cdg) analyze_assumption_refutation(a);
+        solved_unsat_ = true;
+        return finish(Result::Unsat);
+      } else {
+        next = a;
+        break;
+      }
+    }
+
+    if (next == kLitUndef) {
+      next = pick_branch_literal();
+      if (next == kLitUndef) {
+        // All variables assigned: model found.
+        model_ = assigns_;
+        return finish(Result::Sat);
+      }
+    }
+    ++stats_.decisions;
+    if (heuristic_.on_decision(stats_.decisions, num_orig_lits_,
+                               config_.dynamic_switch_divisor)) {
+      stats_.rank_switched = true;
+    }
+    new_decision_level();
+    enqueue(next, kClauseRefUndef);
+  }
+}
+
+lbool Solver::model_value(Var v) const {
+  REFBMC_EXPECTS_MSG(!model_.empty(), "no model (last solve was not SAT)");
+  REFBMC_EXPECTS(v >= 0 && static_cast<std::size_t>(v) < model_.size());
+  return model_[static_cast<std::size_t>(v)];
+}
+
+std::vector<ClauseId> Solver::unsat_core() const {
+  REFBMC_EXPECTS_MSG(solved_unsat_, "unsat core requires an UNSAT result");
+  REFBMC_EXPECTS_MSG(config_.track_cdg,
+                     "unsat core requires track_cdg = true");
+  return cdg_.original_core();
+}
+
+std::vector<Var> Solver::unsat_core_vars() const {
+  const std::vector<ClauseId> core = unsat_core();
+  std::vector<bool> in(static_cast<std::size_t>(num_vars()), false);
+  for (const ClauseId id : core)
+    for (const Lit l : original_clause(id))
+      in[static_cast<std::size_t>(l.var())] = true;
+  std::vector<Var> vars;
+  for (Var v = 0; v < num_vars(); ++v)
+    if (in[static_cast<std::size_t>(v)]) vars.push_back(v);
+  return vars;
+}
+
+}  // namespace refbmc::sat

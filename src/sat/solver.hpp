@@ -1,0 +1,237 @@
+// CDCL SAT solver in the Chaff/MiniSat lineage, with the additions the
+// paper needs:
+//
+//  * Chaff-style VSIDS decision scores (periodic halve-and-add), pluggable
+//    external variable ranking (static / dynamic combination, §3.3);
+//  * a simplified Conflict-Dependency Graph recording, per learned clause,
+//    the pseudo-IDs of its antecedents (§3.1), kept independent of the
+//    clause database so reduceDB stays enabled;
+//  * complete unsatisfiable-core extraction from the final conflict —
+//    including refutations of assumption sets;
+//  * incremental use: clauses may be added between solve() calls, and
+//    solve(assumptions) supports activation-literal idioms (the
+//    "incremental SAT" combination the paper's conclusion points to).
+//
+// Mechanics: two-watched-literal BCP, first-UIP conflict analysis with
+// recursive clause minimization, Luby restarts, activity-driven learned
+// clause deletion, arena garbage collection.
+//
+// Clause ids are dense over *all* clauses in arrival order (original and
+// learned interleave under incremental use); unsat cores are reported as
+// original-clause ids.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sat/cdg.hpp"
+#include "sat/clause.hpp"
+#include "sat/heuristic.hpp"
+#include "sat/stats.hpp"
+#include "sat/types.hpp"
+#include "util/timer.hpp"
+
+namespace refbmc::sat {
+
+struct SolverConfig {
+  // VSIDS
+  int vsids_update_period = 256;  // conflicts between score halvings
+  // Refined ordering (paper §3.3)
+  RankMode rank_mode = RankMode::None;
+  int dynamic_switch_divisor = 64;  // switch when decisions > #lits / divisor
+  // Restarts: Luby sequence in units of `restart_base` conflicts.
+  bool enable_restarts = true;
+  int restart_base = 256;
+  // Learned clause deletion.
+  bool enable_reduce_db = true;
+  int reduce_base = 2000;       // first reduceDB after this many learned
+  double reduce_grow = 1.5;     // growth factor of the limit
+  double clause_decay = 0.999;  // learned clause activity decay
+  // Conflict-dependency graph / core tracking (paper §3.1).  Turning this
+  // off disables unsat_core() but removes the bookkeeping overhead.
+  bool track_cdg = true;
+  // Phase saving: re-decide variables with their last assigned polarity
+  // instead of the Chaff literal-score phase.  Off by default (the paper
+  // predates phase saving; keeping it off stays faithful to Chaff).
+  bool phase_saving = false;
+  // Resource limits per solve() call (negative = unlimited).
+  std::int64_t conflict_limit = -1;
+  double time_limit_sec = -1.0;
+};
+
+class Solver {
+ public:
+  explicit Solver(SolverConfig config = {});
+
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  // ---- problem construction -----------------------------------------
+  /// Creates a fresh variable and returns it (dense, starting at 0).
+  /// May be called between solve() calls.
+  Var new_var();
+  int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+  /// Adds a clause over existing variables.  Every call consumes one
+  /// clause id (dense, shared with learned clauses) — including
+  /// tautologies and clauses already satisfied.  May be called between
+  /// solve() calls.  Returns false when the solver is already in an
+  /// unsatisfiable state after this clause.
+  bool add_clause(const std::vector<Lit>& lits);
+
+  /// Number of add_clause calls so far.
+  std::size_t num_original_clauses() const { return original_ids_.size(); }
+  /// Ids of original clauses in arrival order.
+  const std::vector<ClauseId>& original_ids() const { return original_ids_; }
+  /// Literal occurrences across original clauses (after dedup), the
+  /// baseline for the dynamic policy's switch threshold.
+  std::uint64_t num_original_literals() const { return num_orig_lits_; }
+
+  /// The literals of original clause `id` (after duplicate removal).
+  const std::vector<Lit>& original_clause(ClauseId id) const;
+  bool is_original_clause(ClauseId id) const;
+
+  // ---- refined ordering ----------------------------------------------
+  /// Sets the external per-variable rank (bmc_score).  Only meaningful
+  /// with rank_mode Static or Dynamic.  Missing entries default to 0.
+  void set_variable_rank(std::span<const double> rank_by_var);
+
+  /// Adjusts the per-solve resource limits (useful between incremental
+  /// solve() calls; negative = unlimited).
+  void set_resource_limits(std::int64_t conflict_limit,
+                           double time_limit_sec) {
+    config_.conflict_limit = conflict_limit;
+    config_.time_limit_sec = time_limit_sec;
+  }
+
+  // ---- solving ---------------------------------------------------------
+  Result solve() { return solve({}); }
+  /// Solves under the given assumption literals.  Unsat then means "the
+  /// formula refutes this assumption set"; unsat_core() reports the
+  /// original clauses used in that refutation.
+  Result solve(const std::vector<Lit>& assumptions);
+
+  /// Model access after Result::Sat.
+  lbool model_value(Var v) const;
+  bool model_literal_true(Lit l) const {
+    return (model_value(l.var()) ^ l.negated()) == l_True;
+  }
+
+  /// After Result::Unsat (with track_cdg): ids of original clauses in the
+  /// unsatisfiable core, sorted ascending.  When the last solve used
+  /// assumptions, the core is relative to them: core ∧ assumptions ⊨ ⊥.
+  std::vector<ClauseId> unsat_core() const;
+  /// Variables occurring in the unsat core, sorted ascending.
+  std::vector<Var> unsat_core_vars() const;
+  /// The assumptions of the most recent solve() call (empty for a plain
+  /// solve) — needed to certify assumption-relative cores.
+  const std::vector<Lit>& last_assumptions() const {
+    return last_assumptions_;
+  }
+
+  const SolverStats& stats() const { return stats_; }
+  const ConflictDependencyGraph& cdg() const { return cdg_; }
+
+  /// Current assignment value (valid during/after solve; root-level facts
+  /// persist across solve calls).
+  lbool value(Var v) const { return assigns_[static_cast<std::size_t>(v)]; }
+  lbool value(Lit l) const { return value(l.var()) ^ l.negated(); }
+
+  bool okay() const { return ok_; }
+
+ private:
+  struct Watcher {
+    ClauseRef cref;
+    Lit blocker;  // fast satisfied check without touching the clause
+  };
+
+  // -- trail / assignment ------------------------------------------------
+  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
+  void new_decision_level() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+  void enqueue(Lit l, ClauseRef reason);
+  void cancel_until(int level);
+
+  // -- BCP -----------------------------------------------------------------
+  ClauseRef propagate();
+  void attach_clause(ClauseRef cref);
+  void detach_clause(ClauseRef cref);
+
+  // -- conflict analysis ---------------------------------------------------
+  /// 1UIP analysis; fills `learnt` (learnt[0] = asserting literal),
+  /// returns the backjump level, and fills `antecedents` with the clause
+  /// ids resolved on (including those consumed by minimization and by
+  /// elimination of root-implied literals).
+  int analyze(ClauseRef confl, std::vector<Lit>& learnt,
+              std::vector<ClauseId>& antecedents);
+  bool lit_redundant(Lit p, std::uint32_t abstract_levels,
+                     std::vector<ClauseId>& antecedents);
+  /// Conflict with no decisions involved: the empty clause is derivable.
+  void analyze_final_conflict(ClauseRef confl);
+  /// The assumption `p` is refuted by propagation from the formula and
+  /// earlier assumptions: record the clauses used.
+  void analyze_assumption_refutation(Lit p);
+  /// Adds the transitive reason closure of `v` to `antecedents`, stopping
+  /// at decision/assumption variables (which have no reason clause).
+  void collect_reason_closure(Var v, std::vector<ClauseId>& antecedents);
+  void clear_closure_marks();
+  std::uint32_t abstract_level(Var v) const {
+    return 1u << (static_cast<std::uint32_t>(level_[static_cast<std::size_t>(v)]) & 31u);
+  }
+
+  // -- learned clause management -------------------------------------------
+  void record_learned(const std::vector<Lit>& learnt,
+                      const std::vector<ClauseId>& antecedents);
+  void bump_clause_activity(Clause c);
+  void decay_clause_activity() { cla_inc_ /= config_.clause_decay; }
+  void reduce_db();
+  bool clause_locked(ClauseRef cref) const;
+  void garbage_collect();
+  void relocate(ClauseRef& cref,
+                const std::vector<std::pair<ClauseRef, ClauseRef>>& map) const;
+
+  // -- search ---------------------------------------------------------------
+  Lit pick_branch_literal();
+  static std::int64_t luby(std::int64_t i);
+
+  SolverConfig config_;
+  SolverStats stats_;
+
+  ClauseArena arena_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::index()
+
+  std::vector<lbool> assigns_;     // per var
+  std::vector<int> level_;         // per var
+  std::vector<ClauseRef> reason_;  // per var
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  int qhead_ = 0;
+
+  DecisionHeuristic heuristic_;
+  ConflictDependencyGraph cdg_;
+
+  ClauseId last_id_ = 0;                     // unified id counter
+  std::vector<std::vector<Lit>> lits_by_id_;  // originals only; learned empty
+  std::vector<char> id_is_original_;          // per id
+  std::vector<ClauseId> original_ids_;
+  std::vector<ClauseRef> learned_crefs_;
+  std::uint64_t num_orig_lits_ = 0;
+  double cla_inc_ = 1.0;
+
+  std::vector<Lit> assumptions_;       // active during a solve() call
+  std::vector<Lit> last_assumptions_;  // assumptions of the latest solve
+
+  std::vector<char> saved_phase_;  // 0 none, 1 true, 2 false (per var)
+
+  // analysis scratch
+  std::vector<char> seen_;
+  std::vector<Lit> analyze_toclear_;
+  std::vector<char> seen_closure_;  // reason-closure marks
+  std::vector<Var> closure_clear_;
+
+  std::vector<lbool> model_;
+  bool ok_ = true;
+  bool solved_unsat_ = false;
+};
+
+}  // namespace refbmc::sat

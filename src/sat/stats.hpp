@@ -1,0 +1,25 @@
+// Search statistics.  "propagations" is the paper's "number of
+// implications" (Fig. 7); "decisions" is its "number of decisions".
+#pragma once
+
+#include <cstdint>
+
+namespace refbmc::sat {
+
+struct SolverStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;  // implications
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t learned_literals = 0;
+  std::uint64_t deleted_clauses = 0;
+  std::uint64_t minimized_literals = 0;  // removed by clause minimization
+  std::uint64_t vsids_updates = 0;
+  std::uint64_t reduce_db_runs = 0;
+  std::uint64_t arena_gcs = 0;
+  bool rank_switched = false;  // dynamic fallback fired (last solve call)
+  double solve_time_sec = 0.0;  // accumulated across solve calls
+};
+
+}  // namespace refbmc::sat

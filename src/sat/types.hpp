@@ -1,0 +1,126 @@
+// Core SAT types: variables, literals, and the three-valued lbool.
+//
+// Conventions follow the MiniSat lineage: variables are dense 0-based
+// integers; a literal packs a variable and a sign into one int
+// (lit = 2*var + sign, sign 1 = negated), so literals index arrays
+// (watch lists, scores) directly.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace refbmc::sat {
+
+using Var = int;
+constexpr Var kVarUndef = -1;
+
+class Lit {
+ public:
+  constexpr Lit() : x_(-2) {}
+
+  static constexpr Lit make(Var v, bool negated = false) {
+    Lit l;
+    l.x_ = v + v + static_cast<int>(negated);
+    return l;
+  }
+
+  /// Builds a literal from DIMACS convention: +v → positive literal of
+  /// variable v-1, -v → negative literal.  v must be non-zero.
+  static Lit from_dimacs(int dimacs) {
+    REFBMC_EXPECTS(dimacs != 0);
+    const Var v = (dimacs > 0 ? dimacs : -dimacs) - 1;
+    return make(v, dimacs < 0);
+  }
+
+  constexpr Var var() const { return x_ >> 1; }
+  constexpr bool negated() const { return (x_ & 1) != 0; }
+  constexpr int index() const { return x_; }
+  constexpr bool is_undef() const { return x_ < 0; }
+
+  int to_dimacs() const { return negated() ? -(var() + 1) : (var() + 1); }
+
+  constexpr Lit operator~() const {
+    Lit l;
+    l.x_ = x_ ^ 1;
+    return l;
+  }
+
+  friend constexpr bool operator==(Lit a, Lit b) { return a.x_ == b.x_; }
+  friend constexpr bool operator!=(Lit a, Lit b) { return a.x_ != b.x_; }
+  friend constexpr bool operator<(Lit a, Lit b) { return a.x_ < b.x_; }
+
+ private:
+  int x_;
+};
+
+constexpr Lit kLitUndef{};
+
+inline std::ostream& operator<<(std::ostream& os, Lit l) {
+  if (l.is_undef()) return os << "<undef>";
+  return os << l.to_dimacs();
+}
+
+/// Three-valued Boolean: True, False, or Undef (unassigned).
+class lbool {
+ public:
+  constexpr lbool() : v_(2) {}
+  explicit constexpr lbool(bool b) : v_(b ? 1 : 0) {}
+
+  static constexpr lbool undef() { return lbool(std::uint8_t{2}); }
+  static constexpr lbool true_value() { return lbool(std::uint8_t{1}); }
+  static constexpr lbool false_value() { return lbool(std::uint8_t{0}); }
+
+  constexpr bool is_true() const { return v_ == 1; }
+  constexpr bool is_false() const { return v_ == 0; }
+  constexpr bool is_undef() const { return v_ == 2; }
+
+  /// Negation; Undef stays Undef.
+  constexpr lbool operator~() const {
+    return v_ == 2 ? *this : lbool(std::uint8_t(1 - v_));
+  }
+
+  /// XOR with a sign bit: `value ^ true` flips True/False, keeps Undef.
+  constexpr lbool operator^(bool sign) const {
+    return sign ? ~(*this) : *this;
+  }
+
+  friend constexpr bool operator==(lbool a, lbool b) { return a.v_ == b.v_; }
+  friend constexpr bool operator!=(lbool a, lbool b) { return a.v_ != b.v_; }
+
+ private:
+  explicit constexpr lbool(std::uint8_t v) : v_(v) {}
+  std::uint8_t v_;
+};
+
+constexpr lbool l_True = lbool::true_value();
+constexpr lbool l_False = lbool::false_value();
+constexpr lbool l_Undef = lbool::undef();
+
+inline std::ostream& operator<<(std::ostream& os, lbool b) {
+  return os << (b.is_true() ? "true" : b.is_false() ? "false" : "undef");
+}
+
+/// Result of a solver run.  Unknown is returned when a resource limit
+/// (conflicts or wall clock) was exhausted.
+enum class Result { Sat, Unsat, Unknown };
+
+inline const char* to_string(Result r) {
+  switch (r) {
+    case Result::Sat: return "SAT";
+    case Result::Unsat: return "UNSAT";
+    case Result::Unknown: return "UNKNOWN";
+  }
+  return "?";
+}
+
+inline std::ostream& operator<<(std::ostream& os, Result r) {
+  return os << to_string(r);
+}
+
+using ClauseId = std::uint32_t;
+constexpr ClauseId kClauseIdUndef = 0;  // valid ids start at 1
+
+}  // namespace refbmc::sat

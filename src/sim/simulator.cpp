@@ -1,0 +1,89 @@
+#include "sim/simulator.hpp"
+
+#include "util/assert.hpp"
+
+namespace refbmc::sim {
+
+using model::NodeId;
+using model::NodeKind;
+using model::Signal;
+
+Simulator::Simulator(const model::Netlist& net) : net_(net) {
+  node_val_.resize(net_.num_nodes(), 0);
+  latch_val_.resize(net_.num_latches(), false);
+  reset();
+}
+
+void Simulator::reset(const std::vector<bool>& free_init) {
+  const auto& latches = net_.latches();
+  for (std::size_t i = 0; i < latches.size(); ++i) {
+    const sat::lbool init = net_.latch_init(latches[i]);
+    if (init.is_undef()) {
+      latch_val_[i] = i < free_init.size() ? free_init[i] : false;
+    } else {
+      latch_val_[i] = init.is_true();
+    }
+  }
+  cycle_ = 0;
+  // Make value() meaningful before the first evaluate(): all-zero inputs.
+  evaluate(InputFrame(net_.num_inputs(), false));
+}
+
+void Simulator::eval_combinational() {
+  // AND fanins always precede the node, so one id-order pass suffices;
+  // inputs and latch outputs were written by the caller.
+  node_val_[model::kConstNode] = 0;
+  for (NodeId id = 1; id < net_.num_nodes(); ++id) {
+    const model::Node& n = net_.node(id);
+    if (n.kind != NodeKind::And) continue;
+    const bool a =
+        (node_val_[n.fanin0.node()] != 0) != n.fanin0.negated();
+    const bool b =
+        (node_val_[n.fanin1.node()] != 0) != n.fanin1.negated();
+    node_val_[id] = (a && b) ? 1 : 0;
+  }
+}
+
+void Simulator::evaluate(const InputFrame& inputs) {
+  REFBMC_EXPECTS_MSG(inputs.size() == net_.num_inputs(),
+                     "input frame size mismatch");
+  const auto& in_ids = net_.inputs();
+  for (std::size_t i = 0; i < in_ids.size(); ++i)
+    node_val_[in_ids[i]] = inputs[i] ? 1 : 0;
+  const auto& latch_ids = net_.latches();
+  for (std::size_t i = 0; i < latch_ids.size(); ++i)
+    node_val_[latch_ids[i]] = latch_val_[i] ? 1 : 0;
+  eval_combinational();
+}
+
+void Simulator::step(const InputFrame& inputs) {
+  evaluate(inputs);
+  const auto& latch_ids = net_.latches();
+  std::vector<bool> next(latch_ids.size());
+  for (std::size_t i = 0; i < latch_ids.size(); ++i)
+    next[i] = value(net_.latch_next(latch_ids[i]));
+  latch_val_ = std::move(next);
+  ++cycle_;
+}
+
+bool Simulator::value(Signal s) const {
+  return (node_val_[s.node()] != 0) != s.negated();
+}
+
+std::vector<bool> Simulator::latch_state() const { return latch_val_; }
+
+std::uint64_t Simulator::latch_state_bits() const {
+  REFBMC_EXPECTS(latch_val_.size() <= 64);
+  std::uint64_t bits = 0;
+  for (std::size_t i = 0; i < latch_val_.size(); ++i)
+    if (latch_val_[i]) bits |= (1ull << i);
+  return bits;
+}
+
+InputFrame Simulator::random_inputs(Rng& rng) const {
+  InputFrame f(net_.num_inputs());
+  for (std::size_t i = 0; i < f.size(); ++i) f[i] = rng.next_bool();
+  return f;
+}
+
+}  // namespace refbmc::sim

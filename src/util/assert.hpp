@@ -1,0 +1,54 @@
+// Lightweight contract checks used across the library.
+//
+// REFBMC_ASSERT is an internal invariant check: it aborts with a message in
+// all build types (the solver's correctness argument depends on them, and
+// the cost is negligible next to BCP).  REFBMC_EXPECTS documents a
+// precondition on a public API and throws std::invalid_argument so callers
+// can test misuse without dying.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace refbmc {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "refbmc assertion failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " (" << msg << ")";
+  throw std::logic_error(os.str());
+}
+
+[[noreturn]] inline void precondition_fail(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "refbmc precondition violated: " << expr << " at " << file << ":"
+     << line;
+  if (!msg.empty()) os << " (" << msg << ")";
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace refbmc
+
+#define REFBMC_ASSERT(expr)                                          \
+  do {                                                               \
+    if (!(expr)) ::refbmc::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define REFBMC_ASSERT_MSG(expr, msg)                                   \
+  do {                                                                 \
+    if (!(expr)) ::refbmc::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#define REFBMC_EXPECTS(expr)                                                 \
+  do {                                                                       \
+    if (!(expr)) ::refbmc::precondition_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define REFBMC_EXPECTS_MSG(expr, msg)                                 \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::refbmc::precondition_fail(#expr, __FILE__, __LINE__, msg);    \
+  } while (0)

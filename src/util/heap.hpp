@@ -1,0 +1,135 @@
+// Indexed binary max-heap over dense integer keys [0, n).
+//
+// This is the decision heap of the SAT solver: elements are variable
+// indices, the ordering is supplied by a comparator ("greater than" =
+// higher decision priority).  Supports decrease/increase-key via update(),
+// membership query, and full rebuild when the comparator's meaning changes
+// (the dynamic ordering policy swaps comparators mid-search).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace refbmc {
+
+/// Compare is a callable `bool(int a, int b)` returning true when `a` has
+/// strictly higher priority than `b`.
+template <typename Compare>
+class IndexedMaxHeap {
+ public:
+  explicit IndexedMaxHeap(Compare gt) : gt_(gt) {}
+
+  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+  bool contains(int x) const {
+    return x >= 0 && static_cast<std::size_t>(x) < pos_.size() &&
+           pos_[static_cast<std::size_t>(x)] >= 0;
+  }
+
+  /// Ensures capacity for keys in [0, n).
+  void reserve_keys(int n) {
+    if (static_cast<std::size_t>(n) > pos_.size())
+      pos_.resize(static_cast<std::size_t>(n), -1);
+  }
+
+  void clear() {
+    for (int x : heap_) pos_[static_cast<std::size_t>(x)] = -1;
+    heap_.clear();
+  }
+
+  void insert(int x) {
+    reserve_keys(x + 1);
+    REFBMC_ASSERT(!contains(x));
+    pos_[static_cast<std::size_t>(x)] = static_cast<int>(heap_.size());
+    heap_.push_back(x);
+    sift_up(heap_.size() - 1);
+  }
+
+  /// Restores the heap property around `x` after its priority changed.
+  void update(int x) {
+    if (!contains(x)) return;
+    const auto i = static_cast<std::size_t>(pos_[static_cast<std::size_t>(x)]);
+    sift_up(i);
+    sift_down(pos_[static_cast<std::size_t>(x)]);
+  }
+
+  int top() const {
+    REFBMC_ASSERT(!heap_.empty());
+    return heap_.front();
+  }
+
+  int pop() {
+    REFBMC_ASSERT(!heap_.empty());
+    const int x = heap_.front();
+    remove_at(0);
+    return x;
+  }
+
+  void erase(int x) {
+    if (!contains(x)) return;
+    remove_at(static_cast<std::size_t>(pos_[static_cast<std::size_t>(x)]));
+  }
+
+  /// Rebuilds the heap in O(n); call after the comparator's underlying
+  /// scores changed wholesale (e.g. VSIDS rescale or policy switch).
+  void rebuild() {
+    if (heap_.empty()) return;
+    for (std::size_t i = heap_.size(); i-- > 0;) sift_down_from(i);
+  }
+
+ private:
+  void sift_down(int pos_of_x) { sift_down_from(static_cast<std::size_t>(pos_of_x)); }
+
+  void sift_up(std::size_t i) {
+    const int x = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!gt_(x, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      pos_[static_cast<std::size_t>(heap_[i])] = static_cast<int>(i);
+      i = parent;
+    }
+    heap_[i] = x;
+    pos_[static_cast<std::size_t>(x)] = static_cast<int>(i);
+  }
+
+  void sift_down_from(std::size_t i) {
+    const int x = heap_[i];
+    const std::size_t n = heap_.size();
+    while (true) {
+      const std::size_t left = 2 * i + 1;
+      if (left >= n) break;
+      const std::size_t right = left + 1;
+      std::size_t best = left;
+      if (right < n && gt_(heap_[right], heap_[left])) best = right;
+      if (!gt_(heap_[best], x)) break;
+      heap_[i] = heap_[best];
+      pos_[static_cast<std::size_t>(heap_[i])] = static_cast<int>(i);
+      i = best;
+    }
+    heap_[i] = x;
+    pos_[static_cast<std::size_t>(x)] = static_cast<int>(i);
+  }
+
+  void remove_at(std::size_t i) {
+    const int x = heap_[i];
+    pos_[static_cast<std::size_t>(x)] = -1;
+    const int last = heap_.back();
+    heap_.pop_back();
+    if (i < heap_.size()) {
+      heap_[i] = last;
+      pos_[static_cast<std::size_t>(last)] = static_cast<int>(i);
+      sift_up(i);
+      sift_down_from(static_cast<std::size_t>(
+          pos_[static_cast<std::size_t>(last)]));
+    }
+  }
+
+  Compare gt_;
+  std::vector<int> heap_;  // heap of keys
+  std::vector<int> pos_;   // key → index in heap_, or -1
+};
+
+}  // namespace refbmc

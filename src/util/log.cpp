@@ -1,0 +1,47 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace refbmc {
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+LogSink g_sink;  // empty → default stderr sink
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Info: return "info ";
+    case LogLevel::Warn: return "warn ";
+    case LogLevel::Error: return "error";
+    case LogLevel::Off: return "off  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel set_log_level(LogLevel level) {
+  const LogLevel prev = g_level;
+  g_level = level;
+  return prev;
+}
+
+LogLevel log_level() { return g_level; }
+
+LogSink set_log_sink(LogSink sink) {
+  LogSink prev = g_sink;
+  g_sink = std::move(sink);
+  return prev;
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (level < g_level || g_level == LogLevel::Off) return;
+  if (g_sink) {
+    g_sink(level, msg);
+  } else {
+    std::fprintf(stderr, "[refbmc %s] %s\n", level_tag(level), msg.c_str());
+  }
+}
+
+}  // namespace refbmc

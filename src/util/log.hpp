@@ -1,0 +1,55 @@
+// Minimal leveled logger.
+//
+// The library itself is quiet by default (level = Warn); examples and
+// benches raise the level explicitly.  No global mutable state other than
+// the level and sink, both settable for tests.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace refbmc {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Sets the minimum level that is emitted.  Returns the previous level.
+LogLevel set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Replaces the output sink (default: stderr).  Pass nullptr to restore
+/// the default sink.  Returns the previous sink.
+LogSink set_log_sink(LogSink sink);
+
+/// Emits a message if `level >= log_level()`.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace refbmc
+
+#define REFBMC_LOG(level) ::refbmc::detail::LogLine(level)
+#define REFBMC_DEBUG() REFBMC_LOG(::refbmc::LogLevel::Debug)
+#define REFBMC_INFO() REFBMC_LOG(::refbmc::LogLevel::Info)
+#define REFBMC_WARN() REFBMC_LOG(::refbmc::LogLevel::Warn)
+#define REFBMC_ERROR() REFBMC_LOG(::refbmc::LogLevel::Error)

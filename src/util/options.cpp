@@ -1,0 +1,76 @@
+#include "util/options.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace refbmc {
+
+Options Options::parse(int argc, const char* const* argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      opts.positionals_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      opts.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--name value` unless the next token is another option or absent,
+    // in which case it is a boolean flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      opts.values_[arg] = argv[++i];
+    } else {
+      opts.values_[arg] = "1";
+    }
+  }
+  return opts;
+}
+
+bool Options::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Options::get(const std::string& name,
+                         const std::string& def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+int Options::get_int(const std::string& name, int def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  try {
+    return std::stoi(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name +
+                                " expects an integer, got '" + it->second +
+                                "'");
+  }
+}
+
+double Options::get_double(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name +
+                                " expects a number, got '" + it->second + "'");
+  }
+}
+
+bool Options::get_bool(const std::string& name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("option --" + name +
+                              " expects a boolean, got '" + v + "'");
+}
+
+}  // namespace refbmc

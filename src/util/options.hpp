@@ -1,0 +1,34 @@
+// Tiny command-line option parser for examples and benches.
+//
+// Supports `--name value`, `--name=value` and boolean flags `--name`.
+// Unrecognized arguments are collected as positionals.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace refbmc {
+
+class Options {
+ public:
+  Options() = default;
+
+  /// Parses argv; throws std::invalid_argument on malformed input
+  /// (e.g. trailing `--name` where a value was required via has()).
+  static Options parse(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def = "") const;
+  int get_int(const std::string& name, int def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace refbmc

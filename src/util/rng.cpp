@@ -1,0 +1,68 @@
+#include "util/rng.hpp"
+
+#include "util/assert.hpp"
+
+namespace refbmc {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // Seed the four lanes via splitmix64 as recommended by the xoshiro authors.
+  std::uint64_t sm = seed;
+  for (auto& lane : s_) lane = splitmix64(sm);
+  // All-zero state would be a fixed point; splitmix64 cannot produce it for
+  // four consecutive outputs, but keep the guard for clarity.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) {
+  REFBMC_EXPECTS(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~0ull - (~0ull % n);
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % n;
+}
+
+int Rng::next_int(int lo, int hi) {
+  REFBMC_EXPECTS(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(static_cast<long long>(hi) - lo) + 1;
+  return lo + static_cast<int>(next_below(span));
+}
+
+double Rng::next_double() {
+  // 53 high bits → [0, 1) with full double precision.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::next_bool(double p) { return next_double() < p; }
+
+}  // namespace refbmc

@@ -1,0 +1,18 @@
+#include "util/timer.hpp"
+
+namespace refbmc {
+
+void Timer::restart() { start_ = std::chrono::steady_clock::now(); }
+
+double Timer::elapsed_sec() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+double Deadline::remaining_sec() const {
+  if (budget_sec_ <= 0.0) return 1e30;
+  const double left = budget_sec_ - timer_.elapsed_sec();
+  return left > 0.0 ? left : 0.0;
+}
+
+}  // namespace refbmc

@@ -1,0 +1,43 @@
+// Wall-clock stopwatch used by the BMC engine and the benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace refbmc {
+
+/// Monotonic stopwatch.  Starts running on construction.
+class Timer {
+ public:
+  Timer() { restart(); }
+
+  /// Resets the start point to now.
+  void restart();
+
+  /// Seconds elapsed since construction or the last restart().
+  double elapsed_sec() const;
+
+  /// Milliseconds elapsed since construction or the last restart().
+  double elapsed_ms() const { return elapsed_sec() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Deadline helper: construct with a budget in seconds; expired() flips to
+/// true once the budget is spent.  A non-positive budget means "no limit".
+class Deadline {
+ public:
+  explicit Deadline(double budget_sec) : budget_sec_(budget_sec) {}
+
+  bool expired() const {
+    return budget_sec_ > 0.0 && timer_.elapsed_sec() >= budget_sec_;
+  }
+  double remaining_sec() const;
+  double budget_sec() const { return budget_sec_; }
+
+ private:
+  Timer timer_;
+  double budget_sec_;
+};
+
+}  // namespace refbmc

@@ -1,0 +1,126 @@
+#include "bmc/ranking.hpp"
+
+#include <gtest/gtest.h>
+
+namespace refbmc::bmc {
+namespace {
+
+// A fabricated instance: 6 CNF vars, vars 1-2 from node 10 (frames 0/1),
+// vars 3-4 from node 11, var 5 from node 12; var 0 is the constant.
+BmcInstance fake_instance() {
+  BmcInstance inst;
+  inst.depth = 1;
+  inst.origin = {
+      {model::kConstNode, -1}, {10, 0}, {10, 1}, {11, 0}, {11, 1}, {12, 0},
+  };
+  inst.cnf.num_vars = 6;
+  return inst;
+}
+
+TEST(RankingTest, LinearWeightingUsesInstanceDepth) {
+  CoreRanking ranking(CoreWeighting::Linear);
+  const BmcInstance inst = fake_instance();
+  ranking.update(inst, {1, 3}, /*k=*/3);  // nodes 10, 11 at instance 3
+  EXPECT_DOUBLE_EQ(ranking.node_score(10), 3.0);
+  EXPECT_DOUBLE_EQ(ranking.node_score(11), 3.0);
+  EXPECT_DOUBLE_EQ(ranking.node_score(12), 0.0);
+  ranking.update(inst, {2}, /*k=*/5);  // node 10 again at instance 5
+  EXPECT_DOUBLE_EQ(ranking.node_score(10), 8.0);
+  EXPECT_DOUBLE_EQ(ranking.node_score(11), 3.0);
+}
+
+TEST(RankingTest, NodeCountedOncePerInstance) {
+  // in_unsat(x, j) is 0/1: both frames of node 10 in one core count once.
+  CoreRanking ranking(CoreWeighting::Linear);
+  const BmcInstance inst = fake_instance();
+  ranking.update(inst, {1, 2}, /*k=*/4);
+  EXPECT_DOUBLE_EQ(ranking.node_score(10), 4.0);
+}
+
+TEST(RankingTest, ConstantNodeIgnored) {
+  CoreRanking ranking(CoreWeighting::Linear);
+  const BmcInstance inst = fake_instance();
+  ranking.update(inst, {0, 5}, /*k=*/2);
+  EXPECT_DOUBLE_EQ(ranking.node_score(model::kConstNode), 0.0);
+  EXPECT_DOUBLE_EQ(ranking.node_score(12), 2.0);
+}
+
+TEST(RankingTest, UniformWeighting) {
+  CoreRanking ranking(CoreWeighting::Uniform);
+  const BmcInstance inst = fake_instance();
+  ranking.update(inst, {1}, 3);
+  ranking.update(inst, {1}, 9);
+  EXPECT_DOUBLE_EQ(ranking.node_score(10), 2.0);
+}
+
+TEST(RankingTest, LastOnlyForgets) {
+  CoreRanking ranking(CoreWeighting::LastOnly);
+  const BmcInstance inst = fake_instance();
+  ranking.update(inst, {1, 3}, 3);
+  EXPECT_DOUBLE_EQ(ranking.node_score(11), 1.0);
+  ranking.update(inst, {5}, 4);
+  EXPECT_DOUBLE_EQ(ranking.node_score(11), 0.0);
+  EXPECT_DOUBLE_EQ(ranking.node_score(12), 1.0);
+}
+
+TEST(RankingTest, ExpDecayHalves) {
+  CoreRanking ranking(CoreWeighting::ExpDecay);
+  const BmcInstance inst = fake_instance();
+  ranking.update(inst, {1}, 1);
+  ranking.update(inst, {3}, 2);
+  EXPECT_DOUBLE_EQ(ranking.node_score(10), 0.5);
+  EXPECT_DOUBLE_EQ(ranking.node_score(11), 1.0);
+  ranking.update(inst, {1}, 3);
+  EXPECT_DOUBLE_EQ(ranking.node_score(10), 1.25);
+}
+
+TEST(RankingTest, ProjectionMapsNodeScoresToVars) {
+  CoreRanking ranking(CoreWeighting::Linear);
+  const BmcInstance inst = fake_instance();
+  ranking.update(inst, {1}, 2);  // node 10 → 2
+  const std::vector<double> rank = ranking.project(inst);
+  ASSERT_EQ(rank.size(), 6u);
+  EXPECT_DOUBLE_EQ(rank[0], 0.0);
+  EXPECT_DOUBLE_EQ(rank[1], 2.0);  // node 10, frame 0
+  EXPECT_DOUBLE_EQ(rank[2], 2.0);  // node 10, frame 1 — register axis!
+  EXPECT_DOUBLE_EQ(rank[3], 0.0);
+  EXPECT_DOUBLE_EQ(rank[5], 0.0);
+}
+
+TEST(RankingTest, ProjectionOntoLargerInstance) {
+  // Scores transfer to instances with more frames (the whole point).
+  CoreRanking ranking(CoreWeighting::Linear);
+  ranking.update(fake_instance(), {1}, 2);
+  BmcInstance bigger;
+  bigger.depth = 2;
+  bigger.origin = {{model::kConstNode, -1}, {10, 0}, {10, 1}, {10, 2}};
+  const std::vector<double> rank = ranking.project(bigger);
+  EXPECT_DOUBLE_EQ(rank[1], 2.0);
+  EXPECT_DOUBLE_EQ(rank[2], 2.0);
+  EXPECT_DOUBLE_EQ(rank[3], 2.0);
+}
+
+TEST(RankingTest, OutOfRangeCoreVarRejected) {
+  CoreRanking ranking;
+  const BmcInstance inst = fake_instance();
+  EXPECT_THROW(ranking.update(inst, {99}, 1), std::invalid_argument);
+  EXPECT_THROW(ranking.update(inst, {-1}, 1), std::invalid_argument);
+}
+
+TEST(RankingTest, UpdateCountAndWeightingAccessors) {
+  CoreRanking ranking(CoreWeighting::Uniform);
+  EXPECT_EQ(ranking.num_updates(), 0u);
+  EXPECT_EQ(ranking.weighting(), CoreWeighting::Uniform);
+  ranking.update(fake_instance(), {}, 1);
+  EXPECT_EQ(ranking.num_updates(), 1u);
+}
+
+TEST(RankingTest, WeightingNames) {
+  EXPECT_STREQ(to_string(CoreWeighting::Linear), "linear");
+  EXPECT_STREQ(to_string(CoreWeighting::Uniform), "uniform");
+  EXPECT_STREQ(to_string(CoreWeighting::LastOnly), "last-only");
+  EXPECT_STREQ(to_string(CoreWeighting::ExpDecay), "exp-decay");
+}
+
+}  // namespace
+}  // namespace refbmc::bmc

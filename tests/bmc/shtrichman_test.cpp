@@ -1,0 +1,71 @@
+#include "bmc/shtrichman.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bmc/unroller.hpp"
+#include "model/benchgen.hpp"
+
+namespace refbmc::bmc {
+namespace {
+
+TEST(ShtrichmanTest, SeedGetsHighestRank) {
+  const auto bm = model::counter_reach(4, 6, true);
+  const Unroller unr(bm.net);
+  const BmcInstance inst = unr.unroll(4);
+  const std::vector<double> rank = shtrichman_rank(inst);
+  ASSERT_EQ(rank.size(), inst.num_vars());
+  const auto seed = static_cast<std::size_t>(inst.bad_lit.var());
+  for (std::size_t v = 0; v < rank.size(); ++v)
+    EXPECT_LE(rank[v], rank[seed]) << v;
+}
+
+TEST(ShtrichmanTest, RanksDecreaseWithDistanceFromProperty) {
+  // On the unrolled counter, variables at the final frame (where ¬P sits)
+  // should outrank variables at frame 0 on average.
+  const auto bm = model::counter_reach(4, 6, true);
+  const Unroller unr(bm.net);
+  const BmcInstance inst = unr.unroll(5);
+  const std::vector<double> rank = shtrichman_rank(inst);
+  double sum_last = 0, n_last = 0, sum_first = 0, n_first = 0;
+  for (std::size_t v = 1; v < inst.origin.size(); ++v) {
+    if (inst.origin[v].frame == 5) {
+      sum_last += rank[v];
+      ++n_last;
+    } else if (inst.origin[v].frame == 0) {
+      sum_first += rank[v];
+      ++n_first;
+    }
+  }
+  ASSERT_GT(n_last, 0);
+  ASSERT_GT(n_first, 0);
+  EXPECT_GT(sum_last / n_last, sum_first / n_first);
+}
+
+TEST(ShtrichmanTest, AllConnectedVariablesRanked) {
+  const auto bm = model::fifo_safe(3);
+  const Unroller unr(bm.net);
+  const BmcInstance inst = unr.unroll(3);
+  const std::vector<double> rank = shtrichman_rank(inst);
+  // Every circuit variable feeds the property through the unrolling, so
+  // all of them get a positive rank.  The auxiliary constant variable
+  // (origin frame -1) only occurs in its own unit clause and may stay
+  // unranked when no cone signal is constant.
+  for (std::size_t v = 0; v < rank.size(); ++v) {
+    if (inst.origin[v].frame < 0) continue;
+    EXPECT_GT(rank[v], 0.0) << v;
+  }
+}
+
+TEST(ShtrichmanTest, RanksAreFiniteAndBounded) {
+  const auto bm = model::peterson_safe();
+  const Unroller unr(bm.net);
+  const BmcInstance inst = unr.unroll(4);
+  const std::vector<double> rank = shtrichman_rank(inst);
+  for (const double r : rank) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, static_cast<double>(inst.num_vars()));
+  }
+}
+
+}  // namespace
+}  // namespace refbmc::bmc

@@ -1,0 +1,117 @@
+#include "bmc/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "bmc/unroller.hpp"
+#include "model/benchgen.hpp"
+#include "model/builder.hpp"
+
+namespace refbmc::bmc {
+namespace {
+
+using model::Builder;
+using model::Netlist;
+using model::Signal;
+using test::load;
+
+Trace solve_and_extract(const model::Netlist& net, int depth) {
+  const Unroller unr(net);
+  const BmcInstance inst = unr.unroll(depth);
+  sat::Solver s;
+  load(s, inst.cnf);
+  EXPECT_EQ(s.solve(), sat::Result::Sat);
+  return extract_trace(net, inst, s);
+}
+
+TEST(TraceTest, ShapeMatchesDepthAndInputs) {
+  const auto bm = model::shift_all_ones(4);
+  const Trace t = solve_and_extract(bm.net, 4);
+  EXPECT_EQ(t.depth, 4);
+  EXPECT_EQ(t.bad_frame, 4);
+  ASSERT_EQ(t.inputs.size(), 5u);
+  for (const auto& frame : t.inputs)
+    EXPECT_EQ(frame.size(), bm.net.num_inputs());
+  EXPECT_EQ(t.initial_latches.size(), bm.net.num_latches());
+}
+
+TEST(TraceTest, ShiftRegisterTraceShiftsInOnes) {
+  const auto bm = model::shift_all_ones(4);
+  const Trace t = solve_and_extract(bm.net, 4);
+  // To make all 4 bits 1 at frame 4, frames 0..3 must shift in 1s.
+  for (int f = 0; f < 4; ++f) EXPECT_TRUE(t.inputs[static_cast<std::size_t>(f)][0]) << f;
+  EXPECT_TRUE(validate_trace(bm.net, t));
+}
+
+TEST(TraceTest, ValidateRejectsCorruptedTrace) {
+  const auto bm = model::shift_all_ones(4);
+  Trace t = solve_and_extract(bm.net, 4);
+  ASSERT_TRUE(validate_trace(bm.net, t));
+  t.inputs[2][0] = false;  // break the required input sequence
+  EXPECT_FALSE(validate_trace(bm.net, t));
+}
+
+TEST(TraceTest, UninitialisedLatchValueExtracted) {
+  Netlist net;
+  Builder b(net);
+  const Signal l = net.add_latch(sat::l_Undef, "free");
+  net.set_next(l, l);
+  net.add_bad(l, "high");
+  const Trace t = solve_and_extract(net, 0);
+  ASSERT_EQ(t.initial_latches.size(), 1u);
+  EXPECT_TRUE(t.initial_latches[0]);  // must start high to violate
+  EXPECT_TRUE(validate_trace(net, t));
+}
+
+TEST(TraceTest, FixedInitLatchesKeepTheirValue) {
+  const auto bm = model::counter_reach(4, 3, false);
+  const Trace t = solve_and_extract(bm.net, 3);
+  for (const bool v : t.initial_latches) EXPECT_FALSE(v);  // counter starts 0
+  EXPECT_TRUE(validate_trace(bm.net, t));
+}
+
+TEST(TraceTest, ValidateDetectsEarlierBadFrame) {
+  // A trace whose bad fires before `depth` still validates (≤ semantics).
+  Netlist net;
+  Builder b(net);
+  const Signal in = net.add_input("in");
+  net.add_bad(in, "input_high");
+  Trace t;
+  t.depth = 2;
+  t.inputs = {{true}, {false}, {false}};  // bad already at frame 0
+  t.initial_latches = {};
+  EXPECT_TRUE(validate_trace(net, t));
+}
+
+TEST(TraceTest, ValidateFalseWhenBadNeverFires) {
+  Netlist net;
+  const Signal in = net.add_input("in");
+  net.add_bad(in, "input_high");
+  Trace t;
+  t.depth = 1;
+  t.inputs = {{false}, {false}};
+  EXPECT_FALSE(validate_trace(net, t));
+}
+
+TEST(TraceTest, MalformedTraceRejected) {
+  Netlist net;
+  net.add_input("in");
+  net.add_bad(Signal::constant(true), "b");
+  Trace t;
+  t.depth = 2;
+  t.inputs = {{false}};  // wrong frame count
+  EXPECT_THROW(validate_trace(net, t), std::invalid_argument);
+}
+
+TEST(TraceTest, ToStringContainsNamesAndValues) {
+  const auto bm = model::shift_all_ones(3);
+  const Trace t = solve_and_extract(bm.net, 3);
+  const std::string str = t.to_string(bm.net);
+  EXPECT_NE(str.find("counter-example of length 3"), std::string::npos);
+  EXPECT_NE(str.find("in="), std::string::npos);
+  EXPECT_NE(str.find("frame 0"), std::string::npos);
+  EXPECT_NE(str.find("sr[0]="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace refbmc::bmc

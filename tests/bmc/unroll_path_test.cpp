@@ -1,0 +1,112 @@
+// unroll_path semantics: the path-only instance used by k-induction —
+// optional init, exposed per-frame bad literals and latch variables.
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "bmc/unroller.hpp"
+#include "model/benchgen.hpp"
+#include "model/builder.hpp"
+#include "sat/solver.hpp"
+
+namespace refbmc::bmc {
+namespace {
+
+using test::load;
+
+TEST(UnrollPathTest, NoPropertyClauseMeansSat) {
+  // The bare path is always satisfiable (any execution is a model).
+  const auto bm = model::counter_safe(4, 6, 10);
+  const Unroller unr(bm.net);
+  for (const bool init : {true, false}) {
+    const BmcInstance inst = unr.unroll_path(3, init);
+    sat::Solver s;
+    load(s, inst.cnf);
+    EXPECT_EQ(s.solve(), sat::Result::Sat) << init;
+  }
+}
+
+TEST(UnrollPathTest, BadFramesMatchDepth) {
+  const auto bm = model::fifo_safe(3);
+  const Unroller unr(bm.net);
+  const BmcInstance inst = unr.unroll_path(5, true);
+  EXPECT_EQ(inst.bad_frames.size(), 6u);
+  EXPECT_EQ(inst.latch_frames.size(), 6u);
+  for (const auto& frame : inst.latch_frames)
+    EXPECT_EQ(frame.size(), bm.net.num_latches());
+}
+
+TEST(UnrollPathTest, InitConstrainsFrameZero) {
+  // With init: counter at frame 0 is 0, so bad at frame 0 (cnt==0) holds
+  // in every model.  Without init: frame 0 is free, so ¬bad is possible.
+  model::Netlist net;
+  model::Builder b(net);
+  const model::Word cnt = b.latch_word("c", 3, 0);
+  b.set_next_word(cnt, b.increment(cnt));
+  net.add_bad(b.eq_const(cnt, 0), "at_zero");
+  const Unroller unr(net);
+
+  {
+    BmcInstance with_init = unr.unroll_path(0, true);
+    with_init.cnf.add_clause({~with_init.bad_frames[0]});
+    sat::Solver s;
+    load(s, with_init.cnf);
+    EXPECT_EQ(s.solve(), sat::Result::Unsat);
+  }
+  {
+    BmcInstance free = unr.unroll_path(0, false);
+    free.cnf.add_clause({~free.bad_frames[0]});
+    sat::Solver s;
+    load(s, free.cnf);
+    EXPECT_EQ(s.solve(), sat::Result::Sat);
+  }
+}
+
+TEST(UnrollPathTest, TransitionsStillEnforcedWithoutInit) {
+  // Free frame 0, but frames remain T-coupled: cnt@1 = cnt@0 + 1, so
+  // asserting cnt@0 == 2 ∧ cnt@1 == 5 is UNSAT.
+  model::Netlist net;
+  model::Builder b(net);
+  const model::Word cnt = b.latch_word("c", 3, 0);
+  b.set_next_word(cnt, b.increment(cnt));
+  net.add_bad(b.eq_const(cnt, 2), "at2");  // bad_frames = (cnt == 2)
+  const Unroller unr(net);
+  BmcInstance inst = unr.unroll_path(1, false);
+  inst.cnf.add_clause({inst.bad_frames[0]});  // cnt@0 == 2
+  // cnt@1 == 5 via latch vars: 5 = 101₂.
+  const auto& l1 = inst.latch_frames[1];
+  ASSERT_EQ(l1.size(), 3u);
+  inst.cnf.add_clause({sat::Lit::make(l1[0])});
+  inst.cnf.add_clause({sat::Lit::make(l1[1], true)});
+  inst.cnf.add_clause({sat::Lit::make(l1[2])});
+  sat::Solver s;
+  load(s, inst.cnf);
+  EXPECT_EQ(s.solve(), sat::Result::Unsat);
+  // And cnt@1 == 3 is fine.
+  BmcInstance ok = unr.unroll_path(1, false);
+  ok.cnf.add_clause({ok.bad_frames[0]});
+  const auto& m1 = ok.latch_frames[1];
+  ok.cnf.add_clause({sat::Lit::make(m1[0])});
+  ok.cnf.add_clause({sat::Lit::make(m1[1])});
+  ok.cnf.add_clause({sat::Lit::make(m1[2], true)});
+  sat::Solver s2;
+  load(s2, ok.cnf);
+  EXPECT_EQ(s2.solve(), sat::Result::Sat);
+}
+
+TEST(UnrollPathTest, UnrollEqualsPathPlusProperty) {
+  // unroll(k) in Last mode = unroll_path(k, init) + unit bad@k.
+  const auto bm = model::counter_reach(4, 6, false);
+  const Unroller unr(bm.net);
+  for (int k = 4; k <= 7; ++k) {
+    BmcInstance path = unr.unroll_path(k, true);
+    path.cnf.add_clause({path.bad_frames[static_cast<std::size_t>(k)]});
+    sat::Solver a, b2;
+    load(a, path.cnf);
+    const BmcInstance full = unr.unroll(k);
+    load(b2, full.cnf);
+    EXPECT_EQ(a.solve(), b2.solve()) << k;
+  }
+}
+
+}  // namespace
+}  // namespace refbmc::bmc

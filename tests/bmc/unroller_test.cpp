@@ -1,0 +1,177 @@
+// Unroller semantics: the CNF of Eq. 1 must be satisfiable exactly when a
+// counter-example of the right length exists, and its models must match
+// circuit simulation.
+#include "bmc/unroller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "bmc/trace.hpp"
+#include "model/benchgen.hpp"
+#include "model/builder.hpp"
+#include "sat/solver.hpp"
+
+namespace refbmc::bmc {
+namespace {
+
+using model::Builder;
+using model::Netlist;
+using model::Signal;
+using model::Word;
+using test::load;
+
+sat::Result solve_instance(const BmcInstance& inst) {
+  sat::Solver s;
+  load(s, inst.cnf);
+  return s.solve();
+}
+
+TEST(UnrollerTest, CounterFailsExactlyAtTarget) {
+  const auto bm = model::counter_reach(4, 6, false);
+  const Unroller unr(bm.net);
+  for (int k = 0; k <= 8; ++k) {
+    EXPECT_EQ(solve_instance(unr.unroll(k)),
+              k == 6 ? sat::Result::Sat : sat::Result::Unsat)
+        << "depth " << k;
+  }
+}
+
+TEST(UnrollerTest, LastModeMissesEarlierFailures) {
+  // With an enable input the counter can also linger, so in Last mode
+  // depths beyond the minimum are satisfiable too.
+  const auto bm = model::counter_reach(4, 3, true);
+  const Unroller unr(bm.net, 0, BadMode::Last);
+  EXPECT_EQ(solve_instance(unr.unroll(2)), sat::Result::Unsat);
+  EXPECT_EQ(solve_instance(unr.unroll(3)), sat::Result::Sat);
+  EXPECT_EQ(solve_instance(unr.unroll(4)), sat::Result::Sat);
+}
+
+TEST(UnrollerTest, AnyModeSubsumesShallowerFailures) {
+  const auto bm = model::counter_reach(4, 3, false);
+  const Unroller unr(bm.net, 0, BadMode::Any);
+  EXPECT_EQ(solve_instance(unr.unroll(2)), sat::Result::Unsat);
+  EXPECT_EQ(solve_instance(unr.unroll(3)), sat::Result::Sat);
+  // Deterministic counter passes 3 only at depth 3, but Any-mode keeps
+  // the disjunction satisfiable at every deeper unrolling.
+  EXPECT_EQ(solve_instance(unr.unroll(6)), sat::Result::Sat);
+}
+
+TEST(UnrollerTest, InitialStatePredicates) {
+  // Latch inited to 1 with self-loop; bad = ¬latch: never fails.
+  Netlist net;
+  const Signal l = net.add_latch(sat::l_True);
+  net.set_next(l, l);
+  net.add_bad(!l, "went_low");
+  const Unroller unr(net);
+  for (int k = 0; k <= 3; ++k)
+    EXPECT_EQ(solve_instance(unr.unroll(k)), sat::Result::Unsat) << k;
+}
+
+TEST(UnrollerTest, UninitialisedLatchIsFree) {
+  Netlist net;
+  const Signal l = net.add_latch(sat::l_Undef);
+  net.set_next(l, l);
+  net.add_bad(l, "starts_high");
+  const Unroller unr(net);
+  // Free initial value: bad can hold immediately.
+  EXPECT_EQ(solve_instance(unr.unroll(0)), sat::Result::Sat);
+}
+
+TEST(UnrollerTest, ConstantBadSignals) {
+  Netlist net;
+  net.add_latch(sat::l_False);
+  net.add_bad(Signal::constant(false), "never");
+  net.add_bad(Signal::constant(true), "always");
+  EXPECT_EQ(solve_instance(Unroller(net, 0).unroll(2)), sat::Result::Unsat);
+  EXPECT_EQ(solve_instance(Unroller(net, 1).unroll(2)), sat::Result::Sat);
+}
+
+TEST(UnrollerTest, ConeOfInfluenceShrinksCnf) {
+  // Irrelevant side logic must not appear in the instance.
+  Netlist net;
+  Builder b(net);
+  const Word main_cnt = b.latch_word("main", 4, 0);
+  b.set_next_word(main_cnt, b.increment(main_cnt));
+  const Word side = b.latch_word("side", 8, 0);  // disconnected
+  b.set_next_word(side, b.increment(side));
+  net.add_bad(b.eq_const(main_cnt, 5), "hit");
+
+  Netlist small;
+  Builder sb(small);
+  const Word only = sb.latch_word("main", 4, 0);
+  sb.set_next_word(only, sb.increment(only));
+  small.add_bad(sb.eq_const(only, 5), "hit");
+
+  const BmcInstance with_side = Unroller(net).unroll(3);
+  const BmcInstance without = Unroller(small).unroll(3);
+  EXPECT_EQ(with_side.num_vars(), without.num_vars());
+  EXPECT_EQ(with_side.num_clauses(), without.num_clauses());
+}
+
+TEST(UnrollerTest, OriginMapIsConsistent) {
+  const auto bm = model::fifo_safe(3);
+  const Unroller unr(bm.net);
+  const BmcInstance inst = unr.unroll(4);
+  EXPECT_EQ(inst.depth, 4);
+  EXPECT_EQ(inst.origin.size(),
+            static_cast<std::size_t>(inst.cnf.num_vars));
+  // Var 0 is the auxiliary constant.
+  EXPECT_EQ(inst.origin[0].frame, -1);
+  // Every other variable maps to a cone node with a frame in [0, k].
+  int frames_seen = 0;
+  std::vector<char> frame_seen(5, 0);
+  for (std::size_t v = 1; v < inst.origin.size(); ++v) {
+    const VarOrigin& o = inst.origin[v];
+    EXPECT_GE(o.frame, 0);
+    EXPECT_LE(o.frame, 4);
+    EXPECT_GT(o.node, model::kConstNode);
+    if (!frame_seen[static_cast<std::size_t>(o.frame)]) {
+      frame_seen[static_cast<std::size_t>(o.frame)] = 1;
+      ++frames_seen;
+    }
+  }
+  EXPECT_EQ(frames_seen, 5);
+  // Per-frame variable blocks all have the cone size.
+  const std::size_t per_frame = (inst.origin.size() - 1) / 5;
+  EXPECT_EQ((inst.origin.size() - 1) % 5, 0u);
+  EXPECT_EQ(per_frame, unr.cone().size() - 1);  // minus constant node
+}
+
+TEST(UnrollerTest, InstanceGrowsLinearlyWithDepth) {
+  const auto bm = model::counter_safe(6, 40, 50);
+  const Unroller unr(bm.net);
+  const auto i1 = unr.unroll(1);
+  const auto i2 = unr.unroll(2);
+  const auto i3 = unr.unroll(3);
+  const std::size_t d21 = i2.num_clauses() - i1.num_clauses();
+  const std::size_t d32 = i3.num_clauses() - i2.num_clauses();
+  EXPECT_EQ(d21, d32);
+  EXPECT_GT(d21, 0u);
+}
+
+TEST(UnrollerTest, ModelsReplayOnSimulator) {
+  // Any satisfying assignment of the unrolling must be a genuine trace.
+  const auto bm = model::fifo_buggy(3);
+  const Unroller unr(bm.net);
+  const BmcInstance inst = unr.unroll(bm.expect_depth);
+  sat::Solver s;
+  load(s, inst.cnf);
+  ASSERT_EQ(s.solve(), sat::Result::Sat);
+  const Trace trace = extract_trace(bm.net, inst, s);
+  EXPECT_TRUE(validate_trace(bm.net, trace));
+}
+
+TEST(UnrollerTest, RejectsMissingProperty) {
+  Netlist net;
+  net.add_latch(sat::l_False);
+  EXPECT_THROW(Unroller(net, 0), std::invalid_argument);
+}
+
+TEST(UnrollerTest, RejectsNegativeDepth) {
+  const auto bm = model::counter_reach(3, 2, false);
+  const Unroller unr(bm.net);
+  EXPECT_THROW(unr.unroll(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace refbmc::bmc

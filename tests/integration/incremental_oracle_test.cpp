@@ -1,0 +1,92 @@
+// Incremental BMC against explicit-state reachability on randomized
+// circuits — the incremental twin of bmc_oracle_test.
+#include <gtest/gtest.h>
+
+#include "bmc/engine.hpp"
+#include "mc/reach.hpp"
+#include "model/builder.hpp"
+#include "util/rng.hpp"
+
+namespace refbmc::bmc {
+namespace {
+
+using model::Builder;
+using model::Netlist;
+using model::Signal;
+
+Netlist random_circuit(Rng& rng) {
+  Netlist net;
+  Builder b(net);
+  const int n_latches = rng.next_int(2, 5);
+  const int n_inputs = rng.next_int(1, 3);
+  std::vector<Signal> pool;
+  for (int i = 0; i < n_inputs; ++i) pool.push_back(net.add_input());
+  std::vector<Signal> latches;
+  for (int i = 0; i < n_latches; ++i) {
+    const int init = rng.next_int(0, 2);
+    latches.push_back(
+        net.add_latch(init == 2 ? sat::l_Undef : sat::lbool(init == 1)));
+    pool.push_back(latches.back());
+  }
+  const auto pick = [&]() {
+    const Signal s = pool[static_cast<std::size_t>(
+        rng.next_int(0, static_cast<int>(pool.size()) - 1))];
+    return rng.next_bool() ? !s : s;
+  };
+  for (int g = 0; g < rng.next_int(4, 20); ++g) {
+    const Signal s = net.add_and(pick(), pick());
+    if (!s.is_const()) pool.push_back(s);
+  }
+  for (const Signal l : latches) net.set_next(l, pick());
+  Signal bad = net.add_and(pick(), pick());
+  for (int tries = 0; tries < 8 && bad.is_const(); ++tries)
+    bad = net.add_and(pick(), pick());
+  net.add_bad(bad, "rnd");
+  return net;
+}
+
+class IncrementalOracleTest
+    : public ::testing::TestWithParam<OrderingPolicy> {};
+
+TEST_P(IncrementalOracleTest, AgreesWithExplicitReachability) {
+  Rng rng(0x1BCB + static_cast<int>(GetParam()));
+  constexpr int kBound = 12;
+  int failing = 0, passing = 0;
+  for (int iter = 0; iter < 50; ++iter) {
+    const Netlist net = random_circuit(rng);
+    const mc::ReachResult oracle = mc::explicit_reach(net);
+
+    EngineConfig cfg;
+    cfg.policy = GetParam();
+    cfg.incremental = true;
+    cfg.max_depth = kBound;
+    cfg.verify_cores = true;
+    const BmcResult r = BmcEngine(net, cfg).run();
+
+    if (!oracle.property_holds && *oracle.shortest_counterexample <= kBound) {
+      ASSERT_EQ(r.status, BmcResult::Status::CounterexampleFound)
+          << "iter " << iter;
+      EXPECT_EQ(r.counterexample_depth, *oracle.shortest_counterexample)
+          << "iter " << iter;
+      EXPECT_TRUE(validate_trace(net, *r.counterexample)) << "iter " << iter;
+      ++failing;
+    } else {
+      EXPECT_EQ(r.status, BmcResult::Status::BoundReached) << "iter " << iter;
+      ++passing;
+    }
+  }
+  EXPECT_GT(failing, 5);
+  EXPECT_GT(passing, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, IncrementalOracleTest,
+                         ::testing::Values(OrderingPolicy::Baseline,
+                                           OrderingPolicy::Static,
+                                           OrderingPolicy::Dynamic,
+                                           OrderingPolicy::Replace),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace refbmc::bmc

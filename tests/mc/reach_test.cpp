@@ -1,0 +1,110 @@
+#include "mc/reach.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/builder.hpp"
+
+namespace refbmc::mc {
+namespace {
+
+using model::Builder;
+using model::Netlist;
+using model::Signal;
+using model::Word;
+
+TEST(ReachTest, CounterHitsTargetAtExactDepth) {
+  Netlist net;
+  Builder b(net);
+  const Word cnt = b.latch_word("cnt", 4, 0);
+  b.set_next_word(cnt, b.increment(cnt));
+  net.add_bad(b.eq_const(cnt, 11), "hit");
+  const ReachResult r = explicit_reach(net);
+  EXPECT_FALSE(r.property_holds);
+  EXPECT_EQ(r.shortest_counterexample, 11);
+}
+
+TEST(ReachTest, SafeCounterHolds) {
+  Netlist net;
+  Builder b(net);
+  const Word cnt = b.latch_word("cnt", 4, 0);
+  const Signal wrap = b.eq_const(cnt, 9);
+  b.set_next_word(cnt, b.mux_word(wrap, b.constant_word(0, 4),
+                                  b.increment(cnt)));
+  net.add_bad(b.eq_const(cnt, 12), "beyond");
+  const ReachResult r = explicit_reach(net);
+  EXPECT_TRUE(r.property_holds);
+  EXPECT_FALSE(r.shortest_counterexample.has_value());
+  EXPECT_EQ(r.num_reachable_states, 10u);
+  EXPECT_EQ(r.diameter, 9);
+}
+
+TEST(ReachTest, InputsAreEnumerated) {
+  // Bad depends on an input directly: detectable at depth 0.
+  Netlist net;
+  Builder b(net);
+  const Signal in = net.add_input("in");
+  const Signal l = net.add_latch(sat::l_False);
+  net.set_next(l, in);
+  net.add_bad(b.and_(in, l), "in_and_latch");
+  const ReachResult r = explicit_reach(net);
+  EXPECT_FALSE(r.property_holds);
+  // Needs latch=1 which needs one transition with in=1.
+  EXPECT_EQ(r.shortest_counterexample, 1);
+}
+
+TEST(ReachTest, UninitialisedLatchesEnumerateInitialStates) {
+  Netlist net;
+  Builder b(net);
+  const Signal l = net.add_latch(sat::l_Undef);
+  net.add_bad(l, "starts_high");
+  const ReachResult r = explicit_reach(net);
+  EXPECT_FALSE(r.property_holds);
+  EXPECT_EQ(r.shortest_counterexample, 0);  // some initial state is bad
+}
+
+TEST(ReachTest, BadAtInitialStateIsDepthZero) {
+  Netlist net;
+  Builder b(net);
+  const Signal l = net.add_latch(sat::l_True);
+  net.add_bad(l, "init_high");
+  const ReachResult r = explicit_reach(net);
+  EXPECT_EQ(r.shortest_counterexample, 0);
+}
+
+TEST(ReachTest, SelectsRequestedBadProperty) {
+  Netlist net;
+  Builder b(net);
+  const Signal l = net.add_latch(sat::l_True);
+  net.add_bad(!l, "never");   // index 0: holds (l stays 1 via self-loop)
+  net.add_bad(l, "always");   // index 1: fails at depth 0
+  EXPECT_TRUE(explicit_reach(net, 0).property_holds);
+  EXPECT_FALSE(explicit_reach(net, 1).property_holds);
+  EXPECT_THROW(explicit_reach(net, 2), std::invalid_argument);
+}
+
+TEST(ReachTest, DiameterOfFreeRunningCounterIsFullCycle) {
+  Netlist net;
+  Builder b(net);
+  const Word cnt = b.latch_word("cnt", 3, 0);
+  b.set_next_word(cnt, b.increment(cnt));
+  net.add_bad(Signal::constant(false), "never");
+  const ReachResult r = explicit_reach(net);
+  EXPECT_TRUE(r.property_holds);
+  EXPECT_EQ(r.num_reachable_states, 8u);
+  EXPECT_EQ(r.diameter, 7);
+}
+
+TEST(ReachTest, LimitsEnforced) {
+  Netlist big;
+  for (int i = 0; i < 25; ++i) big.add_latch(sat::l_False);
+  big.add_bad(Signal::constant(false), "b");
+  EXPECT_THROW(explicit_reach(big), std::invalid_argument);
+
+  Netlist wide;
+  for (int i = 0; i < 17; ++i) wide.add_input();
+  wide.add_bad(Signal::constant(false), "b");
+  EXPECT_THROW(explicit_reach(wide), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace refbmc::mc

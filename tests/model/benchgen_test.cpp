@@ -1,0 +1,165 @@
+// Benchmark families: structural sanity plus semantic validation of every
+// claimed verdict/depth against explicit-state reachability where the
+// state space permits.
+#include "model/benchgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mc/reach.hpp"
+
+namespace refbmc::model {
+namespace {
+
+void expect_matches_reachability(const Benchmark& bm) {
+  SCOPED_TRACE(bm.name);
+  ASSERT_EQ(bm.net.bad_properties().size(), 1u);
+  ASSERT_NO_THROW(bm.net.check());
+  const mc::ReachResult reach = mc::explicit_reach(bm.net);
+  if (bm.expect_fail) {
+    EXPECT_FALSE(reach.property_holds);
+    ASSERT_TRUE(reach.shortest_counterexample.has_value());
+    EXPECT_EQ(*reach.shortest_counterexample, bm.expect_depth);
+  } else {
+    // Passing within the bound: no counter-example at depth ≤ bound.
+    if (!reach.property_holds) {
+      EXPECT_GT(*reach.shortest_counterexample, bm.suggested_bound);
+    }
+  }
+}
+
+TEST(BenchgenTest, CounterReach) {
+  expect_matches_reachability(counter_reach(4, 9, false));
+  expect_matches_reachability(counter_reach(4, 9, true));
+  expect_matches_reachability(counter_reach(6, 13, true));
+}
+
+TEST(BenchgenTest, CounterReachRejectsOutOfRangeTarget) {
+  EXPECT_THROW(counter_reach(3, 8, false), std::invalid_argument);
+}
+
+TEST(BenchgenTest, CounterSafe) {
+  expect_matches_reachability(counter_safe(4, 10, 12));
+  expect_matches_reachability(counter_safe(5, 20, 25));
+}
+
+TEST(BenchgenTest, ShiftAllOnes) {
+  expect_matches_reachability(shift_all_ones(3));
+  expect_matches_reachability(shift_all_ones(6));
+}
+
+TEST(BenchgenTest, LfsrHit) {
+  expect_matches_reachability(lfsr_hit(4, 7));
+  expect_matches_reachability(lfsr_hit(6, 12));
+  expect_matches_reachability(lfsr_hit(8, 20));
+}
+
+TEST(BenchgenTest, LfsrOrbitTooLongRejected) {
+  // A 3-bit LFSR orbit repeats within 8 steps; asking for 100 must throw.
+  EXPECT_THROW(lfsr_hit(3, 100), std::invalid_argument);
+}
+
+TEST(BenchgenTest, LfsrSafe) {
+  expect_matches_reachability(lfsr_safe(4));
+  expect_matches_reachability(lfsr_safe(6));
+}
+
+TEST(BenchgenTest, GraySafe) {
+  expect_matches_reachability(gray_safe(3));
+  expect_matches_reachability(gray_safe(4));
+}
+
+TEST(BenchgenTest, JohnsonSafe) {
+  expect_matches_reachability(johnson_safe(3));
+  expect_matches_reachability(johnson_safe(5));
+}
+
+TEST(BenchgenTest, Arbiter) {
+  expect_matches_reachability(arbiter_safe(3));
+  expect_matches_reachability(arbiter_safe(5));
+  expect_matches_reachability(arbiter_buggy(3));
+  expect_matches_reachability(arbiter_buggy(5));
+}
+
+TEST(BenchgenTest, Fifo) {
+  expect_matches_reachability(fifo_safe(3));
+  expect_matches_reachability(fifo_buggy(3));
+  expect_matches_reachability(fifo_buggy(4));
+}
+
+TEST(BenchgenTest, Peterson) {
+  expect_matches_reachability(peterson_safe());
+  expect_matches_reachability(peterson_buggy());
+}
+
+TEST(BenchgenTest, Traffic) {
+  expect_matches_reachability(traffic_safe(4));
+  expect_matches_reachability(traffic_buggy(4));
+  expect_matches_reachability(traffic_buggy(5));
+}
+
+TEST(BenchgenTest, Accumulator) {
+  expect_matches_reachability(accumulator_reach(6, 2, 17));
+  expect_matches_reachability(accumulator_reach(8, 3, 33));
+  expect_matches_reachability(accumulator_safe(6, 2, 17));
+  EXPECT_THROW(accumulator_safe(6, 2, 16), std::invalid_argument);
+}
+
+TEST(BenchgenTest, Needle) {
+  expect_matches_reachability(needle(4, 4, 9, 5));   // failing
+  expect_matches_reachability(needle(4, 4, 9, 12));  // passing within bound
+}
+
+TEST(BenchgenTest, DistractorPreservesVerdictAndDepth) {
+  expect_matches_reachability(with_distractor(counter_reach(4, 9, true), 4, 1));
+  expect_matches_reachability(with_distractor(counter_safe(4, 10, 12), 4, 2));
+  expect_matches_reachability(with_distractor(fifo_buggy(3), 4, 3));
+}
+
+TEST(BenchgenTest, DistractorGrowsConeAndKeepsName) {
+  const Benchmark base = counter_safe(6, 40, 50);
+  const Benchmark wrapped = with_distractor(counter_safe(6, 40, 50), 16, 9);
+  EXPECT_GT(wrapped.net.num_latches(), base.net.num_latches());
+  EXPECT_GT(wrapped.net.num_ands(), base.net.num_ands());
+  EXPECT_EQ(wrapped.name, base.name + "+d16");
+  EXPECT_EQ(wrapped.expect_fail, base.expect_fail);
+  EXPECT_EQ(wrapped.expect_depth, base.expect_depth);
+}
+
+TEST(BenchgenTest, StandardSuiteShape) {
+  const auto suite = standard_suite();
+  EXPECT_EQ(suite.size(), 37u);
+  int failing = 0, passing = 0;
+  for (const auto& bm : suite) {
+    SCOPED_TRACE(bm.name);
+    EXPECT_FALSE(bm.name.empty());
+    EXPECT_EQ(bm.net.bad_properties().size(), 1u);
+    EXPECT_NO_THROW(bm.net.check());
+    EXPECT_GT(bm.suggested_bound, 0);
+    (bm.expect_fail ? failing : passing)++;
+    if (bm.expect_fail) {
+      EXPECT_GE(bm.expect_depth, 0);
+    }
+  }
+  // A healthy mix, as in the paper's Table 1.
+  EXPECT_GE(failing, 10);
+  EXPECT_GE(passing, 10);
+}
+
+TEST(BenchgenTest, SuiteNamesAreUnique) {
+  const auto suite = standard_suite();
+  std::set<std::string> names;
+  for (const auto& bm : suite) names.insert(bm.name);
+  EXPECT_EQ(names.size(), suite.size());
+}
+
+TEST(BenchgenTest, QuickSuiteIsSmallAndValid) {
+  const auto suite = quick_suite();
+  EXPECT_GE(suite.size(), 4u);
+  EXPECT_LE(suite.size(), 12u);
+  for (const auto& bm : suite) EXPECT_NO_THROW(bm.net.check());
+}
+
+}  // namespace
+}  // namespace refbmc::model

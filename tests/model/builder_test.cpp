@@ -1,0 +1,207 @@
+// Builder correctness is checked semantically: build small circuits and
+// compare simulated outputs against arithmetic on uint64.
+#include "model/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace refbmc::model {
+namespace {
+
+std::uint64_t word_value(const sim::Simulator& s, const Word& w) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < w.size(); ++i)
+    if (s.value(w[i])) v |= (1ull << i);
+  return v;
+}
+
+class BuilderSemanticsTest : public ::testing::Test {
+ protected:
+  // Builds a combinational net with two 6-bit input words and evaluates
+  // `out` for a grid of input values via fn(a, b) expectation.
+  template <typename BuildFn, typename ExpectFn>
+  void check_binary(BuildFn build, ExpectFn expect, int bits = 6) {
+    Netlist net;
+    Builder b(net);
+    const Word wa = b.input_word("a", static_cast<std::size_t>(bits));
+    const Word wb = b.input_word("b", static_cast<std::size_t>(bits));
+    const Word out = build(b, wa, wb);
+    sim::Simulator simulator(net);
+    Rng rng(1234);
+    const std::uint64_t mask = (1ull << bits) - 1;
+    for (int iter = 0; iter < 200; ++iter) {
+      const std::uint64_t a = rng.next_u64() & mask;
+      const std::uint64_t bv = rng.next_u64() & mask;
+      sim::InputFrame frame;
+      for (int i = 0; i < bits; ++i) frame.push_back((a >> i) & 1);
+      for (int i = 0; i < bits; ++i) frame.push_back((bv >> i) & 1);
+      simulator.evaluate(frame);
+      EXPECT_EQ(word_value(simulator, out), expect(a, bv) & mask)
+          << "a=" << a << " b=" << bv;
+    }
+  }
+};
+
+TEST_F(BuilderSemanticsTest, AddWord) {
+  check_binary(
+      [](Builder& b, const Word& x, const Word& y) {
+        return b.add_word(x, y);
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+}
+
+TEST_F(BuilderSemanticsTest, AddWordWithCarry) {
+  check_binary(
+      [](Builder& b, const Word& x, const Word& y) {
+        return b.add_word(x, y, Signal::constant(true));
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a + b + 1; });
+}
+
+TEST_F(BuilderSemanticsTest, BitwiseOps) {
+  check_binary(
+      [](Builder& b, const Word& x, const Word& y) {
+        return b.and_word(x, y);
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a & b; });
+  check_binary(
+      [](Builder& b, const Word& x, const Word& y) {
+        return b.or_word(x, y);
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a | b; });
+  check_binary(
+      [](Builder& b, const Word& x, const Word& y) {
+        return b.xor_word(x, y);
+      },
+      [](std::uint64_t a, std::uint64_t b) { return a ^ b; });
+  check_binary(
+      [](Builder& b, const Word& x, const Word&) { return b.not_word(x); },
+      [](std::uint64_t a, std::uint64_t) { return ~a; });
+}
+
+TEST_F(BuilderSemanticsTest, Increment) {
+  check_binary(
+      [](Builder& b, const Word& x, const Word&) { return b.increment(x); },
+      [](std::uint64_t a, std::uint64_t) { return a + 1; });
+}
+
+TEST_F(BuilderSemanticsTest, Comparisons) {
+  check_binary(
+      [](Builder& b, const Word& x, const Word& y) {
+        return Word{b.eq_word(x, y)};
+      },
+      [](std::uint64_t a, std::uint64_t b) {
+        return static_cast<std::uint64_t>(a == b);
+      });
+  check_binary(
+      [](Builder& b, const Word& x, const Word& y) {
+        return Word{b.less_than(x, y)};
+      },
+      [](std::uint64_t a, std::uint64_t b) {
+        return static_cast<std::uint64_t>(a < b);
+      });
+}
+
+TEST_F(BuilderSemanticsTest, MuxWord) {
+  // Select via the LSB of b.
+  check_binary(
+      [](Builder& b, const Word& x, const Word& y) {
+        return b.mux_word(y[0], x, b.not_word(x));
+      },
+      [](std::uint64_t a, std::uint64_t b) {
+        return (b & 1) ? a : ~a;
+      });
+}
+
+TEST_F(BuilderSemanticsTest, ShiftLeft) {
+  check_binary(
+      [](Builder& b, const Word& x, const Word& y) {
+        return b.shift_left(x, y[0]);
+      },
+      [](std::uint64_t a, std::uint64_t b) {
+        return (a << 1) | (b & 1);
+      });
+}
+
+TEST(BuilderTest, ConstantWord) {
+  Netlist net;
+  Builder b(net);
+  const Word w = b.constant_word(0b1011, 4);
+  EXPECT_TRUE(w[0].is_const_true());
+  EXPECT_TRUE(w[1].is_const_true());
+  EXPECT_TRUE(w[2].is_const_false());
+  EXPECT_TRUE(w[3].is_const_true());
+  EXPECT_EQ(net.num_ands(), 0u);
+}
+
+TEST(BuilderTest, EqConstUsesNoInputsForConstants) {
+  Netlist net;
+  Builder b(net);
+  const Word w = b.latch_word("r", 4, 0);
+  const Signal eq = b.eq_const(w, 5);
+  EXPECT_FALSE(eq.is_const());
+  EXPECT_GT(net.num_ands(), 0u);
+}
+
+TEST(BuilderTest, GateLevelHelpers) {
+  Netlist net;
+  Builder b(net);
+  const Signal x = net.add_input();
+  const Signal y = net.add_input();
+  // xor with itself is false; implies is ¬x ∨ y.
+  EXPECT_EQ(b.xor_(x, x), Signal::constant(false));
+  EXPECT_EQ(b.xnor_(x, x), Signal::constant(true));
+  EXPECT_EQ(b.implies(x, x), Signal::constant(true));
+  EXPECT_EQ(b.mux(Signal::constant(true), x, y), x);
+  EXPECT_EQ(b.mux(Signal::constant(false), x, y), y);
+}
+
+TEST(BuilderTest, AndOrAllEmpty) {
+  Netlist net;
+  Builder b(net);
+  EXPECT_EQ(b.and_all({}), Signal::constant(true));
+  EXPECT_EQ(b.or_all({}), Signal::constant(false));
+}
+
+TEST(BuilderTest, AtMostOneAndExactlyOne) {
+  Netlist net;
+  Builder b(net);
+  std::vector<Signal> xs;
+  for (int i = 0; i < 4; ++i) xs.push_back(net.add_input());
+  const Signal amo = b.at_most_one(xs);
+  const Signal exo = b.exactly_one(xs);
+  sim::Simulator s(net);
+  for (unsigned m = 0; m < 16; ++m) {
+    sim::InputFrame f;
+    for (int i = 0; i < 4; ++i) f.push_back((m >> i) & 1);
+    s.evaluate(f);
+    const int pop = __builtin_popcount(m);
+    EXPECT_EQ(s.value(amo), pop <= 1) << m;
+    EXPECT_EQ(s.value(exo), pop == 1) << m;
+  }
+}
+
+TEST(BuilderTest, WordSizeMismatchRejected) {
+  Netlist net;
+  Builder b(net);
+  const Word a = b.input_word("a", 3);
+  const Word c = b.input_word("c", 4);
+  EXPECT_THROW(b.add_word(a, c), std::invalid_argument);
+  EXPECT_THROW(b.eq_word(a, c), std::invalid_argument);
+  EXPECT_THROW(b.set_next_word(a, c), std::invalid_argument);
+}
+
+TEST(BuilderTest, LatchWordInitValues) {
+  Netlist net;
+  Builder b(net);
+  const Word w = b.latch_word("r", 4, 0b0110);
+  EXPECT_EQ(net.latch_init(w[0].node()), sat::l_False);
+  EXPECT_EQ(net.latch_init(w[1].node()), sat::l_True);
+  EXPECT_EQ(net.latch_init(w[2].node()), sat::l_True);
+  EXPECT_EQ(net.latch_init(w[3].node()), sat::l_False);
+}
+
+}  // namespace
+}  // namespace refbmc::model

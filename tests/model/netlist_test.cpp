@@ -1,0 +1,146 @@
+#include "model/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace refbmc::model {
+namespace {
+
+TEST(SignalTest, ConstantsAndComplement) {
+  EXPECT_TRUE(Signal::constant(false).is_const_false());
+  EXPECT_TRUE(Signal::constant(true).is_const_true());
+  EXPECT_EQ(!Signal::constant(false), Signal::constant(true));
+  const Signal s = Signal::make(5, true);
+  EXPECT_EQ(s.node(), 5u);
+  EXPECT_TRUE(s.negated());
+  EXPECT_EQ((!s).node(), 5u);
+  EXPECT_FALSE((!s).negated());
+  EXPECT_EQ(!!s, s);
+  EXPECT_EQ(Signal::from_raw(s.raw()), s);
+}
+
+TEST(NetlistTest, FreshNetlistHasOnlyConstant) {
+  const Netlist net;
+  EXPECT_EQ(net.num_nodes(), 1u);
+  EXPECT_EQ(net.kind(kConstNode), NodeKind::Const);
+  EXPECT_EQ(net.num_inputs(), 0u);
+  EXPECT_EQ(net.num_latches(), 0u);
+  EXPECT_EQ(net.num_ands(), 0u);
+}
+
+TEST(NetlistTest, AddInputAndLatch) {
+  Netlist net;
+  const Signal in = net.add_input("a");
+  const Signal latch = net.add_latch(sat::l_True, "r");
+  EXPECT_EQ(net.kind(in.node()), NodeKind::Input);
+  EXPECT_EQ(net.kind(latch.node()), NodeKind::Latch);
+  EXPECT_EQ(net.num_inputs(), 1u);
+  EXPECT_EQ(net.num_latches(), 1u);
+  EXPECT_EQ(net.latch_init(latch.node()), sat::l_True);
+  EXPECT_EQ(net.name(in.node()), "a");
+  EXPECT_EQ(net.find_by_name("r"), latch.node());
+  EXPECT_FALSE(net.find_by_name("missing").has_value());
+}
+
+TEST(NetlistTest, LatchDefaultsToSelfLoopUntilSetNext) {
+  Netlist net;
+  const Signal latch = net.add_latch(sat::l_False);
+  EXPECT_EQ(net.latch_next(latch.node()), latch);
+  const Signal in = net.add_input();
+  net.set_next(latch, !in);
+  EXPECT_EQ(net.latch_next(latch.node()), !in);
+}
+
+TEST(NetlistTest, SetNextValidation) {
+  Netlist net;
+  const Signal in = net.add_input();
+  const Signal latch = net.add_latch(sat::l_False);
+  EXPECT_THROW(net.set_next(in, latch), std::invalid_argument);
+  EXPECT_THROW(net.set_next(!latch, in), std::invalid_argument);
+}
+
+TEST(NetlistTest, AndConstantFolding) {
+  Netlist net;
+  const Signal a = net.add_input();
+  EXPECT_EQ(net.add_and(a, Signal::constant(false)),
+            Signal::constant(false));
+  EXPECT_EQ(net.add_and(Signal::constant(false), a),
+            Signal::constant(false));
+  EXPECT_EQ(net.add_and(a, Signal::constant(true)), a);
+  EXPECT_EQ(net.add_and(Signal::constant(true), a), a);
+  EXPECT_EQ(net.add_and(a, a), a);
+  EXPECT_EQ(net.add_and(a, !a), Signal::constant(false));
+  EXPECT_EQ(net.num_ands(), 0u);
+}
+
+TEST(NetlistTest, StructuralHashingDeduplicates) {
+  Netlist net;
+  const Signal a = net.add_input();
+  const Signal b = net.add_input();
+  const Signal g1 = net.add_and(a, b);
+  const Signal g2 = net.add_and(b, a);  // commuted
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(net.num_ands(), 1u);
+  const Signal g3 = net.add_and(a, !b);  // different
+  EXPECT_NE(g1, g3);
+  EXPECT_EQ(net.num_ands(), 2u);
+}
+
+TEST(NetlistTest, BadPropertiesAndOutputs) {
+  Netlist net;
+  const Signal a = net.add_input();
+  net.add_output(a, "out");
+  net.add_bad(!a, "never_low");
+  ASSERT_EQ(net.bad_properties().size(), 1u);
+  EXPECT_EQ(net.bad_properties()[0].signal, !a);
+  EXPECT_EQ(net.bad_properties()[0].name, "never_low");
+  net.replace_bad(0, a, "renamed");
+  EXPECT_EQ(net.bad_properties()[0].signal, a);
+  EXPECT_THROW(net.replace_bad(3, a, ""), std::invalid_argument);
+}
+
+TEST(NetlistTest, ConeOfInfluence) {
+  Netlist net;
+  const Signal a = net.add_input();      // node 1
+  const Signal b = net.add_input();      // node 2
+  const Signal l1 = net.add_latch(sat::l_False);  // node 3
+  const Signal l2 = net.add_latch(sat::l_False);  // node 4 (irrelevant)
+  const Signal g = net.add_and(a, l1);   // node 5
+  net.set_next(l1, g);
+  net.set_next(l2, b);
+  const auto cone = net.cone_of_influence({g});
+  // Constant, a, l1, g — but not b or l2.
+  EXPECT_EQ(cone, (std::vector<NodeId>{0, 1, 3, 5}));
+  (void)l2;
+}
+
+TEST(NetlistTest, ConeFollowsLatchNextFunctions) {
+  Netlist net;
+  const Signal in = net.add_input();
+  const Signal l1 = net.add_latch(sat::l_False);
+  const Signal l2 = net.add_latch(sat::l_False);
+  net.set_next(l1, l2);  // l1 depends on l2 sequentially
+  net.set_next(l2, in);
+  const auto cone = net.cone_of_influence({l1});
+  EXPECT_EQ(cone.size(), 4u);  // const, in, l1, l2
+}
+
+TEST(NetlistTest, CheckPassesOnWellFormed) {
+  Netlist net;
+  const Signal a = net.add_input();
+  const Signal l = net.add_latch(sat::l_False);
+  net.set_next(l, net.add_and(a, l));
+  net.add_bad(l, "bad");
+  EXPECT_NO_THROW(net.check());
+}
+
+TEST(NetlistTest, NamesCanBeReassigned) {
+  Netlist net;
+  const Signal a = net.add_input("first");
+  net.set_name(a.node(), "second");
+  EXPECT_EQ(net.name(a.node()), "second");
+  EXPECT_FALSE(net.find_by_name("first").has_value());
+  EXPECT_EQ(net.find_by_name("second"), a.node());
+}
+
+}  // namespace
+}  // namespace refbmc::model

@@ -1,0 +1,92 @@
+#include "model/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/benchgen.hpp"
+#include "model/builder.hpp"
+
+namespace refbmc::model {
+namespace {
+
+TEST(NetlistStatsTest, CountsMatchNetlist) {
+  const auto bm = fifo_safe(3);
+  const NetlistStats s = analyze(bm.net);
+  EXPECT_EQ(s.num_inputs, bm.net.num_inputs());
+  EXPECT_EQ(s.num_latches, bm.net.num_latches());
+  EXPECT_EQ(s.num_ands, bm.net.num_ands());
+  EXPECT_EQ(s.num_bads, 1u);
+  ASSERT_EQ(s.coi_sizes.size(), 1u);
+  EXPECT_GT(s.coi_sizes[0], 0u);
+  EXPECT_GT(s.logic_depth, 0);
+}
+
+TEST(NetlistStatsTest, LogicDepthOfChain) {
+  Netlist net;
+  Builder b(net);
+  const Signal x = net.add_input();
+  const Signal y = net.add_input();
+  Signal acc = b.and_(x, y);
+  acc = b.and_(acc, x);
+  acc = b.and_(acc, y);  // depth-3 chain (structural hashing permitting)
+  const NetlistStats s = analyze(net);
+  EXPECT_EQ(s.logic_depth, 3);
+}
+
+TEST(NetlistStatsTest, UninitialisedLatchesCounted) {
+  Netlist net;
+  net.add_latch(sat::l_False);
+  net.add_latch(sat::l_Undef);
+  net.add_latch(sat::l_Undef);
+  const NetlistStats s = analyze(net);
+  EXPECT_EQ(s.num_latches, 3u);
+  EXPECT_EQ(s.uninitialised_latches, 2u);
+}
+
+TEST(NetlistStatsTest, ToStringMentionsEverything) {
+  const auto bm = peterson_safe();
+  const std::string str = analyze(bm.net).to_string();
+  EXPECT_NE(str.find("inputs"), std::string::npos);
+  EXPECT_NE(str.find("latches"), std::string::npos);
+  EXPECT_NE(str.find("ANDs"), std::string::npos);
+  EXPECT_NE(str.find("COI"), std::string::npos);
+}
+
+TEST(DotExportTest, ContainsAllStructuralElements) {
+  Netlist net;
+  Builder b(net);
+  const Signal in = net.add_input("go");
+  const Signal l = net.add_latch(sat::l_True, "state");
+  net.set_next(l, b.xor_(l, in));
+  net.add_bad(b.and_(l, in), "oops");
+  const std::string dot = to_dot_string(net);
+  EXPECT_NE(dot.find("digraph netlist"), std::string::npos);
+  EXPECT_NE(dot.find("\"go\" [shape=diamond]"), std::string::npos);
+  EXPECT_NE(dot.find("init=1"), std::string::npos);
+  EXPECT_NE(dot.find("shape=octagon"), std::string::npos);
+  EXPECT_NE(dot.find("oops"), std::string::npos);
+  EXPECT_NE(dot.find("style=dotted"), std::string::npos);  // latch next
+}
+
+TEST(DotExportTest, ComplementedFaninsDashes) {
+  Netlist net;
+  Builder b(net);
+  const Signal x = net.add_input("x");
+  const Signal y = net.add_input("y");
+  net.add_bad(b.and_(!x, y), "b");
+  const std::string dot = to_dot_string(net);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(DotExportTest, HandlesConstantsAndUnnamedNodes) {
+  Netlist net;
+  const Signal l = net.add_latch(sat::l_False);
+  net.set_next(l, Signal::constant(true));
+  net.add_bad(Signal::constant(false), "never");
+  const std::string dot = to_dot_string(net);
+  EXPECT_NE(dot.find("const1"), std::string::npos);
+  EXPECT_NE(dot.find("const0"), std::string::npos);
+  EXPECT_NE(dot.find("\"n1\""), std::string::npos);  // auto-named latch
+}
+
+}  // namespace
+}  // namespace refbmc::model

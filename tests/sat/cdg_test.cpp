@@ -1,0 +1,130 @@
+#include "sat/cdg.hpp"
+
+#include <gtest/gtest.h>
+
+namespace refbmc::sat {
+namespace {
+
+TEST(CdgTest, CoreRequiresFinalConflict) {
+  ConflictDependencyGraph cdg;
+  for (ClauseId id = 1; id <= 3; ++id) cdg.register_original(id);
+  EXPECT_FALSE(cdg.has_final_conflict());
+  EXPECT_THROW(cdg.original_core(), std::invalid_argument);
+}
+
+TEST(CdgTest, DirectOriginalConflict) {
+  // The empty clause resolves directly from originals 1 and 3.
+  ConflictDependencyGraph cdg;
+  for (ClauseId id = 1; id <= 3; ++id) cdg.register_original(id);
+  cdg.set_final_conflict({1, 3});
+  EXPECT_EQ(cdg.original_core(), (std::vector<ClauseId>{1, 3}));
+}
+
+TEST(CdgTest, TraversesLearnedChain) {
+  // originals 1..4; learned 5 ← {1,2}; learned 6 ← {5,3}; final ← {6}.
+  ConflictDependencyGraph cdg;
+  for (ClauseId id = 1; id <= 4; ++id) cdg.register_original(id);
+  cdg.add_learned(5, {1, 2});
+  cdg.add_learned(6, {5, 3});
+  cdg.set_final_conflict({6});
+  EXPECT_EQ(cdg.original_core(), (std::vector<ClauseId>{1, 2, 3}));
+}
+
+TEST(CdgTest, UnreachableOriginalsExcluded) {
+  ConflictDependencyGraph cdg;
+  for (ClauseId id = 1; id <= 10; ++id) cdg.register_original(id);
+  cdg.add_learned(11, {1, 2});
+  cdg.add_learned(12, {9});
+  cdg.set_final_conflict({11});  // clause 12 and original 9 are irrelevant
+  EXPECT_EQ(cdg.original_core(), (std::vector<ClauseId>{1, 2}));
+}
+
+TEST(CdgTest, InterleavedOriginalAndLearnedIds) {
+  // Incremental pattern: originals 1,2 → learned 3 → new originals 4,5 →
+  // learned 6 referencing both generations.
+  ConflictDependencyGraph cdg;
+  cdg.register_original(1);
+  cdg.register_original(2);
+  cdg.add_learned(3, {1, 2});
+  cdg.register_original(4);
+  cdg.register_original(5);
+  cdg.add_learned(6, {3, 4});
+  cdg.set_final_conflict({6, 5});
+  EXPECT_EQ(cdg.original_core(), (std::vector<ClauseId>{1, 2, 4, 5}));
+  EXPECT_TRUE(cdg.is_original(4));
+  EXPECT_FALSE(cdg.is_original(3));
+}
+
+TEST(CdgTest, SharedAntecedentsVisitedOnce) {
+  ConflictDependencyGraph cdg;
+  cdg.register_original(1);
+  cdg.register_original(2);
+  cdg.add_learned(3, {1, 2});
+  cdg.add_learned(4, {3, 1});
+  cdg.add_learned(5, {3, 4, 2});
+  cdg.set_final_conflict({5, 5, 3});
+  EXPECT_EQ(cdg.original_core(), (std::vector<ClauseId>{1, 2}));
+}
+
+TEST(CdgTest, DuplicateEdgesTolerated) {
+  ConflictDependencyGraph cdg;
+  cdg.register_original(1);
+  cdg.register_original(2);
+  cdg.add_learned(3, {1, 1, 2, 2});
+  cdg.set_final_conflict({3});
+  EXPECT_EQ(cdg.original_core(), (std::vector<ClauseId>{1, 2}));
+}
+
+TEST(CdgTest, FinalConflictCanBeOverwritten) {
+  // A persistent solver may refute several assumption sets in turn.
+  ConflictDependencyGraph cdg;
+  cdg.register_original(1);
+  cdg.register_original(2);
+  cdg.set_final_conflict({1});
+  EXPECT_EQ(cdg.original_core(), (std::vector<ClauseId>{1}));
+  cdg.set_final_conflict({2});
+  EXPECT_EQ(cdg.original_core(), (std::vector<ClauseId>{2}));
+}
+
+TEST(CdgTest, EmptyFinalConflictGivesEmptyCore) {
+  // Assumptions refuting each other need no clauses at all.
+  ConflictDependencyGraph cdg;
+  cdg.register_original(1);
+  cdg.set_final_conflict({});
+  EXPECT_TRUE(cdg.original_core().empty());
+}
+
+TEST(CdgTest, NonDenseIdsRejected) {
+  ConflictDependencyGraph cdg;
+  cdg.register_original(1);
+  EXPECT_THROW(cdg.register_original(3), std::logic_error);
+  EXPECT_THROW(cdg.add_learned(4, {1}), std::logic_error);
+}
+
+TEST(CdgTest, ForwardAntecedentRejected) {
+  ConflictDependencyGraph cdg;
+  cdg.register_original(1);
+  cdg.register_original(2);
+  EXPECT_THROW(cdg.add_learned(3, {3}), std::logic_error);
+  EXPECT_THROW(cdg.add_learned(3, {4}), std::logic_error);
+}
+
+TEST(CdgTest, StatsAndClear) {
+  ConflictDependencyGraph cdg;
+  cdg.register_original(1);
+  cdg.register_original(2);
+  cdg.add_learned(3, {1, 2});
+  cdg.add_learned(4, {3});
+  EXPECT_EQ(cdg.num_clauses(), 4u);
+  EXPECT_EQ(cdg.num_learned_nodes(), 2u);
+  EXPECT_EQ(cdg.num_edges(), 3u);
+  EXPECT_GT(cdg.memory_bytes(), 0u);
+  cdg.clear();
+  EXPECT_EQ(cdg.num_clauses(), 0u);
+  EXPECT_EQ(cdg.num_learned_nodes(), 0u);
+  EXPECT_EQ(cdg.num_edges(), 0u);
+  EXPECT_FALSE(cdg.has_final_conflict());
+}
+
+}  // namespace
+}  // namespace refbmc::sat

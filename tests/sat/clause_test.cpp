@@ -1,0 +1,119 @@
+#include "sat/clause.hpp"
+
+#include <gtest/gtest.h>
+
+namespace refbmc::sat {
+namespace {
+
+std::vector<Lit> lits(std::initializer_list<int> dimacs) {
+  std::vector<Lit> out;
+  for (const int d : dimacs) out.push_back(Lit::from_dimacs(d));
+  return out;
+}
+
+TEST(ClauseArenaTest, AllocAndRead) {
+  ClauseArena arena;
+  const ClauseRef cref = arena.alloc(lits({1, -2, 3}), /*id=*/7, false);
+  const Clause c = arena.get(cref);
+  EXPECT_EQ(c.id(), 7u);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_FALSE(c.learnt());
+  EXPECT_FALSE(c.dead());
+  EXPECT_EQ(c[0], Lit::from_dimacs(1));
+  EXPECT_EQ(c[1], Lit::from_dimacs(-2));
+  EXPECT_EQ(c[2], Lit::from_dimacs(3));
+}
+
+TEST(ClauseArenaTest, LearntFlag) {
+  ClauseArena arena;
+  const ClauseRef cref = arena.alloc(lits({1}), 1, true);
+  EXPECT_TRUE(arena.get(cref).learnt());
+}
+
+TEST(ClauseArenaTest, ActivityRoundTrip) {
+  ClauseArena arena;
+  const ClauseRef cref = arena.alloc(lits({1, 2}), 1, true);
+  Clause c = arena.get(cref);
+  EXPECT_FLOAT_EQ(c.activity(), 0.0f);
+  c.set_activity(3.5f);
+  EXPECT_FLOAT_EQ(arena.get(cref).activity(), 3.5f);
+}
+
+TEST(ClauseArenaTest, SwapAndSetLits) {
+  ClauseArena arena;
+  const ClauseRef cref = arena.alloc(lits({1, -2, 3}), 1, false);
+  Clause c = arena.get(cref);
+  c.swap_lits(0, 2);
+  EXPECT_EQ(c[0], Lit::from_dimacs(3));
+  EXPECT_EQ(c[2], Lit::from_dimacs(1));
+  c.set_lit(1, Lit::from_dimacs(-7));
+  EXPECT_EQ(c[1], Lit::from_dimacs(-7));
+}
+
+TEST(ClauseArenaTest, ShrinkKeepsPrefix) {
+  ClauseArena arena;
+  const ClauseRef cref = arena.alloc(lits({1, 2, 3, 4}), 1, false);
+  Clause c = arena.get(cref);
+  c.shrink(2);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c[0], Lit::from_dimacs(1));
+  EXPECT_EQ(c[1], Lit::from_dimacs(2));
+}
+
+TEST(ClauseArenaTest, FreeAccountsWaste) {
+  ClauseArena arena;
+  const ClauseRef a = arena.alloc(lits({1, 2, 3}), 1, false);
+  arena.alloc(lits({4, 5}), 2, false);
+  EXPECT_EQ(arena.wasted_words(), 0u);
+  arena.free_clause(a);
+  EXPECT_EQ(arena.wasted_words(), Clause::kHeaderWords + 3);
+  EXPECT_TRUE(arena.get(a).dead());
+}
+
+TEST(ClauseArenaTest, ShouldCollectThreshold) {
+  ClauseArena arena;
+  std::vector<ClauseRef> refs;
+  for (int i = 0; i < 10; ++i)
+    refs.push_back(arena.alloc(lits({1, 2, 3}), static_cast<ClauseId>(i + 1),
+                               false));
+  EXPECT_FALSE(arena.should_collect());
+  for (int i = 0; i < 4; ++i) arena.free_clause(refs[static_cast<std::size_t>(i)]);
+  EXPECT_TRUE(arena.should_collect());  // 40% dead > 20%
+}
+
+TEST(ClauseArenaTest, GarbageCollectCompactsAndRelocates) {
+  ClauseArena arena;
+  const ClauseRef a = arena.alloc(lits({1, 2}), 1, false);
+  const ClauseRef b = arena.alloc(lits({3, 4, 5}), 2, false);
+  const ClauseRef c = arena.alloc(lits({-1, -2}), 3, false);
+  arena.free_clause(b);
+  std::vector<std::pair<ClauseRef, ClauseRef>> map;
+  arena.garbage_collect(map);
+  ASSERT_EQ(map.size(), 2u);
+  EXPECT_EQ(map[0].first, a);
+  EXPECT_EQ(map[0].second, a);  // first clause does not move
+  EXPECT_EQ(map[1].first, c);
+  EXPECT_LT(map[1].second, c);  // moved down over the dead clause
+  const Clause moved = arena.get(map[1].second);
+  EXPECT_EQ(moved.id(), 3u);
+  EXPECT_EQ(moved[0], Lit::from_dimacs(-1));
+  EXPECT_EQ(arena.wasted_words(), 0u);
+}
+
+TEST(ClauseArenaTest, GarbageCollectAllDead) {
+  ClauseArena arena;
+  const ClauseRef a = arena.alloc(lits({1, 2}), 1, false);
+  arena.free_clause(a);
+  std::vector<std::pair<ClauseRef, ClauseRef>> map;
+  arena.garbage_collect(map);
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(arena.used_words(), 0u);
+}
+
+TEST(ClauseArenaTest, EmptyLitsRejected) {
+  ClauseArena arena;
+  EXPECT_THROW(arena.alloc({}, 1, false), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace refbmc::sat

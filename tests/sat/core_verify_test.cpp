@@ -1,0 +1,56 @@
+#include "sat/core_verify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+
+namespace refbmc::sat {
+namespace {
+
+using test::lits;
+using test::load;
+using test::pigeonhole;
+
+TEST(CoreVerifyTest, AcceptsGenuineCore) {
+  std::vector<std::vector<Lit>> all{
+      lits({1}), lits({-1}), lits({2, 3})};
+  const CoreCheck check = verify_core(all, 3, {1, 2});
+  EXPECT_TRUE(check.core_unsat);
+  EXPECT_EQ(check.core_clauses, 2u);
+  EXPECT_EQ(check.total_clauses, 3u);
+  EXPECT_EQ(check.core_vars, 1u);
+  EXPECT_NEAR(check.fraction(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(CoreVerifyTest, RejectsBogusCore) {
+  std::vector<std::vector<Lit>> all{
+      lits({1}), lits({-1}), lits({2, 3})};
+  // {1, 3} is satisfiable — not a real core.
+  const CoreCheck check = verify_core(all, 3, {1, 3});
+  EXPECT_FALSE(check.core_unsat);
+}
+
+TEST(CoreVerifyTest, EmptyCoreIsSat) {
+  std::vector<std::vector<Lit>> all{lits({1})};
+  const CoreCheck check = verify_core(all, 1, {});
+  EXPECT_FALSE(check.core_unsat);
+  EXPECT_EQ(check.fraction(), 0.0);
+}
+
+TEST(CoreVerifyTest, OutOfRangeIdRejected) {
+  std::vector<std::vector<Lit>> all{lits({1})};
+  EXPECT_THROW(verify_core(all, 1, {2}), std::invalid_argument);
+}
+
+TEST(CoreVerifyTest, SolverConvenienceOverload) {
+  Solver s;
+  load(s, pigeonhole(5, 4));
+  ASSERT_EQ(s.solve(), Result::Unsat);
+  const CoreCheck check = verify_core(s);
+  EXPECT_TRUE(check.core_unsat);
+  EXPECT_EQ(check.total_clauses, s.num_original_clauses());
+  EXPECT_GT(check.core_vars, 0u);
+}
+
+}  // namespace
+}  // namespace refbmc::sat

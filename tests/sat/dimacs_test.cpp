@@ -1,0 +1,91 @@
+#include "sat/dimacs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace refbmc::sat {
+namespace {
+
+TEST(DimacsTest, ParseSimple) {
+  const Cnf cnf = parse_dimacs_string(
+      "c a comment\n"
+      "p cnf 3 2\n"
+      "1 -2 0\n"
+      "2 3 0\n");
+  EXPECT_EQ(cnf.num_vars, 3);
+  ASSERT_EQ(cnf.num_clauses(), 2u);
+  EXPECT_EQ(cnf.clauses[0],
+            (std::vector<Lit>{Lit::from_dimacs(1), Lit::from_dimacs(-2)}));
+  EXPECT_EQ(cnf.clauses[1],
+            (std::vector<Lit>{Lit::from_dimacs(2), Lit::from_dimacs(3)}));
+}
+
+TEST(DimacsTest, MultipleClausesPerLine) {
+  const Cnf cnf = parse_dimacs_string("p cnf 2 2\n1 0 -2 0\n");
+  EXPECT_EQ(cnf.num_clauses(), 2u);
+}
+
+TEST(DimacsTest, ClauseSpanningLines) {
+  const Cnf cnf = parse_dimacs_string("p cnf 3 1\n1 2\n3 0\n");
+  ASSERT_EQ(cnf.num_clauses(), 1u);
+  EXPECT_EQ(cnf.clauses[0].size(), 3u);
+}
+
+TEST(DimacsTest, EmptyClauseAllowed) {
+  const Cnf cnf = parse_dimacs_string("p cnf 1 1\n0\n");
+  ASSERT_EQ(cnf.num_clauses(), 1u);
+  EXPECT_TRUE(cnf.clauses[0].empty());
+}
+
+TEST(DimacsTest, ToleratesWrongClauseCount) {
+  const Cnf cnf = parse_dimacs_string("p cnf 2 5\n1 0\n");
+  EXPECT_EQ(cnf.num_clauses(), 1u);
+}
+
+TEST(DimacsTest, RejectsMissingHeader) {
+  EXPECT_THROW(parse_dimacs_string("1 2 0\n"), std::invalid_argument);
+}
+
+TEST(DimacsTest, RejectsDuplicateHeader) {
+  EXPECT_THROW(parse_dimacs_string("p cnf 1 1\np cnf 1 1\n1 0\n"),
+               std::invalid_argument);
+}
+
+TEST(DimacsTest, RejectsLiteralOutOfRange) {
+  EXPECT_THROW(parse_dimacs_string("p cnf 2 1\n3 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_dimacs_string("p cnf 2 1\n-3 0\n"),
+               std::invalid_argument);
+}
+
+TEST(DimacsTest, RejectsUnterminatedClause) {
+  EXPECT_THROW(parse_dimacs_string("p cnf 2 1\n1 2\n"),
+               std::invalid_argument);
+}
+
+TEST(DimacsTest, RejectsGarbageTokens) {
+  EXPECT_THROW(parse_dimacs_string("p cnf 2 1\n1 x 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_dimacs_string("p dnf 2 1\n1 0\n"),
+               std::invalid_argument);
+}
+
+TEST(DimacsTest, MissingFileThrows) {
+  EXPECT_THROW(parse_dimacs_file("/nonexistent/path.cnf"),
+               std::invalid_argument);
+}
+
+TEST(DimacsTest, WriteReadRoundTrip) {
+  Cnf cnf;
+  cnf.num_vars = 4;
+  cnf.add_clause({Lit::from_dimacs(1), Lit::from_dimacs(-4)});
+  cnf.add_clause({Lit::from_dimacs(-2)});
+  cnf.add_clause({});
+  const Cnf back = parse_dimacs_string(to_dimacs_string(cnf));
+  EXPECT_EQ(back.num_vars, cnf.num_vars);
+  ASSERT_EQ(back.clauses.size(), cnf.clauses.size());
+  for (std::size_t i = 0; i < cnf.clauses.size(); ++i)
+    EXPECT_EQ(back.clauses[i], cnf.clauses[i]);
+}
+
+}  // namespace
+}  // namespace refbmc::sat

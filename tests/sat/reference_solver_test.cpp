@@ -1,0 +1,60 @@
+#include "sat/reference_solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+
+namespace refbmc::sat {
+namespace {
+
+using test::pigeonhole;
+
+TEST(ReferenceSolverTest, TrivialCases) {
+  Cnf empty;
+  empty.num_vars = 0;
+  EXPECT_EQ(reference_solve(empty), Result::Sat);
+
+  Cnf unit;
+  unit.num_vars = 1;
+  unit.add_clause({Lit::make(0)});
+  EXPECT_EQ(reference_solve(unit), Result::Sat);
+
+  Cnf contradiction;
+  contradiction.num_vars = 1;
+  contradiction.add_clause({Lit::make(0)});
+  contradiction.add_clause({Lit::make(0, true)});
+  EXPECT_EQ(reference_solve(contradiction), Result::Unsat);
+
+  Cnf empty_clause;
+  empty_clause.num_vars = 1;
+  empty_clause.add_clause({});
+  EXPECT_EQ(reference_solve(empty_clause), Result::Unsat);
+}
+
+TEST(ReferenceSolverTest, RequiresBacktracking) {
+  // (a∨b) ∧ (a∨¬b) ∧ (¬a∨c) ∧ (¬a∨¬c) — forces a, then contradiction.
+  Cnf cnf;
+  cnf.num_vars = 3;
+  cnf.add_clause({Lit::make(0), Lit::make(1)});
+  cnf.add_clause({Lit::make(0), Lit::make(1, true)});
+  cnf.add_clause({Lit::make(0, true), Lit::make(2)});
+  cnf.add_clause({Lit::make(0, true), Lit::make(2, true)});
+  EXPECT_EQ(reference_solve(cnf), Result::Unsat);
+}
+
+TEST(ReferenceSolverTest, PigeonholeBothDirections) {
+  EXPECT_EQ(reference_solve(pigeonhole(3, 3)), Result::Sat);
+  EXPECT_EQ(reference_solve(pigeonhole(4, 3)), Result::Unsat);
+  EXPECT_EQ(reference_solve(pigeonhole(5, 4)), Result::Unsat);
+}
+
+TEST(ReferenceSolverTest, PureVariableFormulasSat) {
+  Cnf cnf;
+  cnf.num_vars = 4;
+  cnf.add_clause({Lit::make(0), Lit::make(1)});
+  cnf.add_clause({Lit::make(2), Lit::make(3)});
+  EXPECT_EQ(reference_solve(cnf), Result::Sat);
+}
+
+}  // namespace
+}  // namespace refbmc::sat

@@ -1,0 +1,188 @@
+// Solve-under-assumptions and incremental use of a persistent solver —
+// the substrate of the engine's incremental BMC mode.
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "sat/core_verify.hpp"
+#include "sat/reference_solver.hpp"
+#include "sat/solver.hpp"
+
+namespace refbmc::sat {
+namespace {
+
+using test::lits;
+using test::load;
+using test::pigeonhole;
+using test::random_ksat;
+
+TEST(AssumptionsTest, SatUnderConsistentAssumptions) {
+  Solver s;
+  for (int i = 0; i < 3; ++i) s.new_var();
+  s.add_clause(lits({1, 2, 3}));
+  EXPECT_EQ(s.solve({Lit::from_dimacs(1), Lit::from_dimacs(-2)}),
+            Result::Sat);
+  EXPECT_EQ(s.model_value(0), l_True);
+  EXPECT_EQ(s.model_value(1), l_False);
+}
+
+TEST(AssumptionsTest, UnsatUnderContradictingAssumptions) {
+  Solver s;
+  s.new_var();
+  s.new_var();
+  s.add_clause(lits({1, 2}));
+  EXPECT_EQ(s.solve({Lit::from_dimacs(-1), Lit::from_dimacs(-2)}),
+            Result::Unsat);
+  // Still satisfiable without (or with other) assumptions.
+  EXPECT_EQ(s.solve(), Result::Sat);
+  EXPECT_EQ(s.solve({Lit::from_dimacs(1)}), Result::Sat);
+}
+
+TEST(AssumptionsTest, DirectlyConflictingAssumptionPair) {
+  Solver s;
+  s.new_var();
+  s.add_clause(lits({1, -1}));  // tautology, keeps var known
+  EXPECT_EQ(s.solve({Lit::from_dimacs(1), Lit::from_dimacs(-1)}),
+            Result::Unsat);
+  // No clauses are needed to refute p ∧ ¬p: the core is empty.
+  EXPECT_TRUE(s.unsat_core().empty());
+}
+
+TEST(AssumptionsTest, CoreOfAssumptionRefutation) {
+  // Chain x1→x2→x3; assuming x1 ∧ ¬x3 is refuted using exactly the chain.
+  Solver s;
+  for (int i = 0; i < 4; ++i) s.new_var();
+  s.add_clause(lits({-1, 2}));  // id 1
+  s.add_clause(lits({-2, 3}));  // id 2
+  s.add_clause(lits({4, 3}));   // id 3: irrelevant
+  EXPECT_EQ(s.solve({Lit::from_dimacs(1), Lit::from_dimacs(-3)}),
+            Result::Unsat);
+  EXPECT_EQ(s.unsat_core(), (std::vector<ClauseId>{1, 2}));
+  EXPECT_EQ(s.unsat_core_vars(), (std::vector<Var>{0, 1, 2}));
+}
+
+TEST(AssumptionsTest, AssumptionOrderIrrelevantForVerdict) {
+  Solver s;
+  for (int i = 0; i < 3; ++i) s.new_var();
+  s.add_clause(lits({-1, -2}));
+  const std::vector<Lit> fwd{Lit::from_dimacs(1), Lit::from_dimacs(2)};
+  const std::vector<Lit> rev{Lit::from_dimacs(2), Lit::from_dimacs(1)};
+  EXPECT_EQ(s.solve(fwd), Result::Unsat);
+  EXPECT_EQ(s.solve(rev), Result::Unsat);
+  EXPECT_EQ(s.solve({Lit::from_dimacs(1)}), Result::Sat);
+}
+
+TEST(AssumptionsTest, UnknownAssumptionVariableRejected) {
+  Solver s;
+  s.new_var();
+  EXPECT_THROW(s.solve({Lit::from_dimacs(5)}), std::invalid_argument);
+}
+
+TEST(AssumptionsTest, IncrementalClauseAdditionBetweenSolves) {
+  Solver s;
+  for (int i = 0; i < 3; ++i) s.new_var();
+  s.add_clause(lits({1, 2}));
+  EXPECT_EQ(s.solve({Lit::from_dimacs(-1)}), Result::Sat);
+  EXPECT_EQ(s.model_value(1), l_True);
+  // Tighten the formula and re-solve.
+  s.add_clause(lits({-2}));
+  EXPECT_EQ(s.solve({Lit::from_dimacs(-1)}), Result::Unsat);
+  const auto core = s.unsat_core();
+  EXPECT_EQ(core, (std::vector<ClauseId>{1, 2}));
+  EXPECT_EQ(s.solve(), Result::Sat);  // x1 can still rescue the formula
+}
+
+TEST(AssumptionsTest, LearnedClausesPersistAcrossSolves) {
+  Solver s;
+  load(s, pigeonhole(6, 5));
+  EXPECT_EQ(s.solve(), Result::Unsat);
+  const auto learned_first = s.stats().learned_clauses;
+  EXPECT_GT(learned_first, 0u);
+  // ok() is now false; the solver short-circuits on repeat solves.
+  EXPECT_EQ(s.solve(), Result::Unsat);
+  EXPECT_EQ(s.stats().learned_clauses, learned_first);
+}
+
+TEST(AssumptionsTest, ActivationLiteralIdiom) {
+  // The incremental-BMC pattern: guard clause (¬a ∨ body), enable by
+  // assumption, retire by adding unit ¬a.
+  Solver s;
+  const Var x = s.new_var();
+  const Var a1 = s.new_var();
+  const Var a2 = s.new_var();
+  s.add_clause({Lit::make(a1, true), Lit::make(x)});       // a1 → x
+  s.add_clause({Lit::make(a2, true), Lit::make(x, true)});  // a2 → ¬x
+  EXPECT_EQ(s.solve({Lit::make(a1)}), Result::Sat);
+  EXPECT_TRUE(s.model_literal_true(Lit::make(x)));
+  EXPECT_EQ(s.solve({Lit::make(a2)}), Result::Sat);
+  EXPECT_TRUE(s.model_literal_true(Lit::make(x, true)));
+  EXPECT_EQ(s.solve({Lit::make(a1), Lit::make(a2)}), Result::Unsat);
+  // Retire a1; a2 alone must stay satisfiable.
+  s.add_clause({Lit::make(a1, true)});
+  EXPECT_EQ(s.solve({Lit::make(a2)}), Result::Sat);
+}
+
+TEST(AssumptionsTest, SatisfiedAssumptionSkipsLevel) {
+  // An assumption already true at the root gets a placeholder level.
+  Solver s;
+  s.new_var();
+  s.new_var();
+  s.add_clause(lits({1}));
+  EXPECT_EQ(s.solve({Lit::from_dimacs(1), Lit::from_dimacs(2)}),
+            Result::Sat);
+  EXPECT_EQ(s.model_value(1), l_True);
+}
+
+TEST(AssumptionsTest, RandomizedAgainstReferenceWithUnits) {
+  // solve(assumptions) must agree with reference_solve(formula + units).
+  Rng rng(0xFACE);
+  int unsat_cores_checked = 0;
+  for (int iter = 0; iter < 120; ++iter) {
+    const int nv = rng.next_int(4, 10);
+    const Cnf cnf = random_ksat(rng, nv, rng.next_int(nv, nv * 5), 3);
+    std::vector<Lit> assumptions;
+    const int num_assumps = rng.next_int(1, 3);
+    for (int a = 0; a < num_assumps; ++a)
+      assumptions.push_back(
+          Lit::make(rng.next_int(0, nv - 1), rng.next_bool()));
+
+    Cnf augmented = cnf;
+    for (const Lit a : assumptions) augmented.add_clause({a});
+    const Result expected = reference_solve(augmented);
+
+    Solver s;
+    load(s, cnf);
+    const Result got = s.solve(assumptions);
+    ASSERT_EQ(got, expected) << "iter " << iter;
+
+    if (got == Result::Unsat) {
+      // The core clauses plus the assumptions must be UNSAT.
+      Cnf sub;
+      sub.num_vars = nv;
+      for (const ClauseId id : s.unsat_core())
+        sub.add_clause(cnf.clauses[id - 1]);
+      for (const Lit a : assumptions) sub.add_clause({a});
+      ASSERT_EQ(reference_solve(sub), Result::Unsat) << "iter " << iter;
+      ++unsat_cores_checked;
+    }
+  }
+  EXPECT_GT(unsat_cores_checked, 10);
+}
+
+TEST(AssumptionsTest, ManySolveCallsReuseState) {
+  // A persistent solver over a sliding window of assumptions.
+  Solver s;
+  const int n = 20;
+  for (int i = 0; i < n; ++i) s.new_var();
+  for (int i = 0; i + 1 < n; ++i)
+    s.add_clause({Lit::make(i, true), Lit::make(i + 1)});  // chain i → i+1
+  for (int i = 1; i < n; ++i) {
+    EXPECT_EQ(s.solve({Lit::make(0), Lit::make(i)}), Result::Sat) << i;
+    EXPECT_EQ(s.solve({Lit::make(0), Lit::make(i, true)}), Result::Unsat)
+        << i;
+    // The refutation uses exactly the first i chain clauses.
+    EXPECT_EQ(s.unsat_core().size(), static_cast<std::size_t>(i)) << i;
+  }
+}
+
+}  // namespace
+}  // namespace refbmc::sat

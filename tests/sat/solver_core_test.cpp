@@ -1,0 +1,108 @@
+// Unsat-core extraction semantics (paper §3.1).
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "sat/core_verify.hpp"
+#include "sat/solver.hpp"
+
+namespace refbmc::sat {
+namespace {
+
+using test::lits;
+using test::load;
+using test::pigeonhole;
+
+TEST(SolverCoreTest, CoreExcludesIrrelevantClauses) {
+  // Clauses 1-4: an unsat sub-formula over x1, x2.
+  // Clauses 5-6: satisfiable side constraints over x3, x4.
+  Solver s;
+  for (int i = 0; i < 4; ++i) s.new_var();
+  s.add_clause(lits({1, 2}));
+  s.add_clause(lits({1, -2}));
+  s.add_clause(lits({-1, 2}));
+  s.add_clause(lits({-1, -2}));
+  s.add_clause(lits({3, 4}));
+  s.add_clause(lits({-3, 4}));
+  ASSERT_EQ(s.solve(), Result::Unsat);
+  const auto core = s.unsat_core();
+  EXPECT_EQ(core, (std::vector<ClauseId>{1, 2, 3, 4}));
+  EXPECT_EQ(s.unsat_core_vars(), (std::vector<Var>{0, 1}));
+}
+
+TEST(SolverCoreTest, CoreFromRootPropagationOnly) {
+  // Pure unit chain, conflict found during add_clause.
+  Solver s;
+  for (int i = 0; i < 4; ++i) s.new_var();
+  s.add_clause(lits({1}));
+  s.add_clause(lits({-1, 2}));
+  s.add_clause(lits({-2, 3}));
+  s.add_clause(lits({4, 4}));  // irrelevant
+  s.add_clause(lits({-3}));
+  ASSERT_EQ(s.solve(), Result::Unsat);
+  EXPECT_EQ(s.unsat_core(), (std::vector<ClauseId>{1, 2, 3, 5}));
+}
+
+TEST(SolverCoreTest, CoreVerifiesOnPigeonhole) {
+  for (int n = 3; n <= 7; ++n) {
+    Solver s;
+    load(s, pigeonhole(n + 1, n));
+    ASSERT_EQ(s.solve(), Result::Unsat) << n;
+    const CoreCheck check = verify_core(s);
+    EXPECT_TRUE(check.core_unsat) << n;
+    EXPECT_GT(check.core_clauses, 0u) << n;
+    EXPECT_LE(check.core_clauses, check.total_clauses) << n;
+  }
+}
+
+TEST(SolverCoreTest, PigeonholeCoreIsEverything) {
+  // PHP is minimally unsatisfiable: every clause is needed.
+  Solver s;
+  load(s, pigeonhole(4, 3));
+  ASSERT_EQ(s.solve(), Result::Unsat);
+  EXPECT_EQ(s.unsat_core().size(), s.num_original_clauses());
+}
+
+TEST(SolverCoreTest, CoreWithEmbeddedPigeonholeAndNoise) {
+  // PHP(4,3) embedded among satisfiable noise clauses: the core must not
+  // grow beyond the PHP clauses (it may be a subset of them plus nothing).
+  const Cnf php = pigeonhole(4, 3);
+  Solver s;
+  const int php_vars = php.num_vars;
+  for (int i = 0; i < php_vars + 6; ++i) s.new_var();
+  for (const auto& c : php.clauses) s.add_clause(c);
+  const ClauseId php_count = s.num_original_clauses();
+  // Noise over fresh variables.
+  for (int i = 0; i < 6; i += 2) {
+    s.add_clause({Lit::make(php_vars + i), Lit::make(php_vars + i + 1)});
+    s.add_clause({Lit::make(php_vars + i, true),
+                  Lit::make(php_vars + i + 1)});
+  }
+  ASSERT_EQ(s.solve(), Result::Unsat);
+  for (const ClauseId id : s.unsat_core()) EXPECT_LE(id, php_count);
+  // Core variables stay within the PHP variables.
+  for (const Var v : s.unsat_core_vars()) EXPECT_LT(v, php_vars);
+}
+
+TEST(SolverCoreTest, CdgStatsAccumulate) {
+  Solver s;
+  load(s, pigeonhole(6, 5));
+  ASSERT_EQ(s.solve(), Result::Unsat);
+  EXPECT_EQ(s.cdg().num_learned_nodes(), s.stats().learned_clauses);
+  EXPECT_GT(s.cdg().num_edges(), 0u);
+  EXPECT_TRUE(s.cdg().has_final_conflict());
+}
+
+TEST(SolverCoreTest, MinimizationKeepsCoreSound) {
+  // Aggressive settings to exercise the minimization-antecedent path.
+  SolverConfig cfg;
+  cfg.restart_base = 4;
+  cfg.reduce_base = 16;
+  Solver s(cfg);
+  load(s, pigeonhole(8, 7));
+  ASSERT_EQ(s.solve(), Result::Unsat);
+  ASSERT_GT(s.stats().minimized_literals, 0u);
+  EXPECT_TRUE(verify_core(s).core_unsat);
+}
+
+}  // namespace
+}  // namespace refbmc::sat

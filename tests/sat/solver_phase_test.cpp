@@ -1,0 +1,71 @@
+// Phase-saving option: correctness is unaffected; saved polarities are
+// actually used after backtracking.
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "sat/reference_solver.hpp"
+#include "sat/solver.hpp"
+
+namespace refbmc::sat {
+namespace {
+
+using test::load;
+using test::model_satisfies;
+using test::pigeonhole;
+using test::random_ksat;
+
+TEST(PhaseSavingTest, VerdictsUnchangedOnRandomFormulas) {
+  Rng rng(0x9999);
+  for (int iter = 0; iter < 100; ++iter) {
+    const int nv = rng.next_int(4, 12);
+    const Cnf cnf = random_ksat(rng, nv, rng.next_int(nv, nv * 6), 3);
+    const Result expected = reference_solve(cnf);
+    SolverConfig cfg;
+    cfg.phase_saving = true;
+    Solver s(cfg);
+    load(s, cnf);
+    ASSERT_EQ(s.solve(), expected) << iter;
+    if (expected == Result::Sat) {
+      EXPECT_TRUE(model_satisfies(s, cnf));
+    }
+  }
+}
+
+TEST(PhaseSavingTest, WorksWithRankModes) {
+  for (const RankMode mode :
+       {RankMode::None, RankMode::Static, RankMode::Dynamic}) {
+    SolverConfig cfg;
+    cfg.phase_saving = true;
+    cfg.rank_mode = mode;
+    Solver s(cfg);
+    load(s, pigeonhole(6, 5));
+    std::vector<double> rank(static_cast<std::size_t>(s.num_vars()), 1.0);
+    s.set_variable_rank(rank);
+    EXPECT_EQ(s.solve(), Result::Unsat) << to_string(mode);
+  }
+}
+
+TEST(PhaseSavingTest, SolvesSatWithBothSettings) {
+  for (const bool saving : {false, true}) {
+    SolverConfig cfg;
+    cfg.phase_saving = saving;
+    Solver s(cfg);
+    const Cnf cnf = pigeonhole(5, 5);
+    load(s, cnf);
+    ASSERT_EQ(s.solve(), Result::Sat) << saving;
+    EXPECT_TRUE(model_satisfies(s, cnf)) << saving;
+  }
+}
+
+TEST(PhaseSavingTest, CoreExtractionUnaffected) {
+  SolverConfig cfg;
+  cfg.phase_saving = true;
+  cfg.restart_base = 8;
+  Solver s(cfg);
+  load(s, pigeonhole(7, 6));
+  ASSERT_EQ(s.solve(), Result::Unsat);
+  EXPECT_FALSE(s.unsat_core().empty());
+}
+
+}  // namespace
+}  // namespace refbmc::sat

@@ -1,0 +1,135 @@
+// Property-based cross-validation of the CDCL solver against the
+// reference DPLL oracle on randomized formulas, over a grid of solver
+// configurations (parameterized to stress restarts / reduceDB / GC paths).
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "sat/reference_solver.hpp"
+#include "sat/solver.hpp"
+
+namespace refbmc::sat {
+namespace {
+
+using test::load;
+using test::model_satisfies;
+using test::random_ksat;
+
+struct ConfigCase {
+  const char* name;
+  SolverConfig config;
+};
+
+ConfigCase config_cases[] = {
+    {"default", {}},
+    {"no_restarts",
+     [] {
+       SolverConfig c;
+       c.enable_restarts = false;
+       return c;
+     }()},
+    {"aggressive_restarts",
+     [] {
+       SolverConfig c;
+       c.restart_base = 2;
+       return c;
+     }()},
+    {"tiny_reduce_db",
+     [] {
+       SolverConfig c;
+       c.reduce_base = 8;
+       c.restart_base = 4;
+       return c;
+     }()},
+    {"no_cdg",
+     [] {
+       SolverConfig c;
+       c.track_cdg = false;
+       return c;
+     }()},
+    {"fast_vsids",
+     [] {
+       SolverConfig c;
+       c.vsids_update_period = 2;
+       return c;
+     }()},
+};
+
+class SolverRandomTest : public ::testing::TestWithParam<ConfigCase> {};
+
+TEST_P(SolverRandomTest, AgreesWithReferenceOn3Sat) {
+  Rng rng(0xC0FFEE);
+  int sat_seen = 0, unsat_seen = 0;
+  for (int iter = 0; iter < 150; ++iter) {
+    const int nv = rng.next_int(4, 12);
+    const int nc = rng.next_int(nv, nv * 6);
+    const Cnf cnf = random_ksat(rng, nv, nc, 3);
+    const Result expected = reference_solve(cnf);
+    Solver s(GetParam().config);
+    load(s, cnf);
+    const Result got = s.solve();
+    ASSERT_EQ(got, expected) << "iter " << iter << " config "
+                             << GetParam().name;
+    if (got == Result::Sat) {
+      ++sat_seen;
+      EXPECT_TRUE(model_satisfies(s, cnf)) << "iter " << iter;
+    } else {
+      ++unsat_seen;
+    }
+  }
+  // The draw ranges straddle the phase transition; both outcomes occur.
+  EXPECT_GT(sat_seen, 10);
+  EXPECT_GT(unsat_seen, 10);
+}
+
+TEST_P(SolverRandomTest, AgreesWithReferenceOnMixedWidth) {
+  Rng rng(0xBEEF);
+  for (int iter = 0; iter < 80; ++iter) {
+    const int nv = rng.next_int(3, 10);
+    Cnf cnf;
+    cnf.num_vars = nv;
+    const int nc = rng.next_int(2, nv * 5);
+    for (int c = 0; c < nc; ++c) {
+      const int width = rng.next_int(1, 4);
+      std::vector<Lit> clause;
+      for (int j = 0; j < width; ++j)
+        clause.push_back(
+            Lit::make(rng.next_int(0, nv - 1), rng.next_bool()));
+      cnf.add_clause(clause);
+    }
+    const Result expected = reference_solve(cnf);
+    Solver s(GetParam().config);
+    load(s, cnf);
+    ASSERT_EQ(s.solve(), expected)
+        << "iter " << iter << " config " << GetParam().name;
+  }
+}
+
+TEST_P(SolverRandomTest, UnsatCoresResolveUnsat) {
+  if (!GetParam().config.track_cdg) GTEST_SKIP() << "cores disabled";
+  Rng rng(0xDADA);
+  int cores_checked = 0;
+  for (int iter = 0; iter < 120 && cores_checked < 30; ++iter) {
+    const int nv = rng.next_int(4, 10);
+    const Cnf cnf = random_ksat(rng, nv, nv * 6, 3);  // mostly unsat
+    Solver s(GetParam().config);
+    load(s, cnf);
+    if (s.solve() != Result::Unsat) continue;
+    ++cores_checked;
+    const auto core = s.unsat_core();
+    // Re-solve exactly the core clauses with the reference solver.
+    Cnf sub;
+    sub.num_vars = cnf.num_vars;
+    for (const ClauseId id : core)
+      sub.add_clause(cnf.clauses[id - 1]);
+    ASSERT_EQ(reference_solve(sub), Result::Unsat)
+        << "iter " << iter << " config " << GetParam().name;
+  }
+  EXPECT_GE(cores_checked, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, SolverRandomTest,
+                         ::testing::ValuesIn(config_cases),
+                         [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace refbmc::sat

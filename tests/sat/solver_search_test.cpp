@@ -1,0 +1,163 @@
+// Search machinery: learning, restarts, clause deletion, garbage
+// collection, resource limits.
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "sat/solver.hpp"
+
+namespace refbmc::sat {
+namespace {
+
+using test::load;
+using test::model_satisfies;
+using test::pigeonhole;
+using test::solve_cnf;
+
+TEST(SolverSearchTest, PigeonholeSatWhenFits) {
+  const Cnf cnf = pigeonhole(3, 3);
+  Solver s;
+  load(s, cnf);
+  ASSERT_EQ(s.solve(), Result::Sat);
+  EXPECT_TRUE(model_satisfies(s, cnf));
+}
+
+TEST(SolverSearchTest, PigeonholeUnsatWhenOverfull) {
+  for (int n = 2; n <= 6; ++n)
+    EXPECT_EQ(solve_cnf(pigeonhole(n + 1, n)), Result::Unsat) << n;
+}
+
+TEST(SolverSearchTest, LearnsClauses) {
+  Solver s;
+  load(s, pigeonhole(6, 5));
+  EXPECT_EQ(s.solve(), Result::Unsat);
+  EXPECT_GT(s.stats().learned_clauses, 0u);
+  EXPECT_GT(s.stats().conflicts, 0u);
+}
+
+TEST(SolverSearchTest, RestartsFire) {
+  SolverConfig cfg;
+  cfg.restart_base = 4;  // aggressive
+  Solver s(cfg);
+  load(s, pigeonhole(7, 6));
+  EXPECT_EQ(s.solve(), Result::Unsat);
+  EXPECT_GT(s.stats().restarts, 0u);
+}
+
+TEST(SolverSearchTest, RestartsCanBeDisabled) {
+  SolverConfig cfg;
+  cfg.enable_restarts = false;
+  Solver s(cfg);
+  load(s, pigeonhole(7, 6));
+  EXPECT_EQ(s.solve(), Result::Unsat);
+  EXPECT_EQ(s.stats().restarts, 0u);
+}
+
+TEST(SolverSearchTest, ReduceDbDeletesClauses) {
+  SolverConfig cfg;
+  cfg.reduce_base = 50;  // force early deletion
+  cfg.restart_base = 16;
+  Solver s(cfg);
+  load(s, pigeonhole(8, 7));
+  EXPECT_EQ(s.solve(), Result::Unsat);
+  EXPECT_GT(s.stats().reduce_db_runs, 0u);
+  EXPECT_GT(s.stats().deleted_clauses, 0u);
+}
+
+TEST(SolverSearchTest, CoreSurvivesClauseDeletionAndGc) {
+  // The paper's §3.1 requirement: unsat-core extraction stays possible
+  // with reduceDB and arena GC active.
+  SolverConfig cfg;
+  cfg.reduce_base = 40;
+  cfg.restart_base = 8;
+  Solver s(cfg);
+  const Cnf cnf = pigeonhole(8, 7);
+  load(s, cnf);
+  ASSERT_EQ(s.solve(), Result::Unsat);
+  ASSERT_GT(s.stats().deleted_clauses, 0u);
+  const auto core = s.unsat_core();
+  EXPECT_FALSE(core.empty());
+  EXPECT_LE(core.size(), cnf.num_clauses());
+  // Core ids are valid, sorted, unique.
+  for (std::size_t i = 0; i + 1 < core.size(); ++i)
+    EXPECT_LT(core[i], core[i + 1]);
+  EXPECT_GE(core.front(), 1u);
+  EXPECT_LE(core.back(), s.num_original_clauses());
+}
+
+TEST(SolverSearchTest, DeletionDisabledStillSolves) {
+  SolverConfig cfg;
+  cfg.enable_reduce_db = false;
+  Solver s(cfg);
+  load(s, pigeonhole(7, 6));
+  EXPECT_EQ(s.solve(), Result::Unsat);
+  EXPECT_EQ(s.stats().deleted_clauses, 0u);
+}
+
+TEST(SolverSearchTest, ConflictLimitReturnsUnknown) {
+  SolverConfig cfg;
+  cfg.conflict_limit = 3;
+  Solver s(cfg);
+  load(s, pigeonhole(9, 8));
+  EXPECT_EQ(s.solve(), Result::Unknown);
+  EXPECT_LE(s.stats().conflicts, 4u);
+}
+
+TEST(SolverSearchTest, TimeLimitReturnsUnknown) {
+  SolverConfig cfg;
+  cfg.time_limit_sec = 1e-7;  // expires immediately
+  Solver s(cfg);
+  load(s, pigeonhole(10, 9));
+  EXPECT_EQ(s.solve(), Result::Unknown);
+}
+
+TEST(SolverSearchTest, MinimizationRemovesLiterals) {
+  SolverConfig cfg;
+  Solver s(cfg);
+  load(s, pigeonhole(8, 7));
+  EXPECT_EQ(s.solve(), Result::Unsat);
+  EXPECT_GT(s.stats().minimized_literals, 0u);
+}
+
+TEST(SolverSearchTest, XorChainContradictionUnsat) {
+  // y1 = x1^x2, y2 = y1^x3, force y2 and ¬y2 via two chains sharing vars.
+  Cnf cnf;
+  cnf.num_vars = 6;
+  test::add_xor(cnf, 0, 1, 3);
+  test::add_xor(cnf, 3, 2, 4);
+  test::add_xor(cnf, 0, 1, 5);
+  cnf.add_clause({Lit::make(4)});
+  // y1' (var5) equals var3 by construction; force the chain inconsistent:
+  test::add_xor(cnf, 5, 2, 4);  // same output var with same inputs: fine
+  cnf.add_clause({Lit::make(4, true)});
+  EXPECT_EQ(solve_cnf(cnf), Result::Unsat);
+}
+
+TEST(SolverSearchTest, WideClausesExerciseWatches) {
+  // A formula whose clauses are wide: forces watch replacement scans.
+  Cnf cnf;
+  cnf.num_vars = 20;
+  for (int c = 0; c < 19; ++c) {
+    std::vector<Lit> clause;
+    for (int v = 0; v < 20; ++v)
+      clause.push_back(Lit::make(v, (v + c) % 3 == 0));
+    cnf.add_clause(clause);
+  }
+  Solver s;
+  load(s, cnf);
+  ASSERT_EQ(s.solve(), Result::Sat);
+  EXPECT_TRUE(model_satisfies(s, cnf));
+}
+
+TEST(SolverSearchTest, RepeatedSolveIsConsistent) {
+  Solver s;
+  load(s, pigeonhole(3, 3));
+  EXPECT_EQ(s.solve(), Result::Sat);
+  EXPECT_EQ(s.solve(), Result::Sat);
+  Solver u;
+  load(u, pigeonhole(4, 3));
+  EXPECT_EQ(u.solve(), Result::Unsat);
+  EXPECT_EQ(u.solve(), Result::Unsat);
+}
+
+}  // namespace
+}  // namespace refbmc::sat

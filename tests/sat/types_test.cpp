@@ -1,0 +1,85 @@
+#include "sat/types.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace refbmc::sat {
+namespace {
+
+TEST(LitTest, MakeAndAccessors) {
+  const Lit p = Lit::make(3);
+  EXPECT_EQ(p.var(), 3);
+  EXPECT_FALSE(p.negated());
+  EXPECT_EQ(p.index(), 6);
+
+  const Lit n = Lit::make(3, true);
+  EXPECT_EQ(n.var(), 3);
+  EXPECT_TRUE(n.negated());
+  EXPECT_EQ(n.index(), 7);
+}
+
+TEST(LitTest, NegationIsInvolution) {
+  const Lit p = Lit::make(5);
+  EXPECT_EQ(~p, Lit::make(5, true));
+  EXPECT_EQ(~~p, p);
+  EXPECT_NE(~p, p);
+}
+
+TEST(LitTest, DimacsRoundTrip) {
+  for (const int d : {1, -1, 7, -42, 100}) {
+    EXPECT_EQ(Lit::from_dimacs(d).to_dimacs(), d);
+  }
+  EXPECT_EQ(Lit::from_dimacs(1).var(), 0);
+  EXPECT_EQ(Lit::from_dimacs(-3).var(), 2);
+  EXPECT_TRUE(Lit::from_dimacs(-3).negated());
+  EXPECT_THROW(Lit::from_dimacs(0), std::invalid_argument);
+}
+
+TEST(LitTest, UndefIsDistinct) {
+  EXPECT_TRUE(kLitUndef.is_undef());
+  EXPECT_FALSE(Lit::make(0).is_undef());
+  EXPECT_NE(kLitUndef, Lit::make(0));
+}
+
+TEST(LitTest, OrderingFollowsIndex) {
+  EXPECT_LT(Lit::make(0), Lit::make(0, true));
+  EXPECT_LT(Lit::make(0, true), Lit::make(1));
+}
+
+TEST(LitTest, Streaming) {
+  std::ostringstream os;
+  os << Lit::make(2, true) << ' ' << Lit::make(0) << ' ' << kLitUndef;
+  EXPECT_EQ(os.str(), "-3 1 <undef>");
+}
+
+TEST(LboolTest, ThreeValues) {
+  EXPECT_TRUE(l_True.is_true());
+  EXPECT_TRUE(l_False.is_false());
+  EXPECT_TRUE(l_Undef.is_undef());
+  EXPECT_EQ(lbool(true), l_True);
+  EXPECT_EQ(lbool(false), l_False);
+  EXPECT_EQ(lbool(), l_Undef);
+}
+
+TEST(LboolTest, NegationKeepsUndef) {
+  EXPECT_EQ(~l_True, l_False);
+  EXPECT_EQ(~l_False, l_True);
+  EXPECT_EQ(~l_Undef, l_Undef);
+}
+
+TEST(LboolTest, XorWithSign) {
+  EXPECT_EQ(l_True ^ false, l_True);
+  EXPECT_EQ(l_True ^ true, l_False);
+  EXPECT_EQ(l_False ^ true, l_True);
+  EXPECT_EQ(l_Undef ^ true, l_Undef);
+}
+
+TEST(ResultTest, ToString) {
+  EXPECT_STREQ(to_string(Result::Sat), "SAT");
+  EXPECT_STREQ(to_string(Result::Unsat), "UNSAT");
+  EXPECT_STREQ(to_string(Result::Unknown), "UNKNOWN");
+}
+
+}  // namespace
+}  // namespace refbmc::sat

@@ -1,0 +1,137 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/builder.hpp"
+
+namespace refbmc::sim {
+namespace {
+
+using model::Builder;
+using model::Netlist;
+using model::Signal;
+using model::Word;
+
+TEST(SimulatorTest, CombinationalGates) {
+  Netlist net;
+  Builder b(net);
+  const Signal x = net.add_input("x");
+  const Signal y = net.add_input("y");
+  const Signal g_and = b.and_(x, y);
+  const Signal g_or = b.or_(x, y);
+  const Signal g_xor = b.xor_(x, y);
+  Simulator s(net);
+  for (int m = 0; m < 4; ++m) {
+    const bool xv = m & 1, yv = m & 2;
+    s.evaluate({xv, yv});
+    EXPECT_EQ(s.value(x), xv);
+    EXPECT_EQ(s.value(g_and), xv && yv);
+    EXPECT_EQ(s.value(g_or), xv || yv);
+    EXPECT_EQ(s.value(g_xor), xv != yv);
+    EXPECT_EQ(s.value(!g_and), !(xv && yv));
+  }
+  EXPECT_FALSE(s.value(Signal::constant(false)));
+  EXPECT_TRUE(s.value(Signal::constant(true)));
+}
+
+TEST(SimulatorTest, LatchInitialValues) {
+  Netlist net;
+  const Signal l0 = net.add_latch(sat::l_False, "a");
+  const Signal l1 = net.add_latch(sat::l_True, "b");
+  const Signal l2 = net.add_latch(sat::l_Undef, "c");
+  Simulator s(net);
+  EXPECT_FALSE(s.value(l0));
+  EXPECT_TRUE(s.value(l1));
+  EXPECT_FALSE(s.value(l2));  // undef defaults to 0
+  s.reset({false, true, true});  // free_init overrides only the undef latch
+  EXPECT_FALSE(s.value(l0));
+  EXPECT_TRUE(s.value(l1));
+  EXPECT_TRUE(s.value(l2));
+}
+
+TEST(SimulatorTest, CounterCountsAndWraps) {
+  Netlist net;
+  Builder b(net);
+  const Word cnt = b.latch_word("cnt", 3, 0);
+  b.set_next_word(cnt, b.increment(cnt));
+  Simulator s(net);
+  for (int expected = 0; expected < 20; ++expected) {
+    EXPECT_EQ(s.latch_state_bits(),
+              static_cast<std::uint64_t>(expected % 8));
+    s.step({});
+  }
+  EXPECT_EQ(s.cycle(), 20u);
+}
+
+TEST(SimulatorTest, EvaluateDoesNotAdvanceState) {
+  Netlist net;
+  Builder b(net);
+  const Word cnt = b.latch_word("cnt", 3, 0);
+  b.set_next_word(cnt, b.increment(cnt));
+  Simulator s(net);
+  s.evaluate({});
+  s.evaluate({});
+  EXPECT_EQ(s.latch_state_bits(), 0u);
+  EXPECT_EQ(s.cycle(), 0u);
+}
+
+TEST(SimulatorTest, InputDrivenShiftRegister) {
+  Netlist net;
+  Builder b(net);
+  const Signal in = net.add_input("in");
+  const Word sr = b.latch_word("sr", 4, 0);
+  b.set_next_word(sr, b.shift_left(sr, in));
+  Simulator s(net);
+  // Shift in 1,0,1,1: each step pushes the input into bit 0, so the
+  // register reads (bit3..bit0) = 1,0,1,1 reversed into 1011₂.
+  for (const bool bit : {true, false, true, true}) s.step({bit});
+  EXPECT_EQ(s.latch_state_bits(), 0b1011u);
+}
+
+TEST(SimulatorTest, ResetRestoresInitialState) {
+  Netlist net;
+  Builder b(net);
+  const Word cnt = b.latch_word("cnt", 4, 5);
+  b.set_next_word(cnt, b.increment(cnt));
+  Simulator s(net);
+  EXPECT_EQ(s.latch_state_bits(), 5u);
+  s.step({});
+  s.step({});
+  EXPECT_EQ(s.latch_state_bits(), 7u);
+  s.reset();
+  EXPECT_EQ(s.latch_state_bits(), 5u);
+  EXPECT_EQ(s.cycle(), 0u);
+}
+
+TEST(SimulatorTest, InputSizeMismatchRejected) {
+  Netlist net;
+  net.add_input();
+  Simulator s(net);
+  EXPECT_THROW(s.evaluate({}), std::invalid_argument);
+  EXPECT_THROW(s.step({true, false}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, RandomInputsMatchInputCount) {
+  Netlist net;
+  net.add_input();
+  net.add_input();
+  net.add_input();
+  Simulator s(net);
+  Rng rng(5);
+  EXPECT_EQ(s.random_inputs(rng).size(), 3u);
+}
+
+TEST(SimulatorTest, LatchStateVectorMatchesBits) {
+  Netlist net;
+  Builder b(net);
+  b.latch_word("r", 3, 0b101);
+  Simulator s(net);
+  const std::vector<bool> state = s.latch_state();
+  ASSERT_EQ(state.size(), 3u);
+  EXPECT_TRUE(state[0]);
+  EXPECT_FALSE(state[1]);
+  EXPECT_TRUE(state[2]);
+}
+
+}  // namespace
+}  // namespace refbmc::sim

@@ -1,0 +1,35 @@
+#include "util/assert.hpp"
+
+#include <gtest/gtest.h>
+
+namespace refbmc {
+namespace {
+
+TEST(AssertTest, PassingAssertDoesNothing) {
+  EXPECT_NO_THROW(REFBMC_ASSERT(1 + 1 == 2));
+  EXPECT_NO_THROW(REFBMC_EXPECTS(true));
+}
+
+TEST(AssertTest, FailingAssertThrowsLogicError) {
+  EXPECT_THROW(REFBMC_ASSERT(false), std::logic_error);
+  EXPECT_THROW(REFBMC_ASSERT_MSG(false, "details"), std::logic_error);
+}
+
+TEST(AssertTest, FailingPreconditionThrowsInvalidArgument) {
+  EXPECT_THROW(REFBMC_EXPECTS(false), std::invalid_argument);
+  EXPECT_THROW(REFBMC_EXPECTS_MSG(false, "why"), std::invalid_argument);
+}
+
+TEST(AssertTest, MessageContainsExpressionAndDetails) {
+  try {
+    REFBMC_ASSERT_MSG(2 < 1, "impossible ordering");
+    FAIL() << "expected a throw";
+  } catch (const std::logic_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("impossible ordering"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace refbmc

@@ -1,0 +1,140 @@
+#include "util/heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace refbmc {
+namespace {
+
+// Priorities live outside the heap, as in the solver.
+struct ScoreTable {
+  std::vector<double> score;
+  bool operator()(int a, int b) const {
+    if (score[static_cast<std::size_t>(a)] !=
+        score[static_cast<std::size_t>(b)])
+      return score[static_cast<std::size_t>(a)] >
+             score[static_cast<std::size_t>(b)];
+    return a < b;
+  }
+};
+
+using Heap = IndexedMaxHeap<ScoreTable&>;
+
+TEST(HeapTest, PopsInPriorityOrder) {
+  ScoreTable t{{5, 1, 9, 3, 7}};
+  Heap h(t);
+  for (int i = 0; i < 5; ++i) h.insert(i);
+  std::vector<int> order;
+  while (!h.empty()) order.push_back(h.pop());
+  EXPECT_EQ(order, (std::vector<int>{2, 4, 0, 3, 1}));
+}
+
+TEST(HeapTest, ContainsTracksMembership) {
+  ScoreTable t{{1, 2, 3}};
+  Heap h(t);
+  h.insert(1);
+  EXPECT_TRUE(h.contains(1));
+  EXPECT_FALSE(h.contains(0));
+  EXPECT_FALSE(h.contains(2));
+  EXPECT_FALSE(h.contains(-1));
+  EXPECT_FALSE(h.contains(99));
+  h.pop();
+  EXPECT_FALSE(h.contains(1));
+}
+
+TEST(HeapTest, UpdateAfterIncrease) {
+  ScoreTable t{{1, 2, 3, 4}};
+  Heap h(t);
+  for (int i = 0; i < 4; ++i) h.insert(i);
+  t.score[0] = 100;
+  h.update(0);
+  EXPECT_EQ(h.pop(), 0);
+}
+
+TEST(HeapTest, UpdateAfterDecrease) {
+  ScoreTable t{{10, 2, 3, 4}};
+  Heap h(t);
+  for (int i = 0; i < 4; ++i) h.insert(i);
+  t.score[0] = -1;
+  h.update(0);
+  EXPECT_EQ(h.pop(), 3);
+  EXPECT_EQ(h.pop(), 2);
+  EXPECT_EQ(h.pop(), 1);
+  EXPECT_EQ(h.pop(), 0);
+}
+
+TEST(HeapTest, EraseMiddleElement) {
+  ScoreTable t{{5, 1, 9, 3}};
+  Heap h(t);
+  for (int i = 0; i < 4; ++i) h.insert(i);
+  h.erase(0);
+  EXPECT_FALSE(h.contains(0));
+  std::vector<int> order;
+  while (!h.empty()) order.push_back(h.pop());
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+}
+
+TEST(HeapTest, EraseAbsentIsNoop) {
+  ScoreTable t{{1}};
+  Heap h(t);
+  h.insert(0);
+  h.erase(7);
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(HeapTest, RebuildAfterWholesaleScoreChange) {
+  ScoreTable t{{1, 2, 3, 4, 5}};
+  Heap h(t);
+  for (int i = 0; i < 5; ++i) h.insert(i);
+  // Invert all priorities behind the heap's back, then rebuild.
+  for (auto& s : t.score) s = -s;
+  h.rebuild();
+  std::vector<int> order;
+  while (!h.empty()) order.push_back(h.pop());
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(HeapTest, RandomizedAgainstSort) {
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    const int n = rng.next_int(1, 60);
+    ScoreTable t;
+    t.score.resize(static_cast<std::size_t>(n));
+    for (auto& s : t.score) s = rng.next_double();
+    Heap h(t);
+    std::vector<int> keys;
+    for (int i = 0; i < n; ++i) {
+      h.insert(i);
+      keys.push_back(i);
+    }
+    // Random updates.
+    for (int u = 0; u < n / 2; ++u) {
+      const int k = rng.next_int(0, n - 1);
+      t.score[static_cast<std::size_t>(k)] = rng.next_double();
+      h.update(k);
+    }
+    std::sort(keys.begin(), keys.end(), t);
+    std::vector<int> popped;
+    while (!h.empty()) popped.push_back(h.pop());
+    EXPECT_EQ(popped, keys) << "round " << round;
+  }
+}
+
+TEST(HeapTest, InsertPopInterleaved) {
+  ScoreTable t{{3, 1, 2}};
+  Heap h(t);
+  h.insert(1);
+  h.insert(2);
+  EXPECT_EQ(h.pop(), 2);
+  h.insert(0);
+  EXPECT_EQ(h.pop(), 0);
+  EXPECT_EQ(h.pop(), 1);
+  EXPECT_TRUE(h.empty());
+}
+
+}  // namespace
+}  // namespace refbmc

@@ -1,0 +1,59 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace refbmc {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    prev_level_ = set_log_level(LogLevel::Debug);
+    prev_sink_ = set_log_sink(
+        [this](LogLevel level, const std::string& msg) {
+          captured_.emplace_back(level, msg);
+        });
+  }
+  void TearDown() override {
+    set_log_sink(prev_sink_);
+    set_log_level(prev_level_);
+  }
+
+  std::vector<std::pair<LogLevel, std::string>> captured_;
+  LogLevel prev_level_ = LogLevel::Warn;
+  LogSink prev_sink_;
+};
+
+TEST_F(LogTest, MessagesReachSink) {
+  REFBMC_INFO() << "hello " << 42;
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].first, LogLevel::Info);
+  EXPECT_EQ(captured_[0].second, "hello 42");
+}
+
+TEST_F(LogTest, LevelFilters) {
+  set_log_level(LogLevel::Warn);
+  REFBMC_DEBUG() << "dropped";
+  REFBMC_INFO() << "dropped too";
+  REFBMC_WARN() << "kept";
+  REFBMC_ERROR() << "kept too";
+  ASSERT_EQ(captured_.size(), 2u);
+  EXPECT_EQ(captured_[0].second, "kept");
+  EXPECT_EQ(captured_[1].second, "kept too");
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::Off);
+  REFBMC_ERROR() << "nope";
+  EXPECT_TRUE(captured_.empty());
+}
+
+TEST_F(LogTest, SetLevelReturnsPrevious) {
+  EXPECT_EQ(set_log_level(LogLevel::Error), LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Error);
+}
+
+}  // namespace
+}  // namespace refbmc

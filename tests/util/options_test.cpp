@@ -1,0 +1,74 @@
+#include "util/options.hpp"
+
+#include <gtest/gtest.h>
+
+namespace refbmc {
+namespace {
+
+Options parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(OptionsTest, SpaceSeparatedValue) {
+  const auto o = parse({"--depth", "25"});
+  EXPECT_TRUE(o.has("depth"));
+  EXPECT_EQ(o.get_int("depth", 0), 25);
+}
+
+TEST(OptionsTest, EqualsSeparatedValue) {
+  const auto o = parse({"--policy=dynamic"});
+  EXPECT_EQ(o.get("policy"), "dynamic");
+}
+
+TEST(OptionsTest, BooleanFlagAtEnd) {
+  const auto o = parse({"--verbose"});
+  EXPECT_TRUE(o.get_bool("verbose", false));
+}
+
+TEST(OptionsTest, BooleanFlagBeforeAnotherOption) {
+  const auto o = parse({"--verbose", "--depth", "3"});
+  EXPECT_TRUE(o.get_bool("verbose", false));
+  EXPECT_EQ(o.get_int("depth", 0), 3);
+}
+
+TEST(OptionsTest, Positionals) {
+  const auto o = parse({"file1.aag", "--depth", "2", "file2.aag"});
+  ASSERT_EQ(o.positionals().size(), 2u);
+  EXPECT_EQ(o.positionals()[0], "file1.aag");
+  EXPECT_EQ(o.positionals()[1], "file2.aag");
+}
+
+TEST(OptionsTest, DefaultsWhenAbsent) {
+  const auto o = parse({});
+  EXPECT_FALSE(o.has("depth"));
+  EXPECT_EQ(o.get("name", "fallback"), "fallback");
+  EXPECT_EQ(o.get_int("depth", 7), 7);
+  EXPECT_DOUBLE_EQ(o.get_double("budget", 1.5), 1.5);
+  EXPECT_TRUE(o.get_bool("flag", true));
+}
+
+TEST(OptionsTest, MalformedNumbersThrow) {
+  const auto o = parse({"--depth", "abc", "--budget", "x"});
+  EXPECT_THROW(o.get_int("depth", 0), std::invalid_argument);
+  EXPECT_THROW(o.get_double("budget", 0), std::invalid_argument);
+}
+
+TEST(OptionsTest, BooleanSpellings) {
+  EXPECT_TRUE(parse({"--a=true"}).get_bool("a", false));
+  EXPECT_TRUE(parse({"--a=yes"}).get_bool("a", false));
+  EXPECT_TRUE(parse({"--a=on"}).get_bool("a", false));
+  EXPECT_FALSE(parse({"--a=false"}).get_bool("a", true));
+  EXPECT_FALSE(parse({"--a=0"}).get_bool("a", true));
+  EXPECT_THROW(parse({"--a=maybe"}).get_bool("a", true),
+               std::invalid_argument);
+}
+
+TEST(OptionsTest, LaterOccurrenceWins) {
+  const auto o = parse({"--k", "1", "--k", "2"});
+  EXPECT_EQ(o.get_int("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace refbmc

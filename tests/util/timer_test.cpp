@@ -1,0 +1,62 @@
+#include "util/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace refbmc {
+namespace {
+
+TEST(TimerTest, ElapsedIsMonotonic) {
+  Timer t;
+  const double a = t.elapsed_sec();
+  const double b = t.elapsed_sec();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST(TimerTest, RestartResets) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const double before = t.elapsed_sec();
+  t.restart();
+  EXPECT_LT(t.elapsed_sec(), before);
+}
+
+TEST(TimerTest, MillisecondsTrackSeconds) {
+  Timer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double sec = t.elapsed_sec();
+  const double ms = t.elapsed_ms();
+  EXPECT_NEAR(ms, sec * 1e3, 5.0);  // loose: two separate clock reads
+}
+
+TEST(DeadlineTest, UnlimitedNeverExpires) {
+  const Deadline d(-1.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_sec(), 1e20);
+}
+
+TEST(DeadlineTest, ZeroBudgetMeansUnlimited) {
+  const Deadline d(0.0);
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(DeadlineTest, ShortBudgetExpires) {
+  const Deadline d(0.001);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_sec(), 0.0);
+}
+
+TEST(DeadlineTest, RemainingDecreases) {
+  const Deadline d(10.0);
+  const double r1 = d.remaining_sec();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double r2 = d.remaining_sec();
+  EXPECT_LE(r2, r1);
+  EXPECT_GT(r2, 0.0);
+}
+
+}  // namespace
+}  // namespace refbmc
