@@ -1,0 +1,182 @@
+// Portfolio scheduler bench: measures the two claims the subsystem makes.
+//
+//   $ ./bench_portfolio [--budget SECONDS-PER-RUN] [--quick]
+//                       [--threads-list 1,2,4] [--depth K]
+//
+//  (a) shard throughput — the suite as a one-job-per-(netlist, property)
+//      batch, run at each worker count in --threads-list; wall-clock
+//      should shrink as workers are added (target: >= 1.5x at 4 threads);
+//  (b) race overhead — per instance, every policy run alone vs. the
+//      4-policy race; race wall-clock should track the per-instance best
+//      policy (target: within 15% in total).
+//
+// Results go to stdout and, machine-readably, to BENCH_portfolio.json.
+// Both targets assume the hardware can actually run the workers in
+// parallel: on a machine with fewer cores than workers the race degrades
+// to time-slicing (ratio ≈ #policies) and sharding cannot scale.  The
+// JSON records hw_threads so trajectory tooling can tell "regression"
+// from "ran on a small box".
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "harness.hpp"
+#include "portfolio/scheduler.hpp"
+#include "util/options.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  using namespace refbmc;
+  using namespace refbmc::portfolio;
+  using benchharness::JsonWriter;
+
+  const Options opts = Options::parse(argc, argv);
+  const double budget = opts.get_double("budget", 5.0);
+  const auto suite = opts.get_bool("quick", false) ? model::quick_suite()
+                                                   : model::standard_suite();
+  std::vector<int> thread_counts;
+  for (const std::string& t : split_csv(opts.get("threads-list", "1,2,4"))) {
+    int n = 0;
+    try {
+      std::size_t pos = 0;
+      n = std::stoi(t, &pos);
+      if (pos != t.size()) throw std::invalid_argument(t);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("option --threads-list expects integers, "
+                                  "got '" + t + "'");
+    }
+    if (n < 1)
+      throw std::invalid_argument("option --threads-list expects values >= 1");
+    thread_counts.push_back(n);
+  }
+  if (thread_counts.empty())
+    throw std::invalid_argument("option --threads-list is empty");
+
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  std::printf("hardware threads: %u\n\n", hw_threads);
+
+  JsonWriter json;
+  json.begin_object();
+  json.kv("bench", "portfolio");
+  json.kv("rows", static_cast<std::uint64_t>(suite.size()));
+  json.kv("budget_sec", budget);
+  json.kv("hw_threads", static_cast<std::uint64_t>(hw_threads));
+
+  // ---- (a) shard throughput scaling ---------------------------------------
+  const auto make_jobs = [&](const model::Benchmark& bm) {
+    bmc::EngineConfig engine;
+    engine.policy = bmc::OrderingPolicy::Dynamic;
+    engine.max_depth = opts.get_int("depth", bm.suggested_bound);
+    engine.per_instance_time_limit_sec = budget;
+    return shard_properties(bm.net, engine, bm.name);
+  };
+  std::vector<Job> jobs;
+  for (const auto& bm : suite)
+    for (Job& job : make_jobs(bm)) jobs.push_back(std::move(job));
+
+  std::printf("shard throughput: %zu jobs\n", jobs.size());
+  std::printf("%8s %10s %10s\n", "threads", "wall(s)", "speedup");
+  json.key("shard");
+  json.begin_array();
+  double wall_first = 0.0;
+  for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+    const int threads = thread_counts[i];
+    PortfolioScheduler scheduler(threads);
+    const BatchReport report = scheduler.run_batch(jobs);
+    if (i == 0) wall_first = report.wall_time_sec;
+    const double speedup =
+        report.wall_time_sec > 0.0 ? wall_first / report.wall_time_sec : 0.0;
+    std::printf("%8d %10.3f %10.2f\n", threads, report.wall_time_sec, speedup);
+    json.begin_object();
+    json.kv("threads", threads);
+    json.kv("wall_sec", report.wall_time_sec);
+    json.kv("sequential_equivalent_sec", report.total_job_time_sec());
+    json.kv("speedup_vs_first", speedup);
+    json.kv("steals", report.steals);
+    json.kv("counterexamples",
+            static_cast<std::uint64_t>(report.counterexamples()));
+    json.kv("resource_limits",
+            static_cast<std::uint64_t>(report.resource_limits()));
+    json.end_object();
+  }
+  json.end_array();
+
+  // ---- (b) race vs. best single policy ------------------------------------
+  const auto policies = default_race_policies();
+  PortfolioScheduler racer(static_cast<int>(policies.size()));
+
+  std::printf("\nrace vs. best single policy\n");
+  std::printf("%-26s %10s %-12s %10s %-12s %7s\n", "model", "best(s)",
+              "best-policy", "race(s)", "race-winner", "ratio");
+  json.key("race");
+  json.begin_array();
+  double total_best = 0.0, total_race = 0.0;
+  for (const auto& bm : suite) {
+    bmc::EngineConfig engine;
+    engine.max_depth = opts.get_int("depth", bm.suggested_bound);
+    engine.total_time_limit_sec = budget;
+
+    double best_sec = -1.0;
+    bmc::OrderingPolicy best_policy = policies.front();
+    for (const auto policy : policies) {
+      Job job;
+      job.net = &bm.net;
+      job.name = bm.name;
+      job.config = engine;
+      job.config.policy = policy;
+      const JobResult single = run_job(job);
+      if (best_sec < 0.0 || single.wall_time_sec < best_sec) {
+        best_sec = single.wall_time_sec;
+        best_policy = policy;
+      }
+    }
+
+    const RaceResult race = racer.race(bm.net, 0, engine, policies);
+    const double ratio = best_sec > 0.0 ? race.wall_time_sec / best_sec : 0.0;
+    total_best += best_sec;
+    total_race += race.wall_time_sec;
+    std::printf("%-26s %10.3f %-12s %10.3f %-12s %7.2f\n", bm.name.c_str(),
+                best_sec, to_string(best_policy), race.wall_time_sec,
+                race.has_winner() ? to_string(race.winning().policy) : "-",
+                ratio);
+    json.begin_object();
+    json.kv("name", bm.name);
+    json.kv("best_sec", best_sec);
+    json.kv("best_policy", to_string(best_policy));
+    json.kv("race_sec", race.wall_time_sec);
+    json.kv("race_winner",
+            race.has_winner() ? to_string(race.winning().policy) : "-");
+    json.kv("race_verdict", to_string(race.status()));
+    json.kv("ratio", ratio);
+    json.end_object();
+  }
+  json.end_array();
+
+  const double total_ratio = total_best > 0.0 ? total_race / total_best : 0.0;
+  std::printf("\nTOTAL best %.3fs, race %.3fs, ratio %.2f\n", total_best,
+              total_race, total_ratio);
+  json.kv("total_best_sec", total_best);
+  json.kv("total_race_sec", total_race);
+  json.kv("total_ratio", total_ratio);
+  json.end_object();
+
+  if (!json.write_file("BENCH_portfolio.json"))
+    std::fprintf(stderr, "warning: could not write BENCH_portfolio.json\n");
+  else
+    std::printf("wrote BENCH_portfolio.json\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_portfolio: %s\n", e.what());
+    return 2;
+  }
+}

@@ -9,13 +9,121 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bmc/engine.hpp"
 #include "model/benchgen.hpp"
+#include "util/assert.hpp"
 
 namespace refbmc::benchharness {
+
+// ---- machine-readable output ----------------------------------------------
+//
+// Benches additionally emit a BENCH_<name>.json next to where they run so
+// the perf trajectory is tracked across PRs by tooling, not eyeballs.
+// JsonWriter is a minimal streaming writer: begin/end pairs, key() before
+// each member inside an object, automatic comma placement.
+
+class JsonWriter {
+ public:
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(const std::string& name) {
+    separate();
+    out_ << quote(name) << ":";
+    just_keyed_ = true;
+  }
+
+  void value(const std::string& v) { scalar(quote(v)); }
+  void value(const char* v) { scalar(quote(v)); }
+  void value(double v) {
+    std::ostringstream os;
+    os.precision(9);
+    os << v;
+    scalar(os.str());
+  }
+  void value(std::uint64_t v) { scalar(std::to_string(v)); }
+  void value(int v) { scalar(std::to_string(v)); }
+  void value(bool v) { scalar(v ? "true" : "false"); }
+
+  /// Convenience: key + scalar value in one call.
+  template <typename T>
+  void kv(const std::string& name, T v) {
+    key(name);
+    value(v);
+  }
+
+  std::string str() const { return out_.str(); }
+
+  /// Writes the document to `path` (e.g. "BENCH_portfolio.json").
+  /// Returns false when the file cannot be opened.
+  bool write_file(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << out_.str() << "\n";
+    return bool(f);
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string q = "\"";
+    for (const char c : s) {
+      switch (c) {
+        case '"': q += "\\\""; break;
+        case '\\': q += "\\\\"; break;
+        case '\n': q += "\\n"; break;
+        case '\t': q += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            q += buf;
+          } else {
+            q += c;
+          }
+      }
+    }
+    q += '"';
+    return q;
+  }
+
+  void open(char c) {
+    separate();
+    out_ << c;
+    need_comma_ = false;
+    just_keyed_ = false;
+  }
+  void close(char c) {
+    out_ << c;
+    need_comma_ = true;
+    just_keyed_ = false;
+  }
+  void scalar(const std::string& text) {
+    separate();
+    out_ << text;
+    need_comma_ = true;
+    just_keyed_ = false;
+  }
+  void separate() {
+    if (just_keyed_) {
+      just_keyed_ = false;
+      need_comma_ = false;
+      return;
+    }
+    if (need_comma_) out_ << ",";
+    need_comma_ = false;
+  }
+
+  std::ostringstream out_;
+  bool need_comma_ = false;
+  bool just_keyed_ = false;
+};
 
 struct PolicyRun {
   bmc::BmcResult result;

@@ -11,6 +11,12 @@
 
 namespace refbmc::bmc {
 
+std::optional<OrderingPolicy> parse_policy(std::string_view name) {
+  for (const OrderingPolicy p : all_policies())
+    if (name == to_string(p)) return p;
+  return std::nullopt;
+}
+
 std::uint64_t BmcResult::total_decisions() const {
   std::uint64_t n = 0;
   for (const auto& d : per_depth) n += d.decisions;
@@ -81,7 +87,7 @@ BmcResult BmcEngine::run_scratch() {
   const Deadline total_deadline(config_.total_time_limit_sec);
 
   for (int k = config_.start_depth; k <= config_.max_depth; ++k) {
-    if (total_deadline.expired()) {
+    if (total_deadline.expired() || cancelled()) {
       result.status = BmcResult::Status::ResourceLimit;
       break;
     }
@@ -101,6 +107,7 @@ BmcResult BmcEngine::run_scratch() {
     }
 
     sat::Solver solver(scfg);
+    solver.set_stop_flag(config_.stop);
     for (std::size_t v = 0; v < inst.num_vars(); ++v) solver.new_var();
     for (const auto& clause : inst.cnf.clauses) solver.add_clause(clause);
 
@@ -171,13 +178,14 @@ BmcResult BmcEngine::run_incremental() {
   const Deadline total_deadline(config_.total_time_limit_sec);
 
   sat::Solver solver(solver_config_for_policy());
+  solver.set_stop_flag(config_.stop);
   IncrementalUnroller unroller(net_, solver, bad_index_);
   const bool track_cores =
       uses_core_ranking() || config_.always_track_cdg;
 
   sat::SolverStats prev = solver.stats();
   for (int k = config_.start_depth; k <= config_.max_depth; ++k) {
-    if (total_deadline.expired()) {
+    if (total_deadline.expired() || cancelled()) {
       result.status = BmcResult::Status::ResourceLimit;
       break;
     }

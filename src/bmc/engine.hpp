@@ -16,8 +16,11 @@
 //   Shtrichman — time-axis BFS ranks (related-work comparison), static.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "bmc/cnf.hpp"
@@ -26,6 +29,7 @@
 #include "bmc/unroller.hpp"
 #include "model/netlist.hpp"
 #include "sat/solver.hpp"
+#include "util/assert.hpp"
 
 namespace refbmc::bmc {
 
@@ -45,8 +49,20 @@ inline const char* to_string(OrderingPolicy p) {
     case OrderingPolicy::Replace: return "replace";
     case OrderingPolicy::Shtrichman: return "shtrichman";
   }
-  return "?";
+  REFBMC_ASSERT_MSG(false, "invalid OrderingPolicy value");
 }
+
+/// All policies, in enum order — the canonical iteration set for
+/// portfolio racing and CLI enumeration.
+inline constexpr std::array<OrderingPolicy, 5> all_policies() {
+  return {OrderingPolicy::Baseline, OrderingPolicy::Static,
+          OrderingPolicy::Dynamic, OrderingPolicy::Replace,
+          OrderingPolicy::Shtrichman};
+}
+
+/// Inverse of to_string: parses a policy name (exactly as printed).
+/// Returns nullopt for unknown names.
+std::optional<OrderingPolicy> parse_policy(std::string_view name);
 
 struct EngineConfig {
   OrderingPolicy policy = OrderingPolicy::Baseline;
@@ -72,6 +88,11 @@ struct EngineConfig {
   double total_time_limit_sec = -1.0;
   double per_instance_time_limit_sec = -1.0;
   std::int64_t per_instance_conflict_limit = -1;
+  /// Cooperative cancellation: when non-null and set to true (possibly
+  /// from another thread, e.g. by the portfolio scheduler when a rival
+  /// policy wins), run() stops at the next depth / solver checkpoint and
+  /// reports Status::ResourceLimit.  Not owned; must outlive run().
+  const std::atomic<bool>* stop = nullptr;
   /// Base solver knobs (restarts, reduceDB, VSIDS period, …).  rank_mode,
   /// track_cdg and limits are overridden per instance by the engine.
   sat::SolverConfig solver;
@@ -126,6 +147,10 @@ class BmcEngine {
   BmcResult run_scratch();
   BmcResult run_incremental();
 
+  bool cancelled() const {
+    return config_.stop != nullptr &&
+           config_.stop->load(std::memory_order_relaxed);
+  }
   bool uses_core_ranking() const {
     return config_.policy == OrderingPolicy::Static ||
            config_.policy == OrderingPolicy::Dynamic ||

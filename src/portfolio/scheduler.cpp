@@ -1,0 +1,200 @@
+#include "portfolio/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "util/assert.hpp"
+#include "util/timer.hpp"
+
+namespace refbmc::portfolio {
+
+namespace {
+
+/// Joins `threads`, meanwhile relaying an external cancellation source
+/// and an optional deadline onto the pool-internal stop flag.  With
+/// nothing to relay this is a plain join (no latency quantization); the
+/// relay granularity otherwise (1ms) is far below any engine's depth
+/// time.
+void join_with_relay(std::vector<std::thread>& threads,
+                     std::atomic<std::size_t>& done, std::size_t expected,
+                     const std::atomic<bool>* external_stop,
+                     const Deadline* deadline, std::atomic<bool>& stop) {
+  if (external_stop != nullptr || deadline != nullptr) {
+    while (done.load(std::memory_order_acquire) < expected) {
+      if ((external_stop != nullptr &&
+           external_stop->load(std::memory_order_relaxed)) ||
+          (deadline != nullptr && deadline->expired())) {
+        stop.store(true, std::memory_order_relaxed);
+        break;  // flag relayed; the workers wind down on their own
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  for (auto& t : threads) t.join();
+}
+
+void rethrow_first(const std::vector<std::exception_ptr>& errors) {
+  for (const auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace
+
+const JobResult& RaceResult::winning() const {
+  REFBMC_EXPECTS_MSG(has_winner(), "race produced no verdict");
+  return entrants[static_cast<std::size_t>(winner)];
+}
+
+bmc::BmcResult::Status RaceResult::status() const {
+  return has_winner() ? winning().result.status
+                      : bmc::BmcResult::Status::ResourceLimit;
+}
+
+std::vector<bmc::OrderingPolicy> default_race_policies() {
+  return {bmc::OrderingPolicy::Baseline, bmc::OrderingPolicy::Static,
+          bmc::OrderingPolicy::Dynamic, bmc::OrderingPolicy::Shtrichman};
+}
+
+PortfolioScheduler::PortfolioScheduler(int num_threads,
+                                       std::uint64_t base_seed)
+    : num_threads_(num_threads), base_seed_(base_seed) {
+  REFBMC_EXPECTS_MSG(num_threads >= 1, "scheduler needs at least one thread");
+}
+
+RaceResult PortfolioScheduler::race(
+    const model::Netlist& net, std::size_t bad_index,
+    const bmc::EngineConfig& base,
+    const std::vector<bmc::OrderingPolicy>& policies) const {
+  REFBMC_EXPECTS_MSG(!policies.empty(), "race needs at least one policy");
+
+  RaceResult out;
+  out.entrants.resize(policies.size());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> winner{-1};
+  std::atomic<std::size_t> done{0};
+  std::vector<std::exception_ptr> errors(policies.size());
+  Timer timer;
+
+  std::vector<std::thread> threads;
+  threads.reserve(policies.size());
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    threads.emplace_back([&, i] {
+      try {
+        Job job;
+        job.net = &net;
+        job.bad_index = bad_index;
+        job.name = to_string(policies[i]);
+        job.config = base;
+        job.config.policy = policies[i];
+        // The Shtrichman ordering has no incremental mode; demote that
+        // entrant to scratch solving rather than disqualifying it.
+        if (job.config.incremental &&
+            policies[i] == bmc::OrderingPolicy::Shtrichman)
+          job.config.incremental = false;
+
+        JobResult r = run_job(job, &stop);
+        r.job_index = i;
+        r.worker_id = static_cast<int>(i);
+        if (r.result.status != bmc::BmcResult::Status::ResourceLimit) {
+          int expected = -1;
+          if (winner.compare_exchange_strong(expected, static_cast<int>(i)))
+            stop.store(true, std::memory_order_release);
+        }
+        out.entrants[i] = std::move(r);
+      } catch (...) {
+        errors[i] = std::current_exception();
+        stop.store(true, std::memory_order_release);
+      }
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  join_with_relay(threads, done, policies.size(), base.stop,
+                  /*deadline=*/nullptr, stop);
+  rethrow_first(errors);
+
+  out.winner = winner.load();
+  out.wall_time_sec = timer.elapsed_sec();
+  return out;
+}
+
+BatchReport PortfolioScheduler::run_batch(
+    const std::vector<Job>& jobs, double budget_sec,
+    const std::atomic<bool>* external_stop) const {
+  BatchReport report;
+  report.results.resize(jobs.size());
+  if (jobs.empty()) return report;
+
+  const int workers = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(num_threads_),
+                            jobs.size()));
+  report.num_workers = workers;
+
+  // Round-robin seeding spreads the batch evenly; stealing rebalances
+  // whatever the initial split gets wrong.
+  std::vector<WorkStealingQueue> queues(static_cast<std::size_t>(workers));
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    queues[i % static_cast<std::size_t>(workers)].push(i);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::size_t> done{0};
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(workers));
+  const Deadline deadline(budget_sec);
+  Timer timer;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      try {
+        WorkerContext ctx;
+        ctx.id = w;
+        ctx.rng_seed = base_seed_ + static_cast<std::uint64_t>(w);
+        ctx.jobs = &jobs;
+        ctx.results = &report.results;
+        ctx.queues = &queues;
+        ctx.stop = &stop;
+        ctx.steals = &steals;
+        worker_main(ctx);
+      } catch (...) {
+        errors[static_cast<std::size_t>(w)] = std::current_exception();
+        stop.store(true, std::memory_order_release);
+      }
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  join_with_relay(threads, done, static_cast<std::size_t>(workers),
+                  external_stop, budget_sec > 0.0 ? &deadline : nullptr,
+                  stop);
+  rethrow_first(errors);
+
+  for (std::size_t i = 0; i < report.results.size(); ++i)
+    report.results[i].job_index = i;
+  report.steals = steals.load();
+  report.wall_time_sec = timer.elapsed_sec();
+  return report;
+}
+
+ResolvedPortfolio resolve(const PortfolioConfig& cfg) {
+  ResolvedPortfolio r;
+  r.num_threads = cfg.num_threads;
+  r.seed = cfg.seed;
+  for (const std::string& name : cfg.policies) {
+    const auto p = bmc::parse_policy(name);
+    if (!p)
+      throw std::invalid_argument("unknown ordering policy '" + name + "'");
+    r.policies.push_back(*p);
+  }
+  r.engine.max_depth = cfg.max_depth;
+  r.engine.incremental = cfg.incremental;
+  r.engine.total_time_limit_sec = cfg.budget_sec;
+  return r;
+}
+
+}  // namespace refbmc::portfolio

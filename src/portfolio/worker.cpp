@@ -1,0 +1,61 @@
+#include "portfolio/worker.hpp"
+
+#include "util/assert.hpp"
+
+namespace refbmc::portfolio {
+
+namespace {
+
+bool pool_stopped(const WorkerContext& ctx) {
+  return ctx.stop != nullptr && ctx.stop->load(std::memory_order_relaxed);
+}
+
+/// Result for a job the pool cancelled before this worker started it.
+JobResult skipped_result(const Job& job, int worker_id) {
+  JobResult r;
+  r.name = job.name;
+  r.bad_index = job.bad_index;
+  r.policy = job.config.policy;
+  r.result.status = bmc::BmcResult::Status::ResourceLimit;
+  r.worker_id = worker_id;
+  return r;
+}
+
+}  // namespace
+
+void worker_main(WorkerContext ctx) {
+  REFBMC_EXPECTS(ctx.jobs != nullptr && ctx.results != nullptr &&
+                 ctx.queues != nullptr);
+  auto& queues = *ctx.queues;
+  const std::size_t n = queues.size();
+  const auto my_id = static_cast<std::size_t>(ctx.id);
+  Rng rng(ctx.rng_seed);
+
+  // Every queued index ends up with a result — executed, cut short by the
+  // stop flag inside the engine, or marked skipped here — so the batch
+  // report always has one entry per job.
+  while (true) {
+    std::size_t ji = 0;
+    bool got = queues[my_id].try_pop(ji);
+    if (!got) {
+      const std::size_t start = n > 1 ? rng.next_below(n) : 0;
+      for (std::size_t d = 0; d < n && !got; ++d) {
+        const std::size_t v = (start + d) % n;
+        if (v == my_id) continue;
+        got = queues[v].try_steal(ji);
+        if (got && ctx.steals != nullptr)
+          ctx.steals->fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (!got) return;  // every queue empty: the batch is drained
+
+    const Job& job = (*ctx.jobs)[ji];
+    JobResult r =
+        pool_stopped(ctx) ? skipped_result(job, ctx.id) : run_job(job, ctx.stop);
+    r.job_index = ji;
+    r.worker_id = ctx.id;
+    (*ctx.results)[ji] = std::move(r);
+  }
+}
+
+}  // namespace refbmc::portfolio

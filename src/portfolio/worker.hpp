@@ -1,0 +1,77 @@
+// Worker-pool plumbing for the portfolio scheduler.
+//
+// Each worker owns a deque of job indices: the owner pushes and pops at
+// the back (LIFO keeps its cache warm), thieves steal from the front
+// (FIFO steals the oldest — and for round-robin-seeded queues, the
+// largest-grained — work).  The queues are mutex-guarded: job granularity
+// here is an entire BMC run (milliseconds to seconds), so lock-free
+// Chase-Lev buys nothing and a mutex keeps the invariants obvious.
+//
+// The batch is fixed up front (no worker produces new jobs), so the
+// termination condition is simply "own queue and every victim empty".
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "portfolio/job.hpp"
+#include "util/rng.hpp"
+
+namespace refbmc::portfolio {
+
+class WorkStealingQueue {
+ public:
+  void push(std::size_t job_index) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    q_.push_back(job_index);
+  }
+
+  /// Owner side: takes the most recently pushed index.
+  bool try_pop(std::size_t& out) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (q_.empty()) return false;
+    out = q_.back();
+    q_.pop_back();
+    return true;
+  }
+
+  /// Thief side: takes the oldest index.
+  bool try_steal(std::size_t& out) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (q_.empty()) return false;
+    out = q_.front();
+    q_.pop_front();
+    return true;
+  }
+
+  std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return q_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<std::size_t> q_;
+};
+
+/// Everything a worker thread needs, owned by the scheduler for the
+/// duration of one batch.
+struct WorkerContext {
+  int id = 0;
+  std::uint64_t rng_seed = 0;  // victim-selection seed (fixed per worker)
+  const std::vector<Job>* jobs = nullptr;
+  std::vector<JobResult>* results = nullptr;         // slot per job index
+  std::vector<WorkStealingQueue>* queues = nullptr;  // one per worker
+  const std::atomic<bool>* stop = nullptr;           // pool-wide cancel
+  std::atomic<std::uint64_t>* steals = nullptr;
+};
+
+/// Worker loop: drain own queue, then steal until every queue is empty or
+/// the pool is cancelled.  Cancelled workers still record a JobResult
+/// (with Status::ResourceLimit) for any job they had already started.
+void worker_main(WorkerContext ctx);
+
+}  // namespace refbmc::portfolio

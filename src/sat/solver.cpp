@@ -543,6 +543,11 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
     solved_unsat_ = true;
     return Result::Unsat;
   }
+  if (stop_requested()) {
+    // Pre-cancelled: give the verdict-less answer without exploring.
+    stats_.solve_time_sec += timer.elapsed_sec();
+    return Result::Unknown;
+  }
 
   const Deadline deadline(config_.time_limit_sec);
   const std::int64_t conflicts_at_solve_start =
@@ -583,8 +588,10 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       decay_clause_activity();
       heuristic_.on_conflict();
 
-      // Resource limits, checked at conflicts for low overhead.
-      if ((config_.conflict_limit >= 0 &&
+      // Resource limits and cancellation, checked at conflicts for low
+      // overhead (a relaxed atomic load per conflict is noise next to BCP).
+      if (stop_requested() ||
+          (config_.conflict_limit >= 0 &&
            static_cast<std::int64_t>(stats_.conflicts) -
                    conflicts_at_solve_start >=
                config_.conflict_limit) ||
@@ -596,6 +603,7 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
 
     // No conflict: restart / reduce / decide.
     if (restart_budget >= 0 && conflicts_this_restart >= restart_budget) {
+      if (stop_requested()) return finish(Result::Unknown);
       ++stats_.restarts;
       conflicts_this_restart = 0;
       restart_budget = config_.restart_base *
@@ -638,6 +646,15 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       }
     }
     ++stats_.decisions;
+    // Long conflict-free decision runs (easy SAT instances) still need to
+    // observe cancellation and the deadline.  `next` was already popped
+    // off the decision heap; put it back or it would be lost to every
+    // later solve() on this solver.
+    if ((stats_.decisions & 255) == 0 &&
+        (stop_requested() || deadline.expired())) {
+      heuristic_.insert(next.var());
+      return finish(Result::Unknown);
+    }
     if (heuristic_.on_decision(stats_.decisions, num_orig_lits_,
                                config_.dynamic_switch_divisor)) {
       stats_.rank_switched = true;

@@ -21,6 +21,7 @@
 // original-clause ids.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -103,6 +104,16 @@ class Solver {
                            double time_limit_sec) {
     config_.conflict_limit = conflict_limit;
     config_.time_limit_sec = time_limit_sec;
+  }
+
+  /// Cooperative cancellation: while `stop` is non-null and becomes true,
+  /// solve() returns Result::Unknown at the next conflict / restart /
+  /// decision boundary (and immediately when pre-set).  The flag is owned
+  /// by the caller — typically the portfolio scheduler — and may be
+  /// flipped from another thread; the solver only ever reads it.
+  void set_stop_flag(const std::atomic<bool>* stop) { stop_ = stop; }
+  bool stop_requested() const {
+    return stop_ != nullptr && stop_->load(std::memory_order_relaxed);
   }
 
   // ---- solving ---------------------------------------------------------
@@ -230,6 +241,7 @@ class Solver {
   std::vector<Var> closure_clear_;
 
   std::vector<lbool> model_;
+  const std::atomic<bool>* stop_ = nullptr;  // not owned; may be null
   bool ok_ = true;
   bool solved_unsat_ = false;
 };

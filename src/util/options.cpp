@@ -63,6 +63,50 @@ double Options::get_double(const std::string& name, double def) const {
   }
 }
 
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> items;
+  std::string::size_type pos = 0;
+  while (pos <= csv.size()) {
+    const auto comma = csv.find(',', pos);
+    const auto end = comma == std::string::npos ? csv.size() : comma;
+    if (end > pos) items.push_back(csv.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return items;
+}
+
+PortfolioConfig PortfolioConfig::from_options(const Options& opts) {
+  PortfolioConfig cfg;
+  cfg.num_threads = opts.get_int("threads", cfg.num_threads);
+  if (cfg.num_threads < 1)
+    throw std::invalid_argument("option --threads expects a value >= 1");
+  if (opts.has("policies")) {
+    cfg.policies = split_csv(opts.get("policies"));
+    if (cfg.policies.empty())
+      throw std::invalid_argument("option --policies expects a non-empty "
+                                  "comma-separated list");
+  }
+  cfg.max_depth = opts.get_int("depth", cfg.max_depth);
+  if (cfg.max_depth < 0)
+    throw std::invalid_argument("option --depth expects a value >= 0");
+  cfg.budget_sec = opts.get_double("budget", cfg.budget_sec);
+  if (opts.has("seed")) {
+    const std::string raw = opts.get("seed");
+    try {
+      if (!raw.empty() && raw[0] == '-') throw std::invalid_argument(raw);
+      std::size_t pos = 0;
+      cfg.seed = std::stoull(raw, &pos);
+      if (pos != raw.size()) throw std::invalid_argument(raw);
+    } catch (const std::exception&) {
+      throw std::invalid_argument(
+          "option --seed expects a non-negative integer, got '" + raw + "'");
+    }
+  }
+  cfg.incremental = opts.get_bool("incremental", cfg.incremental);
+  return cfg;
+}
+
 bool Options::get_bool(const std::string& name, bool def) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return def;

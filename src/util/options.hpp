@@ -1,9 +1,12 @@
-// Tiny command-line option parser for examples and benches.
+// Tiny command-line option parser for examples and benches, plus the
+// CLI-level portfolio configuration shared by the portfolio example,
+// bench and tests.
 //
 // Supports `--name value`, `--name=value` and boolean flags `--name`.
 // Unrecognized arguments are collected as positionals.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -29,6 +32,28 @@ class Options {
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positionals_;
+};
+
+/// Splits a comma-separated list, dropping empty items ("a,,b" → {a, b}).
+std::vector<std::string> split_csv(const std::string& csv);
+
+/// Portfolio scheduler knobs at the CLI level.  Policies are kept as
+/// names (util cannot depend on bmc); the portfolio layer resolves them
+/// to OrderingPolicy values and rejects unknown names there.
+struct PortfolioConfig {
+  int num_threads = 4;
+  std::vector<std::string> policies{"baseline", "static", "dynamic",
+                                    "shtrichman"};
+  int max_depth = 20;
+  double budget_sec = -1.0;  // wall-clock budget per race / batch (<=0: none)
+  std::uint64_t seed = 1;    // base RNG seed; worker w uses seed + w
+  bool incremental = false;  // per-job incremental SAT mode
+
+  /// Reads `--threads`, `--policies a,b,c`, `--depth`, `--budget`,
+  /// `--seed`, `--incremental`; absent options keep the defaults above.
+  /// Throws std::invalid_argument on malformed values (threads < 1,
+  /// empty policy list, non-numeric numbers).
+  static PortfolioConfig from_options(const Options& opts);
 };
 
 }  // namespace refbmc

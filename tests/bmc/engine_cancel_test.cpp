@@ -1,0 +1,118 @@
+// Cooperative cancellation through the BMC engine: a cancelled run()
+// reports Status::ResourceLimit and per_depth stats that are internally
+// consistent (contiguous depths, UNSAT prefix, at most one trailing
+// Unknown instance).
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "bmc/engine.hpp"
+#include "model/benchgen.hpp"
+
+namespace refbmc::bmc {
+namespace {
+
+void expect_consistent_cancelled(const BmcResult& result, int start_depth) {
+  EXPECT_EQ(result.status, BmcResult::Status::ResourceLimit);
+  EXPECT_FALSE(result.counterexample.has_value());
+  for (std::size_t i = 0; i < result.per_depth.size(); ++i) {
+    const DepthStats& d = result.per_depth[i];
+    EXPECT_EQ(d.depth, start_depth + static_cast<int>(i));
+    // A cancelled run is an UNSAT prefix, optionally ending in the one
+    // instance the cancellation interrupted.
+    if (i + 1 < result.per_depth.size()) {
+      EXPECT_EQ(d.result, sat::Result::Unsat);
+    } else {
+      EXPECT_TRUE(d.result == sat::Result::Unsat ||
+                  d.result == sat::Result::Unknown);
+    }
+  }
+  int completed = -1;
+  for (const auto& d : result.per_depth)
+    if (d.result == sat::Result::Unsat) completed = d.depth;
+  EXPECT_EQ(result.last_completed_depth, completed);
+}
+
+TEST(EngineCancelTest, PresetStopReportsResourceLimit) {
+  const model::Benchmark bm = model::counter_safe(8, 200, 255);
+  std::atomic<bool> stop{true};
+  EngineConfig cfg;
+  cfg.max_depth = 10;
+  cfg.stop = &stop;
+  BmcEngine engine(bm.net, cfg);
+  const BmcResult result = engine.run();
+  EXPECT_EQ(result.status, BmcResult::Status::ResourceLimit);
+  EXPECT_TRUE(result.per_depth.empty());  // never reached a depth
+  EXPECT_EQ(result.last_completed_depth, -1);
+  EXPECT_EQ(result.total_decisions(), 0u);
+}
+
+TEST(EngineCancelTest, PresetStopInIncrementalMode) {
+  const model::Benchmark bm = model::counter_safe(8, 200, 255);
+  std::atomic<bool> stop{true};
+  EngineConfig cfg;
+  cfg.max_depth = 10;
+  cfg.incremental = true;
+  cfg.stop = &stop;
+  BmcEngine engine(bm.net, cfg);
+  const BmcResult result = engine.run();
+  EXPECT_EQ(result.status, BmcResult::Status::ResourceLimit);
+  EXPECT_TRUE(result.per_depth.empty());
+  EXPECT_EQ(result.last_completed_depth, -1);
+}
+
+TEST(EngineCancelTest, MidRunCancellationKeepsStatsConsistent) {
+  // A deep passing instance with distractor logic: plenty of depths to be
+  // interrupted in.
+  model::Benchmark bm = model::counter_safe(12, 3000, 4095);
+  bm = model::with_distractor(std::move(bm), 16, 11);
+  std::atomic<bool> stop{false};
+  EngineConfig cfg;
+  cfg.max_depth = 100000;  // would run far longer than the cancel window
+  cfg.stop = &stop;
+  BmcEngine engine(bm.net, cfg);
+
+  std::thread canceller([&stop] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    stop.store(true);
+  });
+  const BmcResult result = engine.run();
+  canceller.join();
+  expect_consistent_cancelled(result, cfg.start_depth);
+}
+
+TEST(EngineCancelTest, MidRunCancellationIncremental) {
+  model::Benchmark bm = model::counter_safe(12, 3000, 4095);
+  bm = model::with_distractor(std::move(bm), 16, 11);
+  std::atomic<bool> stop{false};
+  EngineConfig cfg;
+  cfg.max_depth = 100000;
+  cfg.incremental = true;
+  cfg.stop = &stop;
+  BmcEngine engine(bm.net, cfg);
+
+  std::thread canceller([&stop] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    stop.store(true);
+  });
+  const BmcResult result = engine.run();
+  canceller.join();
+  expect_consistent_cancelled(result, cfg.start_depth);
+}
+
+TEST(EngineCancelTest, UncancelledRunIsUnaffectedByTheHook) {
+  const model::Benchmark bm = model::shift_all_ones(4);  // fails at depth 4
+  std::atomic<bool> stop{false};
+  EngineConfig cfg;
+  cfg.max_depth = 10;
+  cfg.stop = &stop;
+  BmcEngine engine(bm.net, cfg);
+  const BmcResult result = engine.run();
+  EXPECT_EQ(result.status, BmcResult::Status::CounterexampleFound);
+  EXPECT_EQ(result.counterexample_depth, 4);
+}
+
+}  // namespace
+}  // namespace refbmc::bmc

@@ -1,0 +1,113 @@
+// The CLI-to-scheduler configuration path: policy name round-trips,
+// PortfolioConfig parsing, and resolution into engine-level types.
+#include <gtest/gtest.h>
+
+#include "portfolio/scheduler.hpp"
+#include "util/options.hpp"
+
+namespace refbmc::portfolio {
+namespace {
+
+using bmc::OrderingPolicy;
+
+Options parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(PolicyNameTest, ToStringParseRoundTrip) {
+  for (const OrderingPolicy p : bmc::all_policies()) {
+    const auto parsed = bmc::parse_policy(bmc::to_string(p));
+    ASSERT_TRUE(parsed.has_value()) << bmc::to_string(p);
+    EXPECT_EQ(*parsed, p);
+  }
+}
+
+TEST(PolicyNameTest, UnknownNamesAreRejected) {
+  EXPECT_FALSE(bmc::parse_policy("").has_value());
+  EXPECT_FALSE(bmc::parse_policy("vsids").has_value());
+  EXPECT_FALSE(bmc::parse_policy("Static").has_value());  // case-sensitive
+}
+
+TEST(SplitCsvTest, SplitsAndDropsEmpties) {
+  EXPECT_EQ(split_csv("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_csv("a,,b,"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(split_csv("").empty());
+  EXPECT_EQ(split_csv("solo"), (std::vector<std::string>{"solo"}));
+}
+
+TEST(PortfolioConfigTest, Defaults) {
+  const PortfolioConfig cfg = PortfolioConfig::from_options(parse({}));
+  EXPECT_EQ(cfg.num_threads, 4);
+  EXPECT_EQ(cfg.policies, (std::vector<std::string>{
+                              "baseline", "static", "dynamic", "shtrichman"}));
+  EXPECT_EQ(cfg.max_depth, 20);
+  EXPECT_LT(cfg.budget_sec, 0.0);
+  EXPECT_FALSE(cfg.incremental);
+}
+
+TEST(PortfolioConfigTest, ParsesEveryKnob) {
+  const PortfolioConfig cfg = PortfolioConfig::from_options(
+      parse({"--threads", "8", "--policies", "dynamic,static", "--depth",
+             "33", "--budget", "2.5", "--seed", "9", "--incremental"}));
+  EXPECT_EQ(cfg.num_threads, 8);
+  EXPECT_EQ(cfg.policies, (std::vector<std::string>{"dynamic", "static"}));
+  EXPECT_EQ(cfg.max_depth, 33);
+  EXPECT_DOUBLE_EQ(cfg.budget_sec, 2.5);
+  EXPECT_EQ(cfg.seed, 9u);
+  EXPECT_TRUE(cfg.incremental);
+}
+
+TEST(PortfolioConfigTest, RejectsBadValues) {
+  EXPECT_THROW(PortfolioConfig::from_options(parse({"--threads", "0"})),
+               std::invalid_argument);
+  EXPECT_THROW(PortfolioConfig::from_options(parse({"--policies", ","})),
+               std::invalid_argument);
+  EXPECT_THROW(PortfolioConfig::from_options(parse({"--seed", "-3"})),
+               std::invalid_argument);
+  EXPECT_THROW(PortfolioConfig::from_options(parse({"--seed", "x"})),
+               std::invalid_argument);
+  EXPECT_THROW(PortfolioConfig::from_options(parse({"--seed", "7abc"})),
+               std::invalid_argument);
+  EXPECT_THROW(PortfolioConfig::from_options(parse({"--depth", "-1"})),
+               std::invalid_argument);
+}
+
+TEST(PortfolioConfigTest, SeedIsFullWidth) {
+  const PortfolioConfig cfg =
+      PortfolioConfig::from_options(parse({"--seed", "5000000000"}));
+  EXPECT_EQ(cfg.seed, 5000000000ull);
+}
+
+TEST(ResolveTest, MapsNamesToPoliciesAndEngineKnobs) {
+  PortfolioConfig cfg;
+  cfg.policies = {"static", "baseline"};
+  cfg.max_depth = 12;
+  cfg.incremental = true;
+  cfg.budget_sec = 1.5;
+  cfg.num_threads = 2;
+  const ResolvedPortfolio r = resolve(cfg);
+  EXPECT_EQ(r.policies, (std::vector<OrderingPolicy>{
+                            OrderingPolicy::Static, OrderingPolicy::Baseline}));
+  EXPECT_EQ(r.engine.max_depth, 12);
+  EXPECT_TRUE(r.engine.incremental);
+  EXPECT_DOUBLE_EQ(r.engine.total_time_limit_sec, 1.5);
+  EXPECT_EQ(r.num_threads, 2);
+}
+
+TEST(ResolveTest, UnknownPolicyThrows) {
+  PortfolioConfig cfg;
+  cfg.policies = {"dynamic", "nope"};
+  EXPECT_THROW(resolve(cfg), std::invalid_argument);
+}
+
+TEST(ResolveTest, DefaultRaceLineupSkipsReplace) {
+  const auto lineup = default_race_policies();
+  EXPECT_EQ(lineup.size(), 4u);
+  for (const OrderingPolicy p : lineup)
+    EXPECT_NE(p, OrderingPolicy::Replace);
+}
+
+}  // namespace
+}  // namespace refbmc::portfolio

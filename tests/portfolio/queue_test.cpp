@@ -1,0 +1,73 @@
+// WorkStealingQueue semantics: LIFO for the owner, FIFO for thieves, and
+// no lost or duplicated items under concurrent stealing.
+#include <algorithm>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "portfolio/worker.hpp"
+
+namespace refbmc::portfolio {
+namespace {
+
+TEST(WorkStealingQueueTest, OwnerPopsLifo) {
+  WorkStealingQueue q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  std::size_t out = 0;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 3u);
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 2u);
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 1u);
+  EXPECT_FALSE(q.try_pop(out));
+}
+
+TEST(WorkStealingQueueTest, ThiefStealsFifo) {
+  WorkStealingQueue q;
+  q.push(1);
+  q.push(2);
+  q.push(3);
+  std::size_t out = 0;
+  ASSERT_TRUE(q.try_steal(out));
+  EXPECT_EQ(out, 1u);
+  // Owner and thief work opposite ends.
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 3u);
+  ASSERT_TRUE(q.try_steal(out));
+  EXPECT_EQ(out, 2u);
+  EXPECT_FALSE(q.try_steal(out));
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(WorkStealingQueueTest, ConcurrentStealingLosesNothing) {
+  constexpr std::size_t kItems = 10000;
+  constexpr int kThieves = 8;
+  WorkStealingQueue q;
+  for (std::size_t i = 0; i < kItems; ++i) q.push(i);
+
+  std::mutex mu;
+  std::vector<std::size_t> taken;
+  std::vector<std::thread> thieves;
+  for (int t = 0; t < kThieves; ++t) {
+    thieves.emplace_back([&] {
+      std::vector<std::size_t> local;
+      std::size_t item = 0;
+      while (q.try_steal(item)) local.push_back(item);
+      const std::lock_guard<std::mutex> lock(mu);
+      taken.insert(taken.end(), local.begin(), local.end());
+    });
+  }
+  for (auto& t : thieves) t.join();
+
+  ASSERT_EQ(taken.size(), kItems);
+  std::sort(taken.begin(), taken.end());
+  for (std::size_t i = 0; i < kItems; ++i) EXPECT_EQ(taken[i], i);
+}
+
+}  // namespace
+}  // namespace refbmc::portfolio

@@ -1,0 +1,139 @@
+// Sharded batch mode: every job gets exactly one result slot, verdicts
+// are independent of worker count and stealing, and multi-property
+// netlists expand into one job per property.
+#include <gtest/gtest.h>
+
+#include "model/benchgen.hpp"
+#include "portfolio/scheduler.hpp"
+
+namespace refbmc::portfolio {
+namespace {
+
+using bmc::BmcResult;
+
+std::vector<Job> suite_jobs(const std::vector<model::Benchmark>& suite) {
+  std::vector<Job> jobs;
+  for (const auto& bm : suite) {
+    bmc::EngineConfig engine;
+    engine.policy = bmc::OrderingPolicy::Dynamic;
+    engine.max_depth = bm.suggested_bound;
+    for (Job& job : shard_properties(bm.net, engine, bm.name))
+      jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+TEST(PortfolioShardTest, EveryJobGetsAResultInSubmissionOrder) {
+  const auto suite = model::quick_suite();
+  const std::vector<Job> jobs = suite_jobs(suite);
+  const PortfolioScheduler scheduler(4, /*base_seed=*/5);
+  const BatchReport report = scheduler.run_batch(jobs);
+
+  ASSERT_EQ(report.results.size(), jobs.size());
+  EXPECT_EQ(report.num_workers, 4);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(report.results[i].job_index, i);
+    EXPECT_EQ(report.results[i].name, jobs[i].name);
+    EXPECT_GE(report.results[i].worker_id, 0);
+    EXPECT_LT(report.results[i].worker_id, 4);
+    EXPECT_EQ(report.results[i].result.status ==
+                  BmcResult::Status::CounterexampleFound,
+              suite[i].expect_fail)
+        << jobs[i].name;
+  }
+  EXPECT_EQ(report.counterexamples() + report.bounds_reached() +
+                report.resource_limits(),
+            jobs.size());
+  EXPECT_EQ(report.resource_limits(), 0u);
+}
+
+TEST(PortfolioShardTest, VerdictsIndependentOfWorkerCount) {
+  const auto suite = model::quick_suite();
+  const std::vector<Job> jobs = suite_jobs(suite);
+  const BatchReport one = PortfolioScheduler(1).run_batch(jobs);
+  const BatchReport four = PortfolioScheduler(4).run_batch(jobs);
+
+  ASSERT_EQ(one.results.size(), four.results.size());
+  EXPECT_EQ(one.num_workers, 1);
+  EXPECT_EQ(one.steals, 0u);  // nobody to steal from
+  for (std::size_t i = 0; i < one.results.size(); ++i) {
+    EXPECT_EQ(one.results[i].result.status, four.results[i].result.status);
+    EXPECT_EQ(one.results[i].result.counterexample_depth,
+              four.results[i].result.counterexample_depth);
+    EXPECT_EQ(one.results[i].result.last_completed_depth,
+              four.results[i].result.last_completed_depth);
+  }
+}
+
+TEST(PortfolioShardTest, MultiPropertyNetlistShardsPerProperty) {
+  // One netlist, three properties with three different verdicts.
+  model::Benchmark bm = model::counter_safe(4, 10, 15);
+  model::Netlist net = bm.net;  // property 0: passing (count never 15)
+  const model::Signal bit0 = model::Signal::make(net.latches()[0]);
+  net.add_bad(bit0, "bit0_high");        // counter reaches 1 at depth 1
+  net.add_bad(!bit0, "bit0_low");        // true in the initial state
+  const auto& bads = net.bad_properties();
+  ASSERT_EQ(bads.size(), 3u);
+
+  bmc::EngineConfig engine;
+  engine.max_depth = 6;
+  const std::vector<Job> jobs = shard_properties(net, engine, "ctr");
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[1].name, "ctr/bit0_high");
+
+  const BatchReport report = PortfolioScheduler(3).run_batch(jobs);
+  ASSERT_EQ(report.results.size(), 3u);
+  EXPECT_EQ(report.results[0].result.status, BmcResult::Status::BoundReached);
+  EXPECT_EQ(report.results[1].result.status,
+            BmcResult::Status::CounterexampleFound);
+  EXPECT_EQ(report.results[1].result.counterexample_depth, 1);
+  EXPECT_EQ(report.results[2].result.status,
+            BmcResult::Status::CounterexampleFound);
+  EXPECT_EQ(report.results[2].result.counterexample_depth, 0);
+}
+
+TEST(PortfolioShardTest, BudgetCutsTheBatchNotTheReport) {
+  // Heavy jobs with a tiny wall-clock budget: the batch ends quickly,
+  // every job still reports, and the cut jobs carry ResourceLimit.
+  std::vector<model::Benchmark> heavy;
+  for (int i = 0; i < 8; ++i) {
+    model::Benchmark bm = model::accumulator_reach(16, 2, 30000);
+    bm = model::with_distractor(std::move(bm), 16,
+                                static_cast<std::uint64_t>(i + 1));
+    bm.suggested_bound = 100000;
+    heavy.push_back(std::move(bm));
+  }
+  const std::vector<Job> jobs = suite_jobs(heavy);
+  const BatchReport report = PortfolioScheduler(4).run_batch(jobs, 0.2);
+
+  ASSERT_EQ(report.results.size(), jobs.size());
+  EXPECT_LT(report.wall_time_sec, 30.0);  // generous CI margin
+  EXPECT_GT(report.resource_limits(), 0u);
+  for (const auto& r : report.results)
+    EXPECT_EQ(r.result.status, BmcResult::Status::ResourceLimit);
+}
+
+TEST(PortfolioShardTest, ExternalStopCancelsTheBatch) {
+  std::vector<model::Benchmark> heavy;
+  for (int i = 0; i < 4; ++i) {
+    model::Benchmark bm = model::accumulator_reach(16, 2, 30000);
+    bm.suggested_bound = 100000;
+    heavy.push_back(std::move(bm));
+  }
+  const std::vector<Job> jobs = suite_jobs(heavy);
+  std::atomic<bool> external{true};  // cancelled before it even starts
+  const BatchReport report =
+      PortfolioScheduler(2).run_batch(jobs, -1.0, &external);
+  ASSERT_EQ(report.results.size(), jobs.size());
+  for (const auto& r : report.results)
+    EXPECT_EQ(r.result.status, BmcResult::Status::ResourceLimit);
+}
+
+TEST(PortfolioShardTest, EmptyBatchIsANoop) {
+  const BatchReport report = PortfolioScheduler(4).run_batch({});
+  EXPECT_TRUE(report.results.empty());
+  EXPECT_EQ(report.num_workers, 0);
+}
+
+}  // namespace
+}  // namespace refbmc::portfolio

@@ -1,0 +1,97 @@
+// Cooperative cancellation: the stop flag must end a solve with
+// Result::Unknown — immediately when pre-set, promptly when flipped from
+// another thread — and must never corrupt solver state for later calls.
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "sat/solver.hpp"
+#include "../helpers.hpp"
+
+namespace refbmc::sat {
+namespace {
+
+TEST(SolverCancelTest, PresetStopReturnsUnknownWithoutExploring) {
+  Solver s;
+  test::load(s, test::pigeonhole(8, 7));  // hard UNSAT: would take a while
+  std::atomic<bool> stop{true};
+  s.set_stop_flag(&stop);
+  EXPECT_EQ(s.solve(), Result::Unknown);
+  EXPECT_EQ(s.stats().decisions, 0u);
+  EXPECT_EQ(s.stats().conflicts, 0u);
+}
+
+TEST(SolverCancelTest, ClearedFlagSolvesNormally) {
+  Solver s;
+  const sat::Cnf cnf = test::pigeonhole(5, 5);  // satisfiable
+  test::load(s, cnf);
+  std::atomic<bool> stop{false};
+  s.set_stop_flag(&stop);
+  ASSERT_EQ(s.solve(), Result::Sat);
+  EXPECT_TRUE(test::model_satisfies(s, cnf));
+}
+
+TEST(SolverCancelTest, RootContradictionStillReportsUnsat) {
+  // Already-known unsatisfiability is a sound answer even when cancelled.
+  Solver s;
+  const Var x = s.new_var();
+  s.add_clause({Lit::make(x)});
+  s.add_clause({Lit::make(x, true)});
+  std::atomic<bool> stop{true};
+  s.set_stop_flag(&stop);
+  EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(SolverCancelTest, StopFromAnotherThreadEndsLongSolve) {
+  Solver s;
+  test::load(s, test::pigeonhole(11, 10));  // far beyond the cancel window
+  std::atomic<bool> stop{false};
+  s.set_stop_flag(&stop);
+
+  std::thread canceller([&stop] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    stop.store(true);
+  });
+  const Result res = s.solve();
+  canceller.join();
+  EXPECT_EQ(res, Result::Unknown);
+  EXPECT_GT(s.stats().conflicts, 0u);  // it really was mid-search
+}
+
+TEST(SolverCancelTest, DecisionBoundaryCutoffLosesNoHeapVariable) {
+  // A conflict-free instance cut off at the decision-boundary check: the
+  // branch literal already popped from the order heap must be reinserted,
+  // or the next solve() returns a model with an unassigned variable.
+  SolverConfig cfg;
+  cfg.time_limit_sec = 1e-12;  // expires before the 256th decision check
+  Solver s(cfg);
+  constexpr int kVars = 300;  // > the 256-decision check interval
+  for (int i = 0; i < kVars; ++i) s.new_var();
+  ASSERT_EQ(s.solve(), Result::Unknown);
+
+  s.set_resource_limits(-1, -1.0);
+  ASSERT_EQ(s.solve(), Result::Sat);
+  for (Var v = 0; v < kVars; ++v)
+    EXPECT_NE(s.model_value(v), l_Undef) << "variable " << v << " lost";
+}
+
+TEST(SolverCancelTest, SolverIsReusableAfterCancellation) {
+  Solver s;
+  const sat::Cnf cnf = test::pigeonhole(6, 6);  // satisfiable
+  test::load(s, cnf);
+  std::atomic<bool> stop{true};
+  s.set_stop_flag(&stop);
+  ASSERT_EQ(s.solve(), Result::Unknown);
+
+  stop.store(false);
+  ASSERT_EQ(s.solve(), Result::Sat);
+  EXPECT_TRUE(test::model_satisfies(s, cnf));
+
+  s.set_stop_flag(nullptr);  // detaching works too
+  EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+}  // namespace
+}  // namespace refbmc::sat
