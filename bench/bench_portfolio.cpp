@@ -22,9 +22,11 @@
 #include <stdexcept>
 #include <thread>
 
+#include "bmc/tape.hpp"
 #include "harness.hpp"
 #include "portfolio/scheduler.hpp"
 #include "util/options.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -151,9 +153,63 @@ int run(int argc, char** argv) {
             race.has_winner() ? to_string(race.winning().policy) : "-");
     json.kv("race_verdict", to_string(race.status()));
     json.kv("ratio", ratio);
+    json.kv("frames_encoded", race.frames_encoded);
     json.end_object();
   }
   json.end_array();
+
+  // ---- (c) race setup: encode-once vs per-policy encoding -----------------
+  // The PR 1 race had every entrant unroll its own copy of the instance;
+  // entrants now replay one shared tape.  Measure both disciplines on the
+  // suite's deepest instance: P independent encodings vs one encoding
+  // plus P solver replays.
+  {
+    const model::Benchmark* deepest = &suite.front();
+    for (const auto& bm : suite)
+      if (bm.suggested_bound > deepest->suggested_bound) deepest = &bm;
+    const int depth = opts.get_int("depth", deepest->suggested_bound);
+    const std::size_t num_policies = policies.size();
+
+    Timer independent_timer;
+    for (std::size_t p = 0; p < num_policies; ++p) {
+      bmc::SharedTape own(deepest->net, 0);
+      own.ensure_depth(depth);
+      sat::Solver solver;
+      std::vector<bmc::VarOrigin> origin;
+      bmc::SolverSink sink(solver, origin);
+      bmc::ClauseTape::Cursor cursor;
+      own.replay_to(depth, cursor, sink);
+    }
+    const double independent_sec = independent_timer.elapsed_sec();
+
+    Timer shared_timer;
+    bmc::SharedTape shared(deepest->net, 0);
+    shared.ensure_depth(depth);
+    for (std::size_t p = 0; p < num_policies; ++p) {
+      sat::Solver solver;
+      std::vector<bmc::VarOrigin> origin;
+      bmc::SolverSink sink(solver, origin);
+      bmc::ClauseTape::Cursor cursor;
+      shared.replay_to(depth, cursor, sink);
+    }
+    const double shared_sec = shared_timer.elapsed_sec();
+
+    std::printf(
+        "\nrace setup on %s (depth %d, %zu policies): per-policy encode "
+        "%.4fs, encode-once %.4fs (%.2fx)\n",
+        deepest->name.c_str(), depth, num_policies, independent_sec,
+        shared_sec, shared_sec > 0.0 ? independent_sec / shared_sec : 0.0);
+    json.key("race_setup");
+    json.begin_object();
+    json.kv("model", deepest->name);
+    json.kv("depth", depth);
+    json.kv("policies", static_cast<std::uint64_t>(num_policies));
+    json.kv("per_policy_encode_sec", independent_sec);
+    json.kv("encode_once_sec", shared_sec);
+    json.kv("speedup",
+            shared_sec > 0.0 ? independent_sec / shared_sec : 0.0);
+    json.end_object();
+  }
 
   const double total_ratio = total_best > 0.0 ? total_race / total_best : 0.0;
   std::printf("\nTOTAL best %.3fs, race %.3fs, ratio %.2f\n", total_best,

@@ -1,7 +1,8 @@
 // File-based BMC driver: check an invariant of an AIGER (.aag) model.
 //
 //   $ ./aiger_bmc <model.aag> [--bound N] [--policy baseline|static|dynamic|shtrichman]
-//                 [--property I] [--any-frame] [--dump-trace]
+//                 [--property I] [--any-frame] [--incremental]
+//                 [--simplify 0|1] [--dump-trace]
 //
 // With no file argument the example writes a demo circuit to a temporary
 // .aag first, then checks it — so it is runnable out of the box.
@@ -56,6 +57,8 @@ int main(int argc, char** argv) {
   cfg.max_depth = opts.get_int("bound", 30);
   cfg.bad_mode = opts.get_bool("any-frame", false) ? bmc::BadMode::Any
                                                    : bmc::BadMode::Last;
+  cfg.incremental = opts.get_bool("incremental", false);
+  cfg.simplify = opts.get_bool("simplify", true);
   const auto property = static_cast<std::size_t>(opts.get_int("property", 0));
 
   bmc::BmcEngine engine(net, cfg, property);

@@ -4,7 +4,7 @@
 //   $ ./portfolio_race [--mode race|shard] [--threads N]
 //                      [--policies baseline,static,dynamic,shtrichman]
 //                      [--depth K] [--budget SECONDS] [--quick]
-//                      [--incremental] [--seed S]
+//                      [--incremental] [--simplify 0|1] [--seed S]
 //
 // race:  every suite row is raced across the ordering policies on its own
 //        set of threads; the first definitive verdict wins and cancels

@@ -50,14 +50,19 @@ int main() {
       break;
   }
 
-  // 4. Per-depth statistics (decisions = SAT search tree size).
-  std::printf("depth  result  decisions  implications  core-vars\n");
+  // 4. Per-depth statistics (decisions = SAT search tree size; the last
+  //    two columns are what frame-wise simplification removed from the
+  //    instance before the solver ever saw it).
+  std::printf(
+      "depth  result  decisions  implications  core-vars  vars-cut  "
+      "clauses-cut\n");
   for (const auto& d : result.per_depth) {
-    std::printf("%5d  %-6s  %9llu  %12llu  %9zu\n", d.depth,
+    std::printf("%5d  %-6s  %9llu  %12llu  %9zu  %8llu  %11llu\n", d.depth,
                 to_string(d.result),
                 static_cast<unsigned long long>(d.decisions),
-                static_cast<unsigned long long>(d.propagations),
-                d.core_vars);
+                static_cast<unsigned long long>(d.propagations), d.core_vars,
+                static_cast<unsigned long long>(d.simplified_vars_removed),
+                static_cast<unsigned long long>(d.simplified_clauses_removed));
   }
   std::printf("\ntotal time: %.3f s\n", result.total_time_sec);
   return result.status == bmc::BmcResult::Status::CounterexampleFound ? 0 : 1;

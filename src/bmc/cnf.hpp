@@ -22,17 +22,31 @@ struct VarOrigin {
   int frame = -1;  // -1 for the auxiliary constant-false variable
 };
 
+/// Encoder counters (filled by the FrameEncoder; see encoder.hpp).
+struct EncodeStats {
+  std::uint64_t frames_encoded = 0;
+  std::uint64_t vars_emitted = 0;
+  std::uint64_t clauses_emitted = 0;
+  std::uint64_t vars_removed = 0;    // saved by simplification
+  std::uint64_t clauses_removed = 0;
+};
+
 struct BmcInstance {
   int depth = 0;                  // the k of Eq. 1
   sat::Cnf cnf;                   // clauses of Eq. 1
   std::vector<VarOrigin> origin;  // per CNF variable
   sat::Lit bad_lit;               // literal asserted by the ¬P(V^k) unit
   /// Literal of the bad signal at each frame 0..depth (filled by the
-  /// unroller; used by induction and custom property shapes).
+  /// encoder; used by induction and custom property shapes).
   std::vector<sat::Lit> bad_frames;
-  /// Variables of each latch at each frame: latch_frames[f][i] is the
-  /// i-th cone latch (order of latches()) at frame f.
-  std::vector<std::vector<sat::Var>> latch_frames;
+  /// Literal of each latch at each frame: latch_frames[f][i] is the
+  /// i-th cone latch (order of latches()) at frame f.  With frame-wise
+  /// simplification a latch may alias another literal (its next-state
+  /// function, a hashed gate, or a constant) rather than owning a
+  /// variable.
+  std::vector<std::vector<sat::Lit>> latch_frames;
+  /// Encoder counters for this instance (simplification savings etc.).
+  EncodeStats encode;
 
   std::size_t num_vars() const { return origin.size(); }
   std::size_t num_clauses() const { return cnf.clauses.size(); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "bmc/session.hpp"
 #include "bmc/shtrichman.hpp"
 #include "mc/reach.hpp"
 #include "sat/core_verify.hpp"
@@ -38,10 +39,27 @@ BmcEngine::BmcEngine(const model::Netlist& net, EngineConfig config,
     : net_(net),
       config_(config),
       bad_index_(bad_index),
-      unroller_(net, bad_index, config.bad_mode),
       ranking_(config.weighting) {
   REFBMC_EXPECTS(config_.start_depth >= 0);
   REFBMC_EXPECTS(config_.max_depth >= config_.start_depth);
+  if (config_.shared_tape != nullptr) {
+    SharedTape& shared = *config_.shared_tape;
+    REFBMC_EXPECTS_MSG(&shared.net() == &net_ &&
+                           shared.bad_index() == bad_index_ &&
+                           shared.options().mode == config_.bad_mode &&
+                           shared.options().simplify == config_.simplify &&
+                           shared.options().constrain_init,
+                       "shared tape does not match the engine's formula "
+                       "(netlist / property / bad mode / simplify)");
+    tape_ = &shared;
+  } else {
+    EncoderOptions opts;
+    opts.mode = config_.bad_mode;
+    opts.constrain_init = true;
+    opts.simplify = config_.simplify;
+    owned_tape_ = std::make_unique<SharedTape>(net_, bad_index_, opts);
+    tape_ = owned_tape_.get();
+  }
 }
 
 sat::SolverConfig BmcEngine::solver_config_for_policy() const {
@@ -70,21 +88,18 @@ sat::SolverConfig BmcEngine::solver_config_for_policy() const {
 }
 
 BmcResult BmcEngine::run() {
-  if (config_.incremental) {
-    REFBMC_EXPECTS_MSG(config_.bad_mode == BadMode::Last,
-                       "incremental mode supports BadMode::Last only");
-    REFBMC_EXPECTS_MSG(config_.policy != OrderingPolicy::Shtrichman,
-                       "incremental mode does not support the Shtrichman "
-                       "ordering");
-    return run_incremental();
-  }
-  return run_scratch();
-}
+  REFBMC_EXPECTS_MSG(
+      !(config_.incremental && config_.policy == OrderingPolicy::Shtrichman),
+      "incremental mode does not support the Shtrichman ordering");
 
-BmcResult BmcEngine::run_scratch() {
   BmcResult result;
   Timer total_timer;
   const Deadline total_deadline(config_.total_time_limit_sec);
+
+  const sat::SolverConfig scfg = solver_config_for_policy();
+  const std::unique_ptr<FormulaSession> session =
+      config_.incremental ? make_incremental_session(*tape_, scfg)
+                          : make_scratch_session(*tape_, scfg);
 
   for (int k = config_.start_depth; k <= config_.max_depth; ++k) {
     if (total_deadline.expired() || cancelled()) {
@@ -92,46 +107,50 @@ BmcResult BmcEngine::run_scratch() {
       break;
     }
 
-    // gen_cnf_formula(M, P, k)
-    const BmcInstance inst = unroller_.unroll(k);
+    // gen_cnf_formula(M, P, k): encode-once via the tape, query shape
+    // from the session.
+    const FormulaSession::Prepared prep = session->prepare(k);
+    sat::Solver& solver = *prep.solver;
+    solver.set_stop_flag(config_.stop);
 
-    // sat_check(F, varRank): fresh solver per instance, as in Fig. 5.
-    sat::SolverConfig scfg = solver_config_for_policy();
-    const double remaining = total_deadline.remaining_sec();
+    // sat_check(F, varRank).
+    if (config_.policy == OrderingPolicy::Shtrichman) {
+      solver.set_variable_rank(shtrichman_rank(solver, prep.property_lit));
+    } else if (uses_core_ranking()) {
+      solver.set_variable_rank(ranking_.project(session->origin()));
+    }
+
+    // Engine-level limits take precedence; otherwise any per-solve budget
+    // the caller put into the base SolverConfig stays in force.
+    double limit = config_.solver.time_limit_sec;
     if (config_.per_instance_time_limit_sec > 0.0 ||
         config_.total_time_limit_sec > 0.0) {
-      scfg.time_limit_sec =
-          config_.per_instance_time_limit_sec > 0.0
-              ? std::min(config_.per_instance_time_limit_sec, remaining)
-              : remaining;
+      const double remaining = total_deadline.remaining_sec();
+      limit = config_.per_instance_time_limit_sec > 0.0
+                  ? std::min(config_.per_instance_time_limit_sec, remaining)
+                  : remaining;
     }
+    solver.set_resource_limits(config_.per_instance_conflict_limit, limit);
 
-    sat::Solver solver(scfg);
-    solver.set_stop_flag(config_.stop);
-    for (std::size_t v = 0; v < inst.num_vars(); ++v) solver.new_var();
-    for (const auto& clause : inst.cnf.clauses) solver.add_clause(clause);
-
-    if (config_.policy == OrderingPolicy::Shtrichman) {
-      solver.set_variable_rank(shtrichman_rank(inst));
-    } else if (uses_core_ranking()) {
-      solver.set_variable_rank(ranking_.project(inst));
-    }
-
-    const sat::Result res = solver.solve();
+    const sat::SolverStats before = solver.stats();
+    const sat::Result res = solver.solve(prep.assumptions);
 
     DepthStats stats;
     stats.depth = k;
     stats.result = res;
-    stats.decisions = solver.stats().decisions;
-    stats.propagations = solver.stats().propagations;
-    stats.conflicts = solver.stats().conflicts;
-    stats.time_sec = solver.stats().solve_time_sec;
-    stats.cnf_vars = inst.num_vars();
-    stats.cnf_clauses = inst.num_clauses();
+    stats.decisions = solver.stats().decisions - before.decisions;
+    stats.propagations = solver.stats().propagations - before.propagations;
+    stats.conflicts = solver.stats().conflicts - before.conflicts;
+    stats.time_sec = solver.stats().solve_time_sec - before.solve_time_sec;
+    stats.cnf_vars = prep.cnf_vars;
+    stats.cnf_clauses = prep.cnf_clauses;
+    const EncodeStats encode = tape_->stats_at(k);
+    stats.simplified_vars_removed = encode.vars_removed;
+    stats.simplified_clauses_removed = encode.clauses_removed;
     stats.rank_switched = solver.stats().rank_switched;
 
     if (res == sat::Result::Sat) {
-      Trace trace = extract_trace(net_, inst, solver);
+      Trace trace = extract_trace(net_, k, session->origin(), solver);
       if (config_.validate_counterexamples) {
         REFBMC_ASSERT_MSG(validate_trace(net_, trace, bad_index_),
                           "BMC produced a counter-example that does not "
@@ -160,102 +179,13 @@ BmcResult BmcEngine::run_scratch() {
         REFBMC_ASSERT_MSG(check.core_unsat,
                           "extracted unsat core is not unsatisfiable");
       }
-      if (uses_core_ranking()) ranking_.update(inst, core_vars, k);
+      if (uses_core_ranking()) ranking_.update(session->origin(), core_vars, k);
     }
+    session->retire(k);
     result.per_depth.push_back(stats);
     result.last_completed_depth = k;
     REFBMC_DEBUG() << "depth " << k << " UNSAT, decisions=" << stats.decisions
                    << ", core_vars=" << stats.core_vars;
-  }
-
-  result.total_time_sec = total_timer.elapsed_sec();
-  return result;
-}
-
-BmcResult BmcEngine::run_incremental() {
-  BmcResult result;
-  Timer total_timer;
-  const Deadline total_deadline(config_.total_time_limit_sec);
-
-  sat::Solver solver(solver_config_for_policy());
-  solver.set_stop_flag(config_.stop);
-  IncrementalUnroller unroller(net_, solver, bad_index_);
-  const bool track_cores =
-      uses_core_ranking() || config_.always_track_cdg;
-
-  sat::SolverStats prev = solver.stats();
-  for (int k = config_.start_depth; k <= config_.max_depth; ++k) {
-    if (total_deadline.expired() || cancelled()) {
-      result.status = BmcResult::Status::ResourceLimit;
-      break;
-    }
-    const sat::Lit assumption = unroller.activation(k);
-    if (uses_core_ranking())
-      solver.set_variable_rank(ranking_.project(unroller.origin()));
-
-    const double remaining = total_deadline.remaining_sec();
-    double limit = -1.0;
-    if (config_.per_instance_time_limit_sec > 0.0 ||
-        config_.total_time_limit_sec > 0.0) {
-      limit = config_.per_instance_time_limit_sec > 0.0
-                  ? std::min(config_.per_instance_time_limit_sec, remaining)
-                  : remaining;
-    }
-    solver.set_resource_limits(config_.per_instance_conflict_limit, limit);
-
-    const sat::Result res = solver.solve({assumption});
-
-    DepthStats stats;
-    stats.depth = k;
-    stats.result = res;
-    stats.decisions = solver.stats().decisions - prev.decisions;
-    stats.propagations = solver.stats().propagations - prev.propagations;
-    stats.conflicts = solver.stats().conflicts - prev.conflicts;
-    stats.time_sec = solver.stats().solve_time_sec - prev.solve_time_sec;
-    stats.cnf_vars = unroller.origin().size();
-    stats.cnf_clauses = solver.num_original_clauses();
-    stats.rank_switched = solver.stats().rank_switched;
-    prev = solver.stats();
-
-    if (res == sat::Result::Sat) {
-      BmcInstance view;  // origin/depth adaptor for trace extraction
-      view.depth = k;
-      view.origin = unroller.origin();
-      Trace trace = extract_trace(net_, view, solver);
-      if (config_.validate_counterexamples) {
-        REFBMC_ASSERT_MSG(validate_trace(net_, trace, bad_index_),
-                          "BMC produced a counter-example that does not "
-                          "replay on the simulator");
-      }
-      result.per_depth.push_back(stats);
-      result.status = BmcResult::Status::CounterexampleFound;
-      result.counterexample = std::move(trace);
-      result.counterexample_depth = k;
-      result.last_completed_depth = k;
-      break;
-    }
-    if (res == sat::Result::Unknown) {
-      result.per_depth.push_back(stats);
-      result.status = BmcResult::Status::ResourceLimit;
-      break;
-    }
-
-    // UNSAT at depth k: harvest the core, refine, deactivate the guard.
-    if (track_cores) {
-      const std::vector<sat::Var> core_vars = solver.unsat_core_vars();
-      stats.core_vars = core_vars.size();
-      stats.core_clauses = solver.unsat_core().size();
-      if (config_.verify_cores) {
-        const sat::CoreCheck check = sat::verify_core(solver);
-        REFBMC_ASSERT_MSG(check.core_unsat,
-                          "extracted unsat core is not unsatisfiable");
-      }
-      if (uses_core_ranking())
-        ranking_.update(unroller.origin(), core_vars, k);
-    }
-    unroller.deactivate(k);
-    result.per_depth.push_back(stats);
-    result.last_completed_depth = k;
   }
 
   result.total_time_sec = total_timer.elapsed_sec();

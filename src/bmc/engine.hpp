@@ -3,11 +3,17 @@
 //   refine_order_bmc(M, P):
 //     initialize varRank
 //     for each k in the bound range:
-//       F = gen_cnf_formula(M, P, k)           // Eq. 1 via the Unroller
+//       F = gen_cnf_formula(M, P, k)           // Eq. 1 via the FrameEncoder
 //       (isSat, unsatVars) = sat_check(F, varRank)
 //       if isSat: return counter-example
 //       update_ranking(unsatVars, varRank)     // bmc_score accumulation
 //     return bound reached
+//
+// One loop serves every mode: the formula comes from a SharedTape
+// (encoded once, frame by frame) and a FormulaSession decides how each
+// depth is queried — a fresh solver per depth fed from the tape
+// (scratch), or one persistent solver with activation literals
+// (incremental).  See session.hpp.
 //
 // The ordering policy selects how varRank is used by the solver:
 //   Baseline   — ignored (pure Chaff VSIDS; the paper's "standard BMC");
@@ -19,14 +25,16 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string_view>
 #include <vector>
 
 #include "bmc/cnf.hpp"
+#include "bmc/encoder.hpp"
 #include "bmc/ranking.hpp"
+#include "bmc/tape.hpp"
 #include "bmc/trace.hpp"
-#include "bmc/unroller.hpp"
 #include "model/netlist.hpp"
 #include "sat/solver.hpp"
 #include "util/assert.hpp"
@@ -74,9 +82,19 @@ struct EngineConfig {
   /// Incremental mode (the combination with incremental SAT proposed in
   /// the paper's conclusion): one persistent solver, frames added once,
   /// per-depth properties enabled by assumption.  Learned clauses — and
-  /// VSIDS activity — carry over between depths.  Requires BadMode::Last
-  /// and a policy other than Shtrichman.
+  /// VSIDS activity — carry over between depths.  Supports both bad
+  /// modes; the Shtrichman ordering (which ranks a fixed instance) is
+  /// scratch-only.
   bool incremental = false;
+  /// Frame-wise formula simplification (constant propagation from the
+  /// initial states, structural hashing of the unrolled AIG, latch
+  /// aliasing) on top of the COI cut.  DepthStats reports the savings.
+  bool simplify = true;
+  /// When non-null, this engine replays the given shared formula instead
+  /// of encoding its own — the portfolio's encode-once racing.  Must
+  /// match (netlist, bad_index, bad_mode, simplify) and outlive run().
+  /// Not owned.
+  SharedTape* shared_tape = nullptr;
   /// Collect unsat cores even for the baseline (costs the §3.1 overhead;
   /// the baseline of the paper's Table 1 runs with this off).
   bool always_track_cdg = false;
@@ -108,6 +126,10 @@ struct DepthStats {
   double time_sec = 0.0;
   std::size_t cnf_vars = 0;
   std::size_t cnf_clauses = 0;
+  /// Simplification savings, cumulative over frames 0..depth (what the
+  /// encoder removed relative to the unsimplified encoding).
+  std::uint64_t simplified_vars_removed = 0;
+  std::uint64_t simplified_clauses_removed = 0;
   std::size_t core_clauses = 0;  // when UNSAT and cores tracked
   std::size_t core_vars = 0;
   bool rank_switched = false;  // dynamic policy fell back to VSIDS
@@ -141,12 +163,10 @@ class BmcEngine {
 
   /// Accumulated register-axis scores (inspectable between runs).
   const CoreRanking& ranking() const { return ranking_; }
-  const Unroller& unroller() const { return unroller_; }
+  /// The formula this engine solves from (shared or engine-owned).
+  const SharedTape& tape() const { return *tape_; }
 
  private:
-  BmcResult run_scratch();
-  BmcResult run_incremental();
-
   bool cancelled() const {
     return config_.stop != nullptr &&
            config_.stop->load(std::memory_order_relaxed);
@@ -161,7 +181,8 @@ class BmcEngine {
   const model::Netlist& net_;
   EngineConfig config_;
   std::size_t bad_index_;
-  Unroller unroller_;
+  std::unique_ptr<SharedTape> owned_tape_;  // when no shared tape given
+  SharedTape* tape_;
   CoreRanking ranking_;
 };
 

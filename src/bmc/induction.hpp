@@ -19,8 +19,8 @@
 
 #include "bmc/engine.hpp"
 #include "bmc/ranking.hpp"
+#include "bmc/tape.hpp"
 #include "bmc/trace.hpp"
-#include "bmc/unroller.hpp"
 #include "model/netlist.hpp"
 
 namespace refbmc::bmc {
@@ -34,6 +34,8 @@ struct InductionConfig {
   /// Pairwise state-distinctness constraints on the step path; required
   /// for completeness, can be disabled to measure their cost.
   bool simple_path = true;
+  /// Frame-wise formula simplification (see EngineConfig::simplify).
+  bool simplify = true;
   int dynamic_switch_divisor = 64;
   bool validate_counterexamples = true;
   double total_time_limit_sec = -1.0;
@@ -70,18 +72,23 @@ class InductionProver {
   const CoreRanking& step_ranking() const { return step_ranking_; }
 
  private:
+  /// A per-k query: a fresh solver fed by replaying one of the two tapes
+  /// (base: with I(V⁰); step: without), plus the property-shape clauses.
   struct SolveOutcome {
     sat::Result result;
     std::unique_ptr<sat::Solver> solver;  // alive for model extraction
+    std::vector<VarOrigin> origin;
   };
-  SolveOutcome solve_instance(const BmcInstance& inst, CoreRanking& ranking,
-                              int k, std::uint64_t& decisions,
+  SolveOutcome solve_instance(SharedTape& tape, int depth, bool is_step,
+                              CoreRanking& ranking, int k,
+                              std::uint64_t& decisions,
                               std::uint64_t& conflicts, double deadline_sec);
 
   const model::Netlist& net_;
   InductionConfig config_;
   std::size_t bad_index_;
-  Unroller unroller_;
+  SharedTape base_tape_;  // frames with the initial-state predicate
+  SharedTape step_tape_;  // frames with frame 0 unconstrained
   CoreRanking base_ranking_;
   CoreRanking step_ranking_;
 };

@@ -1,0 +1,112 @@
+#include "bmc/session.hpp"
+
+#include "util/assert.hpp"
+
+namespace refbmc::bmc {
+
+namespace {
+
+class ScratchSession final : public FormulaSession {
+ public:
+  ScratchSession(SharedTape& tape, const sat::SolverConfig& scfg)
+      : tape_(tape), scfg_(scfg) {}
+
+  Prepared prepare(int k) override {
+    solver_ = std::make_unique<sat::Solver>(scfg_);
+    origin_.clear();
+    ClauseTape::Cursor cursor;
+    SolverSink sink(*solver_, origin_);
+    tape_.replay_to(k, cursor, sink);
+
+    const sat::Lit prop = cursor.translate(tape_.property(k));
+    solver_->add_clause({prop});
+
+    Prepared p;
+    p.solver = solver_.get();
+    p.property_lit = prop;
+    p.cnf_vars = origin_.size();
+    p.cnf_clauses = solver_->num_original_clauses();
+    return p;
+  }
+
+  void retire(int) override {}  // the next depth starts from scratch
+
+  const std::vector<VarOrigin>& origin() const override { return origin_; }
+
+ private:
+  SharedTape& tape_;
+  sat::SolverConfig scfg_;
+  std::unique_ptr<sat::Solver> solver_;
+  std::vector<VarOrigin> origin_;
+};
+
+class IncrementalSession final : public FormulaSession {
+ public:
+  IncrementalSession(SharedTape& tape, const sat::SolverConfig& scfg)
+      : tape_(tape), solver_(std::make_unique<sat::Solver>(scfg)) {}
+
+  Prepared prepare(int k) override {
+    REFBMC_EXPECTS_MSG(k >= prepared_depth_,
+                       "incremental session depths must be non-decreasing");
+    SolverSink sink(*solver_, origin_);
+    tape_.replay_to(k, cursor_, sink);
+    prepared_depth_ = k;
+
+    while (static_cast<int>(activation_.size()) <= k)
+      activation_.push_back(sat::kLitUndef);
+    sat::Lit guard = activation_[static_cast<std::size_t>(k)];
+    if (guard.is_undef()) {
+      origin_.push_back(VarOrigin{model::kConstNode, -2});
+      guard = sat::Lit::make(solver_->new_var());
+      // Guarded property: assuming `guard` asserts the violation at k.
+      solver_->add_clause({~guard, cursor_.translate(tape_.property(k))});
+      activation_[static_cast<std::size_t>(k)] = guard;
+    }
+
+    Prepared p;
+    p.solver = solver_.get();
+    p.assumptions = {guard};
+    p.property_lit = cursor_.translate(tape_.property(k));
+    p.cnf_vars = origin_.size();
+    p.cnf_clauses = solver_->num_original_clauses();
+    return p;
+  }
+
+  void retire(int k) override {
+    REFBMC_EXPECTS(k >= 0 &&
+                   static_cast<std::size_t>(k) < activation_.size() &&
+                   !activation_[static_cast<std::size_t>(k)].is_undef());
+    while (static_cast<std::size_t>(k) >= retired_.size())
+      retired_.push_back(0);
+    if (retired_[static_cast<std::size_t>(k)]) return;
+    retired_[static_cast<std::size_t>(k)] = 1;
+    // Permanently disable the guard so BCP never revisits the dead
+    // property clause at deeper depths.
+    solver_->add_clause({~activation_[static_cast<std::size_t>(k)]});
+  }
+
+  const std::vector<VarOrigin>& origin() const override { return origin_; }
+
+ private:
+  SharedTape& tape_;
+  std::unique_ptr<sat::Solver> solver_;
+  ClauseTape::Cursor cursor_;
+  std::vector<VarOrigin> origin_;
+  std::vector<sat::Lit> activation_;  // per depth; undef = not created
+  std::vector<char> retired_;         // per depth
+  int prepared_depth_ = -1;
+};
+
+}  // namespace
+
+std::unique_ptr<FormulaSession> make_scratch_session(
+    SharedTape& tape, const sat::SolverConfig& solver_config) {
+  return std::make_unique<ScratchSession>(tape, solver_config);
+}
+
+std::unique_ptr<FormulaSession> make_incremental_session(
+    SharedTape& tape, const sat::SolverConfig& solver_config) {
+  return std::make_unique<IncrementalSession>(tape, solver_config);
+}
+
+}  // namespace refbmc::bmc

@@ -1,0 +1,63 @@
+// FormulaSession: the strategy that turns the shared formula stream into
+// per-depth SAT queries.  The engine's single loop (engine.cpp) is
+// parameterized by it:
+//
+//   * scratch     — a fresh solver per depth, fed by replaying the shared
+//                   tape from the start and asserting the depth-k
+//                   property as a unit (the paper's Fig. 5 discipline);
+//   * incremental — one persistent solver fed tape deltas, the depth-k
+//                   property guarded by an activation literal enabled via
+//                   solve-under-assumptions (Eén–Sörensson; the
+//                   combination with incremental SAT the paper's
+//                   conclusion proposes).  Learned clauses — and, for the
+//                   refined ordering, VSIDS scores — carry over between
+//                   depths; retire(k) permanently disables a proven
+//                   depth's guard so BCP never revisits it.
+//
+// Either way the formula itself is encoded exactly once, by whichever
+// SharedTape the session was given — private to one engine, or shared
+// across a portfolio race.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bmc/tape.hpp"
+#include "sat/solver.hpp"
+
+namespace refbmc::bmc {
+
+class FormulaSession {
+ public:
+  /// One prepared depth: the solver to query, the assumptions to pass,
+  /// and the solver-space property literal (the ¬P(V^k) handle — seed of
+  /// the Shtrichman ordering, unit-asserted by scratch, guarded by
+  /// incremental).
+  struct Prepared {
+    sat::Solver* solver = nullptr;
+    std::vector<sat::Lit> assumptions;
+    sat::Lit property_lit;
+    std::size_t cnf_vars = 0;
+    std::size_t cnf_clauses = 0;
+  };
+
+  virtual ~FormulaSession() = default;
+
+  /// Makes depth k ready to solve.  Depths must be non-decreasing.  The
+  /// returned solver stays valid until the next prepare() call (long
+  /// enough for model/core extraction).
+  virtual Prepared prepare(int k) = 0;
+
+  /// Called after depth k came back UNSAT, before moving on.
+  virtual void retire(int k) = 0;
+
+  /// CNF-variable origins of the current solver (index = solver var).
+  virtual const std::vector<VarOrigin>& origin() const = 0;
+};
+
+std::unique_ptr<FormulaSession> make_scratch_session(
+    SharedTape& tape, const sat::SolverConfig& solver_config);
+std::unique_ptr<FormulaSession> make_incremental_session(
+    SharedTape& tape, const sat::SolverConfig& solver_config);
+
+}  // namespace refbmc::bmc

@@ -6,20 +6,21 @@
 
 namespace refbmc::bmc {
 
-std::vector<double> shtrichman_rank(const BmcInstance& inst) {
-  const std::size_t n = inst.num_vars();
+std::vector<double> shtrichman_rank(
+    std::size_t num_vars, const std::vector<std::span<const sat::Lit>>& clauses,
+    sat::Var seed) {
+  const std::size_t n = num_vars;
   // Build variable adjacency through shared clauses.  For BFS we walk
   // clause → variables; visiting each clause once keeps this linear.
   std::vector<std::vector<std::size_t>> clauses_of_var(n);
-  for (std::size_t ci = 0; ci < inst.cnf.clauses.size(); ++ci)
-    for (const sat::Lit l : inst.cnf.clauses[ci])
+  for (std::size_t ci = 0; ci < clauses.size(); ++ci)
+    for (const sat::Lit l : clauses[ci])
       clauses_of_var[static_cast<std::size_t>(l.var())].push_back(ci);
 
   std::vector<int> dist(n, -1);
-  std::vector<char> clause_done(inst.cnf.clauses.size(), 0);
+  std::vector<char> clause_done(clauses.size(), 0);
   std::deque<sat::Var> queue;
 
-  const sat::Var seed = inst.bad_lit.var();
   REFBMC_ASSERT(static_cast<std::size_t>(seed) < n);
   dist[static_cast<std::size_t>(seed)] = 0;
   queue.push_back(seed);
@@ -33,7 +34,7 @@ std::vector<double> shtrichman_rank(const BmcInstance& inst) {
     for (const std::size_t ci : clauses_of_var[static_cast<std::size_t>(v)]) {
       if (clause_done[ci]) continue;
       clause_done[ci] = 1;
-      for (const sat::Lit l : inst.cnf.clauses[ci]) {
+      for (const sat::Lit l : clauses[ci]) {
         const auto u = static_cast<std::size_t>(l.var());
         if (dist[u] < 0) {
           dist[u] = d + 1;
@@ -48,6 +49,21 @@ std::vector<double> shtrichman_rank(const BmcInstance& inst) {
     if (dist[v] >= 0)
       rank[v] = static_cast<double>(max_dist + 1 - dist[v]);
   return rank;
+}
+
+std::vector<double> shtrichman_rank(const BmcInstance& inst) {
+  std::vector<std::span<const sat::Lit>> views(inst.cnf.clauses.begin(),
+                                               inst.cnf.clauses.end());
+  return shtrichman_rank(inst.num_vars(), views, inst.bad_lit.var());
+}
+
+std::vector<double> shtrichman_rank(const sat::Solver& solver, sat::Lit seed) {
+  std::vector<std::span<const sat::Lit>> views;
+  views.reserve(solver.num_original_clauses());
+  for (const sat::ClauseId id : solver.original_ids())
+    views.emplace_back(solver.original_clause(id));
+  return shtrichman_rank(static_cast<std::size_t>(solver.num_vars()), views,
+                         seed.var());
 }
 
 }  // namespace refbmc::bmc

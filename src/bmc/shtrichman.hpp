@@ -8,16 +8,29 @@
 // implement it as a comparison baseline.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "bmc/cnf.hpp"
+#include "sat/solver.hpp"
 
 namespace refbmc::bmc {
 
-/// Per-CNF-variable ranks: the seed variables (those of the ¬P constraint,
-/// i.e. the bad literal's clause) get the highest rank, then descending by
+/// Per-CNF-variable ranks: the seed variable (that of the ¬P constraint,
+/// i.e. the property literal) gets the highest rank, then descending by
 /// BFS distance through clause incidence.  Variables unreachable from the
-/// property get rank 0.
+/// property get rank 0.  `clauses` is a vector of literal views — no
+/// clause data is copied.
+std::vector<double> shtrichman_rank(
+    std::size_t num_vars, const std::vector<std::span<const sat::Lit>>& clauses,
+    sat::Var seed);
+
+/// Over an instance buffer (seed = the asserted bad literal).
 std::vector<double> shtrichman_rank(const BmcInstance& inst);
+
+/// Over the original clauses already loaded into a solver — the engine's
+/// scratch session path, where the formula lives in the solver rather
+/// than in an instance buffer.
+std::vector<double> shtrichman_rank(const sat::Solver& solver, sat::Lit seed);
 
 }  // namespace refbmc::bmc

@@ -1,0 +1,92 @@
+#include "bmc/tape.hpp"
+
+#include "util/assert.hpp"
+
+namespace refbmc::bmc {
+
+void ClauseTape::replay(Cursor& cursor, const Mark& upto,
+                        ClauseSink& out) const {
+  REFBMC_EXPECTS(upto.ops <= ops_.size());
+  std::vector<sat::Lit> clause;
+  while (cursor.op < upto.ops) {
+    const std::int32_t op = ops_[cursor.op++];
+    if (op == kVarOp) {
+      cursor.var_map.push_back(out.add_var(origin_[cursor.var_map.size()]));
+      continue;
+    }
+    clause.clear();
+    for (std::int32_t i = 0; i < op; ++i)
+      clause.push_back(cursor.translate(lits_[cursor.lit++]));
+    out.add_clause(clause);
+  }
+}
+
+SharedTape::SharedTape(const model::Netlist& net, std::size_t bad_index,
+                       EncoderOptions opts)
+    : net_(net),
+      bad_index_(bad_index),
+      opts_(opts),
+      encoder_(net, tape_, bad_index, opts) {}
+
+void SharedTape::ensure_locked(int k) {
+  REFBMC_EXPECTS(k >= 0);
+  while (encoder_.encoded_depth() < k) {
+    encoder_.encode_to(encoder_.encoded_depth() + 1);
+    depth_marks_.push_back(tape_.mark());
+    depth_stats_.push_back(encoder_.stats());
+  }
+}
+
+void SharedTape::ensure_depth(int k) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ensure_locked(k);
+}
+
+void SharedTape::replay_to(int k, ClauseTape::Cursor& cursor,
+                           ClauseSink& out) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ensure_locked(k);
+  tape_.replay(cursor, depth_marks_[static_cast<std::size_t>(k)], out);
+}
+
+sat::Lit SharedTape::property(int k) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ensure_locked(k);
+  return encoder_.property(k);
+}
+
+sat::Lit SharedTape::bad(int frame) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ensure_locked(frame);
+  return encoder_.bad(frame);
+}
+
+std::vector<sat::Lit> SharedTape::latch_lits(int frame) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ensure_locked(frame);
+  return encoder_.latch_lits(frame);
+}
+
+ClauseTape::Mark SharedTape::mark_at(int k) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ensure_locked(k);
+  return depth_marks_[static_cast<std::size_t>(k)];
+}
+
+std::uint64_t SharedTape::frames_encoded() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return encoder_.stats().frames_encoded;
+}
+
+EncodeStats SharedTape::stats_at(int k) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ensure_locked(k);
+  return depth_stats_[static_cast<std::size_t>(k)];
+}
+
+EncodeStats SharedTape::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return encoder_.stats();
+}
+
+}  // namespace refbmc::bmc

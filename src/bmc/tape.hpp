@@ -1,0 +1,134 @@
+// Replayable clause streams and the thread-safe shared formula.
+//
+// A ClauseTape records the encoder's output — variable creations and
+// clauses, in order — so the formula can be replayed into any number of
+// sinks without re-encoding: a fresh solver per depth (scratch session),
+// a persistent solver fed deltas (incremental session), or the P racing
+// solvers of the portfolio (encode-once racing).  A Cursor tracks how far
+// one consumer has replayed and carries the tape-var → sink-var
+// translation (sinks may interleave their own variables, e.g. activation
+// literals, so the spaces differ in general).
+//
+// SharedTape wraps tape + FrameEncoder behind a mutex: ensure_depth(k)
+// encodes frames at most once regardless of how many threads ask, and
+// replay_to() streams a consumer forward.  Replay happens under the lock
+// too — clause copying is orders of magnitude cheaper than solving, so
+// contention is negligible next to the O(P × k²) re-encoding it replaces.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "bmc/encoder.hpp"
+
+namespace refbmc::bmc {
+
+class ClauseTape final : public ClauseSink {
+ public:
+  /// A position in the stream; taken with mark(), consumed by replay().
+  struct Mark {
+    std::size_t ops = 0;
+    std::size_t lits = 0;
+    std::size_t vars = 0;
+    std::size_t clauses = 0;
+  };
+
+  /// One consumer's replay state.  var_map[i] is the sink variable that
+  /// tape variable i became.
+  struct Cursor {
+    std::size_t op = 0;
+    std::size_t lit = 0;
+    std::vector<sat::Var> var_map;
+
+    /// Translates a tape-space literal into the sink's variable space.
+    /// Only valid for variables the cursor has already replayed.
+    sat::Lit translate(sat::Lit tape_lit) const {
+      REFBMC_EXPECTS(static_cast<std::size_t>(tape_lit.var()) <
+                     var_map.size());
+      return sat::Lit::make(var_map[static_cast<std::size_t>(tape_lit.var())],
+                            tape_lit.negated());
+    }
+  };
+
+  // ---- recording (ClauseSink) -----------------------------------------
+  sat::Var add_var(const VarOrigin& origin) override {
+    const auto v = static_cast<sat::Var>(origin_.size());
+    origin_.push_back(origin);
+    ops_.push_back(kVarOp);
+    return v;
+  }
+  void add_clause(std::span<const sat::Lit> lits) override {
+    ops_.push_back(static_cast<std::int32_t>(lits.size()));
+    lits_.insert(lits_.end(), lits.begin(), lits.end());
+    ++num_clauses_;
+  }
+
+  // ---- reading ---------------------------------------------------------
+  Mark mark() const {
+    return Mark{ops_.size(), lits_.size(), origin_.size(), num_clauses_};
+  }
+  std::size_t num_vars() const { return origin_.size(); }
+  std::size_t num_clauses() const { return num_clauses_; }
+  const std::vector<VarOrigin>& origin() const { return origin_; }
+
+  /// Replays events in [cursor, upto) into `out`, advancing the cursor.
+  void replay(Cursor& cursor, const Mark& upto, ClauseSink& out) const;
+
+ private:
+  static constexpr std::int32_t kVarOp = -1;
+
+  std::vector<std::int32_t> ops_;  // kVarOp or a literal count
+  std::vector<sat::Lit> lits_;     // flattened clause literals
+  std::vector<VarOrigin> origin_;  // per tape variable
+  std::size_t num_clauses_ = 0;
+};
+
+/// The one formula of a (netlist, property) pair, encoded exactly once
+/// and consumed by any number of sessions, possibly concurrently.
+class SharedTape {
+ public:
+  SharedTape(const model::Netlist& net, std::size_t bad_index = 0,
+             EncoderOptions opts = {});
+
+  const model::Netlist& net() const { return net_; }
+  std::size_t bad_index() const { return bad_index_; }
+  const EncoderOptions& options() const { return opts_; }
+
+  /// Encodes frames up to depth k if not yet present.  Thread-safe; the
+  /// frames_encoded() counter advances at most once per depth, ever.
+  void ensure_depth(int k);
+
+  /// Replays everything up to depth k's mark (ensuring it first) into
+  /// `out`, advancing `cursor`.  Thread-safe.
+  void replay_to(int k, ClauseTape::Cursor& cursor, ClauseSink& out);
+
+  // Tape-space literals (ensure_depth is implied); translate through a
+  // replay cursor before handing them to a sink's solver.
+  sat::Lit property(int k);
+  sat::Lit bad(int frame);
+  std::vector<sat::Lit> latch_lits(int frame);
+
+  /// Formula size at depth k's mark (what a scratch consumer sees).
+  ClauseTape::Mark mark_at(int k);
+
+  std::uint64_t frames_encoded() const;
+  /// Cumulative encoder counters after frame k (simplification savings
+  /// for DepthStats).
+  EncodeStats stats_at(int k);
+  EncodeStats stats() const;
+
+ private:
+  void ensure_locked(int k);
+
+  mutable std::mutex mu_;
+  const model::Netlist& net_;
+  std::size_t bad_index_;
+  EncoderOptions opts_;
+  ClauseTape tape_;
+  FrameEncoder encoder_;
+  std::vector<ClauseTape::Mark> depth_marks_;  // per encoded depth
+  std::vector<EncodeStats> depth_stats_;       // cumulative per depth
+};
+
+}  // namespace refbmc::bmc

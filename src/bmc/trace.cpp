@@ -35,17 +35,18 @@ std::string Trace::to_string(const model::Netlist& net) const {
   return os.str();
 }
 
-Trace extract_trace(const model::Netlist& net, const BmcInstance& inst,
+Trace extract_trace(const model::Netlist& net, int depth,
+                    const std::vector<VarOrigin>& origin,
                     const sat::Solver& solver) {
   Trace trace;
-  trace.depth = inst.depth;
-  trace.bad_frame = inst.depth;  // refined below for BadMode::Any
+  trace.depth = depth;
+  trace.bad_frame = depth;  // where BadMode::Last asserts the violation
 
   // Index model (node, frame) → CNF var from the origin map.
   std::unordered_map<std::uint64_t, sat::Var> var_at;
-  var_at.reserve(inst.origin.size());
-  for (std::size_t v = 0; v < inst.origin.size(); ++v) {
-    const VarOrigin& o = inst.origin[v];
+  var_at.reserve(origin.size());
+  for (std::size_t v = 0; v < origin.size(); ++v) {
+    const VarOrigin& o = origin[v];
     if (o.frame < 0) continue;
     var_at[(static_cast<std::uint64_t>(o.node) << 20) |
            static_cast<std::uint64_t>(o.frame)] = static_cast<sat::Var>(v);
@@ -59,8 +60,8 @@ Trace extract_trace(const model::Netlist& net, const BmcInstance& inst,
   };
 
   const auto& ins = net.inputs();
-  trace.inputs.resize(static_cast<std::size_t>(inst.depth) + 1);
-  for (int f = 0; f <= inst.depth; ++f) {
+  trace.inputs.resize(static_cast<std::size_t>(depth) + 1);
+  for (int f = 0; f <= depth; ++f) {
     auto& frame = trace.inputs[static_cast<std::size_t>(f)];
     frame.resize(ins.size());
     for (std::size_t i = 0; i < ins.size(); ++i)

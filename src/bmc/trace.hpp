@@ -26,10 +26,19 @@ struct Trace {
   std::string to_string(const model::Netlist& net) const;
 };
 
-/// Reads a counter-example out of `solver`'s model for `inst`.
-/// Inputs/latches outside the cone of influence default to 0.
-Trace extract_trace(const model::Netlist& net, const BmcInstance& inst,
+/// Reads a counter-example of length `depth` out of `solver`'s model,
+/// locating circuit values through the `origin` map (solver var →
+/// (node, frame)).  Inputs/latches outside the cone of influence — or
+/// simplified away by the encoder — default to 0.
+Trace extract_trace(const model::Netlist& net, int depth,
+                    const std::vector<VarOrigin>& origin,
                     const sat::Solver& solver);
+
+/// Convenience for instance buffers.
+inline Trace extract_trace(const model::Netlist& net, const BmcInstance& inst,
+                           const sat::Solver& solver) {
+  return extract_trace(net, inst.depth, inst.origin, solver);
+}
 
 /// Replays the trace on the simulator; returns true iff the bad signal of
 /// `bad_index` is 1 at some frame ≤ trace.depth (and records it — the

@@ -73,6 +73,14 @@ RaceResult PortfolioScheduler::race(
   RaceResult out;
   out.entrants.resize(policies.size());
 
+  // Encode once: every entrant replays this shared formula instead of
+  // unrolling its own copy (frames_encoded stays one-per-depth no matter
+  // how many policies race).
+  bmc::EncoderOptions tape_opts;
+  tape_opts.mode = base.bad_mode;
+  tape_opts.simplify = base.simplify;
+  bmc::SharedTape tape(net, bad_index, tape_opts);
+
   std::atomic<bool> stop{false};
   std::atomic<int> winner{-1};
   std::atomic<std::size_t> done{0};
@@ -90,8 +98,10 @@ RaceResult PortfolioScheduler::race(
         job.name = to_string(policies[i]);
         job.config = base;
         job.config.policy = policies[i];
+        job.config.shared_tape = &tape;
         // The Shtrichman ordering has no incremental mode; demote that
-        // entrant to scratch solving rather than disqualifying it.
+        // entrant to scratch solving rather than disqualifying it
+        // (scratch and incremental sessions replay the same tape).
         if (job.config.incremental &&
             policies[i] == bmc::OrderingPolicy::Shtrichman)
           job.config.incremental = false;
@@ -119,6 +129,7 @@ RaceResult PortfolioScheduler::race(
 
   out.winner = winner.load();
   out.wall_time_sec = timer.elapsed_sec();
+  out.frames_encoded = tape.frames_encoded();
   return out;
 }
 
@@ -193,6 +204,7 @@ ResolvedPortfolio resolve(const PortfolioConfig& cfg) {
   }
   r.engine.max_depth = cfg.max_depth;
   r.engine.incremental = cfg.incremental;
+  r.engine.simplify = cfg.simplify;
   r.engine.total_time_limit_sec = cfg.budget_sec;
   return r;
 }

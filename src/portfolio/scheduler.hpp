@@ -17,6 +17,10 @@
 // Both modes rely on the cooperative stop flag threaded through
 // sat::Solver (conflict/restart/decision boundaries) and bmc::BmcEngine
 // (per-depth), so cancellation latency is bounded by one BCP pass.
+//
+// Races are encode-once: the instance is encoded into one SharedTape and
+// every entrant's solver is fed by replaying it, so race startup does one
+// frame encoding per depth instead of one per (depth, policy).
 #pragma once
 
 #include <string>
@@ -34,6 +38,10 @@ struct RaceResult {
   std::vector<JobResult> entrants;
   int winner = -1;  // index into entrants; -1 when nobody finished
   double wall_time_sec = 0.0;
+  /// Frames encoded by the race's shared formula tape: exactly one per
+  /// depth any entrant reached, independent of the number of policies
+  /// (the encode-once guarantee, asserted by tests).
+  std::uint64_t frames_encoded = 0;
 
   bool has_winner() const { return winner >= 0; }
   const JobResult& winning() const;

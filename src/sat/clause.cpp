@@ -11,6 +11,7 @@ ClauseRef ClauseArena::alloc(const std::vector<Lit>& lits, ClauseId id,
   data_.push_back((static_cast<std::uint32_t>(lits.size()) << 2) |
                   (learnt ? 2u : 0u));
   data_.push_back(0);  // activity = 0.0f bit pattern
+  data_.push_back(static_cast<std::uint32_t>(lits.size()));  // capacity
   for (const Lit l : lits)
     data_.push_back(static_cast<std::uint32_t>(l.index()));
   return cref;
@@ -19,8 +20,17 @@ ClauseRef ClauseArena::alloc(const std::vector<Lit>& lits, ClauseId id,
 void ClauseArena::free_clause(ClauseRef cref) {
   Clause c = get(cref);
   REFBMC_ASSERT(!c.dead());
+  // The tail beyond size() (if the clause was shrunk) is already counted.
   wasted_ += Clause::kHeaderWords + c.size();
   c.mark_dead();
+}
+
+void ClauseArena::shrink_clause(ClauseRef cref, std::uint32_t n) {
+  Clause c = get(cref);
+  REFBMC_ASSERT(!c.dead());
+  REFBMC_ASSERT(n >= 1 && n <= c.size());
+  wasted_ += c.size() - n;
+  c.set_size(n);
 }
 
 void ClauseArena::garbage_collect(
@@ -30,16 +40,21 @@ void ClauseArena::garbage_collect(
   std::size_t read = 0;
   while (read < data_.size()) {
     Clause c(data_.data() + read);
-    const std::size_t words = Clause::kHeaderWords + c.size();
+    // Advance by the allocation footprint; copy only the live prefix, so
+    // shrunk tails are reclaimed here.
+    const std::uint32_t live_lits = c.size();  // before the move clobbers c
+    const std::size_t footprint = Clause::kHeaderWords + c.capacity();
+    const std::size_t live = Clause::kHeaderWords + live_lits;
     if (!c.dead()) {
       relocation.emplace_back(static_cast<ClauseRef>(read),
                               static_cast<ClauseRef>(write));
       if (write != read)
         std::memmove(data_.data() + write, data_.data() + read,
-                     words * sizeof(std::uint32_t));
-      write += words;
+                     live * sizeof(std::uint32_t));
+      Clause(data_.data() + write).set_capacity(live_lits);
+      write += live;
     }
-    read += words;
+    read += footprint;
   }
   data_.resize(write);
   wasted_ = 0;

@@ -4,7 +4,13 @@
 // pointer, so the arena can be garbage-collected when clause deletion has
 // left enough dead space.  Layout per clause:
 //
-//   [ id ] [ size<<2 | learnt<<1 | dead ] [ activity(float) ] [ lits... ]
+//   [ id ] [ size<<2 | learnt<<1 | dead ] [ activity(float) ] [ capacity ]
+//   [ lits... (capacity slots, first `size` live) ]
+//
+// `capacity` is the allocation size; in-place shrinking (tail-literal
+// removal after clause minimization) lowers `size` below it, credits the
+// dropped words to the arena's waste accounting, and the compaction walk
+// still advances by capacity so the arena never loses its framing.
 //
 // The id is the pseudo-ID from the paper's simplified conflict-dependency
 // graph (§3.1): it survives clause deletion, which is the whole point.
@@ -41,29 +47,32 @@ class Clause {
   }
   void set_activity(float a) { std::memcpy(&base_[2], &a, sizeof(float)); }
 
+  /// Allocation size: >= size(); the gap is waste reclaimed at the next
+  /// garbage_collect.
+  std::uint32_t capacity() const { return base_[3]; }
+
   Lit operator[](std::uint32_t i) const {
-    return lit_from_raw(base_[3 + i]);
+    return lit_from_raw(base_[4 + i]);
   }
   void set_lit(std::uint32_t i, Lit l) {
-    base_[3 + i] = static_cast<std::uint32_t>(l.index());
+    base_[4 + i] = static_cast<std::uint32_t>(l.index());
   }
   void swap_lits(std::uint32_t i, std::uint32_t j) {
-    std::swap(base_[3 + i], base_[3 + j]);
-  }
-
-  /// Shrinks the clause in place to its first `n` literals.
-  void shrink(std::uint32_t n) {
-    REFBMC_ASSERT(n <= size());
-    base_[1] = (n << 2) | (base_[1] & 3u);
+    std::swap(base_[4 + i], base_[4 + j]);
   }
 
   static Lit lit_from_raw(std::uint32_t raw) {
     return Lit::make(static_cast<Var>(raw >> 1), (raw & 1u) != 0);
   }
 
-  static constexpr std::uint32_t kHeaderWords = 3;
+  static constexpr std::uint32_t kHeaderWords = 4;
 
  private:
+  friend class ClauseArena;  // size/capacity bookkeeping stays in the arena
+
+  void set_size(std::uint32_t n) { base_[1] = (n << 2) | (base_[1] & 3u); }
+  void set_capacity(std::uint32_t n) { base_[3] = n; }
+
   std::uint32_t* base_;
 };
 
@@ -87,6 +96,12 @@ class ClauseArena {
   /// Marks a clause dead and accounts for its space.  The words remain
   /// until garbage_collect().
   void free_clause(ClauseRef cref);
+
+  /// Shrinks a clause in place to its first `n` literals, crediting the
+  /// dropped tail words to the waste accounting so should_collect() sees
+  /// the space clause minimization frees.  The tail is reclaimed at the
+  /// next garbage_collect().
+  void shrink_clause(ClauseRef cref, std::uint32_t n);
 
   std::size_t wasted_words() const { return wasted_; }
   std::size_t used_words() const { return data_.size(); }

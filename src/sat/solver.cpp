@@ -446,6 +446,30 @@ bool Solver::clause_locked(ClauseRef cref) const {
          value(c[0]) == l_True;
 }
 
+void Solver::strengthen_learned(ClauseRef cref) {
+  // Drops tail literals that are false at decision level 0 — permanently
+  // false, so removal is sound at any current level.  The watched
+  // positions 0/1 are left alone (watch invariants stay intact; a false
+  // watch of a satisfied/propagating clause is legal and rare).
+  Clause c = arena_.get(cref);
+  std::uint32_t i = 2;
+  std::uint32_t n = c.size();
+  while (i < n) {
+    const Lit l = c[i];
+    if (value(l) == l_False &&
+        level_[static_cast<std::size_t>(l.var())] == 0) {
+      c.swap_lits(i, n - 1);
+      --n;
+    } else {
+      ++i;
+    }
+  }
+  if (n < c.size()) {
+    stats_.strengthened_literals += c.size() - n;
+    arena_.shrink_clause(cref, n);
+  }
+}
+
 void Solver::reduce_db() {
   ++stats_.reduce_db_runs;
   std::sort(learned_crefs_.begin(), learned_crefs_.end(),
@@ -455,6 +479,13 @@ void Solver::reduce_db() {
   const std::size_t target = learned_crefs_.size() / 2;
   std::size_t kept = 0;
   std::size_t removed = 0;
+  // In-place strengthening of kept clauses is only done when the CDG is
+  // off: with core tracking on, a strengthened clause would additionally
+  // depend on the reason closure of the removed root literals, and the
+  // CDG's antecedent lists are frozen at learn time — dropping the
+  // literals without those edges could make extracted cores too small.
+  const bool strengthen = !config_.track_cdg;
+
   for (std::size_t i = 0; i < learned_crefs_.size(); ++i) {
     const ClauseRef cref = learned_crefs_[i];
     const Clause c = arena_.get(cref);
@@ -463,6 +494,7 @@ void Solver::reduce_db() {
       arena_.free_clause(cref);
       ++removed;
     } else {
+      if (strengthen) strengthen_learned(cref);
       learned_crefs_[kept++] = cref;
     }
   }

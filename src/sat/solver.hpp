@@ -195,6 +195,9 @@ class Solver {
                       const std::vector<ClauseId>& antecedents);
   void bump_clause_activity(Clause c);
   void decay_clause_activity() { cla_inc_ /= config_.clause_decay; }
+  /// Shrinks a kept learned clause in place by removing root-false tail
+  /// literals (track_cdg off only; see reduce_db).
+  void strengthen_learned(ClauseRef cref);
   void reduce_db();
   bool clause_locked(ClauseRef cref) const;
   void garbage_collect();

@@ -15,6 +15,9 @@ struct SolverStats {
   std::uint64_t learned_literals = 0;
   std::uint64_t deleted_clauses = 0;
   std::uint64_t minimized_literals = 0;  // removed by clause minimization
+  /// Root-false literals dropped in place from kept learned clauses
+  /// during reduceDB (only with track_cdg off; see Solver::reduce_db).
+  std::uint64_t strengthened_literals = 0;
   std::uint64_t vsids_updates = 0;
   std::uint64_t reduce_db_runs = 0;
   std::uint64_t arena_gcs = 0;

@@ -104,6 +104,7 @@ PortfolioConfig PortfolioConfig::from_options(const Options& opts) {
     }
   }
   cfg.incremental = opts.get_bool("incremental", cfg.incremental);
+  cfg.simplify = opts.get_bool("simplify", cfg.simplify);
   return cfg;
 }
 

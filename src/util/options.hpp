@@ -48,11 +48,12 @@ struct PortfolioConfig {
   double budget_sec = -1.0;  // wall-clock budget per race / batch (<=0: none)
   std::uint64_t seed = 1;    // base RNG seed; worker w uses seed + w
   bool incremental = false;  // per-job incremental SAT mode
+  bool simplify = true;      // frame-wise formula simplification
 
   /// Reads `--threads`, `--policies a,b,c`, `--depth`, `--budget`,
-  /// `--seed`, `--incremental`; absent options keep the defaults above.
-  /// Throws std::invalid_argument on malformed values (threads < 1,
-  /// empty policy list, non-numeric numbers).
+  /// `--seed`, `--incremental`, `--simplify 0|1`; absent options keep the
+  /// defaults above.  Throws std::invalid_argument on malformed values
+  /// (threads < 1, empty policy list, non-numeric numbers).
   static PortfolioConfig from_options(const Options& opts);
 };
 

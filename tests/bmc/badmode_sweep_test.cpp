@@ -1,0 +1,61 @@
+// BadMode agreement sweep: over the benchgen suite, a full BMC run in
+// BadMode::Last and one in BadMode::Any must agree on counter-example
+// existence (the loop covers every depth, so "cex of some length ≤ bound"
+// is the same question either way), in both scratch and incremental
+// sessions, with and without simplification — and Any must find the cex
+// at the same earliest depth as Last.
+#include <gtest/gtest.h>
+
+#include "bmc/engine.hpp"
+#include "model/benchgen.hpp"
+
+namespace refbmc::bmc {
+namespace {
+
+struct SweepMode {
+  bool incremental;
+  bool simplify;
+};
+
+class BadModeSweep : public ::testing::TestWithParam<SweepMode> {};
+
+TEST_P(BadModeSweep, AnyAndLastAgreeOnCexExistence) {
+  for (const auto& bm : model::quick_suite()) {
+    SCOPED_TRACE(bm.name);
+    EngineConfig last;
+    last.policy = OrderingPolicy::Dynamic;
+    last.max_depth = bm.suggested_bound;
+    last.incremental = GetParam().incremental;
+    last.simplify = GetParam().simplify;
+    EngineConfig any = last;
+    any.bad_mode = BadMode::Any;
+
+    const BmcResult rl = BmcEngine(bm.net, last).run();
+    const BmcResult ra = BmcEngine(bm.net, any).run();
+
+    const bool last_cex =
+        rl.status == BmcResult::Status::CounterexampleFound;
+    const bool any_cex = ra.status == BmcResult::Status::CounterexampleFound;
+    EXPECT_EQ(last_cex, any_cex);
+    EXPECT_EQ(last_cex, bm.expect_fail);
+    if (last_cex) {
+      // The loop stops at the earliest violating depth in both modes.
+      EXPECT_EQ(rl.counterexample_depth, ra.counterexample_depth);
+      EXPECT_EQ(rl.counterexample_depth, bm.expect_depth);
+      ASSERT_TRUE(ra.counterexample.has_value());
+      EXPECT_TRUE(validate_trace(bm.net, *ra.counterexample));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sessions, BadModeSweep,
+    ::testing::Values(SweepMode{false, true}, SweepMode{false, false},
+                      SweepMode{true, true}, SweepMode{true, false}),
+    [](const auto& info) {
+      return std::string(info.param.incremental ? "incremental" : "scratch") +
+             (info.param.simplify ? "_simplify" : "_plain");
+    });
+
+}  // namespace
+}  // namespace refbmc::bmc

@@ -1,0 +1,123 @@
+// encode_path semantics: the path-only instance used by k-induction —
+// optional init, exposed per-frame bad literals and latch literals.
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "bmc/encoder.hpp"
+#include "model/benchgen.hpp"
+#include "model/builder.hpp"
+#include "sat/solver.hpp"
+
+namespace refbmc::bmc {
+namespace {
+
+using test::load;
+
+EncoderOptions path_opts(bool constrain_init, bool simplify = false) {
+  EncoderOptions o;
+  o.constrain_init = constrain_init;
+  o.simplify = simplify;
+  return o;
+}
+
+TEST(EncodePathTest, NoPropertyClauseMeansSat) {
+  // The bare path is always satisfiable (any execution is a model).
+  const auto bm = model::counter_safe(4, 6, 10);
+  for (const bool init : {true, false}) {
+    for (const bool simplify : {false, true}) {
+      const BmcInstance inst =
+          encode_path(bm.net, 0, 3, path_opts(init, simplify));
+      sat::Solver s;
+      load(s, inst.cnf);
+      EXPECT_EQ(s.solve(), sat::Result::Sat) << init << simplify;
+    }
+  }
+}
+
+TEST(EncodePathTest, BadFramesMatchDepth) {
+  const auto bm = model::fifo_safe(3);
+  const BmcInstance inst = encode_path(bm.net, 0, 5, path_opts(true));
+  EXPECT_EQ(inst.bad_frames.size(), 6u);
+  EXPECT_EQ(inst.latch_frames.size(), 6u);
+  for (const auto& frame : inst.latch_frames)
+    EXPECT_EQ(frame.size(), bm.net.num_latches());
+}
+
+TEST(EncodePathTest, InitConstrainsFrameZero) {
+  // With init: counter at frame 0 is 0, so bad at frame 0 (cnt==0) holds
+  // in every model.  Without init: frame 0 is free, so ¬bad is possible.
+  model::Netlist net;
+  model::Builder b(net);
+  const model::Word cnt = b.latch_word("c", 3, 0);
+  b.set_next_word(cnt, b.increment(cnt));
+  net.add_bad(b.eq_const(cnt, 0), "at_zero");
+
+  for (const bool simplify : {false, true}) {
+    {
+      BmcInstance with_init = encode_path(net, 0, 0, path_opts(true, simplify));
+      with_init.cnf.add_clause({~with_init.bad_frames[0]});
+      sat::Solver s;
+      load(s, with_init.cnf);
+      EXPECT_EQ(s.solve(), sat::Result::Unsat) << simplify;
+    }
+    {
+      BmcInstance free = encode_path(net, 0, 0, path_opts(false, simplify));
+      free.cnf.add_clause({~free.bad_frames[0]});
+      sat::Solver s;
+      load(s, free.cnf);
+      EXPECT_EQ(s.solve(), sat::Result::Sat) << simplify;
+    }
+  }
+}
+
+TEST(EncodePathTest, TransitionsStillEnforcedWithoutInit) {
+  // Free frame 0, but frames remain T-coupled: cnt@1 = cnt@0 + 1, so
+  // asserting cnt@0 == 2 ∧ cnt@1 == 5 is UNSAT.
+  model::Netlist net;
+  model::Builder b(net);
+  const model::Word cnt = b.latch_word("c", 3, 0);
+  b.set_next_word(cnt, b.increment(cnt));
+  net.add_bad(b.eq_const(cnt, 2), "at2");  // bad_frames = (cnt == 2)
+  for (const bool simplify : {false, true}) {
+    BmcInstance inst = encode_path(net, 0, 1, path_opts(false, simplify));
+    inst.cnf.add_clause({inst.bad_frames[0]});  // cnt@0 == 2
+    // cnt@1 == 5 via latch literals: 5 = 101₂.
+    const auto& l1 = inst.latch_frames[1];
+    ASSERT_EQ(l1.size(), 3u);
+    inst.cnf.add_clause({l1[0]});
+    inst.cnf.add_clause({~l1[1]});
+    inst.cnf.add_clause({l1[2]});
+    sat::Solver s;
+    load(s, inst.cnf);
+    EXPECT_EQ(s.solve(), sat::Result::Unsat) << simplify;
+    // And cnt@1 == 3 is fine.
+    BmcInstance ok = encode_path(net, 0, 1, path_opts(false, simplify));
+    ok.cnf.add_clause({ok.bad_frames[0]});
+    const auto& m1 = ok.latch_frames[1];
+    ok.cnf.add_clause({m1[0]});
+    ok.cnf.add_clause({m1[1]});
+    ok.cnf.add_clause({~m1[2]});
+    sat::Solver s2;
+    load(s2, ok.cnf);
+    EXPECT_EQ(s2.solve(), sat::Result::Sat) << simplify;
+  }
+}
+
+TEST(EncodePathTest, FullEqualsPathPlusProperty) {
+  // encode_full(k) in Last mode = encode_path(k, init) + unit bad@k.
+  const auto bm = model::counter_reach(4, 6, false);
+  for (int k = 4; k <= 7; ++k) {
+    BmcInstance path = encode_path(bm.net, 0, k, path_opts(true));
+    path.cnf.add_clause({path.bad_frames[static_cast<std::size_t>(k)]});
+    sat::Solver a, b2;
+    load(a, path.cnf);
+    EncoderOptions full_opts;
+    full_opts.simplify = false;
+    const BmcInstance full = encode_full(bm.net, 0, k, full_opts);
+    load(b2, full.cnf);
+    EXPECT_EQ(a.solve(), b2.solve()) << k;
+  }
+}
+
+}  // namespace
+}  // namespace refbmc::bmc

@@ -1,0 +1,307 @@
+// FrameEncoder semantics: the CNF of Eq. 1 must be satisfiable exactly
+// when a counter-example of the right length exists, its models must
+// match circuit simulation, and the frame-wise simplification layer
+// (constant propagation, structural hashing, latch aliasing) must change
+// instance sizes but never verdicts.
+#include "bmc/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "bmc/trace.hpp"
+#include "model/benchgen.hpp"
+#include "model/builder.hpp"
+#include "sat/solver.hpp"
+
+namespace refbmc::bmc {
+namespace {
+
+using model::Builder;
+using model::Netlist;
+using model::Signal;
+using model::Word;
+using test::load;
+
+EncoderOptions opts_for(BadMode mode, bool simplify) {
+  EncoderOptions o;
+  o.mode = mode;
+  o.simplify = simplify;
+  return o;
+}
+
+sat::Result solve_instance(const BmcInstance& inst) {
+  sat::Solver s;
+  load(s, inst.cnf);
+  return s.solve();
+}
+
+class EncoderModeTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(EncoderModeTest, CounterFailsExactlyAtTarget) {
+  const auto bm = model::counter_reach(4, 6, false);
+  for (int k = 0; k <= 8; ++k) {
+    const BmcInstance inst =
+        encode_full(bm.net, 0, k, opts_for(BadMode::Last, GetParam()));
+    EXPECT_EQ(solve_instance(inst),
+              k == 6 ? sat::Result::Sat : sat::Result::Unsat)
+        << "depth " << k;
+  }
+}
+
+TEST_P(EncoderModeTest, LastModeMissesEarlierFailures) {
+  // With an enable input the counter can also linger, so in Last mode
+  // depths beyond the minimum are satisfiable too.
+  const auto bm = model::counter_reach(4, 3, true);
+  const EncoderOptions o = opts_for(BadMode::Last, GetParam());
+  EXPECT_EQ(solve_instance(encode_full(bm.net, 0, 2, o)), sat::Result::Unsat);
+  EXPECT_EQ(solve_instance(encode_full(bm.net, 0, 3, o)), sat::Result::Sat);
+  EXPECT_EQ(solve_instance(encode_full(bm.net, 0, 4, o)), sat::Result::Sat);
+}
+
+TEST_P(EncoderModeTest, AnyModeSubsumesShallowerFailures) {
+  const auto bm = model::counter_reach(4, 3, false);
+  const EncoderOptions o = opts_for(BadMode::Any, GetParam());
+  EXPECT_EQ(solve_instance(encode_full(bm.net, 0, 2, o)), sat::Result::Unsat);
+  EXPECT_EQ(solve_instance(encode_full(bm.net, 0, 3, o)), sat::Result::Sat);
+  // Deterministic counter passes 3 only at depth 3, but Any-mode keeps
+  // the disjunction satisfiable at every deeper unrolling.
+  EXPECT_EQ(solve_instance(encode_full(bm.net, 0, 6, o)), sat::Result::Sat);
+}
+
+TEST_P(EncoderModeTest, InitialStatePredicates) {
+  // Latch inited to 1 with self-loop; bad = ¬latch: never fails.
+  Netlist net;
+  const Signal l = net.add_latch(sat::l_True);
+  net.set_next(l, l);
+  net.add_bad(!l, "went_low");
+  for (int k = 0; k <= 3; ++k)
+    EXPECT_EQ(solve_instance(
+                  encode_full(net, 0, k, opts_for(BadMode::Last, GetParam()))),
+              sat::Result::Unsat)
+        << k;
+}
+
+TEST_P(EncoderModeTest, UninitialisedLatchIsFree) {
+  Netlist net;
+  const Signal l = net.add_latch(sat::l_Undef);
+  net.set_next(l, l);
+  net.add_bad(l, "starts_high");
+  // Free initial value: bad can hold immediately.
+  EXPECT_EQ(solve_instance(
+                encode_full(net, 0, 0, opts_for(BadMode::Last, GetParam()))),
+            sat::Result::Sat);
+}
+
+TEST_P(EncoderModeTest, ConstantBadSignals) {
+  Netlist net;
+  net.add_latch(sat::l_False);
+  net.add_bad(Signal::constant(false), "never");
+  net.add_bad(Signal::constant(true), "always");
+  const EncoderOptions o = opts_for(BadMode::Last, GetParam());
+  EXPECT_EQ(solve_instance(encode_full(net, 0, 2, o)), sat::Result::Unsat);
+  EXPECT_EQ(solve_instance(encode_full(net, 1, 2, o)), sat::Result::Sat);
+}
+
+TEST_P(EncoderModeTest, ModelsReplayOnSimulator) {
+  // Any satisfying assignment of the unrolling must be a genuine trace.
+  const auto bm = model::fifo_buggy(3);
+  const BmcInstance inst = encode_full(bm.net, 0, bm.expect_depth,
+                                       opts_for(BadMode::Last, GetParam()));
+  sat::Solver s;
+  load(s, inst.cnf);
+  ASSERT_EQ(s.solve(), sat::Result::Sat);
+  const Trace trace = extract_trace(bm.net, inst, s);
+  EXPECT_TRUE(validate_trace(bm.net, trace));
+}
+
+INSTANTIATE_TEST_SUITE_P(SimplifyOnOff, EncoderModeTest, ::testing::Bool(),
+                         [](const auto& info) {
+                           return info.param ? "simplify" : "plain";
+                         });
+
+// ---- unsimplified structure (the textbook encoding) -----------------------
+
+TEST(EncoderTest, ConeOfInfluenceShrinksCnf) {
+  // Irrelevant side logic must not appear in the instance.
+  Netlist net;
+  Builder b(net);
+  const Word main_cnt = b.latch_word("main", 4, 0);
+  b.set_next_word(main_cnt, b.increment(main_cnt));
+  const Word side = b.latch_word("side", 8, 0);  // disconnected
+  b.set_next_word(side, b.increment(side));
+  net.add_bad(b.eq_const(main_cnt, 5), "hit");
+
+  Netlist small;
+  Builder sb(small);
+  const Word only = sb.latch_word("main", 4, 0);
+  sb.set_next_word(only, sb.increment(only));
+  small.add_bad(sb.eq_const(only, 5), "hit");
+
+  const EncoderOptions plain = opts_for(BadMode::Last, false);
+  const BmcInstance with_side = encode_full(net, 0, 3, plain);
+  const BmcInstance without = encode_full(small, 0, 3, plain);
+  EXPECT_EQ(with_side.num_vars(), without.num_vars());
+  EXPECT_EQ(with_side.num_clauses(), without.num_clauses());
+}
+
+TEST(EncoderTest, OriginMapIsConsistent) {
+  const auto bm = model::fifo_safe(3);
+  BmcInstance inst;
+  InstanceSink sink(inst);
+  FrameEncoder enc(bm.net, sink, 0, opts_for(BadMode::Last, false));
+  enc.encode_to(4);
+  EXPECT_EQ(inst.origin.size(), static_cast<std::size_t>(inst.cnf.num_vars));
+  // Var 0 is the auxiliary constant.
+  EXPECT_EQ(inst.origin[0].frame, -1);
+  // Every other variable maps to a cone node with a frame in [0, k].
+  int frames_seen = 0;
+  std::vector<char> frame_seen(5, 0);
+  for (std::size_t v = 1; v < inst.origin.size(); ++v) {
+    const VarOrigin& o = inst.origin[v];
+    EXPECT_GE(o.frame, 0);
+    EXPECT_LE(o.frame, 4);
+    EXPECT_GT(o.node, model::kConstNode);
+    if (!frame_seen[static_cast<std::size_t>(o.frame)]) {
+      frame_seen[static_cast<std::size_t>(o.frame)] = 1;
+      ++frames_seen;
+    }
+  }
+  EXPECT_EQ(frames_seen, 5);
+  // Per-frame variable blocks all have the cone size.
+  const std::size_t per_frame = (inst.origin.size() - 1) / 5;
+  EXPECT_EQ((inst.origin.size() - 1) % 5, 0u);
+  EXPECT_EQ(per_frame, enc.cone().size() - 1);  // minus constant node
+}
+
+TEST(EncoderTest, InstanceGrowsLinearlyWithDepth) {
+  const auto bm = model::counter_safe(6, 40, 50);
+  const EncoderOptions plain = opts_for(BadMode::Last, false);
+  const auto i1 = encode_full(bm.net, 0, 1, plain);
+  const auto i2 = encode_full(bm.net, 0, 2, plain);
+  const auto i3 = encode_full(bm.net, 0, 3, plain);
+  const std::size_t d21 = i2.num_clauses() - i1.num_clauses();
+  const std::size_t d32 = i3.num_clauses() - i2.num_clauses();
+  EXPECT_EQ(d21, d32);
+  EXPECT_GT(d21, 0u);
+}
+
+TEST(EncoderTest, EncodeOncePerFrame) {
+  const auto bm = model::fifo_safe(3);
+  BmcInstance inst;
+  InstanceSink sink(inst);
+  FrameEncoder enc(bm.net, sink, 0, {});
+  enc.encode_to(3);
+  EXPECT_EQ(enc.stats().frames_encoded, 4u);
+  enc.encode_to(3);  // idempotent
+  enc.encode_to(1);  // never re-encodes lower depths
+  EXPECT_EQ(enc.stats().frames_encoded, 4u);
+  enc.encode_to(5);
+  EXPECT_EQ(enc.stats().frames_encoded, 6u);
+}
+
+// ---- simplification layer ---------------------------------------------------
+
+TEST(EncoderSimplifyTest, ShrinksEveryQuickSuiteInstance) {
+  for (const auto& bm : model::quick_suite()) {
+    SCOPED_TRACE(bm.name);
+    const int k = std::min(bm.suggested_bound, 6);
+    const BmcInstance plain =
+        encode_full(bm.net, 0, k, opts_for(BadMode::Last, false));
+    const BmcInstance simp =
+        encode_full(bm.net, 0, k, opts_for(BadMode::Last, true));
+    EXPECT_LT(simp.num_vars(), plain.num_vars());
+    EXPECT_LT(simp.num_clauses(), plain.num_clauses());
+    // The counters balance: emitted + removed = the unsimplified count
+    // (the property clause is outside the encoder's count).
+    EXPECT_EQ(simp.encode.vars_emitted + simp.encode.vars_removed,
+              plain.encode.vars_emitted);
+    EXPECT_EQ(simp.encode.clauses_emitted + simp.encode.clauses_removed,
+              plain.encode.clauses_emitted);
+  }
+}
+
+TEST(EncoderSimplifyTest, PreservesVerdictsAcrossDepths) {
+  for (const auto& bm : model::quick_suite()) {
+    SCOPED_TRACE(bm.name);
+    const int bound = std::min(bm.suggested_bound, 8);
+    for (const BadMode mode : {BadMode::Last, BadMode::Any}) {
+      for (int k = 0; k <= bound; ++k) {
+        const auto plain =
+            solve_instance(encode_full(bm.net, 0, k, opts_for(mode, false)));
+        const auto simp =
+            solve_instance(encode_full(bm.net, 0, k, opts_for(mode, true)));
+        EXPECT_EQ(plain, simp) << "mode "
+                               << (mode == BadMode::Last ? "last" : "any")
+                               << " depth " << k;
+      }
+    }
+  }
+}
+
+TEST(EncoderSimplifyTest, ConstantPropagationSolvesPureCounter) {
+  // A counter with no inputs is fully determined by its initial state:
+  // constant propagation folds the entire unrolling away and the bad
+  // literal itself becomes constant.
+  const auto bm = model::counter_reach(5, 9, false);
+  const BmcInstance inst =
+      encode_full(bm.net, 0, 9, opts_for(BadMode::Last, true));
+  // Only the auxiliary constant variable remains.
+  EXPECT_EQ(inst.num_vars(), 1u);
+  EXPECT_EQ(solve_instance(inst), sat::Result::Sat);
+}
+
+TEST(EncoderSimplifyTest, StructuralHashingMergesDuplicatedLogic) {
+  // Two identical input-fed gate trees feeding the property collapse to
+  // one tree per frame under structural hashing of the unrolled AIG.
+  Netlist net;
+  Builder b(net);
+  const Signal a = net.add_input("a");
+  const Signal c = net.add_input("c");
+  const Signal l = net.add_latch(sat::l_False, "l");
+  const Signal g1 = net.add_and(a, c);
+  // The netlist's own strashing would merge an identical add_and(a, c),
+  // so build a structurally distinct node that only unrolls equal: latch
+  // XOR-style duplicate via two gates that fold once the latch is
+  // constant 0 at frame 0.
+  const Signal g2 = net.add_and(net.add_and(a, c), !l);
+  net.set_next(l, l);  // l stays 0 forever → g2 ≡ g1 in every frame
+  net.add_bad(net.add_and(g1, g2), "both");
+
+  const BmcInstance plain =
+      encode_full(net, 0, 3, opts_for(BadMode::Last, false));
+  const BmcInstance simp = encode_full(net, 0, 3, opts_for(BadMode::Last, true));
+  EXPECT_LT(simp.num_vars(), plain.num_vars());
+  EXPECT_EQ(solve_instance(plain), solve_instance(simp));
+}
+
+TEST(EncoderSimplifyTest, TracesStillExtractAndValidate) {
+  for (const auto& bm : model::quick_suite()) {
+    if (!bm.expect_fail) continue;
+    SCOPED_TRACE(bm.name);
+    const BmcInstance inst = encode_full(bm.net, 0, bm.expect_depth,
+                                         opts_for(BadMode::Last, true));
+    sat::Solver s;
+    load(s, inst.cnf);
+    ASSERT_EQ(s.solve(), sat::Result::Sat);
+    const Trace trace = extract_trace(bm.net, inst, s);
+    EXPECT_TRUE(validate_trace(bm.net, trace));
+  }
+}
+
+// ---- error handling ---------------------------------------------------------
+
+TEST(EncoderTest, RejectsMissingProperty) {
+  Netlist net;
+  net.add_latch(sat::l_False);
+  BmcInstance inst;
+  InstanceSink sink(inst);
+  EXPECT_THROW(FrameEncoder(net, sink, 0), std::invalid_argument);
+}
+
+TEST(EncoderTest, RejectsNegativeDepth) {
+  const auto bm = model::counter_reach(3, 2, false);
+  EXPECT_THROW(encode_full(bm.net, 0, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace refbmc::bmc

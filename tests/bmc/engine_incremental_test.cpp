@@ -1,10 +1,10 @@
 // Incremental BMC mode: verdict/depth equivalence with the scratch mode,
-// core soundness, and the machinery specifics (activation literals,
-// origin growth).
+// core soundness, and resource limits.  (Session-level machinery —
+// activation literals, guard retirement, origin growth — is covered in
+// session_test.cpp.)
 #include <gtest/gtest.h>
 
 #include "bmc/engine.hpp"
-#include "bmc/unroller.hpp"
 #include "model/benchgen.hpp"
 
 namespace refbmc::bmc {
@@ -41,6 +41,24 @@ INSTANTIATE_TEST_SUITE_P(Policies, IncrementalEquivalenceTest,
                            return std::string(to_string(info.param));
                          });
 
+TEST(IncrementalEngineTest, AnyModeMatchesScratchAnyMode) {
+  // BadMode::Any rides the tape's prefix-disjunction chain, so it works
+  // incrementally too; verdicts must match the scratch Any-mode run.
+  for (const auto& bm : model::quick_suite()) {
+    SCOPED_TRACE(bm.name);
+    EngineConfig scratch;
+    scratch.policy = OrderingPolicy::Dynamic;
+    scratch.bad_mode = BadMode::Any;
+    scratch.max_depth = bm.suggested_bound;
+    EngineConfig inc = scratch;
+    inc.incremental = true;
+    const BmcResult a = BmcEngine(bm.net, scratch).run();
+    const BmcResult b = BmcEngine(bm.net, inc).run();
+    EXPECT_EQ(a.status, b.status);
+    EXPECT_EQ(a.counterexample_depth, b.counterexample_depth);
+  }
+}
+
 TEST(IncrementalEngineTest, CoresVerifiedEveryDepth) {
   const auto bm = model::fifo_safe(3);
   EngineConfig cfg;
@@ -62,13 +80,10 @@ TEST(IncrementalEngineTest, RankingAccumulates) {
   EXPECT_EQ(engine.ranking().num_updates(), 7u);
 }
 
-TEST(IncrementalEngineTest, RejectsUnsupportedCombinations) {
+TEST(IncrementalEngineTest, RejectsShtrichmanOrdering) {
   const auto bm = model::counter_reach(3, 2, false);
   EngineConfig cfg;
   cfg.incremental = true;
-  cfg.bad_mode = BadMode::Any;
-  EXPECT_THROW(BmcEngine(bm.net, cfg).run(), std::invalid_argument);
-  cfg.bad_mode = BadMode::Last;
   cfg.policy = OrderingPolicy::Shtrichman;
   EXPECT_THROW(BmcEngine(bm.net, cfg).run(), std::invalid_argument);
 }
@@ -83,63 +98,6 @@ TEST(IncrementalEngineTest, ResourceLimitsRespected) {
   cfg.per_instance_conflict_limit = 1;
   const BmcResult r = BmcEngine(bm.net, cfg).run();
   EXPECT_EQ(r.status, BmcResult::Status::ResourceLimit);
-}
-
-TEST(IncrementalUnrollerTest, ActivationLiteralsAreDistinct) {
-  const auto bm = model::counter_reach(4, 6, false);
-  sat::Solver solver;
-  IncrementalUnroller unr(bm.net, solver, 0);
-  const sat::Lit a0 = unr.activation(0);
-  const sat::Lit a3 = unr.activation(3);
-  EXPECT_NE(a0.var(), a3.var());
-  EXPECT_EQ(unr.encoded_depth(), 3);
-  // Re-requesting is idempotent.
-  EXPECT_EQ(unr.activation(0), a0);
-  EXPECT_EQ(unr.activation(3), a3);
-}
-
-TEST(IncrementalUnrollerTest, SolveMatchesScratchUnrollerPerDepth) {
-  const auto bm = model::counter_reach(4, 6, false);
-  const Unroller scratch(bm.net);
-  sat::Solver solver;
-  IncrementalUnroller unr(bm.net, solver, 0);
-  for (int k = 0; k <= 8; ++k) {
-    const sat::Result inc_res = solver.solve({unr.activation(k)});
-    sat::Solver fresh;
-    const BmcInstance inst = scratch.unroll(k);
-    for (std::size_t v = 0; v < inst.num_vars(); ++v) fresh.new_var();
-    for (const auto& c : inst.cnf.clauses) fresh.add_clause(c);
-    EXPECT_EQ(inc_res, fresh.solve()) << "depth " << k;
-    if (inc_res == sat::Result::Unsat) unr.deactivate(k);
-  }
-}
-
-TEST(IncrementalUnrollerTest, OriginGrowsMonotonically) {
-  const auto bm = model::fifo_safe(3);
-  sat::Solver solver;
-  IncrementalUnroller unr(bm.net, solver, 0);
-  unr.activation(0);
-  const std::size_t at0 = unr.origin().size();
-  unr.activation(2);
-  const std::size_t at2 = unr.origin().size();
-  EXPECT_GT(at2, at0);
-  EXPECT_EQ(unr.origin().size(),
-            static_cast<std::size_t>(solver.num_vars()));
-  // Prefix is stable: variables never change origin.
-  unr.activation(4);
-  EXPECT_EQ(unr.origin()[at0 - 1].node, unr.origin()[at0 - 1].node);
-}
-
-TEST(IncrementalUnrollerTest, DeactivationIsPermanentAndIdempotent) {
-  const auto bm = model::counter_reach(3, 2, false);
-  sat::Solver solver;
-  IncrementalUnroller unr(bm.net, solver, 0);
-  const sat::Lit a2 = unr.activation(2);
-  EXPECT_EQ(solver.solve({a2}), sat::Result::Sat);  // cex at depth 2
-  unr.deactivate(2);
-  unr.deactivate(2);  // idempotent
-  EXPECT_EQ(solver.solve({a2}), sat::Result::Unsat);  // guard retired
-  EXPECT_THROW(unr.deactivate(9), std::invalid_argument);
 }
 
 TEST(IncrementalEngineTest, ReusesLearnedClausesAcrossDepths) {

@@ -80,13 +80,17 @@ TEST(PolicyEffectTest, CoreWeightingsAllSound) {
 }
 
 TEST(PolicyEffectTest, DynamicReportsSwitchOnHardInstances) {
-  // Accumulator UNSAT instances blow past #literals/64 decisions, so the
-  // dynamic policy must report fallback on at least one depth.
-  const auto bm = model::accumulator_reach(16, 4, 255);
+  // The deepest UNSAT accumulator instance (one short of the failure
+  // depth) blows past #literals/64 decisions, so the dynamic policy must
+  // report fallback on at least one depth.
+  const auto bm = model::accumulator_reach(16, 4, 255);  // fails at 17
   EngineConfig cfg;
   cfg.policy = OrderingPolicy::Dynamic;
-  cfg.max_depth = 14;  // stay below the failure depth: all UNSAT
+  cfg.max_depth = 16;  // stay below the failure depth: all UNSAT
   cfg.dynamic_switch_divisor = 64;
+  // The switch threshold (#literals/64) is calibrated against the
+  // textbook encoding; keep the instance at full size.
+  cfg.simplify = false;
   const BmcResult r = BmcEngine(bm.net, cfg).run();
   ASSERT_EQ(r.status, BmcResult::Status::BoundReached);
   bool any_switched = false;

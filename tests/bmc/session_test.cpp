@@ -1,0 +1,119 @@
+// FormulaSession semantics: scratch and incremental sessions over the
+// same SharedTape must agree with each other depth by depth, activation
+// guards must be distinct and permanently retired (no BCP revisits), and
+// origins must track the solver's variable space exactly.
+#include "bmc/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/benchgen.hpp"
+
+namespace refbmc::bmc {
+namespace {
+
+TEST(SessionTest, ScratchAndIncrementalAgreePerDepth) {
+  for (const bool simplify : {false, true}) {
+    const auto bm = model::counter_reach(4, 6, true);
+    EncoderOptions opts;
+    opts.simplify = simplify;
+    SharedTape tape(bm.net, 0, opts);
+    const auto scratch = make_scratch_session(tape, {});
+    const auto inc = make_incremental_session(tape, {});
+    for (int k = 0; k <= 8; ++k) {
+      const auto ps = scratch->prepare(k);
+      const auto pi = inc->prepare(k);
+      const sat::Result rs = ps.solver->solve(ps.assumptions);
+      const sat::Result ri = pi.solver->solve(pi.assumptions);
+      EXPECT_EQ(rs, ri) << "depth " << k << " simplify " << simplify;
+      EXPECT_EQ(rs, k >= 6 ? sat::Result::Sat : sat::Result::Unsat)
+          << "depth " << k;
+      if (rs == sat::Result::Unsat) {
+        scratch->retire(k);
+        inc->retire(k);
+      }
+    }
+  }
+}
+
+TEST(SessionTest, ActivationLiteralsAreDistinctAndStable) {
+  const auto bm = model::counter_reach(4, 6, false);
+  EncoderOptions opts;
+  opts.simplify = false;
+  SharedTape tape(bm.net, 0, opts);
+  const auto session = make_incremental_session(tape, {});
+  const auto p0 = session->prepare(0);
+  ASSERT_EQ(p0.assumptions.size(), 1u);
+  const sat::Lit a0 = p0.assumptions[0];
+  const auto p3 = session->prepare(3);
+  const sat::Lit a3 = p3.assumptions[0];
+  EXPECT_NE(a0.var(), a3.var());
+  // Re-preparing an already-guarded depth reuses its literal.
+  EXPECT_EQ(session->prepare(3).assumptions[0], a3);
+}
+
+TEST(SessionTest, OriginTracksSolverVariablesExactly) {
+  const auto bm = model::fifo_safe(3);
+  SharedTape tape(bm.net, 0, {});
+  const auto session = make_incremental_session(tape, {});
+  const auto p0 = session->prepare(0);
+  const std::size_t at0 = session->origin().size();
+  EXPECT_EQ(at0, static_cast<std::size_t>(p0.solver->num_vars()));
+  const auto p2 = session->prepare(2);
+  EXPECT_GT(session->origin().size(), at0);
+  EXPECT_EQ(session->origin().size(),
+            static_cast<std::size_t>(p2.solver->num_vars()));
+  // Prefix is stable: variables never change origin.
+  const VarOrigin before = session->origin()[at0 - 1];
+  session->prepare(4);
+  EXPECT_EQ(session->origin()[at0 - 1].node, before.node);
+  EXPECT_EQ(session->origin()[at0 - 1].frame, before.frame);
+}
+
+TEST(SessionTest, RetireIsPermanentAndSearchFree) {
+  // After retire(k) the depth-k guard is gone for good: re-assuming it
+  // refutes immediately at the root, with zero decisions — the solver
+  // never revisits the dead property clause.
+  const auto bm = model::counter_reach(3, 2, true);
+  SharedTape tape(bm.net, 0, {});
+  const auto session = make_incremental_session(tape, {});
+  const auto p2 = session->prepare(2);
+  ASSERT_EQ(p2.solver->solve(p2.assumptions), sat::Result::Sat);
+  session->retire(2);
+  session->retire(2);  // idempotent
+
+  const sat::SolverStats before = p2.solver->stats();
+  ASSERT_EQ(p2.solver->solve(p2.assumptions), sat::Result::Unsat);
+  const sat::SolverStats after = p2.solver->stats();
+  EXPECT_EQ(after.decisions, before.decisions);   // no search happened
+  EXPECT_EQ(after.conflicts, before.conflicts);   // refuted by BCP alone
+
+  // Deeper depths are unaffected by the retired guard.
+  const auto p3 = session->prepare(3);
+  EXPECT_EQ(p3.solver->solve(p3.assumptions), sat::Result::Sat);
+  // Retiring a depth that was never prepared is a contract violation.
+  EXPECT_THROW(session->retire(9), std::invalid_argument);
+}
+
+TEST(SessionTest, ScratchSolverIsFreshPerDepth) {
+  const auto bm = model::counter_safe(4, 10, 12);
+  SharedTape tape(bm.net, 0, {});
+  const auto session = make_scratch_session(tape, {});
+  const auto p0 = session->prepare(0);
+  sat::Solver* first = p0.solver;
+  EXPECT_EQ(p0.solver->solve(p0.assumptions), sat::Result::Unsat);
+  const auto p1 = session->prepare(1);
+  EXPECT_EQ(p1.solver->stats().decisions, 0u);  // untouched solver
+  EXPECT_NE(first, nullptr);
+  EXPECT_EQ(p1.solver->solve(p1.assumptions), sat::Result::Unsat);
+}
+
+TEST(SessionTest, IncrementalDepthsMustBeNonDecreasing) {
+  const auto bm = model::fifo_safe(3);
+  SharedTape tape(bm.net, 0, {});
+  const auto session = make_incremental_session(tape, {});
+  session->prepare(3);
+  EXPECT_THROW(session->prepare(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace refbmc::bmc

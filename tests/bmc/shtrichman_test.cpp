@@ -2,16 +2,24 @@
 
 #include <gtest/gtest.h>
 
-#include "bmc/unroller.hpp"
+#include "../helpers.hpp"
+#include "bmc/encoder.hpp"
 #include "model/benchgen.hpp"
 
 namespace refbmc::bmc {
 namespace {
 
+// The structural expectations below reason about per-frame variable
+// blocks, so they use the unsimplified (textbook) encoding.
+BmcInstance plain_instance(const model::Netlist& net, int k) {
+  EncoderOptions opts;
+  opts.simplify = false;
+  return encode_full(net, 0, k, opts);
+}
+
 TEST(ShtrichmanTest, SeedGetsHighestRank) {
   const auto bm = model::counter_reach(4, 6, true);
-  const Unroller unr(bm.net);
-  const BmcInstance inst = unr.unroll(4);
+  const BmcInstance inst = plain_instance(bm.net, 4);
   const std::vector<double> rank = shtrichman_rank(inst);
   ASSERT_EQ(rank.size(), inst.num_vars());
   const auto seed = static_cast<std::size_t>(inst.bad_lit.var());
@@ -23,8 +31,7 @@ TEST(ShtrichmanTest, RanksDecreaseWithDistanceFromProperty) {
   // On the unrolled counter, variables at the final frame (where ¬P sits)
   // should outrank variables at frame 0 on average.
   const auto bm = model::counter_reach(4, 6, true);
-  const Unroller unr(bm.net);
-  const BmcInstance inst = unr.unroll(5);
+  const BmcInstance inst = plain_instance(bm.net, 5);
   const std::vector<double> rank = shtrichman_rank(inst);
   double sum_last = 0, n_last = 0, sum_first = 0, n_first = 0;
   for (std::size_t v = 1; v < inst.origin.size(); ++v) {
@@ -43,8 +50,7 @@ TEST(ShtrichmanTest, RanksDecreaseWithDistanceFromProperty) {
 
 TEST(ShtrichmanTest, AllConnectedVariablesRanked) {
   const auto bm = model::fifo_safe(3);
-  const Unroller unr(bm.net);
-  const BmcInstance inst = unr.unroll(3);
+  const BmcInstance inst = plain_instance(bm.net, 3);
   const std::vector<double> rank = shtrichman_rank(inst);
   // Every circuit variable feeds the property through the unrolling, so
   // all of them get a positive rank.  The auxiliary constant variable
@@ -58,13 +64,27 @@ TEST(ShtrichmanTest, AllConnectedVariablesRanked) {
 
 TEST(ShtrichmanTest, RanksAreFiniteAndBounded) {
   const auto bm = model::peterson_safe();
-  const Unroller unr(bm.net);
-  const BmcInstance inst = unr.unroll(4);
+  const BmcInstance inst = plain_instance(bm.net, 4);
   const std::vector<double> rank = shtrichman_rank(inst);
   for (const double r : rank) {
     EXPECT_GE(r, 0.0);
     EXPECT_LE(r, static_cast<double>(inst.num_vars()));
   }
+}
+
+TEST(ShtrichmanTest, SolverOverloadMatchesInstanceOverload) {
+  // The engine ranks straight off the solver's original clauses; on the
+  // same formula that must give the same ranking as the instance path.
+  const auto bm = model::counter_reach(4, 6, true);
+  const BmcInstance inst = plain_instance(bm.net, 4);
+  sat::Solver solver;
+  test::load(solver, inst.cnf);
+  const std::vector<double> from_inst = shtrichman_rank(inst);
+  const std::vector<double> from_solver =
+      shtrichman_rank(solver, inst.bad_lit);
+  ASSERT_EQ(from_inst.size(), from_solver.size());
+  for (std::size_t v = 0; v < from_inst.size(); ++v)
+    EXPECT_DOUBLE_EQ(from_inst[v], from_solver[v]) << v;
 }
 
 }  // namespace

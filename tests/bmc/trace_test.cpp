@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "../helpers.hpp"
-#include "bmc/unroller.hpp"
+#include "bmc/encoder.hpp"
 #include "model/benchgen.hpp"
 #include "model/builder.hpp"
 
@@ -16,8 +16,7 @@ using model::Signal;
 using test::load;
 
 Trace solve_and_extract(const model::Netlist& net, int depth) {
-  const Unroller unr(net);
-  const BmcInstance inst = unr.unroll(depth);
+  const BmcInstance inst = encode_full(net, 0, depth);
   sat::Solver s;
   load(s, inst.cnf);
   EXPECT_EQ(s.solve(), sat::Result::Sat);

@@ -45,18 +45,21 @@ TEST(PortfolioConfigTest, Defaults) {
   EXPECT_EQ(cfg.max_depth, 20);
   EXPECT_LT(cfg.budget_sec, 0.0);
   EXPECT_FALSE(cfg.incremental);
+  EXPECT_TRUE(cfg.simplify);
 }
 
 TEST(PortfolioConfigTest, ParsesEveryKnob) {
   const PortfolioConfig cfg = PortfolioConfig::from_options(
       parse({"--threads", "8", "--policies", "dynamic,static", "--depth",
-             "33", "--budget", "2.5", "--seed", "9", "--incremental"}));
+             "33", "--budget", "2.5", "--seed", "9", "--incremental",
+             "--simplify", "0"}));
   EXPECT_EQ(cfg.num_threads, 8);
   EXPECT_EQ(cfg.policies, (std::vector<std::string>{"dynamic", "static"}));
   EXPECT_EQ(cfg.max_depth, 33);
   EXPECT_DOUBLE_EQ(cfg.budget_sec, 2.5);
   EXPECT_EQ(cfg.seed, 9u);
   EXPECT_TRUE(cfg.incremental);
+  EXPECT_FALSE(cfg.simplify);
 }
 
 TEST(PortfolioConfigTest, RejectsBadValues) {
@@ -85,6 +88,7 @@ TEST(ResolveTest, MapsNamesToPoliciesAndEngineKnobs) {
   cfg.policies = {"static", "baseline"};
   cfg.max_depth = 12;
   cfg.incremental = true;
+  cfg.simplify = false;
   cfg.budget_sec = 1.5;
   cfg.num_threads = 2;
   const ResolvedPortfolio r = resolve(cfg);
@@ -92,6 +96,7 @@ TEST(ResolveTest, MapsNamesToPoliciesAndEngineKnobs) {
                             OrderingPolicy::Static, OrderingPolicy::Baseline}));
   EXPECT_EQ(r.engine.max_depth, 12);
   EXPECT_TRUE(r.engine.incremental);
+  EXPECT_FALSE(r.engine.simplify);
   EXPECT_DOUBLE_EQ(r.engine.total_time_limit_sec, 1.5);
   EXPECT_EQ(r.num_threads, 2);
 }

@@ -101,6 +101,42 @@ TEST(PortfolioRaceTest, ExternalStopCancelsTheWholeRace) {
     EXPECT_EQ(entrant.result.status, BmcResult::Status::ResourceLimit);
 }
 
+TEST(PortfolioRaceTest, RaceEncodesEachDepthExactlyOnce) {
+  // Encode-once racing: P policies racing to a bound of k perform exactly
+  // k+1 frame encodings total — one per depth, not one per (depth,
+  // policy).  A passing model forces every entrant through every depth.
+  const model::Benchmark bm = model::counter_safe(6, 40, 50);
+  const int bound = 8;
+  bmc::EngineConfig engine;
+  engine.max_depth = bound;
+  const PortfolioScheduler scheduler(4);
+  const RaceResult race = scheduler.race(bm.net, 0, engine);
+  ASSERT_TRUE(race.has_winner());
+  EXPECT_EQ(race.status(), BmcResult::Status::BoundReached);
+  EXPECT_EQ(race.frames_encoded, static_cast<std::uint64_t>(bound + 1));
+}
+
+TEST(PortfolioRaceTest, EncodeOnceHoldsForIncrementalEntrants) {
+  // Scratch (Shtrichman demotes to it) and incremental sessions replay
+  // the same shared tape; the encoding count stays one per depth.
+  const model::Benchmark bm = model::arbiter_safe(5);
+  const int bound = 6;
+  bmc::EngineConfig engine;
+  engine.max_depth = bound;
+  engine.incremental = true;
+  const PortfolioScheduler scheduler(4);
+  const RaceResult race = scheduler.race(bm.net, 0, engine);
+  ASSERT_TRUE(race.has_winner());
+  EXPECT_EQ(race.frames_encoded, static_cast<std::uint64_t>(bound + 1));
+  // And the verdict still matches a solo incremental run.
+  Job job;
+  job.net = &bm.net;
+  job.name = bm.name;
+  job.config = engine;
+  job.config.policy = bmc::OrderingPolicy::Dynamic;
+  EXPECT_EQ(run_job(job).result.status, race.status());
+}
+
 TEST(PortfolioRaceTest, RaceIsRepeatable) {
   // Fixed seeds and objective verdicts: repeated races of the same
   // instance give the same verdict and cex depth every time (the winning

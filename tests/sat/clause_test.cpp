@@ -53,11 +53,74 @@ TEST(ClauseArenaTest, SwapAndSetLits) {
 TEST(ClauseArenaTest, ShrinkKeepsPrefix) {
   ClauseArena arena;
   const ClauseRef cref = arena.alloc(lits({1, 2, 3, 4}), 1, false);
-  Clause c = arena.get(cref);
-  c.shrink(2);
+  arena.shrink_clause(cref, 2);
+  const Clause c = arena.get(cref);
   EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.capacity(), 4u);
   EXPECT_EQ(c[0], Lit::from_dimacs(1));
   EXPECT_EQ(c[1], Lit::from_dimacs(2));
+}
+
+TEST(ClauseArenaTest, ShrinkAccountsWaste) {
+  // Regression: tail literals dropped by in-place shrinking must be
+  // credited to the waste accounting, or should_collect() under-triggers
+  // after heavy clause minimization.
+  ClauseArena arena;
+  const ClauseRef cref = arena.alloc(lits({1, 2, 3, 4, 5}), 1, false);
+  EXPECT_EQ(arena.wasted_words(), 0u);
+  arena.shrink_clause(cref, 2);
+  EXPECT_EQ(arena.wasted_words(), 3u);
+  // Shrinking further credits only the delta.
+  arena.shrink_clause(cref, 1);
+  EXPECT_EQ(arena.wasted_words(), 4u);
+}
+
+TEST(ClauseArenaTest, ShrinkAloneTriggersCollection) {
+  ClauseArena arena;
+  std::vector<ClauseRef> refs;
+  for (int i = 0; i < 4; ++i)
+    refs.push_back(arena.alloc(lits({1, 2, 3, 4, 5, 6, 7, 8, 9, 10}),
+                               static_cast<ClauseId>(i + 1), false));
+  EXPECT_FALSE(arena.should_collect());
+  // Minimize every clause down to a binary: 8 of 14 words each go dead.
+  for (const ClauseRef cref : refs) arena.shrink_clause(cref, 2);
+  EXPECT_TRUE(arena.should_collect());
+}
+
+TEST(ClauseArenaTest, FreeAfterShrinkDoesNotDoubleCount) {
+  ClauseArena arena;
+  const ClauseRef cref = arena.alloc(lits({1, 2, 3, 4, 5}), 1, false);
+  const std::size_t footprint = arena.used_words();
+  arena.shrink_clause(cref, 2);
+  arena.free_clause(cref);
+  // Waste equals the clause's full footprint exactly once.
+  EXPECT_EQ(arena.wasted_words(), footprint);
+}
+
+TEST(ClauseArenaTest, GarbageCollectReclaimsShrunkTails) {
+  ClauseArena arena;
+  const ClauseRef a = arena.alloc(lits({1, 2, 3, 4, 5}), 1, false);
+  const ClauseRef b = arena.alloc(lits({-1, -2}), 2, false);
+  arena.shrink_clause(a, 2);
+  const std::size_t before = arena.used_words();
+  std::vector<std::pair<ClauseRef, ClauseRef>> map;
+  arena.garbage_collect(map);
+  ASSERT_EQ(map.size(), 2u);
+  // Both clauses survive; the shrunk one keeps its live prefix and the
+  // following clause moved down over the reclaimed tail.
+  const Clause ca = arena.get(map[0].second);
+  EXPECT_EQ(ca.id(), 1u);
+  EXPECT_EQ(ca.size(), 2u);
+  EXPECT_EQ(ca.capacity(), 2u);  // tail reclaimed
+  EXPECT_EQ(ca[0], Lit::from_dimacs(1));
+  EXPECT_EQ(ca[1], Lit::from_dimacs(2));
+  EXPECT_EQ(map[1].first, b);
+  EXPECT_LT(map[1].second, b);
+  const Clause cb = arena.get(map[1].second);
+  EXPECT_EQ(cb.id(), 2u);
+  EXPECT_EQ(cb[0], Lit::from_dimacs(-1));
+  EXPECT_EQ(arena.used_words(), before - 3);
+  EXPECT_EQ(arena.wasted_words(), 0u);
 }
 
 TEST(ClauseArenaTest, FreeAccountsWaste) {
