@@ -1,15 +1,27 @@
 // Micro-benchmarks (google-benchmark) for the substrate components:
 // BCP throughput, end-to-end solving, CNF generation, core extraction,
 // and the decision heap.
+//
+// `bench_micro --quick` skips the google-benchmark suite and instead
+// runs the benchgen quick suite end to end, writing BENCH_solver.json
+// (per-row and total propagations/sec, decisions, conflicts, and the
+// propagator hot-path counters) — the solver-core throughput record CI
+// uploads with the other BENCH artifacts.  `--full` does the same over
+// the 37-row standard suite.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
 
 #include "bmc/encoder.hpp"
 #include "bmc/ranking.hpp"
 #include "bmc/tape.hpp"
+#include "harness.hpp"
 #include "model/benchgen.hpp"
 #include "sat/solver.hpp"
 #include "util/heap.hpp"
 #include "util/rng.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -34,8 +46,11 @@ sat::Cnf pigeonhole(int pigeons, int holes) {
 
 void BM_BcpChain(benchmark::State& state) {
   // A long implication chain: one unit + N binary clauses; solving is
-  // pure BCP, so this measures propagation throughput.
+  // pure BCP, so this measures propagation throughput — since the chain
+  // is all binary clauses, specifically the inlined-binary-watch path.
   const int n = static_cast<int>(state.range(0));
+  std::uint64_t props = 0;
+  std::uint64_t bin_props = 0;
   for (auto _ : state) {
     state.PauseTiming();
     sat::Solver s;
@@ -45,10 +60,43 @@ void BM_BcpChain(benchmark::State& state) {
     state.ResumeTiming();
     s.add_clause({sat::Lit::make(0)});  // triggers the full chain
     benchmark::DoNotOptimize(s.solve());
+    props += s.stats().propagations;
+    bin_props += s.stats().binary_propagations;
   }
   state.SetItemsProcessed(state.iterations() * n);
+  state.counters["props_per_sec"] = benchmark::Counter(
+      static_cast<double>(props), benchmark::Counter::kIsRate);
+  state.counters["binary_share"] =
+      props > 0 ? static_cast<double>(bin_props) / static_cast<double>(props)
+                : 0.0;
 }
 BENCHMARK(BM_BcpChain)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BcpLongClauses(benchmark::State& state) {
+  // Chains built from ternary clauses with one always-false guard: every
+  // propagation walks the long-clause watch path, so together with
+  // BM_BcpChain this separates the binary-inline win from the
+  // blocking-literal win.
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t props = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    sat::Solver s;
+    for (int i = 0; i < n + 1; ++i) s.new_var();
+    const sat::Lit guard = sat::Lit::make(n);  // forced false below
+    for (int i = 0; i + 1 < n; ++i)
+      s.add_clause({sat::Lit::make(i, true), sat::Lit::make(i + 1), guard});
+    s.add_clause({~guard});
+    state.ResumeTiming();
+    s.add_clause({sat::Lit::make(0)});
+    benchmark::DoNotOptimize(s.solve());
+    props += s.stats().propagations;
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.counters["props_per_sec"] = benchmark::Counter(
+      static_cast<double>(props), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BcpLongClauses)->Arg(1000)->Arg(10000);
 
 void BM_SolvePigeonhole(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
@@ -163,6 +211,88 @@ void BM_HeapChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_HeapChurn)->Arg(1000)->Arg(10000);
 
+// ---- solver-core throughput record (BENCH_solver.json) -------------------
+
+int run_solver_suite(bool full) {
+  using benchharness::JsonWriter;
+  const std::vector<model::Benchmark> suite =
+      full ? model::standard_suite() : model::quick_suite();
+
+  JsonWriter w;
+  w.begin_object();
+  w.kv("bench", "solver");
+  w.kv("suite", full ? "standard" : "quick");
+  w.key("rows");
+  w.begin_array();
+
+  std::uint64_t tot_decisions = 0, tot_props = 0, tot_bin = 0, tot_skips = 0,
+                tot_conflicts = 0;
+  double tot_solve_time = 0.0;
+  for (const auto& bm : suite) {
+    bmc::EngineConfig cfg;
+    cfg.policy = bmc::OrderingPolicy::Baseline;  // pure solver throughput
+    cfg.max_depth = bm.suggested_bound;
+    bmc::BmcEngine engine(bm.net, cfg);
+    const bmc::BmcResult result = engine.run();
+
+    w.begin_object();
+    w.kv("name", bm.name);
+    w.kv("status", result.status == bmc::BmcResult::Status::CounterexampleFound
+                       ? "cex"
+                       : "bound");
+    w.kv("last_depth", result.last_completed_depth);
+    benchharness::write_solver_core_totals(w, result);
+    w.end_object();
+
+    tot_decisions += result.total_decisions();
+    tot_props += result.total_propagations();
+    tot_conflicts += result.total_conflicts();
+    for (const auto& d : result.per_depth) {
+      tot_bin += d.binary_propagations;
+      tot_skips += d.blocker_skips;
+      tot_solve_time += d.time_sec;
+    }
+  }
+  w.end_array();
+
+  w.key("totals");
+  w.begin_object();
+  w.kv("decisions", tot_decisions);
+  w.kv("propagations", tot_props);
+  w.kv("binary_propagations", tot_bin);
+  w.kv("blocker_skips", tot_skips);
+  w.kv("conflicts", tot_conflicts);
+  w.kv("solve_time_sec", tot_solve_time);
+  w.kv("props_per_sec", tot_solve_time > 0.0
+                            ? static_cast<double>(tot_props) / tot_solve_time
+                            : 0.0);
+  w.end_object();
+  w.end_object();
+
+  if (!w.write_file("BENCH_solver.json")) {
+    std::fprintf(stderr, "bench_micro: cannot write BENCH_solver.json\n");
+    return 1;
+  }
+  std::printf("bench_micro: wrote BENCH_solver.json (%zu rows, %.2fM props/s)\n",
+              suite.size(),
+              tot_solve_time > 0.0
+                  ? static_cast<double>(tot_props) / tot_solve_time / 1e6
+                  : 0.0);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // `--quick` / `--full` run the suite pass instead of google-benchmark
+  // (CI's BENCH_solver.json step); all other flags go to the library.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return run_solver_suite(false);
+    if (std::strcmp(argv[i], "--full") == 0) return run_solver_suite(true);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -125,6 +125,44 @@ class JsonWriter {
   bool just_keyed_ = false;
 };
 
+/// Serializes one DepthStats row, including the solver-core hot-path
+/// counters (binary propagations, blocking-literal skips) so BENCH_*.json
+/// tracks BCP throughput across PRs, not just verdicts.
+inline void write_depth_stats(JsonWriter& w, const bmc::DepthStats& d) {
+  w.begin_object();
+  w.kv("depth", d.depth);
+  w.kv("result", to_string(d.result));
+  w.kv("decisions", d.decisions);
+  w.kv("propagations", d.propagations);
+  w.kv("binary_propagations", d.binary_propagations);
+  w.kv("blocker_skips", d.blocker_skips);
+  w.kv("conflicts", d.conflicts);
+  w.kv("time_sec", d.time_sec);
+  w.end_object();
+}
+
+/// Serializes the solver-core totals of a finished run under keys shared
+/// with write_depth_stats, plus propagations/sec over the solve time.
+inline void write_solver_core_totals(JsonWriter& w,
+                                     const bmc::BmcResult& result) {
+  std::uint64_t bin = 0, skips = 0;
+  double solve_time = 0.0;
+  for (const auto& d : result.per_depth) {
+    bin += d.binary_propagations;
+    skips += d.blocker_skips;
+    solve_time += d.time_sec;
+  }
+  const std::uint64_t props = result.total_propagations();
+  w.kv("decisions", result.total_decisions());
+  w.kv("propagations", props);
+  w.kv("binary_propagations", bin);
+  w.kv("blocker_skips", skips);
+  w.kv("conflicts", result.total_conflicts());
+  w.kv("solve_time_sec", solve_time);
+  w.kv("props_per_sec",
+       solve_time > 0.0 ? static_cast<double>(props) / solve_time : 0.0);
+}
+
 struct PolicyRun {
   bmc::BmcResult result;
   /// cumulative_time[i] = seconds spent on depths start..i (prefix sums).

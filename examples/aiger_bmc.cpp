@@ -17,12 +17,11 @@
 namespace {
 
 refbmc::bmc::OrderingPolicy parse_policy(const std::string& name) {
-  using refbmc::bmc::OrderingPolicy;
-  if (name == "baseline") return OrderingPolicy::Baseline;
-  if (name == "static") return OrderingPolicy::Static;
-  if (name == "dynamic") return OrderingPolicy::Dynamic;
-  if (name == "shtrichman") return OrderingPolicy::Shtrichman;
-  throw std::invalid_argument("unknown --policy: " + name);
+  // The canonical name set (baseline, static, dynamic, replace,
+  // shtrichman, evsids) — one parser for every CLI.
+  const auto p = refbmc::bmc::parse_policy(name);
+  if (!p) throw std::invalid_argument("unknown --policy: " + name);
+  return *p;
 }
 
 }  // namespace

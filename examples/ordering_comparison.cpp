@@ -5,8 +5,9 @@
 //                           [--distractors R]
 //
 // Prints per-depth decision counts for standard BMC (pure VSIDS), the
-// static and dynamic refined orderings (§3.3), and the Shtrichman
-// time-axis ordering (related work), plus totals and speedup ratios.
+// static and dynamic refined orderings (§3.3), the Shtrichman time-axis
+// ordering (related work), and the EVSIDS scorer (the portfolio's fifth
+// entrant), plus totals and speedup ratios.
 #include <cstdio>
 #include <string>
 
@@ -44,11 +45,13 @@ int main(int argc, char** argv) {
 
   const OrderingPolicy policies[] = {
       OrderingPolicy::Baseline, OrderingPolicy::Static,
-      OrderingPolicy::Dynamic, OrderingPolicy::Shtrichman};
+      OrderingPolicy::Dynamic, OrderingPolicy::Shtrichman,
+      OrderingPolicy::Evsids};
+  constexpr int kNumPolicies = 5;
 
   const double budget = opts.get_double("budget", 5.0);
-  bmc::BmcResult results[4];
-  for (int p = 0; p < 4; ++p) {
+  bmc::BmcResult results[kNumPolicies];
+  for (int p = 0; p < kNumPolicies; ++p) {
     bmc::EngineConfig cfg;
     cfg.policy = policies[p];
     cfg.max_depth = bound;
@@ -61,11 +64,11 @@ int main(int argc, char** argv) {
                   results[p].last_completed_depth);
   }
 
-  std::printf("%5s %12s %12s %12s %12s   (decisions)\n", "depth", "baseline",
-              "static", "dynamic", "shtrichman");
+  std::printf("%5s %12s %12s %12s %12s %12s   (decisions)\n", "depth",
+              "baseline", "static", "dynamic", "shtrichman", "evsids");
   for (int k = 0; k <= bound; ++k) {
     std::printf("%5d", k);
-    for (int p = 0; p < 4; ++p) {
+    for (int p = 0; p < kNumPolicies; ++p) {
       const auto& pd = results[p].per_depth;
       if (static_cast<std::size_t>(k) < pd.size())
         std::printf(" %12llu",
@@ -80,7 +83,7 @@ int main(int argc, char** argv) {
   std::printf("\n%-12s %12s %14s %10s %8s\n", "policy", "decisions",
               "implications", "time(s)", "ratio");
   const double base_time = results[0].total_time_sec;
-  for (int p = 0; p < 4; ++p) {
+  for (int p = 0; p < kNumPolicies; ++p) {
     std::printf("%-12s %12llu %14llu %10.3f %7.0f%%\n",
                 to_string(policies[p]),
                 static_cast<unsigned long long>(results[p].total_decisions()),

@@ -78,12 +78,19 @@ sat::SolverConfig BmcEngine::solver_config_for_policy() const {
     case OrderingPolicy::Replace:
       scfg.rank_mode = sat::RankMode::Replace;
       break;
+    case OrderingPolicy::Evsids:
+      scfg.rank_mode = sat::RankMode::None;
+      scfg.decision = sat::DecisionMode::Evsids;
+      break;
   }
   scfg.dynamic_switch_divisor = config_.dynamic_switch_divisor;
   // Core tracking is what feeds the ranking refinement; the baseline
   // and the Shtrichman ordering do not need it (paper's standard BMC).
   scfg.track_cdg = uses_core_ranking() || config_.always_track_cdg;
-  scfg.conflict_limit = config_.per_instance_conflict_limit;
+  // The engine-level limit wins when set; otherwise a per-solve budget
+  // the caller put into the base SolverConfig stays in force.
+  if (config_.per_instance_conflict_limit >= 0)
+    scfg.conflict_limit = config_.per_instance_conflict_limit;
   return scfg;
 }
 
@@ -130,7 +137,11 @@ BmcResult BmcEngine::run() {
                   ? std::min(config_.per_instance_time_limit_sec, remaining)
                   : remaining;
     }
-    solver.set_resource_limits(config_.per_instance_conflict_limit, limit);
+    const std::int64_t conflict_limit =
+        config_.per_instance_conflict_limit >= 0
+            ? config_.per_instance_conflict_limit
+            : config_.solver.conflict_limit;
+    solver.set_resource_limits(conflict_limit, limit);
 
     const sat::SolverStats before = solver.stats();
     const sat::Result res = solver.solve(prep.assumptions);
@@ -140,6 +151,10 @@ BmcResult BmcEngine::run() {
     stats.result = res;
     stats.decisions = solver.stats().decisions - before.decisions;
     stats.propagations = solver.stats().propagations - before.propagations;
+    stats.binary_propagations =
+        solver.stats().binary_propagations - before.binary_propagations;
+    stats.blocker_skips =
+        solver.stats().blocker_skips - before.blocker_skips;
     stats.conflicts = solver.stats().conflicts - before.conflicts;
     stats.time_sec = solver.stats().solve_time_sec - before.solve_time_sec;
     stats.cnf_vars = prep.cnf_vars;

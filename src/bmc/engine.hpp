@@ -47,6 +47,7 @@ enum class OrderingPolicy {
   Dynamic,     // §3.3 dynamic: static until difficulty, then VSIDS
   Replace,     // §3.3's passed-over alternative: bmc_score only
   Shtrichman,  // related work: time-axis BFS ordering
+  Evsids,      // exponential VSIDS (MiniSat lineage), no rank feed
 };
 
 inline const char* to_string(OrderingPolicy p) {
@@ -56,16 +57,17 @@ inline const char* to_string(OrderingPolicy p) {
     case OrderingPolicy::Dynamic: return "dynamic";
     case OrderingPolicy::Replace: return "replace";
     case OrderingPolicy::Shtrichman: return "shtrichman";
+    case OrderingPolicy::Evsids: return "evsids";
   }
   REFBMC_ASSERT_MSG(false, "invalid OrderingPolicy value");
 }
 
 /// All policies, in enum order — the canonical iteration set for
 /// portfolio racing and CLI enumeration.
-inline constexpr std::array<OrderingPolicy, 5> all_policies() {
-  return {OrderingPolicy::Baseline, OrderingPolicy::Static,
-          OrderingPolicy::Dynamic, OrderingPolicy::Replace,
-          OrderingPolicy::Shtrichman};
+inline constexpr std::array<OrderingPolicy, 6> all_policies() {
+  return {OrderingPolicy::Baseline,   OrderingPolicy::Static,
+          OrderingPolicy::Dynamic,    OrderingPolicy::Replace,
+          OrderingPolicy::Shtrichman, OrderingPolicy::Evsids};
 }
 
 /// Inverse of to_string: parses a policy name (exactly as printed).
@@ -122,6 +124,11 @@ struct DepthStats {
   sat::Result result = sat::Result::Unknown;
   std::uint64_t decisions = 0;
   std::uint64_t propagations = 0;  // "implications"
+  /// Solver-core hot-path counters (see sat/propagator.hpp): assignments
+  /// from the inlined binary watch lists, and long-clause watcher visits
+  /// resolved by the blocking literal without touching the clause arena.
+  std::uint64_t binary_propagations = 0;
+  std::uint64_t blocker_skips = 0;
   std::uint64_t conflicts = 0;
   double time_sec = 0.0;
   std::size_t cnf_vars = 0;

@@ -94,9 +94,14 @@ InductionProver::SolveOutcome InductionProver::solve_instance(
     case OrderingPolicy::Shtrichman:
       REFBMC_ASSERT(false);
       break;
+    case OrderingPolicy::Evsids:
+      scfg.rank_mode = sat::RankMode::None;
+      scfg.decision = sat::DecisionMode::Evsids;
+      break;
   }
   scfg.dynamic_switch_divisor = config_.dynamic_switch_divisor;
-  scfg.track_cdg = config_.policy != OrderingPolicy::Baseline;
+  scfg.track_cdg = config_.policy != OrderingPolicy::Baseline &&
+                   config_.policy != OrderingPolicy::Evsids;
   scfg.conflict_limit = config_.per_instance_conflict_limit;
   scfg.time_limit_sec = deadline_sec;
 

@@ -55,7 +55,8 @@ bmc::BmcResult::Status RaceResult::status() const {
 
 std::vector<bmc::OrderingPolicy> default_race_policies() {
   return {bmc::OrderingPolicy::Baseline, bmc::OrderingPolicy::Static,
-          bmc::OrderingPolicy::Dynamic, bmc::OrderingPolicy::Shtrichman};
+          bmc::OrderingPolicy::Dynamic, bmc::OrderingPolicy::Shtrichman,
+          bmc::OrderingPolicy::Evsids};
 }
 
 PortfolioScheduler::PortfolioScheduler(int num_threads,
@@ -206,6 +207,13 @@ ResolvedPortfolio resolve(const PortfolioConfig& cfg) {
   r.engine.incremental = cfg.incremental;
   r.engine.simplify = cfg.simplify;
   r.engine.total_time_limit_sec = cfg.budget_sec;
+  const auto decision = sat::parse_decision_mode(cfg.decision);
+  if (!decision)
+    throw std::invalid_argument("unknown decision mode '" + cfg.decision +
+                                "' (expected chaff or evsids)");
+  r.engine.solver.decision = *decision;
+  r.engine.solver.glue_lbd = cfg.glue_lbd;
+  r.engine.solver.tier_lbd = cfg.tier_lbd;
   return r;
 }
 

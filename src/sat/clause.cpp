@@ -8,8 +8,8 @@ ClauseRef ClauseArena::alloc(const std::vector<Lit>& lits, ClauseId id,
   const auto cref = static_cast<ClauseRef>(data_.size());
   data_.reserve(data_.size() + Clause::kHeaderWords + lits.size());
   data_.push_back(id);
-  data_.push_back((static_cast<std::uint32_t>(lits.size()) << 2) |
-                  (learnt ? 2u : 0u));
+  data_.push_back((static_cast<std::uint32_t>(lits.size()) << 9) |
+                  (learnt ? 2u : 0u));  // lbd bits start at 0
   data_.push_back(0);  // activity = 0.0f bit pattern
   data_.push_back(static_cast<std::uint32_t>(lits.size()));  // capacity
   for (const Lit l : lits)

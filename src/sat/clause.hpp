@@ -4,8 +4,16 @@
 // pointer, so the arena can be garbage-collected when clause deletion has
 // left enough dead space.  Layout per clause:
 //
-//   [ id ] [ size<<2 | learnt<<1 | dead ] [ activity(float) ] [ capacity ]
-//   [ lits... (capacity slots, first `size` live) ]
+//   [ id ] [ size<<9 | lbd<<2 | learnt<<1 | dead ] [ activity(float) ]
+//   [ capacity ] [ lits... (capacity slots, first `size` live) ]
+//
+// `lbd` is the literal-block distance (number of distinct decision levels
+// in the clause at learn time, lowered when re-derived): the tier key of
+// the ClauseDB's learned-clause deletion.  0 for original clauses.  It is
+// packed into seven spare bits of the flags word — saturating at 127,
+// far above any deletion-tier boundary — so the header stays at four
+// words and BCP cache density is untouched.  Sizes are bounded by 2^23
+// literals per clause.
 //
 // `capacity` is the allocation size; in-place shrinking (tail-literal
 // removal after clause minimization) lowers `size` below it, credits the
@@ -35,7 +43,7 @@ class Clause {
   Clause(std::uint32_t* base) : base_(base) {}
 
   ClauseId id() const { return base_[0]; }
-  std::uint32_t size() const { return base_[1] >> 2; }
+  std::uint32_t size() const { return base_[1] >> 9; }
   bool learnt() const { return (base_[1] & 2u) != 0; }
   bool dead() const { return (base_[1] & 1u) != 0; }
   void mark_dead() { base_[1] |= 1u; }
@@ -46,6 +54,15 @@ class Clause {
     return a;
   }
   void set_activity(float a) { std::memcpy(&base_[2], &a, sizeof(float)); }
+
+  /// Literal-block distance at learn time (lowered when the clause is
+  /// re-derived with fewer levels), saturated at kMaxLbd; 0 for original
+  /// clauses.
+  std::uint32_t lbd() const { return (base_[1] >> 2) & kMaxLbd; }
+  void set_lbd(std::uint32_t lbd) {
+    if (lbd > kMaxLbd) lbd = kMaxLbd;
+    base_[1] = (base_[1] & ~(kMaxLbd << 2)) | (lbd << 2);
+  }
 
   /// Allocation size: >= size(); the gap is waste reclaimed at the next
   /// garbage_collect.
@@ -66,11 +83,12 @@ class Clause {
   }
 
   static constexpr std::uint32_t kHeaderWords = 4;
+  static constexpr std::uint32_t kMaxLbd = 0x7f;
 
  private:
   friend class ClauseArena;  // size/capacity bookkeeping stays in the arena
 
-  void set_size(std::uint32_t n) { base_[1] = (n << 2) | (base_[1] & 3u); }
+  void set_size(std::uint32_t n) { base_[1] = (n << 9) | (base_[1] & 0x1ffu); }
   void set_capacity(std::uint32_t n) { base_[3] = n; }
 
   std::uint32_t* base_;

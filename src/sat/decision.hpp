@@ -1,0 +1,108 @@
+// DecisionQueue: the pluggable decision-ordering component of the CDCL
+// core.
+//
+// The queue owns everything the search loop needs to pick the next
+// branch: per-variable priorities, the indexed max-heap of free
+// variables, the external bmc_score rank feed (paper §3.2–3.3), and the
+// dynamic-fallback switch.  The Solver talks only to this interface, so
+// orderings are swappable without touching the search loop — exactly the
+// "decision order as a first-class component" the portfolio races.
+//
+// Two implementations ship:
+//
+//   * Chaff — the paper's scorer: literal-count VSIDS with periodic
+//     halve-and-add, combined with the external rank per RankMode
+//     (None / Static / Dynamic / Replace).  Wraps DecisionHeuristic, so
+//     ordering semantics are bit-for-bit those of the monolithic solver.
+//   * Evsids — MiniSat-lineage exponential VSIDS: per-variable activity
+//     bumped for every variable seen in conflict analysis, inflation by
+//     1/decay per conflict, rescale on overflow.  The fifth portfolio
+//     entrant; it honours the same RankMode combination so rank-primary
+//     orderings can ride on it too.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "sat/heuristic.hpp"
+#include "sat/trail.hpp"
+#include "sat/types.hpp"
+#include "util/heap.hpp"
+
+namespace refbmc::sat {
+
+enum class DecisionMode {
+  Chaff,   // periodic halve-and-add literal scores (the paper's solver)
+  Evsids,  // exponential VSIDS (MiniSat lineage)
+};
+
+inline const char* to_string(DecisionMode m) {
+  switch (m) {
+    case DecisionMode::Chaff: return "chaff";
+    case DecisionMode::Evsids: return "evsids";
+  }
+  return "?";
+}
+
+/// Inverse of to_string; nullopt for unknown names.
+std::optional<DecisionMode> parse_decision_mode(std::string_view name);
+
+class DecisionQueue {
+ public:
+  virtual ~DecisionQueue() = default;
+
+  // ---- variable registration and the rank feed -----------------------
+  virtual void add_var() = 0;
+  virtual void set_rank_mode(RankMode mode) = 0;
+  virtual RankMode rank_mode() const = 0;
+  /// External per-variable rank (bmc_score); primary key while
+  /// rank_active().
+  virtual void set_rank(Var v, double score) = 0;
+  /// Rebuilds the heap after bulk priority changes (rank feed applied).
+  virtual void rebuild() = 0;
+
+  // ---- scoring hooks --------------------------------------------------
+  /// One call per literal occurrence in the original formula.
+  virtual void on_original_literal(Lit l) = 0;
+  /// One call per literal of each freshly learned clause.
+  virtual void on_learned_literal(Lit l) = 0;
+  /// One call per variable marked during conflict analysis (the EVSIDS
+  /// bump site; Chaff scores by learned literals instead).
+  virtual void on_analyzed_var(Var v) = 0;
+  /// Once per conflict: decay / periodic update.
+  virtual void on_conflict() = 0;
+
+  // ---- dynamic fallback (§3.3) ----------------------------------------
+  /// Returns true when this call switched from rank-primary to the
+  /// activity order.
+  virtual bool on_decision(std::uint64_t num_decisions,
+                           std::uint64_t num_original_literals,
+                           int switch_divisor) = 0;
+  virtual void reset_switch() = 0;
+  virtual bool rank_active() const = 0;
+  virtual bool switched() const = 0;
+
+  // ---- the queue itself -----------------------------------------------
+  virtual void insert(Var v) = 0;
+  virtual bool empty() const = 0;
+  virtual Var pop() = 0;
+  /// Decision phase for v by the implementation's literal preference.
+  virtual Lit pick_phase(Var v) const = 0;
+
+  /// Pops until a variable unassigned on `trail` surfaces and returns the
+  /// decision literal for it — the saved phase when the trail has one,
+  /// the implementation's preference otherwise.  kLitUndef when no free
+  /// variable remains (model found).
+  Lit pick_branch(const Trail& trail);
+};
+
+/// Factory.  `vsids_update_period` feeds the Chaff scorer,
+/// `evsids_decay` the Evsids scorer; both queues honour `rank_mode`.
+std::unique_ptr<DecisionQueue> make_decision_queue(DecisionMode mode,
+                                                   RankMode rank_mode,
+                                                   int vsids_update_period,
+                                                   double evsids_decay);
+
+}  // namespace refbmc::sat

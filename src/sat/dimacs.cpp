@@ -1,5 +1,6 @@
 #include "sat/dimacs.hpp"
 
+#include <cstdint>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -10,26 +11,37 @@ Cnf parse_dimacs(std::istream& in) {
   Cnf cnf;
   bool have_header = false;
   std::vector<Lit> clause;
-  std::string token;
 
   std::string line;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    if (line[0] == 'c') continue;
-    std::istringstream ls(line);
-    if (line[0] == 'p') {
+    // Tolerate leading whitespace before comments, the header, and
+    // clause data (all appear in files in the wild).
+    const std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;  // blank / whitespace-only
+    // Comment lines may appear anywhere — before the header, between
+    // clauses, and between the literals of a clause spanning lines.
+    if (line[start] == 'c') continue;
+    std::istringstream ls(line.substr(start));
+    if (line[start] == 'p') {
       std::string p, fmt;
-      int nv = 0;
+      long long nv = 0;
       long long nc = 0;
-      if (!(ls >> p >> fmt >> nv >> nc) || fmt != "cnf" || nv < 0 || nc < 0)
+      if (!(ls >> p >> fmt >> nv >> nc) || p != "p" || fmt != "cnf" ||
+          nv < 0 || nc < 0 || nv > INT32_MAX)
         throw std::invalid_argument("dimacs: malformed problem line: " + line);
+      std::string rest;
+      if (ls >> rest)
+        throw std::invalid_argument(
+            "dimacs: trailing tokens on problem line: " + line);
       if (have_header)
         throw std::invalid_argument("dimacs: duplicate problem line");
       have_header = true;
-      cnf.num_vars = nv;
+      cnf.num_vars = static_cast<int>(nv);
       cnf.clauses.reserve(static_cast<std::size_t>(nc));
       continue;
     }
+    if (!have_header)
+      throw std::invalid_argument("dimacs: clause before problem line");
     long long v;
     while (ls >> v) {
       if (v == 0) {
@@ -37,12 +49,12 @@ Cnf parse_dimacs(std::istream& in) {
         clause.clear();
         continue;
       }
-      if (!have_header)
-        throw std::invalid_argument("dimacs: clause before problem line");
       const long long mag = v > 0 ? v : -v;
       if (mag > cnf.num_vars)
         throw std::invalid_argument(
-            "dimacs: literal exceeds declared variable count");
+            "dimacs: literal " + std::to_string(v) +
+            " exceeds the declared variable count " +
+            std::to_string(cnf.num_vars));
       clause.push_back(Lit::from_dimacs(static_cast<int>(v)));
     }
     if (!ls.eof())

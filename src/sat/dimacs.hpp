@@ -21,11 +21,14 @@ struct Cnf {
   std::size_t num_clauses() const { return clauses.size(); }
 };
 
-/// Parses DIMACS from a stream.  Accepts comment lines (`c ...`), the
-/// `p cnf V C` header, and zero-terminated clauses; tolerates a clause
-/// count that disagrees with the header (common in the wild) but rejects
-/// literals exceeding the declared variable count.
-/// Throws std::invalid_argument on malformed input.
+/// Parses DIMACS from a stream.  Accepts comment lines (`c ...`) anywhere
+/// — before the header, after it, and between the literals of a clause
+/// spanning lines — plus blank/whitespace-only lines, leading whitespace,
+/// multiple clauses per line, and zero-terminated clauses crossing line
+/// breaks; tolerates a clause count that disagrees with the header
+/// (common in the wild) but rejects literals exceeding the declared
+/// variable count, clause data before the header, and trailing junk on
+/// the problem line.  Throws std::invalid_argument on malformed input.
 Cnf parse_dimacs(std::istream& in);
 Cnf parse_dimacs_string(const std::string& text);
 Cnf parse_dimacs_file(const std::string& path);

@@ -1,0 +1,150 @@
+#include "sat/propagator.hpp"
+
+namespace refbmc::sat {
+
+void Propagator::attach(ClauseArena& arena, ClauseRef cref) {
+  const Clause c = arena.get(cref);
+  REFBMC_ASSERT(c.size() >= 2);
+  REFBMC_ASSERT((cref & kBinaryTag) == 0);
+  if (c.size() == 2) {
+    list(c[0]).push_back(Watcher{cref | kBinaryTag, c[1]});
+    list(c[1]).push_back(Watcher{cref | kBinaryTag, c[0]});
+    return;
+  }
+  list(c[0]).push_back(Watcher{cref, c[1]});
+  list(c[1]).push_back(Watcher{cref, c[0]});
+}
+
+void Propagator::remove_watcher(std::vector<Watcher>& wl, ClauseRef cref) {
+  for (std::size_t i = 0; i < wl.size(); ++i) {
+    if (wl[i].cref() == cref) {
+      wl[i] = wl.back();
+      wl.pop_back();
+      return;
+    }
+  }
+  REFBMC_ASSERT_MSG(false, "watcher to detach not found");
+}
+
+void Propagator::detach(ClauseArena& arena, ClauseRef cref) {
+  const Clause c = arena.get(cref);
+  remove_watcher(list(c[0]), cref);
+  remove_watcher(list(c[1]), cref);
+}
+
+void Propagator::on_clause_shrunk(ClauseArena& arena, ClauseRef cref) {
+  const Clause c = arena.get(cref);
+  if (c.size() != 2) return;  // still long: watchers on lits 0/1 are intact
+  // Shrinking never touches the watched positions, so the clause is still
+  // watched under ~c[0] and ~c[1]; re-tag those entries as inlined
+  // binaries (the cached literal becomes the respective other literal).
+  for (int side = 0; side < 2; ++side) {
+    auto& wl = list(c[static_cast<std::uint32_t>(side)]);
+    for (auto& w : wl) {
+      if (w.cref() == cref) {
+        w = Watcher{cref | kBinaryTag, c[static_cast<std::uint32_t>(1 - side)]};
+        break;
+      }
+    }
+  }
+}
+
+ClauseRef Propagator::propagate(Trail& trail, ClauseArena& arena,
+                                SolverStats& stats) {
+  // Counters stay in registers for the whole fixpoint; one flush at exit.
+  std::uint64_t props = 0, bin_props = 0, skips = 0;
+  ClauseRef result = kClauseRefUndef;
+  while (!trail.fully_propagated()) {
+    const Lit p = trail.dequeue();
+    ++props;
+    auto& wl = watches_[static_cast<std::size_t>(p.index())];
+    std::size_t i = 0, j = 0;
+    const std::size_t n = wl.size();
+    ClauseRef confl = kClauseRefUndef;
+    while (i < n) {
+      const Watcher w = wl[i++];
+      const lbool bval = trail.value(w.blocker);
+      if (bval == l_True) {
+        wl[j++] = w;
+        if (!w.binary()) ++skips;
+        continue;
+      }
+      if (w.binary()) {
+        // The watcher is the whole clause: unit or conflicting, and the
+        // arena is never touched.
+        wl[j++] = w;
+        if (bval == l_False) {
+          confl = w.cref();
+          trail.flush_queue();
+          while (i < n) wl[j++] = wl[i++];
+          break;
+        }
+        trail.assign(w.blocker, w.cref());
+        ++bin_props;
+        continue;
+      }
+      Clause c = arena.get(w.cref());
+      // Ensure the false literal (~p) is at position 1.
+      const Lit not_p = ~p;
+      if (c[0] == not_p) c.swap_lits(0, 1);
+      REFBMC_ASSERT(c[1] == not_p);
+      const Lit first = c[0];
+      if (first != w.blocker && trail.value(first) == l_True) {
+        wl[j++] = Watcher{w.tagged, first};
+        continue;
+      }
+      // Look for a replacement watch.
+      bool found = false;
+      for (std::uint32_t k = 2; k < c.size(); ++k) {
+        if (trail.value(c[k]) != l_False) {
+          c.swap_lits(1, k);
+          list(c[1]).push_back(Watcher{w.tagged, first});
+          found = true;
+          break;
+        }
+      }
+      if (found) continue;
+      // Clause is unit or conflicting.
+      wl[j++] = Watcher{w.tagged, first};
+      if (trail.value(first) == l_False) {
+        confl = w.cref();
+        trail.flush_queue();
+        while (i < n) wl[j++] = wl[i++];
+        break;
+      }
+      trail.assign(first, w.cref());
+    }
+    wl.resize(j);
+    if (confl != kClauseRefUndef) {
+      result = confl;
+      break;
+    }
+  }
+  stats.propagations += props;
+  stats.binary_propagations += bin_props;
+  stats.blocker_skips += skips;
+  return result;
+}
+
+void Propagator::relocate(
+    const std::vector<std::pair<ClauseRef, ClauseRef>>& map) {
+  for (auto& wl : watches_)
+    for (auto& w : wl)
+      w.tagged = relocate_ref(w.cref(), map) | (w.tagged & kBinaryTag);
+}
+
+std::size_t Propagator::num_binary_watches(Lit l) const {
+  std::size_t n = 0;
+  for (const Watcher& w : watches_[static_cast<std::size_t>(l.index())])
+    if (w.binary()) ++n;
+  return n;
+}
+
+std::size_t Propagator::num_long_watches(Lit l) const {
+  std::size_t n = 0;
+  for (const Watcher& w : watches_[static_cast<std::size_t>(l.index())])
+    if (!w.binary()) ++n;
+  return n;
+}
+
+}  // namespace refbmc::sat

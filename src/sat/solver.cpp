@@ -7,53 +7,36 @@
 namespace refbmc::sat {
 
 Solver::Solver(SolverConfig config)
-    : config_(config), heuristic_(config.vsids_update_period) {
-  heuristic_.set_rank_mode(config_.rank_mode);
-}
+    : config_(config),
+      trail_(config.phase_saving),
+      db_(config.clause_decay, config.glue_lbd, config.tier_lbd),
+      queue_(make_decision_queue(config.decision, config.rank_mode,
+                                 config.vsids_update_period,
+                                 config.evsids_decay)),
+      bump_analyzed_(config.decision == DecisionMode::Evsids) {}
 
 Var Solver::new_var() {
-  const Var v = num_vars();
-  assigns_.push_back(l_Undef);
-  level_.push_back(0);
-  reason_.push_back(kClauseRefUndef);
-  watches_.emplace_back();
-  watches_.emplace_back();
+  const Var v = trail_.new_var();
+  prop_.new_var();
   seen_.push_back(0);
   seen_closure_.push_back(0);
-  saved_phase_.push_back(0);
-  heuristic_.add_var();
-  heuristic_.insert(v);
+  queue_->add_var();
   return v;
 }
 
 void Solver::set_variable_rank(std::span<const double> rank_by_var) {
   REFBMC_EXPECTS(rank_by_var.size() <= static_cast<std::size_t>(num_vars()));
   for (std::size_t v = 0; v < rank_by_var.size(); ++v)
-    heuristic_.set_rank(static_cast<Var>(v), rank_by_var[v]);
-  heuristic_.rebuild_heap();
-}
-
-const std::vector<Lit>& Solver::original_clause(ClauseId id) const {
-  REFBMC_EXPECTS_MSG(is_original_clause(id), "not an original clause id");
-  return lits_by_id_[id - 1];
-}
-
-bool Solver::is_original_clause(ClauseId id) const {
-  return id >= 1 && id <= last_id_ && id_is_original_[id - 1] != 0;
+    queue_->set_rank(static_cast<Var>(v), rank_by_var[v]);
+  queue_->rebuild();
 }
 
 bool Solver::add_clause(const std::vector<Lit>& lits) {
-  REFBMC_EXPECTS_MSG(decision_level() == 0,
+  REFBMC_EXPECTS_MSG(trail_.decision_level() == 0,
                      "clauses can only be added at the root level");
   for (const Lit l : lits)
     REFBMC_EXPECTS_MSG(!l.is_undef() && l.var() < num_vars(),
                        "literal over unknown variable");
-
-  // Every call consumes an id so external clause indexing stays in sync.
-  const ClauseId id = ++last_id_;
-  id_is_original_.push_back(1);
-  original_ids_.push_back(id);
-  if (config_.track_cdg) cdg_.register_original(id);
 
   // Dedup; detect tautology.
   std::vector<Lit> c(lits.begin(), lits.end());
@@ -66,12 +49,14 @@ bool Solver::add_clause(const std::vector<Lit>& lits) {
       break;
     }
   }
-  lits_by_id_.push_back(c);
+
+  // Every call consumes an id so external clause indexing stays in sync.
+  const ClauseId id = db_.register_original(c, /*counted=*/!tautology);
+  if (config_.track_cdg) cdg_.register_original(id);
 
   if (tautology) return ok_;  // recorded but irrelevant to solving
 
-  num_orig_lits_ += c.size();
-  for (const Lit l : c) heuristic_.on_original_literal(l);
+  for (const Lit l : c) queue_->on_original_literal(l);
 
   if (!ok_) return false;  // already unsat; id bookkeeping done above
 
@@ -101,14 +86,14 @@ bool Solver::add_clause(const std::vector<Lit>& lits) {
     return false;
   }
 
-  const ClauseRef cref = arena_.alloc(c, id, /*learnt=*/false);
+  const ClauseRef cref = db_.alloc_original(c, id);
 
   if (num_non_false == 1) {
     if (value(c[0]) == l_True) return ok_;  // satisfied at root forever
     // Effectively a unit clause: propagate immediately so later adds see
     // the consequences.  No watches needed — it can never be falsified
     // except through a root conflict, which we detect here.
-    enqueue(c[0], cref);
+    trail_.assign(c[0], cref);
     const ClauseRef confl = propagate();
     if (confl != kClauseRefUndef) {
       ok_ = false;
@@ -118,109 +103,12 @@ bool Solver::add_clause(const std::vector<Lit>& lits) {
     return ok_;
   }
 
-  attach_clause(cref);
+  prop_.attach(db_.arena(), cref);
   return ok_;
 }
 
-void Solver::attach_clause(ClauseRef cref) {
-  const Clause c = arena_.get(cref);
-  REFBMC_ASSERT(c.size() >= 2);
-  watches_[static_cast<std::size_t>((~c[0]).index())].push_back(
-      Watcher{cref, c[1]});
-  watches_[static_cast<std::size_t>((~c[1]).index())].push_back(
-      Watcher{cref, c[0]});
-}
-
-void Solver::detach_clause(ClauseRef cref) {
-  const Clause c = arena_.get(cref);
-  for (const Lit w : {c[0], c[1]}) {
-    auto& wl = watches_[static_cast<std::size_t>((~w).index())];
-    for (std::size_t i = 0; i < wl.size(); ++i) {
-      if (wl[i].cref == cref) {
-        wl[i] = wl.back();
-        wl.pop_back();
-        break;
-      }
-    }
-  }
-}
-
-void Solver::enqueue(Lit l, ClauseRef reason) {
-  REFBMC_ASSERT(value(l) == l_Undef);
-  const auto v = static_cast<std::size_t>(l.var());
-  assigns_[v] = lbool(!l.negated());
-  level_[v] = decision_level();
-  reason_[v] = reason;
-  trail_.push_back(l);
-}
-
-void Solver::cancel_until(int level) {
-  if (decision_level() <= level) return;
-  const int bound = trail_lim_[static_cast<std::size_t>(level)];
-  for (int i = static_cast<int>(trail_.size()) - 1; i >= bound; --i) {
-    const Var v = trail_[static_cast<std::size_t>(i)].var();
-    if (config_.phase_saving)
-      saved_phase_[static_cast<std::size_t>(v)] =
-          assigns_[static_cast<std::size_t>(v)] == l_True ? 1 : 2;
-    assigns_[static_cast<std::size_t>(v)] = l_Undef;
-    reason_[static_cast<std::size_t>(v)] = kClauseRefUndef;
-    heuristic_.insert(v);
-  }
-  trail_.resize(static_cast<std::size_t>(bound));
-  trail_lim_.resize(static_cast<std::size_t>(level));
-  if (qhead_ > bound) qhead_ = bound;
-}
-
-ClauseRef Solver::propagate() {
-  ClauseRef confl = kClauseRefUndef;
-  while (qhead_ < static_cast<int>(trail_.size())) {
-    const Lit p = trail_[static_cast<std::size_t>(qhead_++)];
-    ++stats_.propagations;
-    auto& wl = watches_[static_cast<std::size_t>(p.index())];
-    std::size_t i = 0, j = 0;
-    const std::size_t n = wl.size();
-    while (i < n) {
-      const Watcher w = wl[i++];
-      if (value(w.blocker) == l_True) {
-        wl[j++] = w;
-        continue;
-      }
-      Clause c = arena_.get(w.cref);
-      // Ensure the false literal (~p) is at position 1.
-      const Lit not_p = ~p;
-      if (c[0] == not_p) c.swap_lits(0, 1);
-      REFBMC_ASSERT(c[1] == not_p);
-      const Lit first = c[0];
-      if (first != w.blocker && value(first) == l_True) {
-        wl[j++] = Watcher{w.cref, first};
-        continue;
-      }
-      // Look for a replacement watch.
-      bool found = false;
-      for (std::uint32_t k = 2; k < c.size(); ++k) {
-        if (value(c[k]) != l_False) {
-          c.swap_lits(1, k);
-          watches_[static_cast<std::size_t>((~c[1]).index())].push_back(
-              Watcher{w.cref, first});
-          found = true;
-          break;
-        }
-      }
-      if (found) continue;
-      // Clause is unit or conflicting.
-      wl[j++] = Watcher{w.cref, first};
-      if (value(first) == l_False) {
-        confl = w.cref;
-        qhead_ = static_cast<int>(trail_.size());
-        while (i < n) wl[j++] = wl[i++];
-        break;
-      }
-      enqueue(first, w.cref);
-    }
-    wl.resize(j);
-    if (confl != kClauseRefUndef) break;
-  }
-  return confl;
+void Solver::backtrack(int level) {
+  trail_.cancel_until(level, [this](Var v) { queue_->insert(v); });
 }
 
 void Solver::collect_reason_closure(Var v, std::vector<ClauseId>& antecedents) {
@@ -235,9 +123,9 @@ void Solver::collect_reason_closure(Var v, std::vector<ClauseId>& antecedents) {
   while (!work.empty()) {
     const Var u = work.back();
     work.pop_back();
-    const ClauseRef r = reason_[static_cast<std::size_t>(u)];
+    const ClauseRef r = trail_.reason(u);
     if (r == kClauseRefUndef) continue;  // decision or assumption
-    const Clause c = arena_.get(r);
+    const Clause c = db_.get(r);
     antecedents.push_back(c.id());
     for (std::uint32_t k = 0; k < c.size(); ++k) {
       const Var w = c[k].var();
@@ -257,7 +145,7 @@ void Solver::clear_closure_marks() {
 
 void Solver::analyze_final_conflict(ClauseRef confl) {
   std::vector<ClauseId> ants;
-  const Clause c = arena_.get(confl);
+  const Clause c = db_.get(confl);
   ants.push_back(c.id());
   for (std::uint32_t k = 0; k < c.size(); ++k)
     collect_reason_closure(c[k].var(), ants);
@@ -275,6 +163,18 @@ void Solver::analyze_assumption_refutation(Lit p) {
   cdg_.set_final_conflict(ants);
 }
 
+Clause Solver::reason_clause(Lit p) {
+  const ClauseRef r = trail_.reason(p.var());
+  REFBMC_ASSERT(r != kClauseRefUndef);
+  Clause c = db_.get(r);
+  if (c[0] != p) {
+    // Only binary propagation assigns without normalizing the clause.
+    REFBMC_ASSERT(c.size() == 2 && c[1] == p);
+    c.swap_lits(0, 1);
+  }
+  return c;
+}
+
 int Solver::analyze(ClauseRef confl, std::vector<Lit>& learnt,
                     std::vector<ClauseId>& antecedents) {
   learnt.clear();
@@ -284,21 +184,32 @@ int Solver::analyze(ClauseRef confl, std::vector<Lit>& learnt,
   int path_count = 0;
   Lit p = kLitUndef;
   int index = static_cast<int>(trail_.size()) - 1;
+  Clause c = db_.get(confl);
 
   do {
-    REFBMC_ASSERT(confl != kClauseRefUndef);
-    Clause c = arena_.get(confl);
     if (config_.track_cdg) antecedents.push_back(c.id());
-    if (c.learnt()) bump_clause_activity(c);
+    // Bump and re-tier: a clause re-derived through fewer levels now
+    // deserves a better (lower) LBD.  Clauses already in the glue tier
+    // cannot improve — skip the recomputation on them — and the capped
+    // walk stops as soon as improvement is ruled out.
+    if (c.learnt()) {
+      const std::uint32_t stored = c.lbd();
+      const std::uint32_t lbd =
+          stored > static_cast<std::uint32_t>(config_.glue_lbd)
+              ? db_.compute_lbd_capped(c, trail_, stored)
+              : 0;
+      db_.on_used_in_analysis(c, lbd);
+    }
 
     for (std::uint32_t k = (p == kLitUndef) ? 0 : 1; k < c.size(); ++k) {
       const Lit q = c[k];
       const auto vq = static_cast<std::size_t>(q.var());
       if (seen_[vq]) continue;
-      if (level_[vq] > 0) {
+      if (trail_.level(q.var()) > 0) {
         seen_[vq] = 1;
+        if (bump_analyzed_) queue_->on_analyzed_var(q.var());
         analyze_toclear_.push_back(q);
-        if (level_[vq] >= decision_level()) {
+        if (trail_.level(q.var()) >= trail_.decision_level()) {
           ++path_count;
         } else {
           learnt.push_back(q);
@@ -315,20 +226,20 @@ int Solver::analyze(ClauseRef confl, std::vector<Lit>& learnt,
       --index;
     p = trail_[static_cast<std::size_t>(index)];
     --index;
-    confl = reason_[static_cast<std::size_t>(p.var())];
     seen_[static_cast<std::size_t>(p.var())] = 0;
     --path_count;
+    if (path_count > 0) c = reason_clause(p);
   } while (path_count > 0);
   learnt[0] = ~p;
 
   // Recursive clause minimization: drop literals implied by the rest.
   std::uint32_t abstract = 0;
   for (std::size_t i = 1; i < learnt.size(); ++i)
-    abstract |= abstract_level(learnt[i].var());
+    abstract |= trail_.abstract_level(learnt[i].var());
   std::size_t kept = 1;
   for (std::size_t i = 1; i < learnt.size(); ++i) {
     const Var v = learnt[i].var();
-    if (reason_[static_cast<std::size_t>(v)] == kClauseRefUndef ||
+    if (trail_.reason(v) == kClauseRefUndef ||
         !lit_redundant(learnt[i], abstract, antecedents)) {
       learnt[kept++] = learnt[i];
     } else {
@@ -342,12 +253,11 @@ int Solver::analyze(ClauseRef confl, std::vector<Lit>& learnt,
   if (learnt.size() > 1) {
     std::size_t max_i = 1;
     for (std::size_t i = 2; i < learnt.size(); ++i) {
-      if (level_[static_cast<std::size_t>(learnt[i].var())] >
-          level_[static_cast<std::size_t>(learnt[max_i].var())])
+      if (trail_.level(learnt[i].var()) > trail_.level(learnt[max_i].var()))
         max_i = i;
     }
     std::swap(learnt[1], learnt[max_i]);
-    backjump = level_[static_cast<std::size_t>(learnt[1].var())];
+    backjump = trail_.level(learnt[1].var());
   }
 
   for (const Lit l : analyze_toclear_)
@@ -372,20 +282,19 @@ bool Solver::lit_redundant(Lit p, std::uint32_t abstract_levels,
   while (!stack.empty()) {
     const Lit q = stack.back();
     stack.pop_back();
-    const ClauseRef r = reason_[static_cast<std::size_t>(q.var())];
-    REFBMC_ASSERT(r != kClauseRefUndef);
-    const Clause c = arena_.get(r);
+    // q is false on the trail; its var's reason asserts ~q.
+    const Clause c = reason_clause(~q);
     if (config_.track_cdg) antecedents.push_back(c.id());
     for (std::uint32_t k = 1; k < c.size(); ++k) {
       const Lit l = c[k];
       const auto v = static_cast<std::size_t>(l.var());
       if (seen_[v]) continue;
-      if (level_[v] == 0) {
+      if (trail_.level(l.var()) == 0) {
         if (config_.track_cdg) collect_reason_closure(l.var(), antecedents);
         continue;
       }
-      if (reason_[v] != kClauseRefUndef &&
-          (abstract_level(l.var()) & abstract_levels) != 0) {
+      if (trail_.reason(l.var()) != kClauseRefUndef &&
+          (trail_.abstract_level(l.var()) & abstract_levels) != 0) {
         seen_[v] = 1;
         analyze_toclear_.push_back(l);
         stack.push_back(l);
@@ -405,141 +314,21 @@ bool Solver::lit_redundant(Lit p, std::uint32_t abstract_levels,
   return true;
 }
 
-void Solver::bump_clause_activity(Clause c) {
-  c.set_activity(c.activity() + static_cast<float>(cla_inc_));
-  if (c.activity() > 1e20f) {
-    for (const ClauseRef cref : learned_crefs_) {
-      Clause lc = arena_.get(cref);
-      lc.set_activity(lc.activity() * 1e-20f);
-    }
-    cla_inc_ *= 1e-20;
-  }
-}
-
-void Solver::record_learned(const std::vector<Lit>& learnt,
+void Solver::record_learned(const std::vector<Lit>& learnt, std::uint32_t lbd,
                             const std::vector<ClauseId>& antecedents) {
-  const ClauseId id = ++last_id_;
-  id_is_original_.push_back(0);
-  lits_by_id_.emplace_back();  // placeholder: learned lits live in the arena
+  const ClauseId id = db_.register_learned();
   ++stats_.learned_clauses;
   stats_.learned_literals += learnt.size();
   if (config_.track_cdg) cdg_.add_learned(id, antecedents);
-  for (const Lit l : learnt) heuristic_.on_learned_literal(l);
+  for (const Lit l : learnt) queue_->on_learned_literal(l);
 
-  const ClauseRef cref = arena_.alloc(learnt, id, /*learnt=*/true);
-  Clause c = arena_.get(cref);
-  c.set_activity(static_cast<float>(cla_inc_));
-  if (learnt.size() >= 2) {
-    attach_clause(cref);
-    learned_crefs_.push_back(cref);
-  }
   // Unit learned clauses are permanent root facts; they are not attached
-  // (nothing to watch) and never deleted (not in learned_crefs_), but they
-  // do serve as reasons, keeping the CDG complete.
-  enqueue(learnt[0], cref);
-}
-
-bool Solver::clause_locked(ClauseRef cref) const {
-  const Clause c = arena_.get(cref);
-  const Var v = c[0].var();
-  return reason_[static_cast<std::size_t>(v)] == cref &&
-         value(c[0]) == l_True;
-}
-
-void Solver::strengthen_learned(ClauseRef cref) {
-  // Drops tail literals that are false at decision level 0 — permanently
-  // false, so removal is sound at any current level.  The watched
-  // positions 0/1 are left alone (watch invariants stay intact; a false
-  // watch of a satisfied/propagating clause is legal and rare).
-  Clause c = arena_.get(cref);
-  std::uint32_t i = 2;
-  std::uint32_t n = c.size();
-  while (i < n) {
-    const Lit l = c[i];
-    if (value(l) == l_False &&
-        level_[static_cast<std::size_t>(l.var())] == 0) {
-      c.swap_lits(i, n - 1);
-      --n;
-    } else {
-      ++i;
-    }
-  }
-  if (n < c.size()) {
-    stats_.strengthened_literals += c.size() - n;
-    arena_.shrink_clause(cref, n);
-  }
-}
-
-void Solver::reduce_db() {
-  ++stats_.reduce_db_runs;
-  std::sort(learned_crefs_.begin(), learned_crefs_.end(),
-            [this](ClauseRef a, ClauseRef b) {
-              return arena_.get(a).activity() < arena_.get(b).activity();
-            });
-  const std::size_t target = learned_crefs_.size() / 2;
-  std::size_t kept = 0;
-  std::size_t removed = 0;
-  // In-place strengthening of kept clauses is only done when the CDG is
-  // off: with core tracking on, a strengthened clause would additionally
-  // depend on the reason closure of the removed root literals, and the
-  // CDG's antecedent lists are frozen at learn time — dropping the
-  // literals without those edges could make extracted cores too small.
-  const bool strengthen = !config_.track_cdg;
-
-  for (std::size_t i = 0; i < learned_crefs_.size(); ++i) {
-    const ClauseRef cref = learned_crefs_[i];
-    const Clause c = arena_.get(cref);
-    if (removed < target && c.size() > 2 && !clause_locked(cref)) {
-      detach_clause(cref);
-      arena_.free_clause(cref);
-      ++removed;
-    } else {
-      if (strengthen) strengthen_learned(cref);
-      learned_crefs_[kept++] = cref;
-    }
-  }
-  learned_crefs_.resize(kept);
-  stats_.deleted_clauses += removed;
-  if (arena_.should_collect()) garbage_collect();
-}
-
-void Solver::relocate(
-    ClauseRef& cref,
-    const std::vector<std::pair<ClauseRef, ClauseRef>>& map) const {
-  const auto it = std::lower_bound(
-      map.begin(), map.end(), cref,
-      [](const std::pair<ClauseRef, ClauseRef>& p, ClauseRef c) {
-        return p.first < c;
-      });
-  REFBMC_ASSERT(it != map.end() && it->first == cref);
-  cref = it->second;
-}
-
-void Solver::garbage_collect() {
-  ++stats_.arena_gcs;
-  std::vector<std::pair<ClauseRef, ClauseRef>> map;
-  arena_.garbage_collect(map);  // map is sorted by old ref (scan order)
-  for (auto& wl : watches_)
-    for (auto& w : wl) relocate(w.cref, map);
-  for (std::size_t v = 0; v < reason_.size(); ++v) {
-    if (reason_[v] != kClauseRefUndef && assigns_[v] != l_Undef)
-      relocate(reason_[v], map);
-    else
-      reason_[v] = kClauseRefUndef;
-  }
-  for (auto& cref : learned_crefs_) relocate(cref, map);
-}
-
-Lit Solver::pick_branch_literal() {
-  while (!heuristic_.heap_empty()) {
-    const Var v = heuristic_.pop();
-    if (value(v) != l_Undef) continue;
-    if (config_.phase_saving &&
-        saved_phase_[static_cast<std::size_t>(v)] != 0)
-      return Lit::make(v, saved_phase_[static_cast<std::size_t>(v)] == 2);
-    return heuristic_.pick_phase(v);
-  }
-  return kLitUndef;
+  // (nothing to watch) and never deleted (unmanaged), but they do serve
+  // as reasons, keeping the CDG complete.
+  const bool managed = learnt.size() >= 2;
+  const ClauseRef cref = db_.alloc_learned(learnt, id, lbd, managed);
+  if (managed) prop_.attach(db_.arena(), cref);
+  trail_.assign(learnt[0], cref);
 }
 
 std::int64_t Solver::luby(std::int64_t x) {
@@ -566,7 +355,7 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
   for (const Lit a : assumptions_)
     REFBMC_EXPECTS_MSG(!a.is_undef() && a.var() < num_vars(),
                        "assumption over unknown variable");
-  heuristic_.reset_switch();
+  queue_->reset_switch();
   stats_.rank_switched = false;
   solved_unsat_ = false;
 
@@ -590,14 +379,13 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
           : -1;
   std::int64_t conflicts_this_restart = 0;
   std::int64_t reduce_limit =
-      config_.reduce_base +
-      static_cast<std::int64_t>(learned_crefs_.size());
+      config_.reduce_base + static_cast<std::int64_t>(db_.num_learned());
 
   std::vector<Lit> learnt;
   std::vector<ClauseId> antecedents;
 
   const auto finish = [&](Result r) {
-    cancel_until(0);
+    backtrack(0);
     assumptions_.clear();
     stats_.solve_time_sec += timer.elapsed_sec();
     return r;
@@ -608,17 +396,20 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
     if (confl != kClauseRefUndef) {
       ++stats_.conflicts;
       ++conflicts_this_restart;
-      if (decision_level() == 0) {
+      if (trail_.decision_level() == 0) {
         if (config_.track_cdg) analyze_final_conflict(confl);
         ok_ = false;
         solved_unsat_ = true;
         return finish(Result::Unsat);
       }
       const int backjump = analyze(confl, learnt, antecedents);
-      cancel_until(backjump);
-      record_learned(learnt, antecedents);
-      decay_clause_activity();
-      heuristic_.on_conflict();
+      // LBD against the pre-backjump levels: the tier key of the new
+      // clause (asserting literal's new level is not assigned yet).
+      const std::uint32_t lbd = db_.compute_lbd(learnt, trail_);
+      backtrack(backjump);
+      record_learned(learnt, lbd, antecedents);
+      db_.decay_activity();
+      queue_->on_conflict();
 
       // Resource limits and cancellation, checked at conflicts for low
       // overhead (a relaxed atomic load per conflict is noise next to BCP).
@@ -640,12 +431,12 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       conflicts_this_restart = 0;
       restart_budget = config_.restart_base *
                        luby(static_cast<std::int64_t>(stats_.restarts));
-      cancel_until(0);
+      backtrack(0);
       continue;
     }
     if (config_.enable_reduce_db &&
-        static_cast<std::int64_t>(learned_crefs_.size()) >= reduce_limit) {
-      reduce_db();
+        static_cast<std::int64_t>(db_.num_learned()) >= reduce_limit) {
+      db_.reduce(trail_, prop_, /*strengthen=*/!config_.track_cdg, stats_);
       reduce_limit =
           static_cast<std::int64_t>(static_cast<double>(reduce_limit) *
                                     config_.reduce_grow);
@@ -653,11 +444,12 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
 
     // Assumption decisions come first, in order, one level each.
     Lit next = kLitUndef;
-    while (decision_level() < static_cast<int>(assumptions_.size())) {
+    while (trail_.decision_level() <
+           static_cast<int>(assumptions_.size())) {
       const Lit a =
-          assumptions_[static_cast<std::size_t>(decision_level())];
+          assumptions_[static_cast<std::size_t>(trail_.decision_level())];
       if (value(a) == l_True) {
-        new_decision_level();  // placeholder level keeps indices aligned
+        trail_.new_decision_level();  // placeholder keeps indices aligned
       } else if (value(a) == l_False) {
         // The formula (plus earlier assumptions) refutes this assumption.
         if (config_.track_cdg) analyze_assumption_refutation(a);
@@ -670,10 +462,10 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
     }
 
     if (next == kLitUndef) {
-      next = pick_branch_literal();
+      next = queue_->pick_branch(trail_);
       if (next == kLitUndef) {
         // All variables assigned: model found.
-        model_ = assigns_;
+        model_ = trail_.assignments();
         return finish(Result::Sat);
       }
     }
@@ -684,15 +476,15 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
     // later solve() on this solver.
     if ((stats_.decisions & 255) == 0 &&
         (stop_requested() || deadline.expired())) {
-      heuristic_.insert(next.var());
+      queue_->insert(next.var());
       return finish(Result::Unknown);
     }
-    if (heuristic_.on_decision(stats_.decisions, num_orig_lits_,
-                               config_.dynamic_switch_divisor)) {
+    if (queue_->on_decision(stats_.decisions, db_.num_original_literals(),
+                            config_.dynamic_switch_divisor)) {
       stats_.rank_switched = true;
     }
-    new_decision_level();
-    enqueue(next, kClauseRefUndef);
+    trail_.new_decision_level();
+    trail_.assign(next, kClauseRefUndef);
   }
 }
 

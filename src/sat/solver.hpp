@@ -12,9 +12,20 @@
 //    solve(assumptions) supports activation-literal idioms (the
 //    "incremental SAT" combination the paper's conclusion points to).
 //
-// Mechanics: two-watched-literal BCP, first-UIP conflict analysis with
-// recursive clause minimization, Luby restarts, activity-driven learned
-// clause deletion, arena garbage collection.
+// The solver is an orchestrator over four explicit layers:
+//
+//   Trail         — assignments, levels, reasons, the propagation queue
+//                   (trail.hpp);
+//   Propagator    — two-watched-literal BCP with blocking literals and
+//                   inlined binary watch lists (propagator.hpp);
+//   DecisionQueue — pluggable decision ordering: Chaff VSIDS with the
+//                   refined-ordering rank feed, or EVSIDS (decision.hpp);
+//   ClauseDB      — arena, clause-id space, LBD-tiered learned-clause
+//                   deletion with glue protection (clausedb.hpp).
+//
+// What remains here: first-UIP conflict analysis with recursive clause
+// minimization, Luby restarts, assumption handling, CDG/core plumbing,
+// and the search loop that ties the layers together.
 //
 // Clause ids are dense over *all* clauses in arrival order (original and
 // learned interleave under incremental use); unsat cores are reported as
@@ -23,32 +34,43 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "sat/cdg.hpp"
 #include "sat/clause.hpp"
+#include "sat/clausedb.hpp"
+#include "sat/decision.hpp"
 #include "sat/heuristic.hpp"
+#include "sat/propagator.hpp"
 #include "sat/stats.hpp"
+#include "sat/trail.hpp"
 #include "sat/types.hpp"
 #include "util/timer.hpp"
 
 namespace refbmc::sat {
 
 struct SolverConfig {
-  // VSIDS
+  // Decision ordering implementation (see decision.hpp).
+  DecisionMode decision = DecisionMode::Chaff;
+  // VSIDS (Chaff scorer)
   int vsids_update_period = 256;  // conflicts between score halvings
+  // EVSIDS scorer: per-conflict activity inflation factor.
+  double evsids_decay = 0.95;
   // Refined ordering (paper §3.3)
   RankMode rank_mode = RankMode::None;
   int dynamic_switch_divisor = 64;  // switch when decisions > #lits / divisor
   // Restarts: Luby sequence in units of `restart_base` conflicts.
   bool enable_restarts = true;
   int restart_base = 256;
-  // Learned clause deletion.
+  // Learned clause deletion (LBD tiers; see clausedb.hpp).
   bool enable_reduce_db = true;
   int reduce_base = 2000;       // first reduceDB after this many learned
   double reduce_grow = 1.5;     // growth factor of the limit
   double clause_decay = 0.999;  // learned clause activity decay
+  int glue_lbd = 2;             // LBD at or below: never deleted
+  int tier_lbd = 6;             // LBD at or below: deleted after local tier
   // Conflict-dependency graph / core tracking (paper §3.1).  Turning this
   // off disables unsat_core() but removes the bookkeeping overhead.
   bool track_cdg = true;
@@ -72,7 +94,7 @@ class Solver {
   /// Creates a fresh variable and returns it (dense, starting at 0).
   /// May be called between solve() calls.
   Var new_var();
-  int num_vars() const { return static_cast<int>(assigns_.size()); }
+  int num_vars() const { return trail_.num_vars(); }
 
   /// Adds a clause over existing variables.  Every call consumes one
   /// clause id (dense, shared with learned clauses) — including
@@ -82,16 +104,26 @@ class Solver {
   bool add_clause(const std::vector<Lit>& lits);
 
   /// Number of add_clause calls so far.
-  std::size_t num_original_clauses() const { return original_ids_.size(); }
+  std::size_t num_original_clauses() const {
+    return db_.num_original_clauses();
+  }
   /// Ids of original clauses in arrival order.
-  const std::vector<ClauseId>& original_ids() const { return original_ids_; }
+  const std::vector<ClauseId>& original_ids() const {
+    return db_.original_ids();
+  }
   /// Literal occurrences across original clauses (after dedup), the
   /// baseline for the dynamic policy's switch threshold.
-  std::uint64_t num_original_literals() const { return num_orig_lits_; }
+  std::uint64_t num_original_literals() const {
+    return db_.num_original_literals();
+  }
 
   /// The literals of original clause `id` (after duplicate removal).
-  const std::vector<Lit>& original_clause(ClauseId id) const;
-  bool is_original_clause(ClauseId id) const;
+  const std::vector<Lit>& original_clause(ClauseId id) const {
+    return db_.original_clause(id);
+  }
+  bool is_original_clause(ClauseId id) const {
+    return db_.is_original_clause(id);
+  }
 
   // ---- refined ordering ----------------------------------------------
   /// Sets the external per-variable rank (bmc_score).  Only meaningful
@@ -146,27 +178,20 @@ class Solver {
 
   /// Current assignment value (valid during/after solve; root-level facts
   /// persist across solve calls).
-  lbool value(Var v) const { return assigns_[static_cast<std::size_t>(v)]; }
-  lbool value(Lit l) const { return value(l.var()) ^ l.negated(); }
+  lbool value(Var v) const { return trail_.value(v); }
+  lbool value(Lit l) const { return trail_.value(l); }
 
   bool okay() const { return ok_; }
 
+  /// The solver's layers, inspectable (tests, stats surfacing).
+  const Trail& trail() const { return trail_; }
+  const Propagator& propagator() const { return prop_; }
+  const ClauseDB& clause_db() const { return db_; }
+  const DecisionQueue& decision_queue() const { return *queue_; }
+
  private:
-  struct Watcher {
-    ClauseRef cref;
-    Lit blocker;  // fast satisfied check without touching the clause
-  };
-
-  // -- trail / assignment ------------------------------------------------
-  int decision_level() const { return static_cast<int>(trail_lim_.size()); }
-  void new_decision_level() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
-  void enqueue(Lit l, ClauseRef reason);
-  void cancel_until(int level);
-
-  // -- BCP -----------------------------------------------------------------
-  ClauseRef propagate();
-  void attach_clause(ClauseRef cref);
-  void detach_clause(ClauseRef cref);
+  // -- BCP (delegated to the Propagator) -----------------------------------
+  ClauseRef propagate() { return prop_.propagate(trail_, db_.arena(), stats_); }
 
   // -- conflict analysis ---------------------------------------------------
   /// 1UIP analysis; fills `learnt` (learnt[0] = asserting literal),
@@ -186,56 +211,30 @@ class Solver {
   /// at decision/assumption variables (which have no reason clause).
   void collect_reason_closure(Var v, std::vector<ClauseId>& antecedents);
   void clear_closure_marks();
-  std::uint32_t abstract_level(Var v) const {
-    return 1u << (static_cast<std::uint32_t>(level_[static_cast<std::size_t>(v)]) & 31u);
-  }
+  /// Fetches the reason clause of trail literal `p`, normalized so the
+  /// asserted literal sits at position 0 (binary propagation assigns
+  /// without touching the arena, so its reasons may arrive swapped).
+  Clause reason_clause(Lit p);
 
-  // -- learned clause management -------------------------------------------
-  void record_learned(const std::vector<Lit>& learnt,
+  // -- learned clause management (policy in the ClauseDB) -------------------
+  void record_learned(const std::vector<Lit>& learnt, std::uint32_t lbd,
                       const std::vector<ClauseId>& antecedents);
-  void bump_clause_activity(Clause c);
-  void decay_clause_activity() { cla_inc_ /= config_.clause_decay; }
-  /// Shrinks a kept learned clause in place by removing root-false tail
-  /// literals (track_cdg off only; see reduce_db).
-  void strengthen_learned(ClauseRef cref);
-  void reduce_db();
-  bool clause_locked(ClauseRef cref) const;
-  void garbage_collect();
-  void relocate(ClauseRef& cref,
-                const std::vector<std::pair<ClauseRef, ClauseRef>>& map) const;
 
   // -- search ---------------------------------------------------------------
-  Lit pick_branch_literal();
+  void backtrack(int level);
   static std::int64_t luby(std::int64_t i);
 
   SolverConfig config_;
   SolverStats stats_;
 
-  ClauseArena arena_;
-  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::index()
-
-  std::vector<lbool> assigns_;     // per var
-  std::vector<int> level_;         // per var
-  std::vector<ClauseRef> reason_;  // per var
-  std::vector<Lit> trail_;
-  std::vector<int> trail_lim_;
-  int qhead_ = 0;
-
-  DecisionHeuristic heuristic_;
+  Trail trail_;
+  Propagator prop_;
+  ClauseDB db_;
+  std::unique_ptr<DecisionQueue> queue_;
   ConflictDependencyGraph cdg_;
-
-  ClauseId last_id_ = 0;                     // unified id counter
-  std::vector<std::vector<Lit>> lits_by_id_;  // originals only; learned empty
-  std::vector<char> id_is_original_;          // per id
-  std::vector<ClauseId> original_ids_;
-  std::vector<ClauseRef> learned_crefs_;
-  std::uint64_t num_orig_lits_ = 0;
-  double cla_inc_ = 1.0;
 
   std::vector<Lit> assumptions_;       // active during a solve() call
   std::vector<Lit> last_assumptions_;  // assumptions of the latest solve
-
-  std::vector<char> saved_phase_;  // 0 none, 1 true, 2 false (per var)
 
   // analysis scratch
   std::vector<char> seen_;
@@ -247,6 +246,10 @@ class Solver {
   const std::atomic<bool>* stop_ = nullptr;  // not owned; may be null
   bool ok_ = true;
   bool solved_unsat_ = false;
+  /// Whether the decision queue wants per-variable analysis bumps (the
+  /// EVSIDS scorer); cached to keep the no-op virtual hop out of the
+  /// analyze loop for Chaff.
+  bool bump_analyzed_ = false;
 };
 
 }  // namespace refbmc::sat

@@ -9,6 +9,12 @@ namespace refbmc::sat {
 struct SolverStats {
   std::uint64_t decisions = 0;
   std::uint64_t propagations = 0;  // implications
+  /// Assignments produced by the inlined binary watch lists (no arena
+  /// access at all) — the fastest BCP path.
+  std::uint64_t binary_propagations = 0;
+  /// Long-clause watcher visits short-circuited by a satisfied blocking
+  /// literal (clause never fetched from the arena).
+  std::uint64_t blocker_skips = 0;
   std::uint64_t conflicts = 0;
   std::uint64_t restarts = 0;
   std::uint64_t learned_clauses = 0;
@@ -20,6 +26,9 @@ struct SolverStats {
   std::uint64_t strengthened_literals = 0;
   std::uint64_t vsids_updates = 0;
   std::uint64_t reduce_db_runs = 0;
+  /// Learned clauses spared by the ClauseDB's glue protection (LBD at or
+  /// below glue_lbd) across all reduceDB runs.
+  std::uint64_t glue_protected = 0;
   std::uint64_t arena_gcs = 0;
   bool rank_switched = false;  // dynamic fallback fired (last solve call)
   double solve_time_sec = 0.0;  // accumulated across solve calls

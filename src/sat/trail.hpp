@@ -1,0 +1,140 @@
+// Trail: the assignment stack of the CDCL core.
+//
+// Owns everything per-variable that describes the current partial
+// assignment — value, decision level, reason clause — plus the assignment
+// stack itself, the decision-level frames, the propagation queue head,
+// and (optionally) saved phases.  The Propagator consumes the queue, the
+// Solver drives decisions and backtracking; neither owns assignment
+// state.
+//
+// Backtracking (`cancel_until`) takes a callback so the owner can observe
+// every unassigned variable (the Solver re-inserts it into the
+// DecisionQueue) without the Trail depending on the decision layer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/clause.hpp"
+#include "sat/types.hpp"
+#include "util/assert.hpp"
+
+namespace refbmc::sat {
+
+class Trail {
+ public:
+  /// When true, cancel_until records each unassigned variable's polarity
+  /// so the decision layer can re-decide it the same way.
+  explicit Trail(bool phase_saving = false) : phase_saving_(phase_saving) {}
+
+  // ---- variables -----------------------------------------------------
+  Var new_var() {
+    const Var v = num_vars();
+    assigns_.push_back(l_Undef);
+    level_.push_back(0);
+    reason_.push_back(kClauseRefUndef);
+    saved_phase_.push_back(0);
+    return v;
+  }
+  int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+  lbool value(Var v) const { return assigns_[static_cast<std::size_t>(v)]; }
+  lbool value(Lit l) const { return value(l.var()) ^ l.negated(); }
+  int level(Var v) const { return level_[static_cast<std::size_t>(v)]; }
+  ClauseRef reason(Var v) const {
+    return reason_[static_cast<std::size_t>(v)];
+  }
+  void set_reason(Var v, ClauseRef r) {
+    reason_[static_cast<std::size_t>(v)] = r;
+  }
+
+  /// 1 << (level(v) & 31): the level signature used by recursive clause
+  /// minimization.
+  std::uint32_t abstract_level(Var v) const {
+    return 1u << (static_cast<std::uint32_t>(level(v)) & 31u);
+  }
+
+  // ---- decision levels -----------------------------------------------
+  int decision_level() const { return static_cast<int>(lim_.size()); }
+  void new_decision_level() {
+    lim_.push_back(static_cast<int>(trail_.size()));
+  }
+
+  // ---- assignment stack ----------------------------------------------
+  /// Appends the assignment l (with its implying clause, or
+  /// kClauseRefUndef for decisions/assumptions) at the current level.
+  /// The literal enters the propagation queue.
+  void assign(Lit l, ClauseRef reason) {
+    REFBMC_ASSERT(value(l) == l_Undef);
+    const auto v = static_cast<std::size_t>(l.var());
+    assigns_[v] = lbool(!l.negated());
+    level_[v] = decision_level();
+    reason_[v] = reason;
+    trail_.push_back(l);
+  }
+
+  std::size_t size() const { return trail_.size(); }
+  Lit operator[](std::size_t i) const { return trail_[i]; }
+
+  // ---- propagation queue ---------------------------------------------
+  bool fully_propagated() const {
+    return qhead_ == static_cast<int>(trail_.size());
+  }
+  Lit dequeue() { return trail_[static_cast<std::size_t>(qhead_++)]; }
+  /// Discards the rest of the queue (conflict found: analysis restarts
+  /// propagation after backtracking anyway).
+  void flush_queue() { qhead_ = static_cast<int>(trail_.size()); }
+
+  // ---- backtracking --------------------------------------------------
+  /// Undoes all assignments above `level`; calls `on_unassign(v)` for
+  /// each variable as it becomes free (most recent first).
+  template <typename OnUnassign>
+  void cancel_until(int level, OnUnassign&& on_unassign) {
+    if (decision_level() <= level) return;
+    const int bound = lim_[static_cast<std::size_t>(level)];
+    for (int i = static_cast<int>(trail_.size()) - 1; i >= bound; --i) {
+      const auto v =
+          static_cast<std::size_t>(trail_[static_cast<std::size_t>(i)].var());
+      if (phase_saving_)
+        saved_phase_[v] = assigns_[v] == l_True ? 1 : 2;
+      assigns_[v] = l_Undef;
+      reason_[v] = kClauseRefUndef;
+      on_unassign(static_cast<Var>(v));
+    }
+    trail_.resize(static_cast<std::size_t>(bound));
+    lim_.resize(static_cast<std::size_t>(level));
+    if (qhead_ > bound) qhead_ = bound;
+  }
+
+  /// Saved polarity of v: l_Undef when never assigned (or saving off).
+  lbool saved_phase(Var v) const {
+    const char s = saved_phase_[static_cast<std::size_t>(v)];
+    return s == 0 ? l_Undef : s == 1 ? l_True : l_False;
+  }
+
+  /// Snapshot of the assignment vector (the model, when complete).
+  const std::vector<lbool>& assignments() const { return assigns_; }
+
+  /// Patches every reason reference through an arena relocation map
+  /// (sorted by old ref); reasons of unassigned variables are dropped.
+  void relocate_reasons(
+      const std::vector<std::pair<ClauseRef, ClauseRef>>& map);
+
+ private:
+  bool phase_saving_;
+  std::vector<lbool> assigns_;     // per var
+  std::vector<int> level_;         // per var
+  std::vector<ClauseRef> reason_;  // per var
+  std::vector<char> saved_phase_;  // per var: 0 none, 1 true, 2 false
+  std::vector<Lit> trail_;
+  std::vector<int> lim_;  // trail size at each decision level start
+  int qhead_ = 0;
+};
+
+/// Looks `cref` up in a relocation map sorted by old reference (the order
+/// ClauseArena::garbage_collect emits).
+ClauseRef relocate_ref(
+    ClauseRef cref,
+    const std::vector<std::pair<ClauseRef, ClauseRef>>& map);
+
+}  // namespace refbmc::sat

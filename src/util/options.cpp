@@ -105,6 +105,12 @@ PortfolioConfig PortfolioConfig::from_options(const Options& opts) {
   }
   cfg.incremental = opts.get_bool("incremental", cfg.incremental);
   cfg.simplify = opts.get_bool("simplify", cfg.simplify);
+  cfg.decision = opts.get("decision", cfg.decision);
+  cfg.glue_lbd = opts.get_int("glue-lbd", cfg.glue_lbd);
+  cfg.tier_lbd = opts.get_int("tier-lbd", cfg.tier_lbd);
+  if (cfg.glue_lbd < 0 || cfg.tier_lbd < cfg.glue_lbd)
+    throw std::invalid_argument(
+        "option --tier-lbd expects a value >= --glue-lbd >= 0");
   return cfg;
 }
 

@@ -43,17 +43,23 @@ std::vector<std::string> split_csv(const std::string& csv);
 struct PortfolioConfig {
   int num_threads = 4;
   std::vector<std::string> policies{"baseline", "static", "dynamic",
-                                    "shtrichman"};
+                                    "shtrichman", "evsids"};
   int max_depth = 20;
   double budget_sec = -1.0;  // wall-clock budget per race / batch (<=0: none)
   std::uint64_t seed = 1;    // base RNG seed; worker w uses seed + w
   bool incremental = false;  // per-job incremental SAT mode
   bool simplify = true;      // frame-wise formula simplification
+  /// Solver-core knobs, kept as strings/ints at the CLI level (util
+  /// cannot depend on sat); the portfolio layer resolves and validates.
+  std::string decision = "chaff";  // decision scorer: chaff | evsids
+  int glue_lbd = 2;   // learned clauses at or below this LBD never deleted
+  int tier_lbd = 6;   // mid-tier LBD boundary of reduceDB
 
   /// Reads `--threads`, `--policies a,b,c`, `--depth`, `--budget`,
-  /// `--seed`, `--incremental`, `--simplify 0|1`; absent options keep the
-  /// defaults above.  Throws std::invalid_argument on malformed values
-  /// (threads < 1, empty policy list, non-numeric numbers).
+  /// `--seed`, `--incremental`, `--simplify 0|1`, `--decision chaff|evsids`,
+  /// `--glue-lbd`, `--tier-lbd`; absent options keep the defaults above.
+  /// Throws std::invalid_argument on malformed values (threads < 1, empty
+  /// policy list, non-numeric numbers, tier-lbd below glue-lbd).
   static PortfolioConfig from_options(const Options& opts);
 };
 

@@ -40,7 +40,7 @@ INSTANTIATE_TEST_SUITE_P(
     AllPolicies, PolicyAgreementTest,
     ::testing::Values(OrderingPolicy::Baseline, OrderingPolicy::Static,
                       OrderingPolicy::Dynamic, OrderingPolicy::Replace,
-                      OrderingPolicy::Shtrichman),
+                      OrderingPolicy::Shtrichman, OrderingPolicy::Evsids),
     [](const auto& info) { return to_string(info.param); });
 
 TEST(PolicyEffectTest, RefinedOrderingShrinksSearchOnDistractedCircuit) {

@@ -2,6 +2,8 @@
 // PortfolioConfig parsing, and resolution into engine-level types.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "portfolio/scheduler.hpp"
 #include "util/options.hpp"
 
@@ -40,8 +42,9 @@ TEST(SplitCsvTest, SplitsAndDropsEmpties) {
 TEST(PortfolioConfigTest, Defaults) {
   const PortfolioConfig cfg = PortfolioConfig::from_options(parse({}));
   EXPECT_EQ(cfg.num_threads, 4);
-  EXPECT_EQ(cfg.policies, (std::vector<std::string>{
-                              "baseline", "static", "dynamic", "shtrichman"}));
+  EXPECT_EQ(cfg.policies,
+            (std::vector<std::string>{"baseline", "static", "dynamic",
+                                      "shtrichman", "evsids"}));
   EXPECT_EQ(cfg.max_depth, 20);
   EXPECT_LT(cfg.budget_sec, 0.0);
   EXPECT_FALSE(cfg.incremental);
@@ -109,9 +112,43 @@ TEST(ResolveTest, UnknownPolicyThrows) {
 
 TEST(ResolveTest, DefaultRaceLineupSkipsReplace) {
   const auto lineup = default_race_policies();
-  EXPECT_EQ(lineup.size(), 4u);
+  EXPECT_EQ(lineup.size(), 5u);
   for (const OrderingPolicy p : lineup)
     EXPECT_NE(p, OrderingPolicy::Replace);
+  // The EVSIDS entrant races by default.
+  EXPECT_NE(std::find(lineup.begin(), lineup.end(), OrderingPolicy::Evsids),
+            lineup.end());
+}
+
+TEST(ResolveTest, DecisionModeAndLbdTiersResolve) {
+  PortfolioConfig cfg;
+  cfg.decision = "evsids";
+  cfg.glue_lbd = 3;
+  cfg.tier_lbd = 8;
+  const ResolvedPortfolio r = resolve(cfg);
+  EXPECT_EQ(r.engine.solver.decision, sat::DecisionMode::Evsids);
+  EXPECT_EQ(r.engine.solver.glue_lbd, 3);
+  EXPECT_EQ(r.engine.solver.tier_lbd, 8);
+}
+
+TEST(ResolveTest, UnknownDecisionModeThrows) {
+  PortfolioConfig cfg;
+  cfg.decision = "vsids2";
+  EXPECT_THROW(resolve(cfg), std::invalid_argument);
+}
+
+TEST(PortfolioConfigTest, ParsesDecisionAndLbdKnobs) {
+  const PortfolioConfig cfg = PortfolioConfig::from_options(
+      parse({"--decision", "evsids", "--glue-lbd", "3", "--tier-lbd", "9"}));
+  EXPECT_EQ(cfg.decision, "evsids");
+  EXPECT_EQ(cfg.glue_lbd, 3);
+  EXPECT_EQ(cfg.tier_lbd, 9);
+}
+
+TEST(PortfolioConfigTest, RejectsTierBelowGlue) {
+  EXPECT_THROW(PortfolioConfig::from_options(
+                   parse({"--glue-lbd", "5", "--tier-lbd", "2"})),
+               std::invalid_argument);
 }
 
 }  // namespace

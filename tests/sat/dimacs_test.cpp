@@ -69,6 +69,76 @@ TEST(DimacsTest, RejectsGarbageTokens) {
                std::invalid_argument);
 }
 
+TEST(DimacsTest, BlankAndWhitespaceLinesIgnored) {
+  const Cnf cnf = parse_dimacs_string(
+      "\n"
+      "   \t \n"
+      "p cnf 2 1\n"
+      "\n"
+      "1 -2 0\n"
+      "  \n");
+  EXPECT_EQ(cnf.num_vars, 2);
+  EXPECT_EQ(cnf.num_clauses(), 1u);
+}
+
+TEST(DimacsTest, CommentsAfterHeaderAndInsideClauses) {
+  // Comments may interleave with clause data — including in the middle
+  // of a clause spanning lines.
+  const Cnf cnf = parse_dimacs_string(
+      "c leading comment\n"
+      "p cnf 3 2\n"
+      "c after the header\n"
+      "1 2\n"
+      "c between the literals of one clause\n"
+      "3 0\n"
+      "-1 0\n");
+  ASSERT_EQ(cnf.num_clauses(), 2u);
+  EXPECT_EQ(cnf.clauses[0].size(), 3u);
+  EXPECT_EQ(cnf.clauses[1].size(), 1u);
+}
+
+TEST(DimacsTest, IndentedCommentsAndClauses) {
+  const Cnf cnf = parse_dimacs_string(
+      "  c indented comment\n"
+      "\tp cnf 2 1\n"
+      "  1 2 0\n");
+  EXPECT_EQ(cnf.num_clauses(), 1u);
+}
+
+TEST(DimacsTest, RejectsEmptyClauseTerminatorBeforeHeader) {
+  // A bare "0" is clause data; without a header it must be rejected, not
+  // silently recorded as an empty clause.
+  EXPECT_THROW(parse_dimacs_string("0\np cnf 1 1\n1 0\n"),
+               std::invalid_argument);
+}
+
+TEST(DimacsTest, RejectsTrailingJunkOnProblemLine) {
+  EXPECT_THROW(parse_dimacs_string("p cnf 2 1 extra\n1 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_dimacs_string("p cnf 2 1 3\n1 0\n"),
+               std::invalid_argument);
+  // Trailing whitespace stays legal.
+  EXPECT_NO_THROW(parse_dimacs_string("p cnf 2 1   \n1 0\n"));
+}
+
+TEST(DimacsTest, RejectsNegativeAndOversizedHeaderCounts) {
+  EXPECT_THROW(parse_dimacs_string("p cnf -2 1\n1 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_dimacs_string("p cnf 9999999999 1\n1 0\n"),
+               std::invalid_argument);
+}
+
+TEST(DimacsTest, OutOfRangeErrorNamesTheLiteral) {
+  try {
+    parse_dimacs_string("p cnf 2 1\n7 0\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("7"), std::string::npos);
+    EXPECT_NE(msg.find("2"), std::string::npos);
+  }
+}
+
 TEST(DimacsTest, MissingFileThrows) {
   EXPECT_THROW(parse_dimacs_file("/nonexistent/path.cnf"),
                std::invalid_argument);

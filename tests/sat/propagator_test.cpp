@@ -1,0 +1,174 @@
+// The Propagator layer: inlined binary watch lists, blocking-literal
+// skips, watch migration after in-place shrinking — asserted through the
+// new hot-path counters, at component level and through the full solver.
+#include "sat/propagator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "sat/solver.hpp"
+#include "sat/trail.hpp"
+
+namespace refbmc::sat {
+namespace {
+
+Lit pos(Var v) { return Lit::make(v); }
+Lit neg(Var v) { return Lit::make(v, true); }
+
+struct Core {
+  Trail trail;
+  Propagator prop;
+  ClauseArena arena;
+  SolverStats stats;
+
+  void vars(int n) {
+    for (int i = 0; i < n; ++i) {
+      trail.new_var();
+      prop.new_var();
+    }
+  }
+  ClauseRef clause(std::initializer_list<Lit> lits, ClauseId id = 1) {
+    const ClauseRef cref = arena.alloc(std::vector<Lit>(lits), id, false);
+    prop.attach(arena, cref);
+    return cref;
+  }
+  ClauseRef propagate() { return prop.propagate(trail, arena, stats); }
+};
+
+TEST(PropagatorTest, BinaryClausePropagatesWithoutArena) {
+  Core c;
+  c.vars(2);
+  c.clause({pos(0), pos(1)});
+  EXPECT_EQ(c.prop.num_binary_watches(neg(0)), 1u);
+  EXPECT_EQ(c.prop.num_long_watches(neg(0)), 0u);
+
+  c.trail.assign(neg(0), kClauseRefUndef);
+  EXPECT_EQ(c.propagate(), kClauseRefUndef);
+  EXPECT_EQ(c.trail.value(pos(1)), l_True);
+  EXPECT_EQ(c.stats.binary_propagations, 1u);
+}
+
+TEST(PropagatorTest, BinaryConflictReturnsClause) {
+  Core c;
+  c.vars(2);
+  const ClauseRef cref = c.clause({pos(0), pos(1)});
+  c.trail.new_decision_level();
+  c.trail.assign(neg(1), kClauseRefUndef);
+  c.trail.assign(neg(0), kClauseRefUndef);
+  EXPECT_EQ(c.propagate(), cref);
+  EXPECT_TRUE(c.trail.fully_propagated());  // queue flushed on conflict
+}
+
+TEST(PropagatorTest, BlockerSkipAvoidsClauseFetch) {
+  Core c;
+  c.vars(3);
+  c.clause({pos(0), pos(1), pos(2)});  // watches on lits 0 and 1
+  // Satisfy the cached blocker (lit 1) first, then falsify watch lit 0:
+  // the watcher visit must resolve on the blocker alone.
+  c.trail.assign(pos(1), kClauseRefUndef);
+  ASSERT_EQ(c.propagate(), kClauseRefUndef);
+  EXPECT_EQ(c.stats.blocker_skips, 0u);
+  c.trail.assign(neg(0), kClauseRefUndef);
+  ASSERT_EQ(c.propagate(), kClauseRefUndef);
+  EXPECT_EQ(c.stats.blocker_skips, 1u);
+  EXPECT_EQ(c.trail.value(pos(2)), l_Undef);  // clause never inspected
+}
+
+TEST(PropagatorTest, LongClausePropagatesWhenReducedToUnit) {
+  Core c;
+  c.vars(3);
+  const ClauseRef cref = c.clause({pos(0), pos(1), pos(2)});
+  c.trail.new_decision_level();
+  c.trail.assign(neg(2), kClauseRefUndef);
+  ASSERT_EQ(c.propagate(), kClauseRefUndef);
+  c.trail.assign(neg(0), kClauseRefUndef);
+  ASSERT_EQ(c.propagate(), kClauseRefUndef);
+  EXPECT_EQ(c.trail.value(pos(1)), l_True);
+  EXPECT_EQ(c.trail.reason(1), cref);
+  EXPECT_EQ(c.stats.binary_propagations, 0u);  // long path, not inline
+}
+
+TEST(PropagatorTest, ShrunkToBinaryMigratesIntoInlineLists) {
+  Core c;
+  c.vars(4);
+  const ClauseRef cref = c.clause({pos(0), pos(1), pos(2), pos(3)});
+  EXPECT_EQ(c.prop.num_long_watches(neg(0)), 1u);
+
+  // Tail literals drop (as strengthen_learned does); size 3 stays long.
+  c.arena.shrink_clause(cref, 3);
+  c.prop.on_clause_shrunk(c.arena, cref);
+  EXPECT_EQ(c.prop.num_long_watches(neg(0)), 1u);
+  EXPECT_EQ(c.prop.num_binary_watches(neg(0)), 0u);
+
+  // Shrinking to two literals moves the watchers to the inline lists.
+  c.arena.shrink_clause(cref, 2);
+  c.prop.on_clause_shrunk(c.arena, cref);
+  EXPECT_EQ(c.prop.num_long_watches(neg(0)), 0u);
+  EXPECT_EQ(c.prop.num_long_watches(neg(1)), 0u);
+  EXPECT_EQ(c.prop.num_binary_watches(neg(0)), 1u);
+  EXPECT_EQ(c.prop.num_binary_watches(neg(1)), 1u);
+
+  // ...and propagation now takes the arena-free binary path.
+  c.trail.assign(neg(0), kClauseRefUndef);
+  EXPECT_EQ(c.propagate(), kClauseRefUndef);
+  EXPECT_EQ(c.trail.value(pos(1)), l_True);
+  EXPECT_EQ(c.stats.binary_propagations, 1u);
+}
+
+TEST(PropagatorTest, DetachCoversBothSizeClasses) {
+  Core c;
+  c.vars(3);
+  const ClauseRef bin = c.clause({pos(0), pos(1)}, 1);
+  const ClauseRef lng = c.clause({pos(0), pos(1), pos(2)}, 2);
+  c.prop.detach(c.arena, bin);
+  EXPECT_EQ(c.prop.num_binary_watches(neg(0)), 0u);
+  c.prop.detach(c.arena, lng);
+  EXPECT_EQ(c.prop.num_long_watches(neg(0)), 0u);
+  c.trail.assign(neg(0), kClauseRefUndef);
+  EXPECT_EQ(c.propagate(), kClauseRefUndef);
+  EXPECT_EQ(c.trail.value(1), l_Undef);  // nothing watched anymore
+}
+
+// ---- through the full solver ---------------------------------------------
+
+TEST(PropagatorSolverTest, BinaryOnlyInstanceUsesOnlyTheInlinePath) {
+  // An implication chain x0 -> x1 -> ... -> x_n: solving is pure binary
+  // BCP, so every propagation but the seed unit is an inline assignment.
+  const int n = 50;
+  Solver s;
+  for (int i = 0; i < n; ++i) s.new_var();
+  for (int i = 0; i + 1 < n; ++i)
+    s.add_clause({Lit::make(i, true), Lit::make(i + 1)});
+  s.add_clause({Lit::make(0)});
+  ASSERT_EQ(s.solve(), Result::Sat);
+  EXPECT_EQ(s.stats().binary_propagations, static_cast<std::uint64_t>(n - 1));
+  EXPECT_EQ(s.stats().blocker_skips, 0u);  // no long clauses exist
+  for (int i = 0; i < n; ++i)
+    EXPECT_TRUE(s.model_literal_true(Lit::make(i)));
+}
+
+TEST(PropagatorSolverTest, BlockerSkipsShowUpOnLongClauses) {
+  Solver s;
+  test::load(s, test::pigeonhole(6, 5));
+  ASSERT_EQ(s.solve(), Result::Unsat);
+  // PHP hole axioms are binary and pigeon axioms long: both hot paths
+  // must have fired.
+  EXPECT_GT(s.stats().binary_propagations, 0u);
+  EXPECT_GT(s.stats().blocker_skips, 0u);
+}
+
+TEST(PropagatorSolverTest, CountersSurviveGcChurn) {
+  SolverConfig cfg;
+  cfg.reduce_base = 4;
+  cfg.reduce_grow = 1.05;
+  cfg.restart_base = 2;
+  Solver s(cfg);
+  test::load(s, test::pigeonhole(7, 6));
+  ASSERT_EQ(s.solve(), Result::Unsat);
+  EXPECT_GT(s.stats().arena_gcs, 0u);  // the churn actually happened
+  EXPECT_GT(s.stats().binary_propagations, 0u);
+  EXPECT_GT(s.stats().blocker_skips, 0u);
+}
+
+}  // namespace
+}  // namespace refbmc::sat
