@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Bench trajectory delta: compare this run's BENCH_*.json against the
+previous successful run's and emit a GitHub-flavored-markdown summary.
+
+Usage: bench_delta.py <previous-dir> <current-dir>
+
+Always exits 0 — regressions produce ::warning annotations, not
+failures: CI runners are noisy shared boxes, and the trajectory is a
+signal to read, not a gate.  Headline metrics compared:
+
+  BENCH_solver.json     props/sec per suite row (solver-core throughput)
+  BENCH_portfolio.json  race-setup encode-once speedup, total race
+                        ratios, lemma-sharing counters
+
+Missing files / keys degrade to "n/a" so the very first run (empty
+trajectory) still prints a table that later runs can diff against.
+"""
+
+import json
+import os
+import sys
+
+REGRESSION_TOLERANCE = 0.90  # warn when current < 90% of previous
+
+
+def load(dirname, filename):
+    path = os.path.join(dirname, filename)
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def fmt(v):
+    if v is None:
+        return "n/a"
+    if isinstance(v, float):
+        return f"{v:,.3f}" if abs(v) < 1000 else f"{v:,.0f}"
+    return f"{v:,}"
+
+
+def delta(prev, cur):
+    if prev is None or cur is None or not prev:
+        return "n/a"
+    ratio = cur / prev
+    arrow = "+" if ratio >= 1 else ""
+    return f"{arrow}{(ratio - 1) * 100:.1f}%"
+
+
+def warn(msg):
+    print(f"::warning::{msg}", file=sys.stderr)
+
+
+def solver_rows(doc):
+    """props/sec per row of BENCH_solver.json (schema: rows: [{name, ...,
+    props_per_sec}]), tolerating older/partial schemas."""
+    out = {}
+    if not isinstance(doc, dict):
+        return out
+    for row in doc.get("rows", []) or []:
+        if isinstance(row, dict) and "name" in row:
+            out[str(row["name"])] = row.get("props_per_sec")
+    totals = doc.get("totals")
+    if isinstance(totals, dict) and "props_per_sec" in totals:
+        out["TOTAL"] = totals.get("props_per_sec")
+    return out
+
+
+def main():
+    if len(sys.argv) != 3:
+        print("usage: bench_delta.py <previous-dir> <current-dir>",
+              file=sys.stderr)
+        return 0
+    prev_dir, cur_dir = sys.argv[1], sys.argv[2]
+
+    print("## Bench trajectory")
+    print()
+
+    # ---- solver core: props/sec per suite row ---------------------------
+    prev_solver = load(prev_dir, "BENCH_solver.json")
+    cur_solver = load(cur_dir, "BENCH_solver.json")
+    prev_rows = solver_rows(prev_solver)
+    cur_rows = solver_rows(cur_solver)
+    if cur_rows:
+        print("### Solver core (props/sec)")
+        print()
+        print("| model | previous | current | delta |")
+        print("|---|---:|---:|---:|")
+        for name, cur_v in cur_rows.items():
+            prev_v = prev_rows.get(name)
+            print(f"| {name} | {fmt(prev_v)} | {fmt(cur_v)} "
+                  f"| {delta(prev_v, cur_v)} |")
+            if (prev_v and cur_v and
+                    cur_v < prev_v * REGRESSION_TOLERANCE):
+                warn(f"props/sec regression on {name}: "
+                     f"{prev_v:,.0f} -> {cur_v:,.0f}")
+        print()
+    else:
+        print("_no BENCH_solver.json rows in the current run_")
+        print()
+
+    # ---- portfolio: race setup + totals + sharing -----------------------
+    prev_p = load(prev_dir, "BENCH_portfolio.json") or {}
+    cur_p = load(cur_dir, "BENCH_portfolio.json") or {}
+    if cur_p:
+        metrics = [
+            ("race-setup encode-once speedup",
+             lambda d: (d.get("race_setup") or {}).get("speedup"), True),
+            ("total race ratio vs best single policy",
+             lambda d: d.get("total_ratio"), False),
+            ("sharing race ratio vs plain race",
+             lambda d: d.get("total_share_ratio_vs_plain"), False),
+            ("lemmas exported (sharing races)",
+             lambda d: d.get("total_clauses_exported"), None),
+            ("lemmas imported (sharing races)",
+             lambda d: d.get("total_clauses_imported"), None),
+            ("hardware threads on runner",
+             lambda d: d.get("hw_threads"), None),
+        ]
+        print("### Portfolio")
+        print()
+        print("| metric | previous | current | delta |")
+        print("|---|---:|---:|---:|")
+        for label, get, higher_is_better in metrics:
+            prev_v, cur_v = get(prev_p), get(cur_p)
+            print(f"| {label} | {fmt(prev_v)} | {fmt(cur_v)} "
+                  f"| {delta(prev_v, cur_v)} |")
+            if higher_is_better is None or prev_v is None or cur_v is None:
+                continue
+            if not prev_v:
+                continue
+            ratio = cur_v / prev_v
+            regressed = (ratio < REGRESSION_TOLERANCE if higher_is_better
+                         else ratio > 1 / REGRESSION_TOLERANCE)
+            if regressed:
+                warn(f"portfolio regression: {label} "
+                     f"{fmt(prev_v)} -> {fmt(cur_v)}")
+        print()
+    else:
+        print("_no BENCH_portfolio.json in the current run_")
+        print()
+
+    if not prev_rows and not prev_p:
+        print("_previous run had no bench artifacts — "
+              "this run seeds the trajectory_")
+
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,8 +7,12 @@
 //      batch, run at each worker count in --threads-list; wall-clock
 //      should shrink as workers are added (target: >= 1.5x at 4 threads);
 //  (b) race overhead — per instance, every policy run alone vs. the
-//      4-policy race; race wall-clock should track the per-instance best
-//      policy (target: within 15% in total).
+//      full-lineup race; race wall-clock should track the per-instance
+//      best policy (target: within 15% in total).  Each race runs twice:
+//      lemma sharing off (independent solvers, the PR 3 discipline) and
+//      on (LBD-filtered clause exchange through the SharedClausePool),
+//      with the pool's exported/imported counters recorded so the
+//      trajectory tooling can see the exchange actually firing;
 //
 // Results go to stdout and, machine-readably, to BENCH_portfolio.json.
 // Both targets assume the hardware can actually run the workers in
@@ -106,16 +110,30 @@ int run(int argc, char** argv) {
   }
   json.end_array();
 
-  // ---- (b) race vs. best single policy ------------------------------------
+  // ---- (b) race vs. best single policy, with and without lemma sharing ----
+  // Two schedulers, same seed: one with clause exchange off (the PR 3
+  // baseline race) and one with the LBD-filtered SharedClausePool.  The
+  // share columns show whether portfolio diversity compounds (shared
+  // lemmas cut the race) or the instance is too easy to learn anything
+  // worth exchanging.  NB: like the race itself, the sharing payoff
+  // needs real parallelism; on a box with fewer cores than entrants the
+  // wall-clock comparison degrades to time-slicing noise while the
+  // exported/imported counters stay meaningful.
   const auto policies = default_race_policies();
-  PortfolioScheduler racer(static_cast<int>(policies.size()));
+  SharingConfig no_sharing;
+  no_sharing.enabled = false;
+  PortfolioScheduler racer(static_cast<int>(policies.size()),
+                           /*base_seed=*/1, no_sharing);
+  PortfolioScheduler racer_share(static_cast<int>(policies.size()));
 
-  std::printf("\nrace vs. best single policy\n");
-  std::printf("%-26s %10s %-12s %10s %-12s %7s\n", "model", "best(s)",
-              "best-policy", "race(s)", "race-winner", "ratio");
+  std::printf("\nrace vs. best single policy (plain / lemma-sharing)\n");
+  std::printf("%-26s %10s %-12s %10s %10s %7s %9s %9s\n", "model", "best(s)",
+              "best-policy", "race(s)", "share(s)", "ratio", "exported",
+              "imported");
   json.key("race");
   json.begin_array();
-  double total_best = 0.0, total_race = 0.0;
+  double total_best = 0.0, total_race = 0.0, total_race_share = 0.0;
+  std::uint64_t total_exported = 0, total_imported = 0;
   for (const auto& bm : suite) {
     bmc::EngineConfig engine;
     engine.max_depth = opts.get_int("depth", bm.suggested_bound);
@@ -137,13 +155,18 @@ int run(int argc, char** argv) {
     }
 
     const RaceResult race = racer.race(bm.net, 0, engine, policies);
+    const RaceResult shared = racer_share.race(bm.net, 0, engine, policies);
     const double ratio = best_sec > 0.0 ? race.wall_time_sec / best_sec : 0.0;
     total_best += best_sec;
     total_race += race.wall_time_sec;
-    std::printf("%-26s %10.3f %-12s %10.3f %-12s %7.2f\n", bm.name.c_str(),
-                best_sec, to_string(best_policy), race.wall_time_sec,
-                race.has_winner() ? to_string(race.winning().policy) : "-",
-                ratio);
+    total_race_share += shared.wall_time_sec;
+    total_exported += shared.clauses_exported;
+    total_imported += shared.clauses_imported;
+    std::printf("%-26s %10.3f %-12s %10.3f %10.3f %7.2f %9llu %9llu\n",
+                bm.name.c_str(), best_sec, to_string(best_policy),
+                race.wall_time_sec, shared.wall_time_sec, ratio,
+                static_cast<unsigned long long>(shared.clauses_exported),
+                static_cast<unsigned long long>(shared.clauses_imported));
     json.begin_object();
     json.kv("name", bm.name);
     json.kv("best_sec", best_sec);
@@ -154,6 +177,16 @@ int run(int argc, char** argv) {
     json.kv("race_verdict", to_string(race.status()));
     json.kv("ratio", ratio);
     json.kv("frames_encoded", race.frames_encoded);
+    json.kv("race_share_sec", shared.wall_time_sec);
+    json.kv("race_share_winner",
+            shared.has_winner() ? to_string(shared.winning().policy) : "-");
+    json.kv("race_share_verdict", to_string(shared.status()));
+    json.kv("share_ratio_vs_plain",
+            race.wall_time_sec > 0.0
+                ? shared.wall_time_sec / race.wall_time_sec
+                : 0.0);
+    json.kv("clauses_exported", shared.clauses_exported);
+    json.kv("clauses_imported", shared.clauses_imported);
     json.end_object();
   }
   json.end_array();
@@ -212,11 +245,20 @@ int run(int argc, char** argv) {
   }
 
   const double total_ratio = total_best > 0.0 ? total_race / total_best : 0.0;
-  std::printf("\nTOTAL best %.3fs, race %.3fs, ratio %.2f\n", total_best,
-              total_race, total_ratio);
+  std::printf(
+      "\nTOTAL best %.3fs, race %.3fs (ratio %.2f), sharing race %.3fs "
+      "(%llu exported, %llu imported)\n",
+      total_best, total_race, total_ratio, total_race_share,
+      static_cast<unsigned long long>(total_exported),
+      static_cast<unsigned long long>(total_imported));
   json.kv("total_best_sec", total_best);
   json.kv("total_race_sec", total_race);
   json.kv("total_ratio", total_ratio);
+  json.kv("total_race_share_sec", total_race_share);
+  json.kv("total_share_ratio_vs_plain",
+          total_race > 0.0 ? total_race_share / total_race : 0.0);
+  json.kv("total_clauses_exported", total_exported);
+  json.kv("total_clauses_imported", total_imported);
   json.end_object();
 
   if (!json.write_file("BENCH_portfolio.json"))

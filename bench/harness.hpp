@@ -9,121 +9,24 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bmc/engine.hpp"
 #include "model/benchgen.hpp"
 #include "util/assert.hpp"
+#include "util/json.hpp"
 
 namespace refbmc::benchharness {
 
 // ---- machine-readable output ----------------------------------------------
 //
 // Benches additionally emit a BENCH_<name>.json next to where they run so
-// the perf trajectory is tracked across PRs by tooling, not eyeballs.
-// JsonWriter is a minimal streaming writer: begin/end pairs, key() before
-// each member inside an object, automatic comma placement.
-
-class JsonWriter {
- public:
-  void begin_object() { open('{'); }
-  void end_object() { close('}'); }
-  void begin_array() { open('['); }
-  void end_array() { close(']'); }
-
-  void key(const std::string& name) {
-    separate();
-    out_ << quote(name) << ":";
-    just_keyed_ = true;
-  }
-
-  void value(const std::string& v) { scalar(quote(v)); }
-  void value(const char* v) { scalar(quote(v)); }
-  void value(double v) {
-    std::ostringstream os;
-    os.precision(9);
-    os << v;
-    scalar(os.str());
-  }
-  void value(std::uint64_t v) { scalar(std::to_string(v)); }
-  void value(int v) { scalar(std::to_string(v)); }
-  void value(bool v) { scalar(v ? "true" : "false"); }
-
-  /// Convenience: key + scalar value in one call.
-  template <typename T>
-  void kv(const std::string& name, T v) {
-    key(name);
-    value(v);
-  }
-
-  std::string str() const { return out_.str(); }
-
-  /// Writes the document to `path` (e.g. "BENCH_portfolio.json").
-  /// Returns false when the file cannot be opened.
-  bool write_file(const std::string& path) const {
-    std::ofstream f(path);
-    if (!f) return false;
-    f << out_.str() << "\n";
-    return bool(f);
-  }
-
- private:
-  static std::string quote(const std::string& s) {
-    std::string q = "\"";
-    for (const char c : s) {
-      switch (c) {
-        case '"': q += "\\\""; break;
-        case '\\': q += "\\\\"; break;
-        case '\n': q += "\\n"; break;
-        case '\t': q += "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x", c);
-            q += buf;
-          } else {
-            q += c;
-          }
-      }
-    }
-    q += '"';
-    return q;
-  }
-
-  void open(char c) {
-    separate();
-    out_ << c;
-    need_comma_ = false;
-    just_keyed_ = false;
-  }
-  void close(char c) {
-    out_ << c;
-    need_comma_ = true;
-    just_keyed_ = false;
-  }
-  void scalar(const std::string& text) {
-    separate();
-    out_ << text;
-    need_comma_ = true;
-    just_keyed_ = false;
-  }
-  void separate() {
-    if (just_keyed_) {
-      just_keyed_ = false;
-      need_comma_ = false;
-      return;
-    }
-    if (need_comma_) out_ << ",";
-    need_comma_ = false;
-  }
-
-  std::ostringstream out_;
-  bool need_comma_ = false;
-  bool just_keyed_ = false;
-};
+// the perf trajectory is tracked across PRs by tooling, not eyeballs —
+// the CI bench-trajectory step diffs these artifacts textually, which is
+// why JsonWriter (util/json.hpp) guarantees escaping, deterministic key
+// order, and finite numbers.
+using refbmc::JsonWriter;
 
 /// Serializes one DepthStats row, including the solver-core hot-path
 /// counters (binary propagations, blocking-literal skips) so BENCH_*.json
@@ -137,6 +40,9 @@ inline void write_depth_stats(JsonWriter& w, const bmc::DepthStats& d) {
   w.kv("binary_propagations", d.binary_propagations);
   w.kv("blocker_skips", d.blocker_skips);
   w.kv("conflicts", d.conflicts);
+  w.kv("clauses_exported", d.clauses_exported);
+  w.kv("clauses_imported", d.clauses_imported);
+  w.kv("import_propagations", d.import_propagations);
   w.kv("time_sec", d.time_sec);
   w.end_object();
 }
@@ -145,11 +51,13 @@ inline void write_depth_stats(JsonWriter& w, const bmc::DepthStats& d) {
 /// with write_depth_stats, plus propagations/sec over the solve time.
 inline void write_solver_core_totals(JsonWriter& w,
                                      const bmc::BmcResult& result) {
-  std::uint64_t bin = 0, skips = 0;
+  std::uint64_t bin = 0, skips = 0, exported = 0, imported = 0;
   double solve_time = 0.0;
   for (const auto& d : result.per_depth) {
     bin += d.binary_propagations;
     skips += d.blocker_skips;
+    exported += d.clauses_exported;
+    imported += d.clauses_imported;
     solve_time += d.time_sec;
   }
   const std::uint64_t props = result.total_propagations();
@@ -158,6 +66,8 @@ inline void write_solver_core_totals(JsonWriter& w,
   w.kv("binary_propagations", bin);
   w.kv("blocker_skips", skips);
   w.kv("conflicts", result.total_conflicts());
+  w.kv("clauses_exported", exported);
+  w.kv("clauses_imported", imported);
   w.kv("solve_time_sec", solve_time);
   w.kv("props_per_sec",
        solve_time > 0.0 ? static_cast<double>(props) / solve_time : 0.0);

@@ -2,15 +2,20 @@
 // everything the paper builds.
 //
 //   $ ./portfolio_race [--mode race|shard] [--threads N]
-//                      [--policies baseline,static,dynamic,shtrichman]
+//                      [--policies baseline,static,dynamic,shtrichman,evsids]
 //                      [--depth K] [--budget SECONDS] [--quick]
 //                      [--incremental] [--simplify 0|1] [--seed S]
+//                      [--share 0|1] [--share-lbd L] [--share-size S]
+//                      [--share-cap N]
 //
 // race:  every suite row is raced across the ordering policies on its own
 //        set of threads; the first definitive verdict wins and cancels
-//        the losers.  Prints the winning policy and checks the verdict
-//        against the suite's expectation — the portfolio must never
-//        disagree with a single-policy run.
+//        the losers.  Entrants exchange short/low-LBD learned clauses
+//        through a SharedClausePool unless --share off.  Prints the
+//        winning policy and the pool's exported/imported counters, and
+//        checks the verdict against the suite's expectation — the
+//        portfolio must never disagree with a single-policy run,
+//        sharing or not.
 // shard: the suite is expanded into one job per (netlist, property) and
 //        distributed over a work-stealing pool; prints the batch report
 //        and the parallel speedup over the sequential-equivalent time.
@@ -35,14 +40,17 @@ int run(int argc, char** argv) {
   const auto suite = opts.get_bool("quick", false) ? model::quick_suite()
                                                    : model::standard_suite();
 
-  PortfolioScheduler scheduler(cfg.num_threads, cfg.seed);
+  PortfolioScheduler scheduler(cfg.num_threads, cfg.seed, cfg.sharing);
 
   if (mode == "race") {
-    std::printf("racing %zu policies on %zu instances (%d threads/race)\n\n",
-                cfg.policies.size(), suite.size(),
-                static_cast<int>(cfg.policies.size()));
-    std::printf("%-26s %-8s %-12s %10s %10s\n", "model", "verdict", "winner",
-                "race(s)", "expected");
+    std::printf(
+        "racing %zu policies on %zu instances (%d threads/race, lemma "
+        "sharing %s)\n\n",
+        cfg.policies.size(), suite.size(),
+        static_cast<int>(cfg.policies.size()),
+        cfg.sharing.enabled ? "on" : "off");
+    std::printf("%-26s %-8s %-12s %10s %10s %9s %9s\n", "model", "verdict",
+                "winner", "race(s)", "expected", "exported", "imported");
     int mismatches = 0;
     for (const auto& bm : suite) {
       bmc::EngineConfig engine = cfg.engine;
@@ -54,10 +62,12 @@ int run(int argc, char** argv) {
           race.status() == bmc::BmcResult::Status::CounterexampleFound;
       const bool ok = race.has_winner() && found_cex == bm.expect_fail;
       if (!ok) ++mismatches;
-      std::printf("%-26s %-8s %-12s %10.3f %10s%s\n", bm.name.c_str(),
-                  to_string(race.status()),
+      std::printf("%-26s %-8s %-12s %10.3f %10s %9llu %9llu%s\n",
+                  bm.name.c_str(), to_string(race.status()),
                   race.has_winner() ? to_string(race.winning().policy) : "-",
                   race.wall_time_sec, bm.expect_fail ? "cex" : "bound",
+                  static_cast<unsigned long long>(race.clauses_exported),
+                  static_cast<unsigned long long>(race.clauses_imported),
                   ok ? "" : "  <-- MISMATCH");
     }
     std::printf("\n%s\n", mismatches == 0
@@ -87,14 +97,16 @@ int run(int argc, char** argv) {
                   r.wall_time_sec, r.worker_id);
     std::printf(
         "\n%zu cex, %zu bound, %zu limit | wall %.3fs, sequential-equivalent "
-        "%.3fs (%.2fx), %llu steals\n",
+        "%.3fs (%.2fx), %llu steals, %llu lemmas exported / %llu imported\n",
         report.counterexamples(), report.bounds_reached(),
         report.resource_limits(), report.wall_time_sec,
         report.total_job_time_sec(),
         report.wall_time_sec > 0.0
             ? report.total_job_time_sec() / report.wall_time_sec
             : 0.0,
-        static_cast<unsigned long long>(report.steals));
+        static_cast<unsigned long long>(report.steals),
+        static_cast<unsigned long long>(report.clauses_exported),
+        static_cast<unsigned long long>(report.clauses_imported));
     return 0;
   }
 

@@ -105,8 +105,11 @@ BmcResult BmcEngine::run() {
 
   const sat::SolverConfig scfg = solver_config_for_policy();
   const std::unique_ptr<FormulaSession> session =
-      config_.incremental ? make_incremental_session(*tape_, scfg)
-                          : make_scratch_session(*tape_, scfg);
+      config_.incremental
+          ? make_incremental_session(*tape_, scfg, config_.share_pool,
+                                     config_.share_producer)
+          : make_scratch_session(*tape_, scfg, config_.share_pool,
+                                 config_.share_producer);
 
   for (int k = config_.start_depth; k <= config_.max_depth; ++k) {
     if (total_deadline.expired() || cancelled()) {
@@ -156,6 +159,12 @@ BmcResult BmcEngine::run() {
     stats.blocker_skips =
         solver.stats().blocker_skips - before.blocker_skips;
     stats.conflicts = solver.stats().conflicts - before.conflicts;
+    stats.clauses_exported =
+        solver.stats().clauses_exported - before.clauses_exported;
+    stats.clauses_imported =
+        solver.stats().clauses_imported - before.clauses_imported;
+    stats.import_propagations =
+        solver.stats().import_propagations - before.import_propagations;
     stats.time_sec = solver.stats().solve_time_sec - before.solve_time_sec;
     stats.cnf_vars = prep.cnf_vars;
     stats.cnf_clauses = prep.cnf_clauses;

@@ -39,6 +39,10 @@
 #include "sat/solver.hpp"
 #include "util/assert.hpp"
 
+namespace refbmc::portfolio {
+class SharedClausePool;
+}
+
 namespace refbmc::bmc {
 
 enum class OrderingPolicy {
@@ -97,6 +101,16 @@ struct EngineConfig {
   /// match (netlist, bad_index, bad_mode, simplify) and outlive run().
   /// Not owned.
   SharedTape* shared_tape = nullptr;
+  /// Portfolio lemma sharing: when non-null, the engine's session
+  /// attaches a PoolEndpoint so its solver exchanges learned clauses (in
+  /// tape space) with every other engine on the same formula — see
+  /// portfolio/clause_pool.hpp.  The pool's variable space must be the
+  /// tape of this (netlist, bad_index, bad_mode, simplify) combination.
+  /// Not owned; must outlive run().
+  portfolio::SharedClausePool* share_pool = nullptr;
+  /// This engine's producer id within the pool (unique per entrant, so
+  /// its own lemmas are never handed back to it).
+  int share_producer = 0;
   /// Collect unsat cores even for the baseline (costs the §3.1 overhead;
   /// the baseline of the paper's Table 1 runs with this off).
   bool always_track_cdg = false;
@@ -130,6 +144,12 @@ struct DepthStats {
   std::uint64_t binary_propagations = 0;
   std::uint64_t blocker_skips = 0;
   std::uint64_t conflicts = 0;
+  /// Lemma sharing at this depth (zero without a share_pool): learnts
+  /// the pool accepted for export, foreign lemmas attached, and
+  /// propagations spent integrating them at level 0.
+  std::uint64_t clauses_exported = 0;
+  std::uint64_t clauses_imported = 0;
+  std::uint64_t import_propagations = 0;
   double time_sec = 0.0;
   std::size_t cnf_vars = 0;
   std::size_t cnf_clauses = 0;

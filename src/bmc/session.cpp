@@ -1,5 +1,6 @@
 #include "bmc/session.hpp"
 
+#include "portfolio/clause_pool.hpp"
 #include "util/assert.hpp"
 
 namespace refbmc::bmc {
@@ -8,8 +9,13 @@ namespace {
 
 class ScratchSession final : public FormulaSession {
  public:
-  ScratchSession(SharedTape& tape, const sat::SolverConfig& scfg)
-      : tape_(tape), scfg_(scfg) {}
+  ScratchSession(SharedTape& tape, const sat::SolverConfig& scfg,
+                 portfolio::SharedClausePool* pool, int producer)
+      : tape_(tape), scfg_(scfg) {
+    if (pool != nullptr)
+      endpoint_ =
+          std::make_unique<portfolio::PoolEndpoint>(*pool, producer);
+  }
 
   Prepared prepare(int k) override {
     solver_ = std::make_unique<sat::Solver>(scfg_);
@@ -19,11 +25,24 @@ class ScratchSession final : public FormulaSession {
     tape_.replay_to(k, cursor, sink);
 
     const sat::Lit prop = cursor.translate(tape_.property(k));
-    solver_->add_clause({prop});
-
     Prepared p;
     p.solver = solver_.get();
     p.property_lit = prop;
+    if (endpoint_ != nullptr) {
+      // Sharing: the fresh solver adopts the endpoint (rewound so the
+      // ring's live lemmas flow in at solve start), and the property is
+      // an assumption, not a clause — assumptions steer the search
+      // without entering the clause database, so every learnt stays
+      // implied by the tape and is sound to export.  (Side effect: the
+      // property no longer counts as an original clause, so cnf_clauses
+      // reads one lower per depth than in non-sharing mode.)
+      endpoint_->rebind();
+      endpoint_->sync_vars(cursor.var_map);
+      solver_->set_clause_exchange(endpoint_.get());
+      p.assumptions = {prop};
+    } else {
+      solver_->add_clause({prop});
+    }
     p.cnf_vars = origin_.size();
     p.cnf_clauses = solver_->num_original_clauses();
     return p;
@@ -37,13 +56,21 @@ class ScratchSession final : public FormulaSession {
   SharedTape& tape_;
   sat::SolverConfig scfg_;
   std::unique_ptr<sat::Solver> solver_;
+  std::unique_ptr<portfolio::PoolEndpoint> endpoint_;
   std::vector<VarOrigin> origin_;
 };
 
 class IncrementalSession final : public FormulaSession {
  public:
-  IncrementalSession(SharedTape& tape, const sat::SolverConfig& scfg)
-      : tape_(tape), solver_(std::make_unique<sat::Solver>(scfg)) {}
+  IncrementalSession(SharedTape& tape, const sat::SolverConfig& scfg,
+                     portfolio::SharedClausePool* pool, int producer)
+      : tape_(tape), solver_(std::make_unique<sat::Solver>(scfg)) {
+    if (pool != nullptr) {
+      endpoint_ =
+          std::make_unique<portfolio::PoolEndpoint>(*pool, producer);
+      solver_->set_clause_exchange(endpoint_.get());
+    }
+  }
 
   Prepared prepare(int k) override {
     REFBMC_EXPECTS_MSG(k >= prepared_depth_,
@@ -51,6 +78,10 @@ class IncrementalSession final : public FormulaSession {
     SolverSink sink(*solver_, origin_);
     tape_.replay_to(k, cursor_, sink);
     prepared_depth_ = k;
+    // Activation guards are solver-local (absent from the map), so the
+    // endpoint's export filter refuses any learnt that mentions one —
+    // exactly the learnts that are not implied by the tape alone.
+    if (endpoint_ != nullptr) endpoint_->sync_vars(cursor_.var_map);
 
     while (static_cast<int>(activation_.size()) <= k)
       activation_.push_back(sat::kLitUndef);
@@ -90,6 +121,7 @@ class IncrementalSession final : public FormulaSession {
  private:
   SharedTape& tape_;
   std::unique_ptr<sat::Solver> solver_;
+  std::unique_ptr<portfolio::PoolEndpoint> endpoint_;
   ClauseTape::Cursor cursor_;
   std::vector<VarOrigin> origin_;
   std::vector<sat::Lit> activation_;  // per depth; undef = not created
@@ -100,13 +132,17 @@ class IncrementalSession final : public FormulaSession {
 }  // namespace
 
 std::unique_ptr<FormulaSession> make_scratch_session(
-    SharedTape& tape, const sat::SolverConfig& solver_config) {
-  return std::make_unique<ScratchSession>(tape, solver_config);
+    SharedTape& tape, const sat::SolverConfig& solver_config,
+    portfolio::SharedClausePool* share_pool, int share_producer) {
+  return std::make_unique<ScratchSession>(tape, solver_config, share_pool,
+                                          share_producer);
 }
 
 std::unique_ptr<FormulaSession> make_incremental_session(
-    SharedTape& tape, const sat::SolverConfig& solver_config) {
-  return std::make_unique<IncrementalSession>(tape, solver_config);
+    SharedTape& tape, const sat::SolverConfig& solver_config,
+    portfolio::SharedClausePool* share_pool, int share_producer) {
+  return std::make_unique<IncrementalSession>(tape, solver_config,
+                                              share_pool, share_producer);
 }
 
 }  // namespace refbmc::bmc

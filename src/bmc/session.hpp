@@ -25,6 +25,10 @@
 #include "bmc/tape.hpp"
 #include "sat/solver.hpp"
 
+namespace refbmc::portfolio {
+class SharedClausePool;
+}
+
 namespace refbmc::bmc {
 
 class FormulaSession {
@@ -55,9 +59,22 @@ class FormulaSession {
   virtual const std::vector<VarOrigin>& origin() const = 0;
 };
 
+// `share_pool`, when non-null, connects the session's solver(s) to a
+// portfolio lemma pool through a PoolEndpoint (clause_pool.hpp):
+// qualifying learnts are exported in tape space, foreign lemmas imported
+// at decision-level-0 boundaries.  `share_producer` is this entrant's id
+// in the pool.  While sharing, the scratch session asserts the per-depth
+// property as an *assumption* instead of a unit clause, which keeps every
+// clause in its database implied by the tape alone (the export-soundness
+// invariant); with a null pool the query shape — and every search
+// trajectory — is bit-identical to a session without the hooks.
 std::unique_ptr<FormulaSession> make_scratch_session(
-    SharedTape& tape, const sat::SolverConfig& solver_config);
+    SharedTape& tape, const sat::SolverConfig& solver_config,
+    portfolio::SharedClausePool* share_pool = nullptr,
+    int share_producer = 0);
 std::unique_ptr<FormulaSession> make_incremental_session(
-    SharedTape& tape, const sat::SolverConfig& solver_config);
+    SharedTape& tape, const sat::SolverConfig& solver_config,
+    portfolio::SharedClausePool* share_pool = nullptr,
+    int share_producer = 0);
 
 }  // namespace refbmc::bmc

@@ -1,0 +1,135 @@
+#include "portfolio/clause_pool.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace refbmc::portfolio {
+
+SharedClausePool::SharedClausePool(std::size_t capacity)
+    : capacity_(capacity), ring_(capacity) {
+  REFBMC_EXPECTS_MSG(capacity >= 1, "clause pool needs capacity >= 1");
+}
+
+bool SharedClausePool::publish(std::span<const sat::Lit> tape_lits,
+                               std::uint32_t lbd, int producer) {
+  if (closed()) return false;  // losing entrants wind down without the lock
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t seq = head_.load(std::memory_order_relaxed);
+  PoolClause& slot = ring_[seq % capacity_];
+  slot.lits.assign(tape_lits.begin(), tape_lits.end());
+  slot.lbd = lbd;
+  slot.producer = producer;
+  head_.store(seq + 1, std::memory_order_release);
+  return true;
+}
+
+std::uint64_t SharedClausePool::fetch(std::uint64_t& cursor, int consumer,
+                                      std::vector<PoolClause>& out,
+                                      std::uint64_t seen_upto) {
+  out.clear();
+  if (!has_new(cursor)) return 0;
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t head = head_.load(std::memory_order_relaxed);
+  const std::uint64_t oldest = head > capacity_ ? head - capacity_ : 0;
+  // Loss = never-seen entries that aged out: below the oldest live slot
+  // yet above both the cursor and everything this consumer read before a
+  // deliberate rewind.
+  const std::uint64_t loss_from = std::max(cursor, seen_upto);
+  const std::uint64_t lost = loss_from < oldest ? oldest - loss_from : 0;
+  for (std::uint64_t seq = std::max(cursor, oldest); seq < head; ++seq) {
+    const PoolClause& slot = ring_[seq % capacity_];
+    if (slot.producer == consumer) continue;  // never hand a clause back
+    out.push_back(slot);
+  }
+  cursor = head;
+  overwritten_.fetch_add(lost, std::memory_order_relaxed);
+  return lost;
+}
+
+PoolEndpoint::PoolEndpoint(SharedClausePool& pool, int producer)
+    : pool_(pool), producer_(producer) {}
+
+void PoolEndpoint::sync_vars(const std::vector<sat::Var>& tape_to_solver) {
+  REFBMC_EXPECTS_MSG(tape_to_solver.size() >= tape_to_solver_.size(),
+                     "replay cursors only grow");
+  for (std::size_t t = tape_to_solver_.size(); t < tape_to_solver.size();
+       ++t) {
+    const sat::Var sv = tape_to_solver[t];
+    tape_to_solver_.push_back(sv);
+    const auto s = static_cast<std::size_t>(sv);
+    if (s >= solver_to_tape_.size()) solver_to_tape_.resize(s + 1, -1);
+    solver_to_tape_[s] = static_cast<sat::Var>(t);
+  }
+}
+
+void PoolEndpoint::rebind() {
+  tape_to_solver_.clear();
+  solver_to_tape_.clear();
+  parked_.clear();
+  parked_map_size_ = 0;
+  // Rewind so the new solver re-imports every lemma still in the ring
+  // (fetch clamps to the oldest live entry; seen_upto_ keeps already-read
+  // entries out of the overwrite-loss count).
+  cursor_ = 0;
+}
+
+bool PoolEndpoint::export_clause(std::span<const sat::Lit> lits,
+                                 std::uint32_t lbd) {
+  if (pool_.closed()) return false;
+  lit_buf_.clear();
+  for (const sat::Lit l : lits) {
+    const auto v = static_cast<std::size_t>(l.var());
+    if (v >= solver_to_tape_.size() || solver_to_tape_[v] < 0) {
+      // Solver-local variable (activation guard): the clause is not
+      // implied by the shared formula — refusing it is the soundness
+      // filter, not an optimization.
+      ++rejected_unmapped_;
+      return false;
+    }
+    lit_buf_.push_back(sat::Lit::make(solver_to_tape_[v], l.negated()));
+  }
+  // publish() re-checks the close epoch itself: the race may be decided
+  // between our fast-path check above and here, and the exported counter
+  // must only move when the clause actually landed in the ring.
+  if (!pool_.publish(lit_buf_, lbd, producer_)) return false;
+  ++published_;
+  return true;
+}
+
+void PoolEndpoint::deliver(const SharedClausePool::PoolClause& pc,
+                           ImportSink& sink) {
+  lit_buf_.clear();
+  for (const sat::Lit l : pc.lits) {
+    const auto t = static_cast<std::size_t>(l.var());
+    if (t >= tape_to_solver_.size()) {
+      // Mentions a frame this entrant has not replayed yet: park it and
+      // retry once a replay has extended the map (has_pending and the
+      // retry below gate on that, so restarts don't churn the park list).
+      parked_.push_back(pc);
+      parked_map_size_ = tape_to_solver_.size();
+      return;
+    }
+    lit_buf_.push_back(sat::Lit::make(tape_to_solver_[t], l.negated()));
+  }
+  sink.add(lit_buf_, pc.lbd);
+  ++imported_;
+  pool_.note_delivered();
+}
+
+void PoolEndpoint::import_clauses(ImportSink& sink) {
+  // Parked clauses first — but only when a replay has grown the map
+  // since they failed, which is the only way translation can newly
+  // succeed.  Swap out so deliver() can re-park cleanly.
+  if (!parked_.empty() && tape_to_solver_.size() > parked_map_size_) {
+    std::vector<SharedClausePool::PoolClause> retry;
+    retry.swap(parked_);
+    parked_map_size_ = tape_to_solver_.size();
+    for (const auto& pc : retry) deliver(pc, sink);
+  }
+  pool_.fetch(cursor_, producer_, fetch_buf_, seen_upto_);
+  if (cursor_ > seen_upto_) seen_upto_ = cursor_;
+  for (const auto& pc : fetch_buf_) deliver(pc, sink);
+}
+
+}  // namespace refbmc::portfolio

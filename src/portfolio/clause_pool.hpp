@@ -1,0 +1,195 @@
+// Portfolio lemma sharing: LBD-filtered clause exchange between racing
+// solvers.
+//
+// The race (PR 1) buys diversity — five decision orderings explore the
+// same instance differently — but each entrant re-derives every lemma
+// from scratch.  SharedClausePool turns that diversity into raw speed:
+// short / low-LBD learned clauses (the quality signal PR 3's ClauseDB
+// already computes) are published into a fixed-capacity ring buffer and
+// re-attached by every other entrant as learned-tier clauses.
+//
+// Variable spaces.  Entrants number solver variables differently (an
+// incremental session interleaves activation guards; scratch sessions
+// restart numbering per depth), so clauses cross the pool in *tape
+// space* — the variable numbering of the race's SharedTape, which every
+// entrant replays.  A PoolEndpoint owns the two maps per entrant:
+//
+//     solver var -> tape var   (export: clauses over unshared variables,
+//                               e.g. activation guards, are refused —
+//                               exactly the clauses that are NOT implied
+//                               by the shared formula alone)
+//     tape var -> solver var   (import: clauses over frames this entrant
+//                               has not replayed yet are parked and
+//                               retried after the next replay)
+//
+// Soundness.  A clause is only published when every variable maps to the
+// tape.  Because no clause in any entrant ever contains a *positive*
+// activation-guard literal, resolution can never eliminate a guard from
+// a learnt, so a guard-free learnt is derivable from tape clauses alone;
+// and the tape is a definitional extension frame by frame (transitions
+// are functional), so a tape-implied clause over frames 0..j is sound
+// for any entrant that has replayed those frames — even one solving a
+// shallower depth.  Sharing therefore never changes a verdict.
+// (Scratch sessions assert the per-depth property as an *assumption*
+// instead of a unit clause while sharing, keeping the clause database
+// tape-implied; see session.cpp.)
+//
+// Concurrency.  Publishing copies the clause into the ring under a
+// mutex; consumers keep their own sequence cursor and peek for news with
+// a single relaxed-ish atomic load (has_new), taking the mutex only when
+// there is something to drain — imports stay wait-light at every restart.
+// close() is the cooperative epoch: once a race has a winner, cancelled
+// losers stop publishing into a pool nobody will read.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "sat/solver.hpp"
+#include "sat/types.hpp"
+
+namespace refbmc::portfolio {
+
+class SharedClausePool {
+ public:
+  /// One shared clause, in tape-space literals.
+  struct PoolClause {
+    std::vector<sat::Lit> lits;
+    std::uint32_t lbd = 0;
+    int producer = -1;
+  };
+
+  explicit SharedClausePool(std::size_t capacity = 4096);
+
+  SharedClausePool(const SharedClausePool&) = delete;
+  SharedClausePool& operator=(const SharedClausePool&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Publishes a clause into the ring (overwriting the oldest entry when
+  /// full).  Returns false — and stores nothing — once close()d, so
+  /// callers can keep their accepted-count coherent with published().
+  /// Thread-safe.
+  bool publish(std::span<const sat::Lit> tape_lits, std::uint32_t lbd,
+               int producer);
+
+  /// Entries newer than `cursor` exist?  Lock-free — the per-restart
+  /// fast path of every consumer.
+  bool has_new(std::uint64_t cursor) const {
+    return head_.load(std::memory_order_acquire) > cursor;
+  }
+
+  /// Copies every live entry with sequence >= cursor into `out`
+  /// (skipping the consumer's own), advances `cursor` to the head, and
+  /// returns how many entries were lost to ring overwrites before this
+  /// consumer got to them.  `seen_upto` is the consumer's high-water
+  /// mark: entries below it were already read once and are not counted
+  /// as lost even when the cursor was deliberately rewound (scratch
+  /// rebind).  Thread-safe.
+  std::uint64_t fetch(std::uint64_t& cursor, int consumer,
+                      std::vector<PoolClause>& out,
+                      std::uint64_t seen_upto);
+  std::uint64_t fetch(std::uint64_t& cursor, int consumer,
+                      std::vector<PoolClause>& out) {
+    return fetch(cursor, consumer, out, cursor);
+  }
+
+  /// Cooperative epoch: stops all publishing (a race has a winner, the
+  /// losers are winding down).  Irreversible for this pool.
+  void close() { closed_.store(true, std::memory_order_release); }
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  // -- counters (the exported/imported balance the tests assert) ---------
+  /// Clauses accepted into the ring.
+  std::uint64_t published() const {
+    return head_.load(std::memory_order_acquire);
+  }
+  /// Clause copies actually handed to an importing solver (counted by
+  /// the endpoints at sink hand-off, not at fetch — parked or
+  /// still-untranslatable clauses don't inflate it; a clause published
+  /// to P peers counts once per peer that landed it).
+  std::uint64_t delivered() const {
+    return delivered_.load(std::memory_order_acquire);
+  }
+  /// Endpoint callback backing delivered().
+  void note_delivered() {
+    delivered_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Entries that aged out of the ring before some consumer read them.
+  std::uint64_t overwritten() const {
+    return overwritten_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<PoolClause> ring_;  // slot = seq % capacity_
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> overwritten_{0};
+  std::atomic<bool> closed_{false};
+};
+
+/// One entrant's connection to the pool: the sat::ClauseExchange the
+/// solver calls, plus the tape-space translation.  Owned by the entrant's
+/// FormulaSession; single-threaded apart from the pool calls.
+class PoolEndpoint final : public sat::ClauseExchange {
+ public:
+  /// `producer` identifies this entrant in the pool (its own clauses are
+  /// never handed back to it).
+  PoolEndpoint(SharedClausePool& pool, int producer);
+
+  /// Extends the variable maps from a replay cursor's tape->solver map
+  /// (bmc::ClauseTape::Cursor::var_map).  Mappings are append-only; call
+  /// after every replay.
+  void sync_vars(const std::vector<sat::Var>& tape_to_solver);
+
+  /// A fresh solver took over (scratch session, next depth): clears the
+  /// maps and rewinds the cursor so the ring's live lemmas are imported
+  /// into the new solver from the start.
+  void rebind();
+
+  // -- sat::ClauseExchange ----------------------------------------------
+  bool export_clause(std::span<const sat::Lit> lits,
+                     std::uint32_t lbd) override;
+  bool has_pending() const override {
+    // Parked clauses failed translation against the map as of
+    // parked_map_size_; retrying them is pointless until a replay grows
+    // the map past that point.
+    return (!parked_.empty() &&
+            tape_to_solver_.size() > parked_map_size_) ||
+           pool_.has_new(cursor_);
+  }
+  void import_clauses(ImportSink& sink) override;
+
+  // -- introspection -----------------------------------------------------
+  std::uint64_t published() const { return published_; }
+  std::uint64_t imported() const { return imported_; }
+  /// Export attempts refused because a literal's variable has no tape
+  /// counterpart (activation guards and other solver-local variables).
+  std::uint64_t rejected_unmapped() const { return rejected_unmapped_; }
+
+ private:
+  /// Translates `pc` into solver space and hands it to `sink`; parks it
+  /// when it mentions frames not replayed yet.
+  void deliver(const SharedClausePool::PoolClause& pc, ImportSink& sink);
+
+  SharedClausePool& pool_;
+  int producer_;
+  std::uint64_t cursor_ = 0;
+  std::uint64_t seen_upto_ = 0;  // high-water fetch mark (survives rebind)
+  std::vector<sat::Var> tape_to_solver_;
+  std::vector<sat::Var> solver_to_tape_;
+  std::vector<SharedClausePool::PoolClause> parked_;  // ahead of our frames
+  std::size_t parked_map_size_ = 0;  // map size the parked set failed against
+  std::vector<SharedClausePool::PoolClause> fetch_buf_;
+  std::vector<sat::Lit> lit_buf_;
+  std::uint64_t published_ = 0;
+  std::uint64_t imported_ = 0;
+  std::uint64_t rejected_unmapped_ = 0;
+};
+
+}  // namespace refbmc::portfolio

@@ -72,6 +72,14 @@ struct BatchReport {
   double wall_time_sec = 0.0;
   int num_workers = 0;
   std::uint64_t steals = 0;  // jobs a worker took from another's queue
+  /// Lemma-sharing totals over the batch's shard-group pools — jobs on
+  /// the same (netlist, property, bad mode, simplify) formula exchange
+  /// clauses; zero when sharing is off or every group is a singleton.
+  /// clauses_imported counts pool deliveries (scratch solvers re-import
+  /// per depth), not solver attachments — see RaceResult for the same
+  /// distinction.
+  std::uint64_t clauses_exported = 0;
+  std::uint64_t clauses_imported = 0;
 
   std::size_t count(bmc::BmcResult::Status s) const;
   std::size_t counterexamples() const {

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <exception>
+#include <map>
+#include <memory>
 #include <stdexcept>
 #include <thread>
+#include <tuple>
 
 #include "util/assert.hpp"
 #include "util/timer.hpp"
@@ -60,9 +63,14 @@ std::vector<bmc::OrderingPolicy> default_race_policies() {
 }
 
 PortfolioScheduler::PortfolioScheduler(int num_threads,
-                                       std::uint64_t base_seed)
-    : num_threads_(num_threads), base_seed_(base_seed) {
+                                       std::uint64_t base_seed,
+                                       SharingConfig sharing)
+    : num_threads_(num_threads), base_seed_(base_seed), sharing_(sharing) {
   REFBMC_EXPECTS_MSG(num_threads >= 1, "scheduler needs at least one thread");
+  REFBMC_EXPECTS_MSG(!sharing_.enabled ||
+                         (sharing_.lbd_max >= 0 && sharing_.size_max >= 0 &&
+                          sharing_.capacity >= 1),
+                     "invalid sharing configuration");
 }
 
 RaceResult PortfolioScheduler::race(
@@ -82,6 +90,14 @@ RaceResult PortfolioScheduler::race(
   tape_opts.simplify = base.simplify;
   bmc::SharedTape tape(net, bad_index, tape_opts);
 
+  // One lemma pool per race: every entrant replays the same tape, so the
+  // pool's tape-space clauses are meaningful to all of them.  A
+  // single-entrant race has nobody to share with.
+  std::unique_ptr<SharedClausePool> pool;
+  if (sharing_.enabled && policies.size() > 1)
+    pool = std::make_unique<SharedClausePool>(
+        static_cast<std::size_t>(sharing_.capacity));
+
   std::atomic<bool> stop{false};
   std::atomic<int> winner{-1};
   std::atomic<std::size_t> done{0};
@@ -100,6 +116,12 @@ RaceResult PortfolioScheduler::race(
         job.config = base;
         job.config.policy = policies[i];
         job.config.shared_tape = &tape;
+        if (pool != nullptr) {
+          job.config.share_pool = pool.get();
+          job.config.share_producer = static_cast<int>(i);
+          job.config.solver.share_lbd = sharing_.lbd_max;
+          job.config.solver.share_size = sharing_.size_max;
+        }
         // The Shtrichman ordering has no incremental mode; demote that
         // entrant to scratch solving rather than disqualifying it
         // (scratch and incremental sessions replay the same tape).
@@ -112,8 +134,12 @@ RaceResult PortfolioScheduler::race(
         r.worker_id = static_cast<int>(i);
         if (r.result.status != bmc::BmcResult::Status::ResourceLimit) {
           int expected = -1;
-          if (winner.compare_exchange_strong(expected, static_cast<int>(i)))
+          if (winner.compare_exchange_strong(expected, static_cast<int>(i))) {
+            // Epoch close: the race is decided — losers wind down without
+            // publishing lemmas nobody will read.
+            if (pool != nullptr) pool->close();
             stop.store(true, std::memory_order_release);
+          }
         }
         out.entrants[i] = std::move(r);
       } catch (...) {
@@ -131,6 +157,11 @@ RaceResult PortfolioScheduler::race(
   out.winner = winner.load();
   out.wall_time_sec = timer.elapsed_sec();
   out.frames_encoded = tape.frames_encoded();
+  if (pool != nullptr) {
+    out.sharing = true;
+    out.clauses_exported = pool->published();
+    out.clauses_imported = pool->delivered();
+  }
   return out;
 }
 
@@ -145,6 +176,40 @@ BatchReport PortfolioScheduler::run_batch(
       std::min<std::size_t>(static_cast<std::size_t>(num_threads_),
                             jobs.size()));
   report.num_workers = workers;
+
+  // Shard-group lemma sharing: jobs on the same formula — identical
+  // (netlist, property, bad mode, simplify), hence identical tape
+  // variable spaces — get one pool per group.  Each engine encodes its
+  // own tape, but the encoder is deterministic, so the spaces line up.
+  // Requires rewriting the job configs, so the workers run on a copy.
+  std::vector<Job> shared_jobs;
+  std::vector<std::unique_ptr<SharedClausePool>> pools;
+  const std::vector<Job>* run_jobs = &jobs;
+  if (sharing_.enabled && jobs.size() > 1) {
+    using GroupKey = std::tuple<const model::Netlist*, std::size_t, int, bool>;
+    std::map<GroupKey, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      const Job& j = jobs[i];
+      groups[GroupKey{j.net, j.bad_index,
+                      static_cast<int>(j.config.bad_mode),
+                      j.config.simplify}]
+          .push_back(i);
+    }
+    for (const auto& [key, members] : groups) {
+      if (members.size() < 2) continue;  // nobody to share with
+      if (shared_jobs.empty()) shared_jobs = jobs;
+      pools.push_back(std::make_unique<SharedClausePool>(
+          static_cast<std::size_t>(sharing_.capacity)));
+      for (std::size_t p = 0; p < members.size(); ++p) {
+        bmc::EngineConfig& cfg = shared_jobs[members[p]].config;
+        cfg.share_pool = pools.back().get();
+        cfg.share_producer = static_cast<int>(p);
+        cfg.solver.share_lbd = sharing_.lbd_max;
+        cfg.solver.share_size = sharing_.size_max;
+      }
+    }
+    if (!shared_jobs.empty()) run_jobs = &shared_jobs;
+  }
 
   // Round-robin seeding spreads the batch evenly; stealing rebalances
   // whatever the initial split gets wrong.
@@ -167,7 +232,7 @@ BatchReport PortfolioScheduler::run_batch(
         WorkerContext ctx;
         ctx.id = w;
         ctx.rng_seed = base_seed_ + static_cast<std::uint64_t>(w);
-        ctx.jobs = &jobs;
+        ctx.jobs = run_jobs;
         ctx.results = &report.results;
         ctx.queues = &queues;
         ctx.stop = &stop;
@@ -190,6 +255,10 @@ BatchReport PortfolioScheduler::run_batch(
     report.results[i].job_index = i;
   report.steals = steals.load();
   report.wall_time_sec = timer.elapsed_sec();
+  for (const auto& pool : pools) {
+    report.clauses_exported += pool->published();
+    report.clauses_imported += pool->delivered();
+  }
   return report;
 }
 
@@ -214,6 +283,10 @@ ResolvedPortfolio resolve(const PortfolioConfig& cfg) {
   r.engine.solver.decision = *decision;
   r.engine.solver.glue_lbd = cfg.glue_lbd;
   r.engine.solver.tier_lbd = cfg.tier_lbd;
+  r.sharing.enabled = cfg.share;
+  r.sharing.lbd_max = cfg.share_lbd;
+  r.sharing.size_max = cfg.share_size;
+  r.sharing.capacity = cfg.share_cap;
   return r;
 }
 

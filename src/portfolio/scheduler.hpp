@@ -21,16 +21,36 @@
 // Races are encode-once: the instance is encoded into one SharedTape and
 // every entrant's solver is fed by replaying it, so race startup does one
 // frame encoding per depth instead of one per (depth, policy).
+//
+// Races (and shard groups solving the same formula) also share lemmas:
+// every entrant publishes its short / low-LBD learnts into one
+// SharedClausePool and imports the others' at restart boundaries, so the
+// diversity the race creates compounds instead of being re-derived P
+// times (see clause_pool.hpp; SharingConfig below tunes the filter).
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "portfolio/clause_pool.hpp"
 #include "portfolio/job.hpp"
 #include "portfolio/worker.hpp"
 #include "util/options.hpp"
 
 namespace refbmc::portfolio {
+
+/// Lemma-sharing knobs (the CLI's --share* family).  With `enabled`
+/// false no pool is created and every run is bit-identical to the
+/// sharing-free scheduler.
+struct SharingConfig {
+  bool enabled = true;
+  /// Export filter: a learnt is published when lbd <= lbd_max OR size <=
+  /// size_max (SolverConfig::share_lbd / share_size).
+  int lbd_max = 4;
+  int size_max = 2;
+  /// Ring capacity of each pool, in clauses (--share-cap).
+  int capacity = 4096;
+};
 
 /// Outcome of one race.  `entrants` line up with the policy list passed
 /// in (losers carry Status::ResourceLimit results).
@@ -42,6 +62,16 @@ struct RaceResult {
   /// depth any entrant reached, independent of the number of policies
   /// (the encode-once guarantee, asserted by tests).
   std::uint64_t frames_encoded = 0;
+  /// Lemma-sharing pool counters (zero when sharing was off): clauses
+  /// accepted into the race's pool, and clause copies handed to
+  /// importing entrants.  NB: clauses_imported here counts pool
+  /// *deliveries* — a scratch entrant re-imports the live ring into each
+  /// depth's fresh solver, so this is larger than the per-depth
+  /// DepthStats::clauses_imported sums, which count only clauses a
+  /// solver actually attached after root simplification.
+  bool sharing = false;
+  std::uint64_t clauses_exported = 0;
+  std::uint64_t clauses_imported = 0;
 
   bool has_winner() const { return winner >= 0; }
   const JobResult& winning() const;
@@ -59,12 +89,17 @@ class PortfolioScheduler {
  public:
   /// `num_threads` sizes the sharding pool; races use one thread per
   /// entrant policy.  `base_seed` fixes the per-worker RNG seeds
-  /// (worker w gets base_seed + w), keeping victim selection — and with
-  /// it the whole batch — reproducible.
-  explicit PortfolioScheduler(int num_threads,
-                              std::uint64_t base_seed = 1);
+  /// (worker w gets base_seed + w), keeping victim selection
+  /// reproducible — and with it, when sharing is off, the whole batch.
+  /// `sharing` tunes lemma exchange (default on; exchange timing is
+  /// scheduling-dependent, so per-job solver stats then vary run to run
+  /// while verdicts stay objective.  SharingConfig{.enabled = false}
+  /// restores the independent-solver scheduler bit for bit).
+  explicit PortfolioScheduler(int num_threads, std::uint64_t base_seed = 1,
+                              SharingConfig sharing = {});
 
   int num_threads() const { return num_threads_; }
+  const SharingConfig& sharing() const { return sharing_; }
 
   /// Races `policies` on property `bad_index` of `net`.  `base` supplies
   /// everything but the policy (depth, limits, incremental mode...); its
@@ -88,6 +123,7 @@ class PortfolioScheduler {
  private:
   int num_threads_;
   std::uint64_t base_seed_;
+  SharingConfig sharing_;
 };
 
 /// PortfolioConfig (CLI layer) resolved against the bmc types: policy
@@ -98,6 +134,7 @@ struct ResolvedPortfolio {
   bmc::EngineConfig engine;  // max_depth / incremental / budget applied
   int num_threads = 1;
   std::uint64_t seed = 1;
+  SharingConfig sharing;  // --share / --share-lbd / --share-size / --share-cap
 };
 ResolvedPortfolio resolve(const PortfolioConfig& cfg);
 

@@ -331,6 +331,96 @@ void Solver::record_learned(const std::vector<Lit>& learnt, std::uint32_t lbd,
   trail_.assign(learnt[0], cref);
 }
 
+void Solver::import_clause(std::span<const Lit> lits, std::uint32_t lbd) {
+  if (!ok_) return;
+  REFBMC_ASSERT(trail_.decision_level() == 0);
+  // Root-simplify the foreign clause: a literal true at the root
+  // satisfies it forever (skip), a literal false at the root can never
+  // come back (drop).  Remaining literals are all unassigned.
+  import_buf_.clear();
+  for (const Lit l : lits) {
+    REFBMC_EXPECTS_MSG(!l.is_undef() && l.var() < num_vars(),
+                       "imported clause over unknown variable");
+    const lbool v = value(l);
+    if (v == l_True) return;
+    if (v == l_False) continue;
+    import_buf_.push_back(l);
+  }
+  // Defensive dedup (a well-behaved exchange sends learnts, which have
+  // neither duplicates nor complementary pairs — but the watcher
+  // invariants must not hinge on the peer's good manners).
+  std::sort(import_buf_.begin(), import_buf_.end());
+  import_buf_.erase(std::unique(import_buf_.begin(), import_buf_.end()),
+                    import_buf_.end());
+  for (std::size_t i = 0; i + 1 < import_buf_.size(); ++i)
+    if (import_buf_[i].var() == import_buf_[i + 1].var()) return;  // taut
+
+  ++stats_.clauses_imported;
+  const ClauseId id = db_.register_learned();
+  // The clause was derived remotely: its antecedents are unknown here, so
+  // it enters the dependency graph as an edge-less node.  Cores extracted
+  // from a sharing solver are therefore relative to the imported lemmas
+  // (which are themselves implied by the shared formula).
+  if (config_.track_cdg) cdg_.add_learned(id, {});
+
+  if (import_buf_.empty()) {
+    ok_ = false;
+    if (config_.track_cdg) cdg_.set_final_conflict({id});
+    return;
+  }
+  // Tier the import like a local learnt; the LBD travelled with the
+  // clause, clamped to its (possibly root-shortened) size.
+  const std::uint32_t eff_lbd =
+      std::min(std::max(lbd, 1u),
+               static_cast<std::uint32_t>(import_buf_.size()));
+  const bool managed = import_buf_.size() >= 2;
+  const ClauseRef cref = db_.alloc_learned(import_buf_, id, eff_lbd, managed);
+  if (managed)
+    prop_.attach(db_.arena(), cref);
+  else
+    trail_.assign(import_buf_[0], cref);  // root fact, reason kept for CDG
+}
+
+bool Solver::import_shared_clauses() {
+  if (exchange_ == nullptr || !ok_) return ok_;
+  if (!exchange_->has_pending()) return ok_;  // one relaxed load, hot case
+  REFBMC_ASSERT(trail_.decision_level() == 0);
+
+  // Drain BCP the formula already queued (a freshly replayed instance
+  // arrives with its root units unpropagated): those propagations belong
+  // to ordinary solving, and must not be billed to the imports below.
+  {
+    const ClauseRef confl = propagate();
+    if (confl != kClauseRefUndef) {
+      ++stats_.conflicts;
+      if (config_.track_cdg) analyze_final_conflict(confl);
+      ok_ = false;
+      return false;
+    }
+  }
+
+  struct Adapter final : ClauseExchange::ImportSink {
+    Solver& solver;
+    explicit Adapter(Solver& s) : solver(s) {}
+    void add(std::span<const Lit> lits, std::uint32_t lbd) override {
+      solver.import_clause(lits, lbd);
+    }
+  } adapter{*this};
+
+  const std::uint64_t props_before = stats_.propagations;
+  exchange_->import_clauses(adapter);
+  if (ok_) {
+    const ClauseRef confl = propagate();
+    if (confl != kClauseRefUndef) {
+      ++stats_.conflicts;
+      if (config_.track_cdg) analyze_final_conflict(confl);
+      ok_ = false;
+    }
+  }
+  stats_.import_propagations += stats_.propagations - props_before;
+  return ok_;
+}
+
 std::int64_t Solver::luby(std::int64_t x) {
   // Luby sequence 1,1,2,1,1,2,4,... at 0-based index x (MiniSat's scheme:
   // find the finite subsequence containing x, then recurse into it).
@@ -391,6 +481,13 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
     return r;
   };
 
+  // Foreign lemmas first: solve() starts at decision level 0, the one
+  // place imported clauses can be attached and root-propagated safely.
+  if (!import_shared_clauses()) {
+    solved_unsat_ = true;
+    return finish(Result::Unsat);
+  }
+
   while (true) {
     const ClauseRef confl = propagate();
     if (confl != kClauseRefUndef) {
@@ -408,6 +505,14 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       const std::uint32_t lbd = db_.compute_lbd(learnt, trail_);
       backtrack(backjump);
       record_learned(learnt, lbd, antecedents);
+      // Lemma export (portfolio sharing): short or low-LBD clauses are
+      // the ones worth re-deriving nowhere else.  Counted only when the
+      // exchange accepts (it may refuse clauses over unshared variables).
+      if (exchange_ != nullptr &&
+          (lbd <= static_cast<std::uint32_t>(config_.share_lbd) ||
+           learnt.size() <= static_cast<std::size_t>(config_.share_size))) {
+        if (exchange_->export_clause(learnt, lbd)) ++stats_.clauses_exported;
+      }
       db_.decay_activity();
       queue_->on_conflict();
 
@@ -432,6 +537,12 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       restart_budget = config_.restart_base *
                        luby(static_cast<std::int64_t>(stats_.restarts));
       backtrack(0);
+      // Restart = decision-level-zero boundary: the import point where
+      // foreign lemmas learned since the last visit are integrated.
+      if (!import_shared_clauses()) {
+        solved_unsat_ = true;
+        return finish(Result::Unsat);
+      }
       continue;
     }
     if (config_.enable_reduce_db &&

@@ -51,6 +51,40 @@
 
 namespace refbmc::sat {
 
+/// Lemma-exchange seam for portfolio solving (implemented by
+/// portfolio::PoolEndpoint; the solver stays ignorant of threads and of
+/// the shared variable space).
+///
+/// Contract: export_clause is called from the search loop for every
+/// learned clause passing the export filter (lbd <= share_lbd or size <=
+/// share_size), with solver-space literals, learnt[0] = asserting
+/// literal; it returns whether the exchange accepted the clause (the
+/// solver's clauses_exported counts acceptances, so every layer's
+/// "exported" number means the same thing).  import_clauses is called
+/// only at decision level 0 (solve
+/// start and restarts); the implementation hands foreign clauses to the
+/// sink in solver-space literals.  Imported clauses MUST be implied by
+/// the clause database the solvers share (the formula tape) — the
+/// endpoint's variable translation enforces this by refusing clauses
+/// over unshared variables.  has_pending() must be cheap (one relaxed
+/// atomic load): it gates every import point.
+class ClauseExchange {
+ public:
+  class ImportSink {
+   public:
+    virtual void add(std::span<const Lit> lits, std::uint32_t lbd) = 0;
+
+   protected:
+    ~ImportSink() = default;
+  };
+
+  virtual ~ClauseExchange() = default;
+  /// Returns true when the clause was accepted (published).
+  virtual bool export_clause(std::span<const Lit> lits, std::uint32_t lbd) = 0;
+  virtual bool has_pending() const = 0;
+  virtual void import_clauses(ImportSink& sink) = 0;
+};
+
 struct SolverConfig {
   // Decision ordering implementation (see decision.hpp).
   DecisionMode decision = DecisionMode::Chaff;
@@ -71,6 +105,11 @@ struct SolverConfig {
   double clause_decay = 0.999;  // learned clause activity decay
   int glue_lbd = 2;             // LBD at or below: never deleted
   int tier_lbd = 6;             // LBD at or below: deleted after local tier
+  // Lemma sharing export filter (consulted only with a ClauseExchange
+  // attached): a learned clause is exported when lbd <= share_lbd OR
+  // size <= share_size.
+  int share_lbd = 4;
+  int share_size = 2;
   // Conflict-dependency graph / core tracking (paper §3.1).  Turning this
   // off disables unsat_core() but removes the bookkeeping overhead.
   bool track_cdg = true;
@@ -148,6 +187,12 @@ class Solver {
     return stop_ != nullptr && stop_->load(std::memory_order_relaxed);
   }
 
+  /// Attaches a lemma-exchange endpoint (portfolio clause sharing).  The
+  /// exchange is owned by the caller and must outlive every solve();
+  /// null (the default) disables sharing and leaves every search
+  /// trajectory bit-identical to a solver without the hook.
+  void set_clause_exchange(ClauseExchange* exchange) { exchange_ = exchange; }
+
   // ---- solving ---------------------------------------------------------
   Result solve() { return solve({}); }
   /// Solves under the given assumption literals.  Unsat then means "the
@@ -220,6 +265,15 @@ class Solver {
   void record_learned(const std::vector<Lit>& learnt, std::uint32_t lbd,
                       const std::vector<ClauseId>& antecedents);
 
+  // -- lemma sharing --------------------------------------------------------
+  /// Drains the attached exchange at decision level 0 and propagates the
+  /// consequences.  Returns ok_: false means a foreign clause (or its
+  /// propagation) produced a root conflict and the formula is unsat.
+  bool import_shared_clauses();
+  /// Integrates one foreign clause: root-simplifies it, then attaches it
+  /// as a learned-tier clause (or asserts it when it reduces to a unit).
+  void import_clause(std::span<const Lit> lits, std::uint32_t lbd);
+
   // -- search ---------------------------------------------------------------
   void backtrack(int level);
   static std::int64_t luby(std::int64_t i);
@@ -243,7 +297,9 @@ class Solver {
   std::vector<Var> closure_clear_;
 
   std::vector<lbool> model_;
+  std::vector<Lit> import_buf_;              // import root-simplify scratch
   const std::atomic<bool>* stop_ = nullptr;  // not owned; may be null
+  ClauseExchange* exchange_ = nullptr;       // not owned; may be null
   bool ok_ = true;
   bool solved_unsat_ = false;
   /// Whether the decision queue wants per-variable analysis bumps (the

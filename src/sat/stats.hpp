@@ -26,6 +26,14 @@ struct SolverStats {
   std::uint64_t strengthened_literals = 0;
   std::uint64_t vsids_updates = 0;
   std::uint64_t reduce_db_runs = 0;
+  /// Lemma sharing (portfolio clause exchange; zero without an attached
+  /// ClauseExchange): learned clauses the exchange accepted (filter
+  /// passes it refused are not counted), foreign clauses attached after
+  /// root simplification, and propagations performed while integrating
+  /// them at decision level 0.
+  std::uint64_t clauses_exported = 0;
+  std::uint64_t clauses_imported = 0;
+  std::uint64_t import_propagations = 0;
   /// Learned clauses spared by the ClauseDB's glue protection (LBD at or
   /// below glue_lbd) across all reduceDB runs.
   std::uint64_t glue_protected = 0;

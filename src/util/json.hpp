@@ -1,0 +1,131 @@
+// Minimal streaming JSON writer, shared by the benches (BENCH_*.json)
+// and anything else that needs machine-readable output.
+//
+// Guarantees aimed at textual diffing by the CI bench-trajectory step:
+//
+//   * deterministic output — members are emitted exactly in call order
+//     (no hash/map iteration anywhere), so two runs over the same inputs
+//     produce byte-identical documents apart from measured values;
+//   * valid JSON always — every string value is escaped (quotes,
+//     backslashes, control characters as \uXXXX) and non-finite doubles
+//     (NaN, ±Inf have no JSON spelling) degrade to null instead of
+//     emitting a token no parser accepts.
+//
+// Usage: begin/end pairs, key() before each member inside an object,
+// comma placement is automatic.  kv() is key()+value() in one call.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace refbmc {
+
+class JsonWriter {
+ public:
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  void key(const std::string& name) {
+    separate();
+    out_ << quote(name) << ":";
+    just_keyed_ = true;
+  }
+
+  void value(const std::string& v) { scalar(quote(v)); }
+  void value(const char* v) { scalar(quote(v)); }
+  void value(double v) {
+    if (!std::isfinite(v)) {
+      scalar("null");  // NaN/Inf are not JSON; null keeps the doc parseable
+      return;
+    }
+    std::ostringstream os;
+    os.precision(9);
+    os << v;
+    scalar(os.str());
+  }
+  void value(std::uint64_t v) { scalar(std::to_string(v)); }
+  void value(int v) { scalar(std::to_string(v)); }
+  void value(bool v) { scalar(v ? "true" : "false"); }
+
+  /// Convenience: key + scalar value in one call.
+  template <typename T>
+  void kv(const std::string& name, T v) {
+    key(name);
+    value(v);
+  }
+
+  std::string str() const { return out_.str(); }
+
+  /// Writes the document to `path` (e.g. "BENCH_portfolio.json").
+  /// Returns false when the file cannot be opened.
+  bool write_file(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << out_.str() << "\n";
+    return bool(f);
+  }
+
+ private:
+  static std::string quote(const std::string& s) {
+    std::string q = "\"";
+    for (const char c : s) {
+      switch (c) {
+        case '"': q += "\\\""; break;
+        case '\\': q += "\\\\"; break;
+        case '\n': q += "\\n"; break;
+        case '\r': q += "\\r"; break;
+        case '\t': q += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            q += buf;
+          } else {
+            q += c;
+          }
+      }
+    }
+    q += '"';
+    return q;
+  }
+
+  void open(char c) {
+    separate();
+    out_ << c;
+    need_comma_ = false;
+    just_keyed_ = false;
+  }
+  void close(char c) {
+    out_ << c;
+    need_comma_ = true;
+    just_keyed_ = false;
+  }
+  void scalar(const std::string& text) {
+    separate();
+    out_ << text;
+    need_comma_ = true;
+    just_keyed_ = false;
+  }
+  void separate() {
+    if (just_keyed_) {
+      just_keyed_ = false;
+      need_comma_ = false;
+      return;
+    }
+    if (need_comma_) out_ << ",";
+    need_comma_ = false;
+  }
+
+  std::ostringstream out_;
+  bool need_comma_ = false;
+  bool just_keyed_ = false;
+};
+
+}  // namespace refbmc

@@ -111,6 +111,15 @@ PortfolioConfig PortfolioConfig::from_options(const Options& opts) {
   if (cfg.glue_lbd < 0 || cfg.tier_lbd < cfg.glue_lbd)
     throw std::invalid_argument(
         "option --tier-lbd expects a value >= --glue-lbd >= 0");
+  cfg.share = opts.get_bool("share", cfg.share);
+  cfg.share_lbd = opts.get_int("share-lbd", cfg.share_lbd);
+  cfg.share_size = opts.get_int("share-size", cfg.share_size);
+  if (cfg.share_lbd < 0 || cfg.share_size < 0)
+    throw std::invalid_argument(
+        "options --share-lbd / --share-size expect values >= 0");
+  cfg.share_cap = opts.get_int("share-cap", cfg.share_cap);
+  if (cfg.share_cap < 1)
+    throw std::invalid_argument("option --share-cap expects a value >= 1");
   return cfg;
 }
 

@@ -54,12 +54,21 @@ struct PortfolioConfig {
   std::string decision = "chaff";  // decision scorer: chaff | evsids
   int glue_lbd = 2;   // learned clauses at or below this LBD never deleted
   int tier_lbd = 6;   // mid-tier LBD boundary of reduceDB
+  /// Portfolio lemma sharing (clause exchange between racing solvers /
+  /// shard groups on the same formula).  `--share off` restores fully
+  /// independent solvers, bit for bit.
+  bool share = true;       // --share on|off
+  int share_lbd = 4;       // export learnts with lbd <= this ...
+  int share_size = 2;      // ... or size <= this
+  int share_cap = 4096;    // pool ring capacity, in clauses
 
   /// Reads `--threads`, `--policies a,b,c`, `--depth`, `--budget`,
   /// `--seed`, `--incremental`, `--simplify 0|1`, `--decision chaff|evsids`,
-  /// `--glue-lbd`, `--tier-lbd`; absent options keep the defaults above.
-  /// Throws std::invalid_argument on malformed values (threads < 1, empty
-  /// policy list, non-numeric numbers, tier-lbd below glue-lbd).
+  /// `--glue-lbd`, `--tier-lbd`, `--share 0|1`, `--share-lbd`,
+  /// `--share-size`, `--share-cap`; absent options keep the defaults
+  /// above.  Throws std::invalid_argument on malformed values (threads <
+  /// 1, empty policy list, non-numeric numbers, tier-lbd below glue-lbd,
+  /// negative share filters, share-cap < 1).
   static PortfolioConfig from_options(const Options& opts);
 };
 

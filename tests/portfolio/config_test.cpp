@@ -26,6 +26,30 @@ TEST(PolicyNameTest, ToStringParseRoundTrip) {
   }
 }
 
+TEST(PolicyNameTest, EveryPolicyIsReachableThroughTheCli) {
+  // The sweep that caught Evsids riding in without a CLI spelling: every
+  // enum value must round-trip through the *full* CLI path —
+  // PortfolioConfig policy names into resolve() — not just parse_policy.
+  std::string csv;
+  for (const OrderingPolicy p : bmc::all_policies()) {
+    if (!csv.empty()) csv += ",";
+    csv += bmc::to_string(p);
+  }
+  const PortfolioConfig cfg =
+      PortfolioConfig::from_options(parse({"--policies", csv.c_str()}));
+  const ResolvedPortfolio r = resolve(cfg);
+  ASSERT_EQ(r.policies.size(), bmc::all_policies().size());
+  for (std::size_t i = 0; i < r.policies.size(); ++i)
+    EXPECT_EQ(r.policies[i], bmc::all_policies()[i]);
+  // And names are unique — two policies printing alike would make the
+  // round-trip ambiguous.
+  for (const OrderingPolicy p : bmc::all_policies())
+    for (const OrderingPolicy q : bmc::all_policies())
+      if (p != q) {
+        EXPECT_STRNE(bmc::to_string(p), bmc::to_string(q));
+      }
+}
+
 TEST(PolicyNameTest, UnknownNamesAreRejected) {
   EXPECT_FALSE(bmc::parse_policy("").has_value());
   EXPECT_FALSE(bmc::parse_policy("vsids").has_value());
@@ -149,6 +173,46 @@ TEST(PortfolioConfigTest, RejectsTierBelowGlue) {
   EXPECT_THROW(PortfolioConfig::from_options(
                    parse({"--glue-lbd", "5", "--tier-lbd", "2"})),
                std::invalid_argument);
+}
+
+TEST(PortfolioConfigTest, ShareDefaultsOnAndParses) {
+  const PortfolioConfig defaults = PortfolioConfig::from_options(parse({}));
+  EXPECT_TRUE(defaults.share);
+  EXPECT_EQ(defaults.share_lbd, 4);
+  EXPECT_EQ(defaults.share_size, 2);
+  EXPECT_EQ(defaults.share_cap, 4096);
+
+  const PortfolioConfig cfg = PortfolioConfig::from_options(
+      parse({"--share", "off", "--share-lbd", "6", "--share-size", "3",
+             "--share-cap", "512"}));
+  EXPECT_FALSE(cfg.share);
+  EXPECT_EQ(cfg.share_lbd, 6);
+  EXPECT_EQ(cfg.share_size, 3);
+  EXPECT_EQ(cfg.share_cap, 512);
+}
+
+TEST(PortfolioConfigTest, RejectsBadShareValues) {
+  EXPECT_THROW(PortfolioConfig::from_options(parse({"--share-lbd", "-1"})),
+               std::invalid_argument);
+  EXPECT_THROW(PortfolioConfig::from_options(parse({"--share-size", "-2"})),
+               std::invalid_argument);
+  EXPECT_THROW(PortfolioConfig::from_options(parse({"--share-cap", "0"})),
+               std::invalid_argument);
+  EXPECT_THROW(PortfolioConfig::from_options(parse({"--share", "maybe"})),
+               std::invalid_argument);
+}
+
+TEST(ResolveTest, SharingKnobsResolve) {
+  PortfolioConfig cfg;
+  cfg.share = false;
+  cfg.share_lbd = 7;
+  cfg.share_size = 4;
+  cfg.share_cap = 256;
+  const ResolvedPortfolio r = resolve(cfg);
+  EXPECT_FALSE(r.sharing.enabled);
+  EXPECT_EQ(r.sharing.lbd_max, 7);
+  EXPECT_EQ(r.sharing.size_max, 4);
+  EXPECT_EQ(r.sharing.capacity, 256);
 }
 
 }  // namespace

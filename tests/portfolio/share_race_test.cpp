@@ -1,0 +1,201 @@
+// Lemma sharing across the portfolio, end to end.
+//
+//   * soundness: a sharing race never changes a verdict or a cex depth —
+//     imported clauses are tape-implied, so they only prune search;
+//   * liveness: on conflict-heavy instances the pool counters actually
+//     move, in races and in 2-worker shard groups;
+//   * determinism: with sharing disabled the scheduler is bit-identical
+//     to the pre-sharing scheduler — a sharing-off race entrant matches a
+//     solo run of the same job stat for stat.
+#include <atomic>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "model/benchgen.hpp"
+#include "portfolio/scheduler.hpp"
+
+namespace refbmc::portfolio {
+namespace {
+
+using bmc::BmcResult;
+using bmc::OrderingPolicy;
+
+bmc::EngineConfig engine_for(const model::Benchmark& bm) {
+  bmc::EngineConfig cfg;
+  cfg.max_depth = bm.suggested_bound;
+  return cfg;
+}
+
+SharingConfig sharing_off() {
+  SharingConfig cfg;
+  cfg.enabled = false;
+  return cfg;
+}
+
+TEST(ShareRaceTest, SharingRaceVerdictsMatchTheSuite) {
+  // The race-is-a-pure-accelerator invariant must survive clause
+  // exchange: same verdict, same cex depth, on every quick-suite row.
+  const PortfolioScheduler scheduler(4, /*base_seed=*/11);  // sharing on
+  ASSERT_TRUE(scheduler.sharing().enabled);
+  for (const auto& bm : model::quick_suite()) {
+    const RaceResult race = scheduler.race(bm.net, 0, engine_for(bm));
+    ASSERT_TRUE(race.has_winner()) << bm.name;
+    EXPECT_TRUE(race.sharing) << bm.name;
+    EXPECT_EQ(race.status() == BmcResult::Status::CounterexampleFound,
+              bm.expect_fail)
+        << bm.name;
+    if (bm.expect_fail) {
+      // cex depth is objective: the shallowest violation.
+      Job job;
+      job.net = &bm.net;
+      job.name = bm.name;
+      job.config = engine_for(bm);
+      job.config.policy = OrderingPolicy::Baseline;
+      EXPECT_EQ(race.winning().result.counterexample_depth,
+                run_job(job).result.counterexample_depth)
+          << bm.name;
+    }
+  }
+}
+
+TEST(ShareRaceTest, ConflictHeavyRaceActuallyExchangesClauses) {
+  // A safe instance every entrant must grind through end to end: each
+  // solver learns small clauses (exports are unconditional on the other
+  // threads), so the pool fills regardless of scheduling.
+  const model::Benchmark bm = model::needle(6, 6, 40, 50);
+  const PortfolioScheduler scheduler(4, /*base_seed=*/3);
+  const RaceResult race = scheduler.race(bm.net, 0, engine_for(bm));
+  ASSERT_TRUE(race.has_winner());
+  EXPECT_TRUE(race.sharing);
+  EXPECT_GT(race.clauses_exported, 0u);
+  // Entrant-level accounting rides along in the per-depth stats; the
+  // solver counter counts pool acceptances, so the sums line up.
+  std::uint64_t accepted = 0;
+  for (const auto& entrant : race.entrants)
+    for (const auto& d : entrant.result.per_depth)
+      accepted += d.clauses_exported;
+  EXPECT_EQ(accepted, race.clauses_exported);
+}
+
+TEST(ShareRaceTest, SharingOffRaceIsBitIdenticalToASoloRun) {
+  // SharingConfig{.enabled = false} must reproduce the pre-sharing
+  // scheduler exactly: a single-policy race (no rival, so no
+  // cancellation) and a solo run of the same job agree on every counter
+  // of every depth.
+  const PortfolioScheduler scheduler(1, /*base_seed=*/5, sharing_off());
+  for (const auto policy :
+       {OrderingPolicy::Dynamic, OrderingPolicy::Evsids}) {
+    const model::Benchmark bm = model::arbiter_safe(5);
+    const bmc::EngineConfig engine = engine_for(bm);
+
+    const RaceResult race = scheduler.race(bm.net, 0, engine, {policy});
+    ASSERT_TRUE(race.has_winner());
+    EXPECT_FALSE(race.sharing);
+    EXPECT_EQ(race.clauses_exported, 0u);
+    EXPECT_EQ(race.clauses_imported, 0u);
+
+    Job job;
+    job.net = &bm.net;
+    job.name = bm.name;
+    job.config = engine;
+    job.config.policy = policy;
+    const JobResult solo = run_job(job);
+
+    const auto& raced = race.winning().result;
+    ASSERT_EQ(raced.status, solo.result.status);
+    ASSERT_EQ(raced.per_depth.size(), solo.result.per_depth.size());
+    for (std::size_t k = 0; k < raced.per_depth.size(); ++k) {
+      const auto& r = raced.per_depth[k];
+      const auto& s = solo.result.per_depth[k];
+      EXPECT_EQ(r.decisions, s.decisions) << "depth " << k;
+      EXPECT_EQ(r.propagations, s.propagations) << "depth " << k;
+      EXPECT_EQ(r.conflicts, s.conflicts) << "depth " << k;
+      EXPECT_EQ(r.cnf_vars, s.cnf_vars) << "depth " << k;
+      EXPECT_EQ(r.cnf_clauses, s.cnf_clauses) << "depth " << k;
+      EXPECT_EQ(r.clauses_exported, 0u);
+      EXPECT_EQ(r.clauses_imported, 0u);
+      EXPECT_EQ(r.import_propagations, 0u);
+    }
+  }
+}
+
+TEST(ShareRaceTest, TwoWorkerShardGroupBalancesItsCounters) {
+  // Two copies of the same job form one shard group sharing a pool.
+  // Whatever the interleaving: the published count is bounded by what
+  // the solvers offered, attachments are bounded by deliveries, and at
+  // least one direction of the exchange fires (the later-finishing
+  // worker imports at every depth's solve start and every restart).
+  const model::Benchmark bm = model::needle(6, 6, 40, 50);
+  bmc::EngineConfig engine = engine_for(bm);
+  engine.policy = OrderingPolicy::Dynamic;
+
+  std::vector<Job> jobs(2);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].net = &bm.net;
+    jobs[i].bad_index = 0;
+    jobs[i].name = "twin/" + std::to_string(i);
+    jobs[i].config = engine;
+  }
+
+  const PortfolioScheduler scheduler(2, /*base_seed=*/9);
+  const BatchReport report = scheduler.run_batch(jobs);
+  ASSERT_EQ(report.results.size(), 2u);
+  for (const auto& r : report.results)
+    EXPECT_EQ(r.result.status, BmcResult::Status::BoundReached) << r.name;
+
+  std::uint64_t accepted = 0, attached = 0;
+  for (const auto& r : report.results)
+    for (const auto& d : r.result.per_depth) {
+      accepted += d.clauses_exported;
+      attached += d.clauses_imported;
+    }
+  EXPECT_GT(report.clauses_exported, 0u);
+  EXPECT_GT(report.clauses_imported, 0u);
+  // The solver counter counts pool acceptances: one per publish.
+  EXPECT_EQ(accepted, report.clauses_exported);
+  // Delivered can exceed published: a scratch session re-imports the
+  // ring's live lemmas into every depth's fresh solver (by design).  But
+  // attached (solver counter) <= delivered (pool counter) always —
+  // root-satisfied copies drop out between the two.
+  EXPECT_LE(attached, report.clauses_imported);
+}
+
+TEST(ShareRaceTest, ShardGroupsRequireIdenticalFormulas) {
+  // Different properties of one netlist are different formulas: no group
+  // forms, no pool, counters stay zero — and results are untouched.
+  const model::Benchmark bm = model::arbiter_buggy(4);
+  ASSERT_GE(bm.net.bad_properties().size(), 1u);
+  bmc::EngineConfig engine = engine_for(bm);
+  const std::vector<Job> jobs = shard_properties(bm.net, engine, "arb");
+  const PortfolioScheduler scheduler(2, /*base_seed=*/13);
+  const BatchReport report = scheduler.run_batch(jobs);
+  // Distinct (net, bad_index) pairs never share (and a singleton batch
+  // has nobody to share with either way).
+  EXPECT_EQ(report.clauses_exported, 0u);
+  EXPECT_EQ(report.clauses_imported, 0u);
+}
+
+TEST(ShareRaceTest, IncrementalEntrantsShareSoundly) {
+  // Mixed-mode sharing: incremental sessions interleave activation
+  // guards into their variable space; the endpoint's translation must
+  // keep verdicts objective anyway.
+  const model::Benchmark bm = model::lfsr_hit(8, 9);
+  bmc::EngineConfig engine = engine_for(bm);
+  engine.incremental = true;
+  const PortfolioScheduler scheduler(4, /*base_seed=*/17);
+  const RaceResult race = scheduler.race(bm.net, 0, engine);
+  ASSERT_TRUE(race.has_winner());
+  EXPECT_EQ(race.status(), BmcResult::Status::CounterexampleFound);
+
+  Job job;
+  job.net = &bm.net;
+  job.name = bm.name;
+  job.config = engine;
+  job.config.policy = OrderingPolicy::Dynamic;
+  EXPECT_EQ(race.winning().result.counterexample_depth,
+            run_job(job).result.counterexample_depth);
+}
+
+}  // namespace
+}  // namespace refbmc::portfolio

@@ -1,0 +1,207 @@
+// The solver's lemma-exchange seam, exercised with an in-process fake:
+// the export hook fires exactly for learnts passing the LBD/size filter,
+// imports land at decision-level-0 boundaries as learned-tier clauses
+// (root-simplified, units asserted, conflicts detected), and a solver
+// without an exchange is bit-identical to one that never heard of the
+// feature.
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sat/solver.hpp"
+
+namespace refbmc::sat {
+namespace {
+
+Lit pos(Var v) { return Lit::make(v); }
+Lit neg(Var v) { return Lit::make(v, true); }
+
+/// Scriptable exchange: records exports, serves a fixed import queue
+/// once.
+class FakeExchange final : public ClauseExchange {
+ public:
+  void queue_import(std::vector<Lit> lits, std::uint32_t lbd) {
+    pending_.push_back({std::move(lits), lbd});
+  }
+
+  bool export_clause(std::span<const Lit> lits, std::uint32_t lbd) override {
+    exported_.emplace_back(lits.begin(), lits.end());
+    exported_lbds_.push_back(lbd);
+    return true;
+  }
+  bool has_pending() const override { return !pending_.empty(); }
+  void import_clauses(ImportSink& sink) override {
+    for (const auto& [lits, lbd] : pending_) sink.add(lits, lbd);
+    pending_.clear();
+  }
+
+  const std::vector<std::vector<Lit>>& exported() const { return exported_; }
+  const std::vector<std::uint32_t>& exported_lbds() const {
+    return exported_lbds_;
+  }
+
+ private:
+  struct Pending {
+    std::vector<Lit> lits;
+    std::uint32_t lbd;
+  };
+  std::vector<Pending> pending_;
+  std::vector<std::vector<Lit>> exported_;
+  std::vector<std::uint32_t> exported_lbds_;
+};
+
+/// Pigeonhole principle PHP(n+1, n): n+1 pigeons, n holes — small, UNSAT,
+/// and rich in conflicts, so the export hook gets real traffic.
+void add_php(Solver& s, int pigeons, int holes) {
+  std::vector<std::vector<Var>> x(static_cast<std::size_t>(pigeons));
+  for (auto& row : x)
+    for (int h = 0; h < holes; ++h) row.push_back(s.new_var());
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> at_least;
+    for (int h = 0; h < holes; ++h)
+      at_least.push_back(pos(x[static_cast<std::size_t>(p)]
+                              [static_cast<std::size_t>(h)]));
+    s.add_clause(at_least);
+  }
+  for (int h = 0; h < holes; ++h)
+    for (int p1 = 0; p1 < pigeons; ++p1)
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2)
+        s.add_clause({neg(x[static_cast<std::size_t>(p1)]
+                           [static_cast<std::size_t>(h)]),
+                      neg(x[static_cast<std::size_t>(p2)]
+                           [static_cast<std::size_t>(h)])});
+}
+
+TEST(SolverShareTest, ExportsOnlyClausesPassingTheFilter) {
+  SolverConfig cfg;
+  cfg.share_lbd = 3;
+  cfg.share_size = 2;
+  Solver s(cfg);
+  FakeExchange exchange;
+  s.set_clause_exchange(&exchange);
+  add_php(s, 5, 4);
+  EXPECT_EQ(s.solve(), Result::Unsat);
+
+  ASSERT_FALSE(exchange.exported().empty());
+  EXPECT_EQ(s.stats().clauses_exported, exchange.exported().size());
+  for (std::size_t i = 0; i < exchange.exported().size(); ++i) {
+    EXPECT_TRUE(exchange.exported_lbds()[i] <= 3 ||
+                exchange.exported()[i].size() <= 2)
+        << "clause " << i << " passed neither filter";
+  }
+}
+
+TEST(SolverShareTest, EveryExportIsFilteredWhenThresholdsAreZero) {
+  // share_lbd = 0 and share_size = 0 pass nothing (lbd of a real learnt
+  // is >= 1): the hook must stay silent even on a conflict-heavy run.
+  SolverConfig cfg;
+  cfg.share_lbd = 0;
+  cfg.share_size = 0;
+  Solver s(cfg);
+  FakeExchange exchange;
+  s.set_clause_exchange(&exchange);
+  add_php(s, 5, 4);
+  EXPECT_EQ(s.solve(), Result::Unsat);
+  EXPECT_TRUE(exchange.exported().empty());
+  EXPECT_EQ(s.stats().clauses_exported, 0u);
+}
+
+TEST(SolverShareTest, ImportsUnitAndPropagates) {
+  // (a | b) & (~a | b) is SAT; importing unit ~b forces UNSAT.
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_clause({pos(a), pos(b)});
+  s.add_clause({neg(a), pos(b)});
+
+  FakeExchange exchange;
+  s.set_clause_exchange(&exchange);
+  exchange.queue_import({neg(b)}, 1);
+  EXPECT_EQ(s.solve(), Result::Unsat);
+  EXPECT_EQ(s.stats().clauses_imported, 1u);
+  EXPECT_GT(s.stats().import_propagations, 0u);
+}
+
+TEST(SolverShareTest, ImportedClauseIsRootSimplified) {
+  // With unit a on the trail, importing (a | b | c) is a no-op
+  // (satisfied) and importing (~a | b) attaches as just the unit b.
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var c = s.new_var();
+  s.add_clause({pos(a)});
+  s.add_clause({pos(c), pos(b)});  // keep c referenced
+
+  FakeExchange exchange;
+  s.set_clause_exchange(&exchange);
+  exchange.queue_import({pos(a), pos(b), pos(c)}, 2);  // satisfied: dropped
+  exchange.queue_import({neg(a), pos(b)}, 2);          // shrinks to unit b
+  EXPECT_EQ(s.solve(), Result::Sat);
+  EXPECT_EQ(s.stats().clauses_imported, 1u);
+  EXPECT_TRUE(s.model_literal_true(pos(b)));
+}
+
+TEST(SolverShareTest, ConflictingImportsMakeTheFormulaUnsat) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_clause({pos(a), pos(s.new_var())});  // something satisfiable
+
+  FakeExchange exchange;
+  s.set_clause_exchange(&exchange);
+  exchange.queue_import({pos(a)}, 1);
+  exchange.queue_import({neg(a)}, 1);
+  EXPECT_EQ(s.solve(), Result::Unsat);
+  EXPECT_FALSE(s.okay());
+}
+
+TEST(SolverShareTest, ImportedLemmaCutsTheSearch) {
+  // PHP with a solver that receives, up front, the strongest lemmas a
+  // twin solver learned: the receiver must still answer UNSAT (imports
+  // are sound) and typically with fewer conflicts.
+  SolverConfig cfg;
+  cfg.share_lbd = 4;
+  cfg.share_size = 3;
+
+  Solver donor(cfg);
+  FakeExchange donor_out;
+  donor.set_clause_exchange(&donor_out);
+  add_php(donor, 6, 5);
+  ASSERT_EQ(donor.solve(), Result::Unsat);
+  ASSERT_FALSE(donor_out.exported().empty());
+
+  Solver receiver(cfg);
+  FakeExchange receiver_in;
+  add_php(receiver, 6, 5);
+  for (std::size_t i = 0; i < donor_out.exported().size(); ++i)
+    receiver_in.queue_import(donor_out.exported()[i],
+                             donor_out.exported_lbds()[i]);
+  receiver.set_clause_exchange(&receiver_in);
+  EXPECT_EQ(receiver.solve(), Result::Unsat);
+  EXPECT_EQ(receiver.stats().clauses_imported,
+            donor_out.exported().size());
+}
+
+TEST(SolverShareTest, NoExchangeMeansIdenticalTrajectories) {
+  // The whole sharing seam is dead code without an exchange: two solvers,
+  // one with the (never-pending) hook detached, must match stat for stat.
+  const auto run = [](bool with_null_set) {
+    Solver s;
+    if (with_null_set) s.set_clause_exchange(nullptr);
+    add_php(s, 5, 4);
+    EXPECT_EQ(s.solve(), Result::Unsat);
+    return s.stats();
+  };
+  const SolverStats plain = run(false);
+  const SolverStats with_null = run(true);
+  EXPECT_EQ(plain.decisions, with_null.decisions);
+  EXPECT_EQ(plain.propagations, with_null.propagations);
+  EXPECT_EQ(plain.conflicts, with_null.conflicts);
+  EXPECT_EQ(plain.learned_clauses, with_null.learned_clauses);
+  EXPECT_EQ(plain.restarts, with_null.restarts);
+  EXPECT_EQ(plain.clauses_exported, 0u);
+  EXPECT_EQ(plain.clauses_imported, 0u);
+}
+
+}  // namespace
+}  // namespace refbmc::sat

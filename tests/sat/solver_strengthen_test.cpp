@@ -102,8 +102,9 @@ TEST(SolverStrengthenTest, RandomFormulasAgreeWithReference) {
     const Result got = s.solve();
     const Result expected = reference_solve(cnf);
     ASSERT_EQ(got, expected) << "round " << round;
-    if (got == Result::Sat)
+    if (got == Result::Sat) {
       EXPECT_TRUE(model_satisfies(s, cnf)) << "round " << round;
+    }
   }
 }
 

@@ -1,0 +1,92 @@
+// JsonWriter: the CI bench-trajectory step diffs BENCH_*.json artifacts
+// textually, so the writer must produce valid JSON with deterministic
+// structure — escaped strings, stable (call-order) keys, and no NaN/Inf
+// tokens.
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "util/json.hpp"
+
+namespace refbmc {
+namespace {
+
+TEST(JsonWriterTest, ObjectsArraysAndCommas) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("a", 1);
+  w.key("b");
+  w.begin_array();
+  w.value(std::uint64_t{2});
+  w.value(3);
+  w.end_array();
+  w.kv("c", true);
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":[2,3],"c":true})");
+}
+
+TEST(JsonWriterTest, EscapesStringValuesAndKeys) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("quote\"backslash\\", std::string("line\nfeed\ttab\rret"));
+  w.kv("ctrl", std::string("a\x01" "b"));
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\"quote\\\"backslash\\\\\":\"line\\nfeed\\ttab\\rret\","
+            "\"ctrl\":\"a\\u0001b\"}");
+}
+
+TEST(JsonWriterTest, HighBitBytesPassThroughUnharmed) {
+  // UTF-8 payloads (bench names could grow accents) are not control
+  // characters: they must pass through raw, not as negative-int \u junk.
+  JsonWriter w;
+  w.begin_object();
+  w.kv("name", std::string("caf\xc3\xa9"));
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"name\":\"caf\xc3\xa9\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("nan", std::numeric_limits<double>::quiet_NaN());
+  w.kv("inf", std::numeric_limits<double>::infinity());
+  w.kv("ninf", -std::numeric_limits<double>::infinity());
+  w.kv("fine", 1.5);
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"nan":null,"inf":null,"ninf":null,"fine":1.5})");
+}
+
+TEST(JsonWriterTest, KeyOrderIsCallOrderAndRepeatable) {
+  const auto emit = [] {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("zebra", 1);
+    w.kv("alpha", 2);
+    w.kv("mid", 3);
+    w.end_object();
+    return w.str();
+  };
+  const std::string first = emit();
+  EXPECT_EQ(first, R"({"zebra":1,"alpha":2,"mid":3})");  // not sorted
+  EXPECT_EQ(first, emit());  // byte-identical across runs
+}
+
+TEST(JsonWriterTest, NestedStructuresSeparateCorrectly) {
+  JsonWriter w;
+  w.begin_array();
+  w.begin_object();
+  w.kv("x", 1);
+  w.end_object();
+  w.begin_object();
+  w.kv("y", 2);
+  w.end_object();
+  w.begin_array();
+  w.end_array();
+  w.end_array();
+  EXPECT_EQ(w.str(), R"([{"x":1},{"y":2},[]])");
+}
+
+}  // namespace
+}  // namespace refbmc
