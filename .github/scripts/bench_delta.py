@@ -10,7 +10,7 @@ signal to read, not a gate.  Headline metrics compared:
 
   BENCH_solver.json     props/sec per suite row (solver-core throughput)
   BENCH_portfolio.json  race-setup encode-once speedup, total race
-                        ratios, lemma-sharing counters
+                        ratios, lemma-sharing and rank-sharing counters
 
 Missing files / keys degrade to "n/a" so the very first run (empty
 trajectory) still prints a table that later runs can diff against.
@@ -115,6 +115,14 @@ def main():
              lambda d: d.get("total_clauses_exported"), None),
             ("lemmas imported (sharing races)",
              lambda d: d.get("total_clauses_imported"), None),
+            # rank_* counters arrived after the sharing ones; artifacts
+            # from older runs simply lack the keys and print "n/a".
+            ("rank-sharing race ratio vs lemma-only race",
+             lambda d: d.get("total_rank_ratio_vs_share"), False),
+            ("cores published (rank-sharing races)",
+             lambda d: d.get("total_ranks_published"), None),
+            ("rank refreshes (rank-sharing races)",
+             lambda d: d.get("total_rank_refreshes"), None),
             ("hardware threads on runner",
              lambda d: d.get("hw_threads"), None),
         ]

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Unit tests for bench_delta.py.
+
+The one contract that matters for the trajectory job: ANY artifact shape
+— missing files, missing keys (e.g. a previous run from before the
+rank_* counters existed), empty dirs — must degrade to "n/a" cells and
+exit 0, never crash.  Run directly: python3 bench_delta_test.py
+"""
+
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_delta  # noqa: E402
+
+
+def write_json(dirname, filename, doc):
+    with open(os.path.join(dirname, filename), "w") as f:
+        json.dump(doc, f)
+
+
+def run_delta(prev_dir, cur_dir):
+    out = io.StringIO()
+    argv = sys.argv
+    sys.argv = ["bench_delta.py", prev_dir, cur_dir]
+    try:
+        with redirect_stdout(out):
+            rc = bench_delta.main()
+    finally:
+        sys.argv = argv
+    return rc, out.getvalue()
+
+
+# A current-run portfolio artifact with the full key set, rank_* included.
+CURRENT_PORTFOLIO = {
+    "total_ratio": 1.1,
+    "total_share_ratio_vs_plain": 0.95,
+    "total_clauses_exported": 3000,
+    "total_clauses_imported": 48000,
+    "total_rank_ratio_vs_share": 0.97,
+    "total_ranks_published": 120,
+    "total_rank_refreshes": 14,
+    "race_setup": {"speedup": 5.8},
+    "hw_threads": 4,
+}
+
+
+class BenchDeltaTest(unittest.TestCase):
+    def test_empty_dirs_degrade_to_na(self):
+        with tempfile.TemporaryDirectory() as prev, \
+                tempfile.TemporaryDirectory() as cur:
+            rc, out = run_delta(prev, cur)
+        self.assertEqual(rc, 0)
+        self.assertIn("no BENCH_solver.json rows", out)
+        self.assertIn("no BENCH_portfolio.json", out)
+
+    def test_previous_artifact_missing_rank_keys(self):
+        # The old-vs-new diff the CI job actually performs right after
+        # this PR lands: the previous run's BENCH_portfolio.json predates
+        # the rank_* counters.  Every rank row must print with an "n/a"
+        # previous cell instead of raising.
+        old = {k: v for k, v in CURRENT_PORTFOLIO.items()
+               if not k.startswith("total_rank")}
+        with tempfile.TemporaryDirectory() as prev, \
+                tempfile.TemporaryDirectory() as cur:
+            write_json(prev, "BENCH_portfolio.json", old)
+            write_json(cur, "BENCH_portfolio.json", CURRENT_PORTFOLIO)
+            rc, out = run_delta(prev, cur)
+        self.assertEqual(rc, 0)
+        for label in ("rank-sharing race ratio vs lemma-only race",
+                      "cores published (rank-sharing races)",
+                      "rank refreshes (rank-sharing races)"):
+            row = [l for l in out.splitlines() if label in l]
+            self.assertEqual(len(row), 1, label)
+            self.assertIn("n/a", row[0])
+
+    def test_rank_metrics_diff_when_both_present(self):
+        prev_doc = dict(CURRENT_PORTFOLIO,
+                        total_ranks_published=100,
+                        total_rank_refreshes=7)
+        with tempfile.TemporaryDirectory() as prev, \
+                tempfile.TemporaryDirectory() as cur:
+            write_json(prev, "BENCH_portfolio.json", prev_doc)
+            write_json(cur, "BENCH_portfolio.json", CURRENT_PORTFOLIO)
+            rc, out = run_delta(prev, cur)
+        self.assertEqual(rc, 0)
+        row = [l for l in out.splitlines()
+               if "cores published (rank-sharing races)" in l][0]
+        self.assertIn("100", row)
+        self.assertIn("120", row)
+        self.assertIn("+20.0%", row)
+
+    def test_corrupt_json_degrades_to_na(self):
+        with tempfile.TemporaryDirectory() as prev, \
+                tempfile.TemporaryDirectory() as cur:
+            with open(os.path.join(cur, "BENCH_portfolio.json"), "w") as f:
+                f.write("{not json")
+            write_json(prev, "BENCH_portfolio.json", CURRENT_PORTFOLIO)
+            rc, out = run_delta(prev, cur)
+        self.assertEqual(rc, 0)
+        self.assertIn("no BENCH_portfolio.json", out)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -8,11 +8,13 @@
 //      should shrink as workers are added (target: >= 1.5x at 4 threads);
 //  (b) race overhead — per instance, every policy run alone vs. the
 //      full-lineup race; race wall-clock should track the per-instance
-//      best policy (target: within 15% in total).  Each race runs twice:
-//      lemma sharing off (independent solvers, the PR 3 discipline) and
-//      on (LBD-filtered clause exchange through the SharedClausePool),
-//      with the pool's exported/imported counters recorded so the
-//      trajectory tooling can see the exchange actually firing;
+//      best policy (target: within 15% in total).  Each race runs three
+//      times: all exchange off (independent solvers), lemma sharing only
+//      (LBD-filtered clause exchange through the SharedClausePool), and
+//      lemma + rank sharing (cores merged in one SharedRankSource,
+//      refreshed mid-solve), with the exported/imported/published/
+//      refreshed counters recorded so the trajectory tooling can see
+//      each exchange actually firing;
 //
 // Results go to stdout and, machine-readably, to BENCH_portfolio.json.
 // Both targets assume the hardware can actually run the workers in
@@ -110,30 +112,39 @@ int run(int argc, char** argv) {
   }
   json.end_array();
 
-  // ---- (b) race vs. best single policy, with and without lemma sharing ----
-  // Two schedulers, same seed: one with clause exchange off (the PR 3
-  // baseline race) and one with the LBD-filtered SharedClausePool.  The
-  // share columns show whether portfolio diversity compounds (shared
-  // lemmas cut the race) or the instance is too easy to learn anything
-  // worth exchanging.  NB: like the race itself, the sharing payoff
-  // needs real parallelism; on a box with fewer cores than entrants the
+  // ---- (b) race vs. best single policy, by exchange regime ----------------
+  // Three schedulers, same seed: all exchange off (the PR 3 baseline
+  // race), lemma sharing only (the PR 4 regime, isolating the clause
+  // exchange), and lemma + rank sharing (this PR's shared ordering on
+  // top).  The share/rank columns show whether portfolio diversity
+  // compounds or the instance is too easy to learn anything worth
+  // exchanging.  NB: like the race itself, the exchange payoff needs
+  // real parallelism; on a box with fewer cores than entrants the
   // wall-clock comparison degrades to time-slicing noise while the
-  // exported/imported counters stay meaningful.
+  // counters stay meaningful.
   const auto policies = default_race_policies();
   SharingConfig no_sharing;
   no_sharing.enabled = false;
+  no_sharing.rank = false;
+  SharingConfig lemma_only;
+  lemma_only.rank = false;
   PortfolioScheduler racer(static_cast<int>(policies.size()),
                            /*base_seed=*/1, no_sharing);
-  PortfolioScheduler racer_share(static_cast<int>(policies.size()));
+  PortfolioScheduler racer_share(static_cast<int>(policies.size()),
+                                 /*base_seed=*/1, lemma_only);
+  PortfolioScheduler racer_rank(static_cast<int>(policies.size()));
 
-  std::printf("\nrace vs. best single policy (plain / lemma-sharing)\n");
-  std::printf("%-26s %10s %-12s %10s %10s %7s %9s %9s\n", "model", "best(s)",
-              "best-policy", "race(s)", "share(s)", "ratio", "exported",
-              "imported");
+  std::printf(
+      "\nrace vs. best single policy (plain / lemma-sharing / +rank)\n");
+  std::printf("%-26s %10s %-12s %10s %10s %10s %7s %9s %9s %6s %6s\n",
+              "model", "best(s)", "best-policy", "race(s)", "share(s)",
+              "rank(s)", "ratio", "exported", "imported", "publ", "refr");
   json.key("race");
   json.begin_array();
   double total_best = 0.0, total_race = 0.0, total_race_share = 0.0;
+  double total_race_rank = 0.0;
   std::uint64_t total_exported = 0, total_imported = 0;
+  std::uint64_t total_published = 0, total_refreshes = 0;
   for (const auto& bm : suite) {
     bmc::EngineConfig engine;
     engine.max_depth = opts.get_int("depth", bm.suggested_bound);
@@ -156,17 +167,25 @@ int run(int argc, char** argv) {
 
     const RaceResult race = racer.race(bm.net, 0, engine, policies);
     const RaceResult shared = racer_share.race(bm.net, 0, engine, policies);
+    const RaceResult ranked = racer_rank.race(bm.net, 0, engine, policies);
     const double ratio = best_sec > 0.0 ? race.wall_time_sec / best_sec : 0.0;
     total_best += best_sec;
     total_race += race.wall_time_sec;
     total_race_share += shared.wall_time_sec;
+    total_race_rank += ranked.wall_time_sec;
     total_exported += shared.clauses_exported;
     total_imported += shared.clauses_imported;
-    std::printf("%-26s %10.3f %-12s %10.3f %10.3f %7.2f %9llu %9llu\n",
-                bm.name.c_str(), best_sec, to_string(best_policy),
-                race.wall_time_sec, shared.wall_time_sec, ratio,
-                static_cast<unsigned long long>(shared.clauses_exported),
-                static_cast<unsigned long long>(shared.clauses_imported));
+    total_published += ranked.ranks_published;
+    total_refreshes += ranked.rank_refreshes;
+    std::printf(
+        "%-26s %10.3f %-12s %10.3f %10.3f %10.3f %7.2f %9llu %9llu %6llu "
+        "%6llu\n",
+        bm.name.c_str(), best_sec, to_string(best_policy),
+        race.wall_time_sec, shared.wall_time_sec, ranked.wall_time_sec,
+        ratio, static_cast<unsigned long long>(shared.clauses_exported),
+        static_cast<unsigned long long>(shared.clauses_imported),
+        static_cast<unsigned long long>(ranked.ranks_published),
+        static_cast<unsigned long long>(ranked.rank_refreshes));
     json.begin_object();
     json.kv("name", bm.name);
     json.kv("best_sec", best_sec);
@@ -187,6 +206,17 @@ int run(int argc, char** argv) {
                 : 0.0);
     json.kv("clauses_exported", shared.clauses_exported);
     json.kv("clauses_imported", shared.clauses_imported);
+    json.kv("race_rank_sec", ranked.wall_time_sec);
+    json.kv("race_rank_winner",
+            ranked.has_winner() ? to_string(ranked.winning().policy) : "-");
+    json.kv("race_rank_verdict", to_string(ranked.status()));
+    json.kv("rank_ratio_vs_share",
+            shared.wall_time_sec > 0.0
+                ? ranked.wall_time_sec / shared.wall_time_sec
+                : 0.0);
+    json.kv("ranks_published", ranked.ranks_published);
+    json.kv("rank_refreshes", ranked.rank_refreshes);
+    json.kv("rank_epoch", ranked.rank_epoch);
     json.end_object();
   }
   json.end_array();
@@ -247,10 +277,13 @@ int run(int argc, char** argv) {
   const double total_ratio = total_best > 0.0 ? total_race / total_best : 0.0;
   std::printf(
       "\nTOTAL best %.3fs, race %.3fs (ratio %.2f), sharing race %.3fs "
-      "(%llu exported, %llu imported)\n",
+      "(%llu exported, %llu imported), rank-sharing race %.3fs "
+      "(%llu cores published, %llu refreshes)\n",
       total_best, total_race, total_ratio, total_race_share,
       static_cast<unsigned long long>(total_exported),
-      static_cast<unsigned long long>(total_imported));
+      static_cast<unsigned long long>(total_imported), total_race_rank,
+      static_cast<unsigned long long>(total_published),
+      static_cast<unsigned long long>(total_refreshes));
   json.kv("total_best_sec", total_best);
   json.kv("total_race_sec", total_race);
   json.kv("total_ratio", total_ratio);
@@ -259,6 +292,11 @@ int run(int argc, char** argv) {
           total_race > 0.0 ? total_race_share / total_race : 0.0);
   json.kv("total_clauses_exported", total_exported);
   json.kv("total_clauses_imported", total_imported);
+  json.kv("total_race_rank_sec", total_race_rank);
+  json.kv("total_rank_ratio_vs_share",
+          total_race_share > 0.0 ? total_race_rank / total_race_share : 0.0);
+  json.kv("total_ranks_published", total_published);
+  json.kv("total_rank_refreshes", total_refreshes);
   json.end_object();
 
   if (!json.write_file("BENCH_portfolio.json"))

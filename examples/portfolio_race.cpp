@@ -6,16 +6,18 @@
 //                      [--depth K] [--budget SECONDS] [--quick]
 //                      [--incremental] [--simplify 0|1] [--seed S]
 //                      [--share 0|1] [--share-lbd L] [--share-size S]
-//                      [--share-cap N]
+//                      [--share-cap N] [--share-rank 0|1]
+//                      [--core-weighting linear|uniform|last-only|exp-decay]
 //
 // race:  every suite row is raced across the ordering policies on its own
 //        set of threads; the first definitive verdict wins and cancels
 //        the losers.  Entrants exchange short/low-LBD learned clauses
-//        through a SharedClausePool unless --share off.  Prints the
-//        winning policy and the pool's exported/imported counters, and
-//        checks the verdict against the suite's expectation — the
-//        portfolio must never disagree with a single-policy run,
-//        sharing or not.
+//        through a SharedClausePool unless --share off, and pool their
+//        unsat cores into one SharedRankSource — refining every rival's
+//        decision ordering mid-solve — unless --share-rank off.  Prints
+//        the winning policy and the exchange counters, and checks the
+//        verdict against the suite's expectation — the portfolio must
+//        never disagree with a single-policy run, sharing or not.
 // shard: the suite is expanded into one job per (netlist, property) and
 //        distributed over a work-stealing pool; prints the batch report
 //        and the parallel speedup over the sequential-equivalent time.
@@ -45,12 +47,14 @@ int run(int argc, char** argv) {
   if (mode == "race") {
     std::printf(
         "racing %zu policies on %zu instances (%d threads/race, lemma "
-        "sharing %s)\n\n",
+        "sharing %s, rank sharing %s)\n\n",
         cfg.policies.size(), suite.size(),
         static_cast<int>(cfg.policies.size()),
-        cfg.sharing.enabled ? "on" : "off");
-    std::printf("%-26s %-8s %-12s %10s %10s %9s %9s\n", "model", "verdict",
-                "winner", "race(s)", "expected", "exported", "imported");
+        cfg.sharing.enabled ? "on" : "off",
+        cfg.sharing.rank ? "on" : "off");
+    std::printf("%-26s %-8s %-12s %10s %10s %9s %9s %6s %6s\n", "model",
+                "verdict", "winner", "race(s)", "expected", "exported",
+                "imported", "publ", "refr");
     int mismatches = 0;
     for (const auto& bm : suite) {
       bmc::EngineConfig engine = cfg.engine;
@@ -62,12 +66,14 @@ int run(int argc, char** argv) {
           race.status() == bmc::BmcResult::Status::CounterexampleFound;
       const bool ok = race.has_winner() && found_cex == bm.expect_fail;
       if (!ok) ++mismatches;
-      std::printf("%-26s %-8s %-12s %10.3f %10s %9llu %9llu%s\n",
+      std::printf("%-26s %-8s %-12s %10.3f %10s %9llu %9llu %6llu %6llu%s\n",
                   bm.name.c_str(), to_string(race.status()),
                   race.has_winner() ? to_string(race.winning().policy) : "-",
                   race.wall_time_sec, bm.expect_fail ? "cex" : "bound",
                   static_cast<unsigned long long>(race.clauses_exported),
                   static_cast<unsigned long long>(race.clauses_imported),
+                  static_cast<unsigned long long>(race.ranks_published),
+                  static_cast<unsigned long long>(race.rank_refreshes),
                   ok ? "" : "  <-- MISMATCH");
     }
     std::printf("\n%s\n", mismatches == 0
@@ -97,7 +103,8 @@ int run(int argc, char** argv) {
                   r.wall_time_sec, r.worker_id);
     std::printf(
         "\n%zu cex, %zu bound, %zu limit | wall %.3fs, sequential-equivalent "
-        "%.3fs (%.2fx), %llu steals, %llu lemmas exported / %llu imported\n",
+        "%.3fs (%.2fx), %llu steals, %llu lemmas exported / %llu imported, "
+        "%llu cores published / %llu rank refreshes\n",
         report.counterexamples(), report.bounds_reached(),
         report.resource_limits(), report.wall_time_sec,
         report.total_job_time_sec(),
@@ -106,7 +113,9 @@ int run(int argc, char** argv) {
             : 0.0,
         static_cast<unsigned long long>(report.steals),
         static_cast<unsigned long long>(report.clauses_exported),
-        static_cast<unsigned long long>(report.clauses_imported));
+        static_cast<unsigned long long>(report.clauses_imported),
+        static_cast<unsigned long long>(report.ranks_published),
+        static_cast<unsigned long long>(report.rank_refreshes));
     return 0;
   }
 

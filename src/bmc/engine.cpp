@@ -36,12 +36,18 @@ std::uint64_t BmcResult::total_conflicts() const {
 
 BmcEngine::BmcEngine(const model::Netlist& net, EngineConfig config,
                      std::size_t bad_index)
-    : net_(net),
-      config_(config),
-      bad_index_(bad_index),
-      ranking_(config.weighting) {
+    : net_(net), config_(config), bad_index_(bad_index) {
   REFBMC_EXPECTS(config_.start_depth >= 0);
   REFBMC_EXPECTS(config_.max_depth >= config_.start_depth);
+  if (config_.rank_source != nullptr) {
+    REFBMC_EXPECTS_MSG(
+        config_.rank_source->weighting() == config_.weighting,
+        "shared rank source weighting does not match the engine's");
+    rank_ = config_.rank_source;
+  } else {
+    owned_rank_ = std::make_unique<LocalRankSource>(config_.weighting);
+    rank_ = owned_rank_.get();
+  }
   if (config_.shared_tape != nullptr) {
     SharedTape& shared = *config_.shared_tape;
     REFBMC_EXPECTS_MSG(&shared.net() == &net_ &&
@@ -123,11 +129,19 @@ BmcResult BmcEngine::run() {
     sat::Solver& solver = *prep.solver;
     solver.set_stop_flag(config_.stop);
 
-    // sat_check(F, varRank).
+    // sat_check(F, varRank): project the accumulated model-axis scores
+    // down to this instance's CNF variables through the origin map.
+    std::uint64_t rank_epoch = 0;
     if (config_.policy == OrderingPolicy::Shtrichman) {
       solver.set_variable_rank(shtrichman_rank(solver, prep.property_lit));
     } else if (uses_core_ranking()) {
-      solver.set_variable_rank(ranking_.project(session->origin()));
+      solver.set_variable_rank(rank_->project(session->origin(), &rank_epoch));
+      if (config_.rank_source != nullptr) {
+        // Shared ordering: rivals may publish cores while this depth
+        // solves; the solver re-projects at restart boundaries.
+        rank_refresher_.bind(*rank_, session->origin(), rank_epoch);
+        solver.set_rank_refresh(&rank_refresher_);
+      }
     }
 
     // Engine-level limits take precedence; otherwise any per-solve budget
@@ -165,6 +179,9 @@ BmcResult BmcEngine::run() {
         solver.stats().clauses_imported - before.clauses_imported;
     stats.import_propagations =
         solver.stats().import_propagations - before.import_propagations;
+    stats.rank_refreshes =
+        solver.stats().rank_refreshes - before.rank_refreshes;
+    stats.rank_epoch = rank_epoch;
     stats.time_sec = solver.stats().solve_time_sec - before.solve_time_sec;
     stats.cnf_vars = prep.cnf_vars;
     stats.cnf_clauses = prep.cnf_clauses;
@@ -193,7 +210,9 @@ BmcResult BmcEngine::run() {
       break;
     }
 
-    // UNSAT: update_ranking(unsatVars, varRank).
+    // UNSAT: the paper's update_ranking step — the core's variables are
+    // projected to the model axis and published into the RankSource
+    // (which a shared source fans out to every racing rival).
     if (scfg.track_cdg) {
       const std::vector<sat::Var> core_vars = solver.unsat_core_vars();
       stats.core_vars = core_vars.size();
@@ -203,7 +222,10 @@ BmcResult BmcEngine::run() {
         REFBMC_ASSERT_MSG(check.core_unsat,
                           "extracted unsat core is not unsatisfiable");
       }
-      if (uses_core_ranking()) ranking_.update(session->origin(), core_vars, k);
+      if (uses_core_ranking()) {
+        rank_->publish(session->origin(), core_vars, k);
+        stats.ranks_published = 1;
+      }
     }
     session->retire(k);
     result.per_depth.push_back(stats);

@@ -6,9 +6,15 @@
 
 namespace refbmc::bmc {
 
-void CoreRanking::update(const std::vector<VarOrigin>& origin,
-                         const std::vector<sat::Var>& core_vars, int k) {
-  // Project CNF variables to model nodes, once per node per instance.
+std::optional<CoreWeighting> parse_core_weighting(std::string_view name) {
+  for (const CoreWeighting w : all_core_weightings())
+    if (name == to_string(w)) return w;
+  return std::nullopt;
+}
+
+std::unordered_set<model::NodeId> core_nodes(
+    const std::vector<VarOrigin>& origin,
+    const std::vector<sat::Var>& core_vars) {
   std::unordered_set<model::NodeId> touched;
   for (const sat::Var v : core_vars) {
     REFBMC_EXPECTS(v >= 0 && static_cast<std::size_t>(v) < origin.size());
@@ -16,6 +22,13 @@ void CoreRanking::update(const std::vector<VarOrigin>& origin,
     if (node == model::kConstNode) continue;
     touched.insert(node);
   }
+  return touched;
+}
+
+void CoreRanking::update(const std::vector<VarOrigin>& origin,
+                         const std::vector<sat::Var>& core_vars, int k) {
+  const std::unordered_set<model::NodeId> touched =
+      core_nodes(origin, core_vars);
 
   switch (weighting_) {
     case CoreWeighting::Linear:

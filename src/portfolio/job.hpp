@@ -80,6 +80,12 @@ struct BatchReport {
   /// distinction.
   std::uint64_t clauses_exported = 0;
   std::uint64_t clauses_imported = 0;
+  /// Ordering-exchange totals over the batch's shard-group rank sources
+  /// (zero when rank sharing is off or every group is a singleton):
+  /// cores published into the shared accumulations, and mid-solve rank
+  /// refreshes the member solvers applied.
+  std::uint64_t ranks_published = 0;
+  std::uint64_t rank_refreshes = 0;
 
   std::size_t count(bmc::BmcResult::Status s) const;
   std::size_t counterexamples() const {

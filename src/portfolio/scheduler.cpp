@@ -9,6 +9,7 @@
 #include <thread>
 #include <tuple>
 
+#include "bmc/rank_source.hpp"
 #include "util/assert.hpp"
 #include "util/timer.hpp"
 
@@ -98,6 +99,15 @@ RaceResult PortfolioScheduler::race(
     pool = std::make_unique<SharedClausePool>(
         static_cast<std::size_t>(sharing_.capacity));
 
+  // And one rank source per race: cores live in model-node space, so the
+  // merged accumulation is meaningful to every entrant regardless of its
+  // solver's variable numbering (each projects through its own origin
+  // map).  Entrants whose policy ignores the rank feed simply never
+  // publish or refresh.
+  std::unique_ptr<bmc::SharedRankSource> rank_source;
+  if (sharing_.rank && policies.size() > 1)
+    rank_source = std::make_unique<bmc::SharedRankSource>(base.weighting);
+
   std::atomic<bool> stop{false};
   std::atomic<int> winner{-1};
   std::atomic<std::size_t> done{0};
@@ -122,6 +132,7 @@ RaceResult PortfolioScheduler::race(
           job.config.solver.share_lbd = sharing_.lbd_max;
           job.config.solver.share_size = sharing_.size_max;
         }
+        if (rank_source != nullptr) job.config.rank_source = rank_source.get();
         // The Shtrichman ordering has no incremental mode; demote that
         // entrant to scratch solving rather than disqualifying it
         // (scratch and incremental sessions replay the same tape).
@@ -162,6 +173,14 @@ RaceResult PortfolioScheduler::race(
     out.clauses_exported = pool->published();
     out.clauses_imported = pool->delivered();
   }
+  if (rank_source != nullptr) {
+    out.rank_sharing = true;
+    out.ranks_published = rank_source->num_updates();
+    out.rank_epoch = rank_source->epoch();
+    for (const auto& entrant : out.entrants)
+      for (const auto& d : entrant.result.per_depth)
+        out.rank_refreshes += d.rank_refreshes;
+  }
   return out;
 }
 
@@ -177,15 +196,19 @@ BatchReport PortfolioScheduler::run_batch(
                             jobs.size()));
   report.num_workers = workers;
 
-  // Shard-group lemma sharing: jobs on the same formula — identical
-  // (netlist, property, bad mode, simplify), hence identical tape
-  // variable spaces — get one pool per group.  Each engine encodes its
-  // own tape, but the encoder is deterministic, so the spaces line up.
-  // Requires rewriting the job configs, so the workers run on a copy.
+  // Shard-group exchange: jobs on the same formula — identical (netlist,
+  // property, bad mode, simplify), hence identical tape variable spaces
+  // — get one clause pool per group.  Rank sources sub-group further by
+  // core weighting (merged scores must mean the same thing to every
+  // publisher; clause soundness never depended on it, so the pool group
+  // stays whole).  Each engine encodes its own tape, but the encoder is
+  // deterministic, so the spaces line up.  Requires rewriting the job
+  // configs, so the workers run on a copy.
   std::vector<Job> shared_jobs;
   std::vector<std::unique_ptr<SharedClausePool>> pools;
+  std::vector<std::unique_ptr<bmc::SharedRankSource>> rank_sources;
   const std::vector<Job>* run_jobs = &jobs;
-  if (sharing_.enabled && jobs.size() > 1) {
+  if ((sharing_.enabled || sharing_.rank) && jobs.size() > 1) {
     using GroupKey = std::tuple<const model::Netlist*, std::size_t, int, bool>;
     std::map<GroupKey, std::vector<std::size_t>> groups;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
@@ -198,14 +221,29 @@ BatchReport PortfolioScheduler::run_batch(
     for (const auto& [key, members] : groups) {
       if (members.size() < 2) continue;  // nobody to share with
       if (shared_jobs.empty()) shared_jobs = jobs;
-      pools.push_back(std::make_unique<SharedClausePool>(
-          static_cast<std::size_t>(sharing_.capacity)));
-      for (std::size_t p = 0; p < members.size(); ++p) {
-        bmc::EngineConfig& cfg = shared_jobs[members[p]].config;
-        cfg.share_pool = pools.back().get();
-        cfg.share_producer = static_cast<int>(p);
-        cfg.solver.share_lbd = sharing_.lbd_max;
-        cfg.solver.share_size = sharing_.size_max;
+      if (sharing_.enabled) {
+        pools.push_back(std::make_unique<SharedClausePool>(
+            static_cast<std::size_t>(sharing_.capacity)));
+        for (std::size_t p = 0; p < members.size(); ++p) {
+          bmc::EngineConfig& cfg = shared_jobs[members[p]].config;
+          cfg.share_pool = pools.back().get();
+          cfg.share_producer = static_cast<int>(p);
+          cfg.solver.share_lbd = sharing_.lbd_max;
+          cfg.solver.share_size = sharing_.size_max;
+        }
+      }
+      if (sharing_.rank) {
+        std::map<int, std::vector<std::size_t>> by_weighting;
+        for (const std::size_t m : members)
+          by_weighting[static_cast<int>(shared_jobs[m].config.weighting)]
+              .push_back(m);
+        for (const auto& [w, twins] : by_weighting) {
+          if (twins.size() < 2) continue;
+          rank_sources.push_back(std::make_unique<bmc::SharedRankSource>(
+              shared_jobs[twins.front()].config.weighting));
+          for (const std::size_t m : twins)
+            shared_jobs[m].config.rank_source = rank_sources.back().get();
+        }
       }
     }
     if (!shared_jobs.empty()) run_jobs = &shared_jobs;
@@ -259,6 +297,12 @@ BatchReport PortfolioScheduler::run_batch(
     report.clauses_exported += pool->published();
     report.clauses_imported += pool->delivered();
   }
+  for (const auto& ranks : rank_sources)
+    report.ranks_published += ranks->num_updates();
+  if (!rank_sources.empty())
+    for (const auto& r : report.results)
+      for (const auto& d : r.result.per_depth)
+        report.rank_refreshes += d.rank_refreshes;
   return report;
 }
 
@@ -283,10 +327,17 @@ ResolvedPortfolio resolve(const PortfolioConfig& cfg) {
   r.engine.solver.decision = *decision;
   r.engine.solver.glue_lbd = cfg.glue_lbd;
   r.engine.solver.tier_lbd = cfg.tier_lbd;
+  const auto weighting = bmc::parse_core_weighting(cfg.core_weighting);
+  if (!weighting)
+    throw std::invalid_argument(
+        "unknown core weighting '" + cfg.core_weighting +
+        "' (expected linear, uniform, last-only or exp-decay)");
+  r.engine.weighting = *weighting;
   r.sharing.enabled = cfg.share;
   r.sharing.lbd_max = cfg.share_lbd;
   r.sharing.size_max = cfg.share_size;
   r.sharing.capacity = cfg.share_cap;
+  r.sharing.rank = cfg.share_rank;
   return r;
 }
 

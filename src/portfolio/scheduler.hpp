@@ -27,6 +27,14 @@
 // SharedClausePool and imports the others' at restart boundaries, so the
 // diversity the race creates compounds instead of being re-derived P
 // times (see clause_pool.hpp; SharingConfig below tunes the filter).
+//
+// And they share the refined ORDERING the same way: the paper's whole
+// point is that earlier cores sharpen later decision orderings, so the
+// scheduler gives each race / shard group one SharedRankSource
+// (model-node-space score map, see bmc/rank_source.hpp) — every entrant
+// publishes the cores it proves and refreshes its rank feed mid-solve
+// when rivals advance the accumulation, instead of re-learning the
+// ordering from scratch P times.
 #pragma once
 
 #include <string>
@@ -39,9 +47,11 @@
 
 namespace refbmc::portfolio {
 
-/// Lemma-sharing knobs (the CLI's --share* family).  With `enabled`
-/// false no pool is created and every run is bit-identical to the
-/// sharing-free scheduler.
+/// Exchange knobs (the CLI's --share* family): lemma sharing and
+/// ordering sharing, independently switchable.  With `enabled` false no
+/// clause pool is created; with `rank` false every engine keeps its
+/// private CoreRanking; with both off every run is bit-identical to the
+/// exchange-free scheduler.
 struct SharingConfig {
   bool enabled = true;
   /// Export filter: a learnt is published when lbd <= lbd_max OR size <=
@@ -50,6 +60,10 @@ struct SharingConfig {
   int size_max = 2;
   /// Ring capacity of each pool, in clauses (--share-cap).
   int capacity = 4096;
+  /// Ordering exchange (--share-rank): entrants of a race (and shard
+  /// twins on the same formula) publish unsat cores into one
+  /// SharedRankSource and refresh their solvers' rank feed mid-solve.
+  bool rank = true;
 };
 
 /// Outcome of one race.  `entrants` line up with the policy list passed
@@ -72,6 +86,15 @@ struct RaceResult {
   bool sharing = false;
   std::uint64_t clauses_exported = 0;
   std::uint64_t clauses_imported = 0;
+  /// Ordering-exchange counters (zero when rank sharing was off): cores
+  /// published into the race's SharedRankSource across all entrants, the
+  /// mid-solve rank refreshes their solvers applied, and the source's
+  /// final accumulation epoch (distinct score states reached — a merge
+  /// that changed nothing does not advance it).
+  bool rank_sharing = false;
+  std::uint64_t ranks_published = 0;
+  std::uint64_t rank_refreshes = 0;
+  std::uint64_t rank_epoch = 0;
 
   bool has_winner() const { return winner >= 0; }
   const JobResult& winning() const;
@@ -91,10 +114,11 @@ class PortfolioScheduler {
   /// entrant policy.  `base_seed` fixes the per-worker RNG seeds
   /// (worker w gets base_seed + w), keeping victim selection
   /// reproducible — and with it, when sharing is off, the whole batch.
-  /// `sharing` tunes lemma exchange (default on; exchange timing is
-  /// scheduling-dependent, so per-job solver stats then vary run to run
-  /// while verdicts stay objective.  SharingConfig{.enabled = false}
-  /// restores the independent-solver scheduler bit for bit).
+  /// `sharing` tunes lemma and ordering exchange (both default on;
+  /// exchange timing is scheduling-dependent, so per-job solver stats
+  /// then vary run to run while verdicts stay objective.  SharingConfig
+  /// with `enabled` and `rank` both false restores the
+  /// independent-solver scheduler bit for bit).
   explicit PortfolioScheduler(int num_threads, std::uint64_t base_seed = 1,
                               SharingConfig sharing = {});
 
@@ -134,7 +158,7 @@ struct ResolvedPortfolio {
   bmc::EngineConfig engine;  // max_depth / incremental / budget applied
   int num_threads = 1;
   std::uint64_t seed = 1;
-  SharingConfig sharing;  // --share / --share-lbd / --share-size / --share-cap
+  SharingConfig sharing;  // --share* family incl. --share-rank
 };
 ResolvedPortfolio resolve(const PortfolioConfig& cfg);
 

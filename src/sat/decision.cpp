@@ -10,6 +10,14 @@ std::optional<DecisionMode> parse_decision_mode(std::string_view name) {
   return std::nullopt;
 }
 
+bool DecisionQueue::refresh_ranks(std::span<const double> rank_by_var) {
+  for (std::size_t v = 0; v < rank_by_var.size(); ++v)
+    set_rank(static_cast<Var>(v), rank_by_var[v]);
+  if (!rank_active()) return false;  // values kept; activity order stands
+  rebuild();
+  return true;
+}
+
 Lit DecisionQueue::pick_branch(const Trail& trail) {
   while (!empty()) {
     const Var v = pop();

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string_view>
 
 #include "sat/heuristic.hpp"
@@ -62,6 +63,17 @@ class DecisionQueue {
   virtual void set_rank(Var v, double score) = 0;
   /// Rebuilds the heap after bulk priority changes (rank feed applied).
   virtual void rebuild() = 0;
+
+  /// Bulk MID-SOLVE rank refresh (the portfolio's shared ordering): the
+  /// per-prepare feed is set_rank + rebuild before solve(); this is the
+  /// in-search variant the solver drives from its RankRefresh poll at
+  /// decision-level-0 boundaries.  New scores are always installed, but
+  /// the heap is re-keyed only when the rank currently participates in
+  /// the order — and the dynamic-fallback switch is never touched, so a
+  /// queue that already fell back to activity order stays fallen back
+  /// (§3.3's "this instance is hard" verdict outlives a refresh).
+  /// Returns whether the heap order was rebuilt.
+  bool refresh_ranks(std::span<const double> rank_by_var);
 
   // ---- scoring hooks --------------------------------------------------
   /// One call per literal occurrence in the original formula.

@@ -421,6 +421,15 @@ bool Solver::import_shared_clauses() {
   return ok_;
 }
 
+void Solver::poll_rank_refresh() {
+  if (rank_refresh_ == nullptr || !rank_refresh_->has_update()) return;
+  REFBMC_ASSERT(trail_.decision_level() == 0);
+  const std::span<const double> ranks = rank_refresh_->refresh();
+  REFBMC_EXPECTS(ranks.size() <= static_cast<std::size_t>(num_vars()));
+  queue_->refresh_ranks(ranks);
+  ++stats_.rank_refreshes;
+}
+
 std::int64_t Solver::luby(std::int64_t x) {
   // Luby sequence 1,1,2,1,1,2,4,... at 0-based index x (MiniSat's scheme:
   // find the finite subsequence containing x, then recurse into it).
@@ -487,6 +496,9 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
     solved_unsat_ = true;
     return finish(Result::Unsat);
   }
+  // Shared-ordering refresh rides the same boundary: rivals may have
+  // published cores since this solver's rank was projected.
+  poll_rank_refresh();
 
   while (true) {
     const ClauseRef confl = propagate();
@@ -538,11 +550,13 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
                        luby(static_cast<std::int64_t>(stats_.restarts));
       backtrack(0);
       // Restart = decision-level-zero boundary: the import point where
-      // foreign lemmas learned since the last visit are integrated.
+      // foreign lemmas learned since the last visit are integrated, and
+      // where a shared-ordering refresh may re-key the decision heap.
       if (!import_shared_clauses()) {
         solved_unsat_ = true;
         return finish(Result::Unsat);
       }
+      poll_rank_refresh();
       continue;
     }
     if (config_.enable_reduce_db &&

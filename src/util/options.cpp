@@ -120,6 +120,8 @@ PortfolioConfig PortfolioConfig::from_options(const Options& opts) {
   cfg.share_cap = opts.get_int("share-cap", cfg.share_cap);
   if (cfg.share_cap < 1)
     throw std::invalid_argument("option --share-cap expects a value >= 1");
+  cfg.share_rank = opts.get_bool("share-rank", cfg.share_rank);
+  cfg.core_weighting = opts.get("core-weighting", cfg.core_weighting);
   return cfg;
 }
 

@@ -61,13 +61,22 @@ struct PortfolioConfig {
   int share_lbd = 4;       // export learnts with lbd <= this ...
   int share_size = 2;      // ... or size <= this
   int share_cap = 4096;    // pool ring capacity, in clauses
+  /// Portfolio ordering sharing (one race-wide rank accumulation fed by
+  /// every entrant's unsat cores, refreshed mid-solve).  `--share-rank
+  /// off` restores engine-private core rankings, bit for bit.
+  bool share_rank = true;  // --share-rank on|off
+  /// Core-score weighting of §3.2 (the ablation knob), as a name (util
+  /// cannot depend on bmc; the portfolio layer resolves and validates):
+  /// linear | uniform | last-only | exp-decay.
+  std::string core_weighting = "linear";  // --core-weighting
 
   /// Reads `--threads`, `--policies a,b,c`, `--depth`, `--budget`,
   /// `--seed`, `--incremental`, `--simplify 0|1`, `--decision chaff|evsids`,
   /// `--glue-lbd`, `--tier-lbd`, `--share 0|1`, `--share-lbd`,
-  /// `--share-size`, `--share-cap`; absent options keep the defaults
-  /// above.  Throws std::invalid_argument on malformed values (threads <
-  /// 1, empty policy list, non-numeric numbers, tier-lbd below glue-lbd,
+  /// `--share-size`, `--share-cap`, `--share-rank 0|1`,
+  /// `--core-weighting W`; absent options keep the defaults above.
+  /// Throws std::invalid_argument on malformed values (threads < 1,
+  /// empty policy list, non-numeric numbers, tier-lbd below glue-lbd,
   /// negative share filters, share-cap < 1).
   static PortfolioConfig from_options(const Options& opts);
 };

@@ -215,5 +215,67 @@ TEST(ResolveTest, SharingKnobsResolve) {
   EXPECT_EQ(r.sharing.capacity, 256);
 }
 
+TEST(WeightingNameTest, ToStringParseRoundTrip) {
+  for (const bmc::CoreWeighting w : bmc::all_core_weightings()) {
+    const auto parsed = bmc::parse_core_weighting(bmc::to_string(w));
+    ASSERT_TRUE(parsed.has_value()) << bmc::to_string(w);
+    EXPECT_EQ(*parsed, w);
+  }
+  // Names are unique — two weightings printing alike would make the
+  // round-trip ambiguous.
+  for (const bmc::CoreWeighting w : bmc::all_core_weightings())
+    for (const bmc::CoreWeighting x : bmc::all_core_weightings())
+      if (w != x) {
+        EXPECT_STRNE(bmc::to_string(w), bmc::to_string(x));
+      }
+}
+
+TEST(WeightingNameTest, EveryWeightingIsReachableThroughTheCli) {
+  // The sweep discipline of EveryPolicyIsReachableThroughTheCli, applied
+  // to --core-weighting: every enum value must survive the full CLI path
+  // — PortfolioConfig name into resolve() — not just parse_core_weighting.
+  for (const bmc::CoreWeighting w : bmc::all_core_weightings()) {
+    const PortfolioConfig cfg = PortfolioConfig::from_options(
+        parse({"--core-weighting", bmc::to_string(w)}));
+    EXPECT_EQ(cfg.core_weighting, bmc::to_string(w));
+    const ResolvedPortfolio r = resolve(cfg);
+    EXPECT_EQ(r.engine.weighting, w) << bmc::to_string(w);
+  }
+}
+
+TEST(WeightingNameTest, UnknownWeightingIsRejected) {
+  EXPECT_FALSE(bmc::parse_core_weighting("").has_value());
+  EXPECT_FALSE(bmc::parse_core_weighting("Linear").has_value());  // case
+  EXPECT_FALSE(bmc::parse_core_weighting("expdecay").has_value());
+  PortfolioConfig cfg;
+  cfg.core_weighting = "quadratic";
+  EXPECT_THROW(resolve(cfg), std::invalid_argument);
+}
+
+TEST(PortfolioConfigTest, ShareRankDefaultsOnAndParses) {
+  const PortfolioConfig defaults = PortfolioConfig::from_options(parse({}));
+  EXPECT_TRUE(defaults.share_rank);
+  EXPECT_EQ(defaults.core_weighting, "linear");
+
+  const PortfolioConfig cfg =
+      PortfolioConfig::from_options(parse({"--share-rank", "off"}));
+  EXPECT_FALSE(cfg.share_rank);
+  EXPECT_THROW(PortfolioConfig::from_options(parse({"--share-rank", "maybe"})),
+               std::invalid_argument);
+}
+
+TEST(ResolveTest, RankSharingKnobResolves) {
+  PortfolioConfig cfg;
+  cfg.share_rank = false;
+  EXPECT_FALSE(resolve(cfg).sharing.rank);
+  cfg.share_rank = true;
+  EXPECT_TRUE(resolve(cfg).sharing.rank);
+  // Lemma and rank sharing are independent switches.
+  cfg.share = false;
+  const ResolvedPortfolio r = resolve(cfg);
+  EXPECT_FALSE(r.sharing.enabled);
+  EXPECT_TRUE(r.sharing.rank);
+}
+
 }  // namespace
 }  // namespace refbmc::portfolio
