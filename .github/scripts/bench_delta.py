@@ -123,6 +123,13 @@ def main():
              lambda d: d.get("total_ranks_published"), None),
             ("rank refreshes (rank-sharing races)",
              lambda d: d.get("total_rank_refreshes"), None),
+            # Cancel latency (verdict -> last loser stopped) is reported
+            # informationally: microsecond wall times on shared runners
+            # are too noisy to gate on.
+            ("max cancel latency, us (all races)",
+             lambda d: d.get("max_cancel_latency_us"), None),
+            ("traced-race retained events",
+             lambda d: (d.get("trace") or {}).get("events"), None),
             ("hardware threads on runner",
              lambda d: d.get("hw_threads"), None),
         ]

@@ -46,6 +46,8 @@ CURRENT_PORTFOLIO = {
     "total_ranks_published": 120,
     "total_rank_refreshes": 14,
     "race_setup": {"speedup": 5.8},
+    "max_cancel_latency_us": 850,
+    "trace": {"events": 4200},
     "hw_threads": 4,
 }
 
@@ -94,6 +96,35 @@ class BenchDeltaTest(unittest.TestCase):
         self.assertIn("100", row)
         self.assertIn("120", row)
         self.assertIn("+20.0%", row)
+
+    def test_observability_keys_degrade_and_diff(self):
+        # Previous run predates the tracing layer: no cancel latency, no
+        # trace section.  Rows print with n/a previous cells; when both
+        # runs have the keys, the informational rows diff like any other.
+        old = {k: v for k, v in CURRENT_PORTFOLIO.items()
+               if k not in ("max_cancel_latency_us", "trace")}
+        with tempfile.TemporaryDirectory() as prev, \
+                tempfile.TemporaryDirectory() as cur:
+            write_json(prev, "BENCH_portfolio.json", old)
+            write_json(cur, "BENCH_portfolio.json", CURRENT_PORTFOLIO)
+            rc, out = run_delta(prev, cur)
+        self.assertEqual(rc, 0)
+        for label in ("max cancel latency, us (all races)",
+                      "traced-race retained events"):
+            row = [l for l in out.splitlines() if label in l]
+            self.assertEqual(len(row), 1, label)
+            self.assertIn("n/a", row[0])
+        with tempfile.TemporaryDirectory() as prev, \
+                tempfile.TemporaryDirectory() as cur:
+            write_json(prev, "BENCH_portfolio.json",
+                       dict(CURRENT_PORTFOLIO, max_cancel_latency_us=1000))
+            write_json(cur, "BENCH_portfolio.json", CURRENT_PORTFOLIO)
+            rc, out = run_delta(prev, cur)
+        self.assertEqual(rc, 0)
+        row = [l for l in out.splitlines()
+               if "max cancel latency" in l][0]
+        self.assertIn("1,000", row)
+        self.assertIn("850", row)
 
     def test_corrupt_json_degrades_to_na(self):
         with tempfile.TemporaryDirectory() as prev, \

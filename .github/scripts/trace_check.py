@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Validate a Chrome-trace-event JSON file produced by --trace.
+
+Usage: trace_check.py <trace.json> [--min-solver-tracks N]
+
+Checks the invariants the exporter promises (and Perfetto relies on):
+
+  * the document parses and has a traceEvents array;
+  * every event has ph in {X, i, M}, a numeric ts >= 0 (metadata
+    records excepted) and, for spans, a numeric dur >= 0;
+  * every tid that carries events also carries exactly one thread_name
+    metadata record with a non-empty name (names may repeat across
+    tids: a multi-model session names each race's entrant tracks after
+    the same policies — the tid keeps them apart);
+  * within each tid, start timestamps are non-decreasing in file
+    order — the exporter emits every track sorted by ts (spans may be
+    recorded retroactively, so ring order alone would not do);
+  * --min-solver-tracks N: at least N named tracks besides the driver
+    (a race with K entrants must produce K solver tracks).
+
+Exits nonzero on the first class of violation found, printing every
+instance, so CI logs show the full picture rather than one sample.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(errors):
+    for e in errors:
+        print(f"trace_check: FAIL: {e}", file=sys.stderr)
+    return 1
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("trace", help="Chrome trace-event JSON file")
+    ap.add_argument("--min-solver-tracks", type=int, default=0,
+                    help="require at least N non-driver tracks")
+    args = ap.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail([f"cannot parse {args.trace}: {e}"])
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail([f"{args.trace} has no traceEvents array"])
+
+    errors = []
+    names = {}        # tid -> track name (from thread_name metadata)
+    last_point = {}   # tid -> last record point seen, in file order
+    event_tids = set()
+
+    for i, e in enumerate(events):
+        where = f"event #{i}"
+        ph = e.get("ph")
+        if ph == "M":
+            if e.get("name") != "thread_name":
+                continue
+            tid = e.get("tid")
+            name = (e.get("args") or {}).get("name")
+            if not name:
+                errors.append(f"{where}: thread_name metadata without a name")
+            elif tid in names:
+                errors.append(f"{where}: duplicate thread_name for tid {tid}")
+            else:
+                names[tid] = name
+            continue
+        if ph not in ("X", "i"):
+            errors.append(f"{where}: unexpected ph {ph!r}")
+            continue
+        tid = e.get("tid")
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where}: bad ts {ts!r}")
+            continue
+        if ph == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: span with bad dur {dur!r}")
+                continue
+        event_tids.add(tid)
+        prev = last_point.get(tid)
+        if prev is not None and ts < prev:
+            errors.append(
+                f"{where}: ts went backwards on tid {tid} "
+                f"({ts} < {prev})")
+        last_point[tid] = ts
+
+    for tid in sorted(event_tids, key=str):
+        if tid not in names:
+            errors.append(f"tid {tid} carries events but has no "
+                          f"thread_name metadata")
+
+    solver_tracks = sum(1 for n in names.values() if n != "driver")
+    if solver_tracks < args.min_solver_tracks:
+        errors.append(f"expected >= {args.min_solver_tracks} solver tracks, "
+                      f"found {solver_tracks} ({sorted(names.values())})")
+
+    if errors:
+        return fail(errors)
+    print(f"trace_check: OK: {len(events)} records, "
+          f"{len(names)} named tracks "
+          f"({', '.join(sorted(set(names.values())))})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

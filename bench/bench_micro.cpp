@@ -18,6 +18,7 @@
 #include "bmc/tape.hpp"
 #include "harness.hpp"
 #include "model/benchgen.hpp"
+#include "obs/trace.hpp"
 #include "sat/solver.hpp"
 #include "util/heap.hpp"
 #include "util/rng.hpp"
@@ -124,6 +125,28 @@ void BM_SolveWithCdg(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SolveWithCdg)->Arg(0)->Arg(1);
+
+void BM_SolveTraceGate(benchmark::State& state) {
+  // The obs layer's "near-zero cost when off" claim, head to head: the
+  // same solve with no trace session (every instrumentation site is one
+  // predicted branch) and with one recording (ring writes at restarts /
+  // level-0 boundaries).  Arg 0 = off, Arg 1 = on.
+  const sat::Cnf cnf = pigeonhole(7, 6);
+  const bool traced = state.range(0) != 0;
+  if (traced) {
+    obs::TraceConfig tc;
+    tc.buffer_events = 1 << 16;
+    obs::trace_begin(tc);
+  }
+  for (auto _ : state) {
+    sat::Solver s;
+    for (int v = 0; v < cnf.num_vars; ++v) s.new_var();
+    for (const auto& c : cnf.clauses) s.add_clause(c);
+    benchmark::DoNotOptimize(s.solve());
+  }
+  if (traced) obs::trace_end();
+}
+BENCHMARK(BM_SolveTraceGate)->Arg(0)->Arg(1);
 
 void BM_CoreExtraction(benchmark::State& state) {
   const sat::Cnf cnf = pigeonhole(8, 7);
@@ -267,6 +290,41 @@ int run_solver_suite(bool full) {
                             ? static_cast<double>(tot_props) / tot_solve_time
                             : 0.0);
   w.end_object();
+
+  // ---- trace-gate overhead record ----------------------------------------
+  // Solves the same UNSAT formula back to back without a trace session
+  // and with one recording, so the trajectory tooling can watch the
+  // disabled-path cost (the ratio should sit within noise of 1.0 — the
+  // off state is one predicted branch per instrumentation site).
+  {
+    const sat::Cnf cnf = pigeonhole(8, 7);
+    const auto solve_once = [&cnf] {
+      sat::Solver s;
+      for (int v = 0; v < cnf.num_vars; ++v) s.new_var();
+      for (const auto& c : cnf.clauses) s.add_clause(c);
+      return s.solve();
+    };
+    const int reps = 3;
+    solve_once();  // warm-up (allocator, caches)
+    Timer off_timer;
+    for (int r = 0; r < reps; ++r) solve_once();
+    const double off_sec = off_timer.elapsed_sec();
+    obs::TraceConfig tc;
+    tc.buffer_events = 1 << 16;
+    obs::trace_begin(tc);
+    Timer on_timer;
+    for (int r = 0; r < reps; ++r) solve_once();
+    const double on_sec = on_timer.elapsed_sec();
+    const obs::TraceDump dump = obs::trace_end();
+    w.key("trace_overhead");
+    w.begin_object();
+    w.kv("reps", reps);
+    w.kv("trace_off_sec", off_sec);
+    w.kv("trace_on_sec", on_sec);
+    w.kv("trace_on_ratio", off_sec > 0.0 ? on_sec / off_sec : 0.0);
+    w.kv("events_recorded", dump.total_events());
+    w.end_object();
+  }
   w.end_object();
 
   if (!w.write_file("BENCH_solver.json")) {

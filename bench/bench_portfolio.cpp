@@ -30,6 +30,8 @@
 
 #include "bmc/tape.hpp"
 #include "harness.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "portfolio/scheduler.hpp"
 #include "util/options.hpp"
 #include "util/timer.hpp"
@@ -145,6 +147,7 @@ int run(int argc, char** argv) {
   double total_race_rank = 0.0;
   std::uint64_t total_exported = 0, total_imported = 0;
   std::uint64_t total_published = 0, total_refreshes = 0;
+  std::uint64_t max_cancel_latency = 0;
   for (const auto& bm : suite) {
     bmc::EngineConfig engine;
     engine.max_depth = opts.get_int("depth", bm.suggested_bound);
@@ -177,6 +180,9 @@ int run(int argc, char** argv) {
     total_imported += shared.clauses_imported;
     total_published += ranked.ranks_published;
     total_refreshes += ranked.rank_refreshes;
+    max_cancel_latency =
+        std::max({max_cancel_latency, race.cancel_latency_us,
+                  shared.cancel_latency_us, ranked.cancel_latency_us});
     std::printf(
         "%-26s %10.3f %-12s %10.3f %10.3f %10.3f %7.2f %9llu %9llu %6llu "
         "%6llu\n",
@@ -217,6 +223,11 @@ int run(int argc, char** argv) {
     json.kv("ranks_published", ranked.ranks_published);
     json.kv("rank_refreshes", ranked.rank_refreshes);
     json.kv("rank_epoch", ranked.rank_epoch);
+    // Cancellation latency per exchange regime: verdict -> last loser
+    // actually stopped (the satellite metric of the observability PR).
+    json.kv("cancel_latency_us", race.cancel_latency_us);
+    json.kv("cancel_latency_share_us", shared.cancel_latency_us);
+    json.kv("cancel_latency_rank_us", ranked.cancel_latency_us);
     json.end_object();
   }
   json.end_array();
@@ -274,6 +285,46 @@ int run(int argc, char** argv) {
     json.end_object();
   }
 
+  // ---- (d) traced race: one full-exchange race under the obs layer --------
+  // Records the race timeline (per-depth encode/simplify/solve spans,
+  // solver milestones, job lifecycle) and exports it as Chrome
+  // trace-event JSON — TRACE_race.json rides along with BENCH_*.json as
+  // a CI artifact and opens in Perfetto with one track per entrant.
+  {
+    const model::Benchmark& bm = suite.front();
+    bmc::EngineConfig engine;
+    engine.max_depth = opts.get_int("depth", bm.suggested_bound);
+    engine.total_time_limit_sec = budget;
+    obs::TraceConfig tc;
+    tc.buffer_events = 64 * 1024;
+    obs::trace_begin(tc);
+    obs::trace_set_thread_track("driver");
+    const RaceResult traced = racer_rank.race(bm.net, 0, engine, policies);
+    const obs::TraceDump dump = obs::trace_end();
+    const bool trace_written =
+        obs::write_chrome_trace_file("TRACE_race.json", dump);
+    std::printf(
+        "\ntraced race on %s: %llu events, %zu tracks, %llu dropped%s\n",
+        bm.name.c_str(),
+        static_cast<unsigned long long>(dump.total_events()),
+        dump.tracks.size(),
+        static_cast<unsigned long long>(dump.total_dropped()),
+        trace_written ? " -> TRACE_race.json"
+                      : " (could not write TRACE_race.json)");
+    json.key("trace");
+    json.begin_object();
+    json.kv("model", bm.name);
+    json.kv("file", "TRACE_race.json");
+    json.kv("written", trace_written);
+    json.kv("tracks", static_cast<std::uint64_t>(dump.tracks.size()));
+    json.kv("events", dump.total_events());
+    json.kv("dropped_events", dump.total_dropped());
+    json.kv("cancel_latency_us", traced.cancel_latency_us);
+    json.end_object();
+    max_cancel_latency = std::max(max_cancel_latency,
+                                  traced.cancel_latency_us);
+  }
+
   const double total_ratio = total_best > 0.0 ? total_race / total_best : 0.0;
   std::printf(
       "\nTOTAL best %.3fs, race %.3fs (ratio %.2f), sharing race %.3fs "
@@ -297,6 +348,7 @@ int run(int argc, char** argv) {
           total_race_share > 0.0 ? total_race_rank / total_race_share : 0.0);
   json.kv("total_ranks_published", total_published);
   json.kv("total_rank_refreshes", total_refreshes);
+  json.kv("max_cancel_latency_us", max_cancel_latency);
   json.end_object();
 
   if (!json.write_file("BENCH_portfolio.json"))

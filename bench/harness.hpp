@@ -47,6 +47,11 @@ inline void write_depth_stats(JsonWriter& w, const bmc::DepthStats& d) {
   w.kv("rank_refreshes", d.rank_refreshes);
   w.kv("rank_epoch", d.rank_epoch);
   w.kv("time_sec", d.time_sec);
+  // Phase split of time_sec (obs layer, PR 6): where this depth's wall
+  // time went — formula growth, encoder simplification, SAT search.
+  w.kv("encode_us", d.encode_us);
+  w.kv("simplify_us", d.simplify_us);
+  w.kv("solve_us", d.solve_us);
   w.end_object();
 }
 

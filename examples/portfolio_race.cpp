@@ -8,6 +8,13 @@
 //                      [--share 0|1] [--share-lbd L] [--share-size S]
 //                      [--share-cap N] [--share-rank 0|1]
 //                      [--core-weighting linear|uniform|last-only|exp-decay]
+//                      [--trace FILE] [--trace-buffer-kb KB] [--metrics FILE]
+//
+// --trace FILE records a race-wide event timeline and writes it as
+// Chrome trace-event JSON — load it in https://ui.perfetto.dev or
+// chrome://tracing; each racing solver (or shard worker) is its own
+// track.  --metrics FILE writes the counter/histogram registry as flat
+// JSON.  Both default to off (zero recording overhead).
 //
 // race:  every suite row is raced across the ordering policies on its own
 //        set of threads; the first definitive verdict wins and cancels
@@ -21,15 +28,53 @@
 // shard: the suite is expanded into one job per (netlist, property) and
 //        distributed over a work-stealing pool; prints the batch report
 //        and the parallel speedup over the sequential-equivalent time.
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <string>
 
 #include "model/benchgen.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "portfolio/scheduler.hpp"
 #include "util/options.hpp"
 
 namespace {
+
+/// Starts trace/metrics sessions per the CLI flags (no-ops when unset).
+void begin_observability(const refbmc::PortfolioConfig& cli) {
+  using namespace refbmc;
+  if (!cli.trace_file.empty()) {
+    obs::TraceConfig tc;
+    tc.buffer_events = std::max<std::size_t>(
+        1, static_cast<std::size_t>(cli.trace_buffer_kb) * 1024 /
+               sizeof(obs::TraceEvent));
+    obs::trace_begin(tc);
+    obs::trace_set_thread_track("driver");
+  }
+  if (!cli.metrics_file.empty()) obs::metrics_enable(true);
+}
+
+/// Writes the trace / metrics files (called after all workers joined —
+/// the collection contract of obs::trace_end).
+void end_observability(const refbmc::PortfolioConfig& cli) {
+  using namespace refbmc;
+  if (!cli.trace_file.empty()) {
+    const obs::TraceDump dump = obs::trace_end();
+    obs::write_chrome_trace_file(cli.trace_file, dump);
+    std::printf(
+        "\ntrace: %llu events on %zu tracks (%llu dropped) -> %s\n",
+        static_cast<unsigned long long>(dump.total_events()),
+        dump.tracks.size(),
+        static_cast<unsigned long long>(dump.total_dropped()),
+        cli.trace_file.c_str());
+  }
+  if (!cli.metrics_file.empty()) {
+    obs::write_metrics_file(cli.metrics_file, obs::metrics());
+    std::printf("metrics -> %s\n", cli.metrics_file.c_str());
+  }
+}
 
 int run(int argc, char** argv) {
   using namespace refbmc;
@@ -43,6 +88,7 @@ int run(int argc, char** argv) {
                                                    : model::standard_suite();
 
   PortfolioScheduler scheduler(cfg.num_threads, cfg.seed, cfg.sharing);
+  begin_observability(cli);
 
   if (mode == "race") {
     std::printf(
@@ -52,9 +98,9 @@ int run(int argc, char** argv) {
         static_cast<int>(cfg.policies.size()),
         cfg.sharing.enabled ? "on" : "off",
         cfg.sharing.rank ? "on" : "off");
-    std::printf("%-26s %-8s %-12s %10s %10s %9s %9s %6s %6s\n", "model",
+    std::printf("%-26s %-8s %-12s %10s %10s %9s %9s %6s %6s %8s\n", "model",
                 "verdict", "winner", "race(s)", "expected", "exported",
-                "imported", "publ", "refr");
+                "imported", "publ", "refr", "cxl(us)");
     int mismatches = 0;
     for (const auto& bm : suite) {
       bmc::EngineConfig engine = cfg.engine;
@@ -66,19 +112,22 @@ int run(int argc, char** argv) {
           race.status() == bmc::BmcResult::Status::CounterexampleFound;
       const bool ok = race.has_winner() && found_cex == bm.expect_fail;
       if (!ok) ++mismatches;
-      std::printf("%-26s %-8s %-12s %10.3f %10s %9llu %9llu %6llu %6llu%s\n",
-                  bm.name.c_str(), to_string(race.status()),
-                  race.has_winner() ? to_string(race.winning().policy) : "-",
-                  race.wall_time_sec, bm.expect_fail ? "cex" : "bound",
-                  static_cast<unsigned long long>(race.clauses_exported),
-                  static_cast<unsigned long long>(race.clauses_imported),
-                  static_cast<unsigned long long>(race.ranks_published),
-                  static_cast<unsigned long long>(race.rank_refreshes),
-                  ok ? "" : "  <-- MISMATCH");
+      std::printf(
+          "%-26s %-8s %-12s %10.3f %10s %9llu %9llu %6llu %6llu %8llu%s\n",
+          bm.name.c_str(), to_string(race.status()),
+          race.has_winner() ? to_string(race.winning().policy) : "-",
+          race.wall_time_sec, bm.expect_fail ? "cex" : "bound",
+          static_cast<unsigned long long>(race.clauses_exported),
+          static_cast<unsigned long long>(race.clauses_imported),
+          static_cast<unsigned long long>(race.ranks_published),
+          static_cast<unsigned long long>(race.rank_refreshes),
+          static_cast<unsigned long long>(race.cancel_latency_us),
+          ok ? "" : "  <-- MISMATCH");
     }
     std::printf("\n%s\n", mismatches == 0
                               ? "all race verdicts match the expectations"
                               : "VERDICT MISMATCHES FOUND");
+    end_observability(cli);
     return mismatches == 0 ? 0 : 1;
   }
 
@@ -116,6 +165,7 @@ int run(int argc, char** argv) {
         static_cast<unsigned long long>(report.clauses_imported),
         static_cast<unsigned long long>(report.ranks_published),
         static_cast<unsigned long long>(report.rank_refreshes));
+    end_observability(cli);
     return 0;
   }
 

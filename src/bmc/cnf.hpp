@@ -29,6 +29,13 @@ struct EncodeStats {
   std::uint64_t clauses_emitted = 0;
   std::uint64_t vars_removed = 0;    // saved by simplification
   std::uint64_t clauses_removed = 0;
+  /// Phase wall-times, cumulative over all encoded frames: encode_ns is
+  /// the whole per-frame sweep (simplification included — it is fused
+  /// into gate emission); simplify_ns is the gate-level fold/strash
+  /// machinery's share of it, the separable part of that fusion.  The
+  /// engine turns deltas of these into DepthStats::simplify_us.
+  std::uint64_t encode_ns = 0;
+  std::uint64_t simplify_ns = 0;
 };
 
 struct BmcInstance {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 
 #include "util/assert.hpp"
 
@@ -49,6 +50,19 @@ sat::Lit FrameEncoder::lit_of(Signal s, int frame) const {
 
 sat::Lit FrameEncoder::and_lit(Lit a, Lit b, const VarOrigin& origin) {
   if (opts_.simplify) {
+    // Timed per gate: folding + the strash probe are the separable
+    // simplification work (EncodeStats::simplify_ns).  The clock pair
+    // costs tens of ns against a strash probe of the same order, so the
+    // reading is coarse — but encoding is a sliver of total runtime and
+    // the per-depth *split* (simplify vs emission) is what DepthStats
+    // needs.  Emission below is excluded.
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto charge = [&] {
+      stats_.simplify_ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    };
     const Lit f = false_lit_, t = ~false_lit_;
     Lit folded = sat::kLitUndef;
     if (a == f || b == f || a == ~b) {
@@ -61,6 +75,7 @@ sat::Lit FrameEncoder::and_lit(Lit a, Lit b, const VarOrigin& origin) {
     if (!folded.is_undef()) {
       ++stats_.vars_removed;
       stats_.clauses_removed += 3;
+      charge();
       return folded;
     }
     const std::uint32_t lo =
@@ -72,8 +87,10 @@ sat::Lit FrameEncoder::and_lit(Lit a, Lit b, const VarOrigin& origin) {
     if (it != strash_.end()) {
       ++stats_.vars_removed;
       stats_.clauses_removed += 3;
+      charge();
       return it->second;
     }
+    charge();
     const Lit out = fresh(origin.node, origin.frame);
     emit(std::array<Lit, 2>{~out, a});
     emit(std::array<Lit, 2>{~out, b});
@@ -160,7 +177,12 @@ void FrameEncoder::encode_frame(int f) {
 void FrameEncoder::encode_to(int k) {
   REFBMC_EXPECTS(k >= 0);
   while (encoded_depth_ < k) {
+    const auto t0 = std::chrono::steady_clock::now();
     encode_frame(++encoded_depth_);
+    stats_.encode_ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
     ++stats_.frames_encoded;
   }
 }

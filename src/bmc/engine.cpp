@@ -5,6 +5,8 @@
 #include "bmc/session.hpp"
 #include "bmc/shtrichman.hpp"
 #include "mc/reach.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sat/core_verify.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
@@ -124,8 +126,11 @@ BmcResult BmcEngine::run() {
     }
 
     // gen_cnf_formula(M, P, k): encode-once via the tape, query shape
-    // from the session.
+    // from the session.  The phase clocks feed DepthStats (encode /
+    // simplify / solve split) and, when a session is on, the trace.
+    const std::uint64_t t_prep0 = obs::monotonic_now_us();
     const FormulaSession::Prepared prep = session->prepare(k);
+    const std::uint64_t t_prep1 = obs::monotonic_now_us();
     sat::Solver& solver = *prep.solver;
     solver.set_stop_flag(config_.stop);
 
@@ -161,7 +166,9 @@ BmcResult BmcEngine::run() {
     solver.set_resource_limits(conflict_limit, limit);
 
     const sat::SolverStats before = solver.stats();
+    const std::uint64_t t_solve0 = obs::monotonic_now_us();
     const sat::Result res = solver.solve(prep.assumptions);
+    const std::uint64_t t_solve1 = obs::monotonic_now_us();
 
     DepthStats stats;
     stats.depth = k;
@@ -189,6 +196,38 @@ BmcResult BmcEngine::run() {
     stats.simplified_vars_removed = encode.vars_removed;
     stats.simplified_clauses_removed = encode.clauses_removed;
     stats.rank_switched = solver.stats().rank_switched;
+    // Phase split: prepare = this entrant's materialization cost; the
+    // simplify share is the tape's fold/strash time for the frames that
+    // became encoded at this depth (delta of the cumulative snapshots —
+    // deterministic per k no matter which entrant triggered the encode).
+    stats.encode_us = t_prep1 - t_prep0;
+    const std::uint64_t prev_simplify_ns =
+        k > 0 ? tape_->stats_at(k - 1).simplify_ns : 0;
+    stats.simplify_us = (encode.simplify_ns - prev_simplify_ns) / 1000;
+    stats.solve_us = t_solve1 - t_solve0;
+    if (obs::trace_active()) {
+      obs::trace_record_span(obs::EventKind::SpanEncode, t_prep0,
+                             t_prep1 - t_prep0, k,
+                             static_cast<std::int64_t>(prep.cnf_clauses));
+      if (stats.simplify_us > 0)
+        obs::trace_record_span(obs::EventKind::SpanSimplify, t_prep0,
+                               stats.simplify_us, k,
+                               static_cast<std::int64_t>(
+                                   encode.vars_removed));
+      obs::trace_record_span(obs::EventKind::SpanSolve, t_solve0,
+                             t_solve1 - t_solve0, k,
+                             static_cast<std::int64_t>(stats.conflicts));
+      obs::trace_record_span(obs::EventKind::SpanDepth, t_prep0,
+                             t_solve1 - t_prep0, k,
+                             static_cast<std::int64_t>(res));
+    }
+    if (obs::metrics_active()) {
+      obs::MetricsRegistry& m = obs::metrics();
+      m.histogram("bmc.encode_us").observe(stats.encode_us);
+      m.histogram("bmc.simplify_us").observe(stats.simplify_us);
+      m.histogram("bmc.solve_us").observe(stats.solve_us);
+      m.counter("bmc.depths").add(1);
+    }
 
     if (res == sat::Result::Sat) {
       Trace trace = extract_trace(net_, k, session->origin(), solver);

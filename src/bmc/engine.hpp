@@ -172,6 +172,20 @@ struct DepthStats {
   std::uint64_t rank_refreshes = 0;
   std::uint64_t rank_epoch = 0;
   double time_sec = 0.0;
+  /// Per-depth phase wall-times (µs), the split behind the obs spans:
+  ///   encode_us   — this engine's prepare(k): shared-tape extension (for
+  ///                 whichever entrant got there first) plus replay into
+  ///                 its solver;
+  ///   simplify_us — the encoder's gate fold/strash work for the frames
+  ///                 newly encoded at this depth (a shared-formula cost,
+  ///                 paid once per race and reported identically to every
+  ///                 entrant; simplification is fused into encoding, so
+  ///                 this is its separable share — see EncodeStats);
+  ///   solve_us    — the solver.solve() call, wall clock (time_sec is the
+  ///                 solver's own accounting of the same interval).
+  std::uint64_t encode_us = 0;
+  std::uint64_t simplify_us = 0;
+  std::uint64_t solve_us = 0;
   std::size_t cnf_vars = 0;
   std::size_t cnf_clauses = 0;
   /// Simplification savings, cumulative over frames 0..depth (what the

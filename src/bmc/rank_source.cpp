@@ -47,6 +47,9 @@ void SharedRankSource::publish(const std::vector<VarOrigin>& origin,
       break;
   }
   if (changed) epoch_.fetch_add(1, std::memory_order_release);
+  REFBMC_TRACE_EVENT(
+      obs::EventKind::RankPublish, k,
+      static_cast<std::int64_t>(epoch_.load(std::memory_order_relaxed)));
 }
 
 std::vector<double> SharedRankSource::project(

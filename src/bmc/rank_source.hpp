@@ -59,6 +59,7 @@
 #include <vector>
 
 #include "bmc/ranking.hpp"
+#include "obs/trace.hpp"
 #include "sat/solver.hpp"
 
 namespace refbmc::bmc {
@@ -174,7 +175,11 @@ class RankProjector final : public sat::RankRefresh {
     return source_ != nullptr && source_->epoch() != seen_epoch_;
   }
   std::span<const double> refresh() override {
+    // Span = the projection cost of one mid-solve refresh, on the
+    // solving thread; value = the accumulation epoch it caught up to.
+    obs::TraceSpan span(obs::EventKind::RankRefresh);
     buf_ = source_->project(*origin_, &seen_epoch_);
+    span.set_value(static_cast<std::int64_t>(seen_epoch_));
     return buf_;
   }
 

@@ -1,5 +1,6 @@
 #include "bmc/tape.hpp"
 
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace refbmc::bmc {
@@ -31,7 +32,13 @@ SharedTape::SharedTape(const model::Netlist& net, std::size_t bad_index,
 void SharedTape::ensure_locked(int k) {
   REFBMC_EXPECTS(k >= 0);
   while (encoder_.encoded_depth() < k) {
-    encoder_.encode_to(encoder_.encoded_depth() + 1);
+    const int frame = encoder_.encoded_depth() + 1;
+    // The frame is encoded exactly once race-wide (this is the
+    // encode-once guarantee), so the span lands on whichever entrant's
+    // track got here first — one tape_encode span per frame, total.
+    obs::TraceSpan span(obs::EventKind::TapeEncode, frame);
+    encoder_.encode_to(frame);
+    span.set_value(static_cast<std::int64_t>(encoder_.stats().clauses_emitted));
     depth_marks_.push_back(tape_.mark());
     depth_stats_.push_back(encoder_.stats());
   }

@@ -1,0 +1,39 @@
+// Exporters: Chrome trace-event JSON (Perfetto / chrome://tracing) and
+// flat metrics JSON, both through util/json.hpp's JsonWriter (escaping,
+// deterministic member order, finite numbers).
+//
+// Chrome mapping: one pid for the whole process, one tid per TrackDump
+// (i.e. per recording thread), a thread_name metadata event labelling
+// each track, complete events (ph "X", ts+dur) for span kinds and
+// thread-scoped instants (ph "i") for the rest.  `depth` and `value`
+// travel in args, so Perfetto's query engine can slice by depth.
+//
+// Within one track, events appear in ring order — the order the thread
+// finished recording them — so per track the *record points* (ts for
+// instants, ts+dur for spans) are non-decreasing.  trace_check.py and
+// the export test assert exactly that invariant, plus ts/dur >= 0.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace refbmc {
+class JsonWriter;
+}
+
+namespace refbmc::obs {
+
+/// Writes {"traceEvents": [...], "displayTimeUnit": "ms", "otherData":
+/// {...}} into `w` (a fresh writer; this emits the whole document).
+void write_chrome_trace(JsonWriter& w, const TraceDump& dump);
+
+/// write_chrome_trace + JsonWriter::write_file.  Returns false when the
+/// file cannot be written.
+bool write_chrome_trace_file(const std::string& path, const TraceDump& dump);
+
+/// Writes the registry document (MetricsRegistry::write_json) to `path`.
+bool write_metrics_file(const std::string& path, const MetricsRegistry& m);
+
+}  // namespace refbmc::obs

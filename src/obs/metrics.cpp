@@ -1,0 +1,131 @@
+#include "obs/metrics.hpp"
+
+#include "util/json.hpp"
+
+namespace refbmc::obs {
+
+namespace {
+
+int bucket_of(std::uint64_t v) {
+  int b = 0;
+  while (v > 0 && b < Histogram::kBuckets - 1) {
+    v >>= 1;
+    ++b;
+  }
+  return b;
+}
+
+/// Upper bound of bucket b: 0 for bucket 0, else 2^b - 1 (the largest
+/// value the bucket can hold).
+std::uint64_t bucket_upper(int b) {
+  if (b == 0) return 0;
+  return (1ull << b) - 1;
+}
+
+std::atomic<bool> g_metrics_on{false};
+
+}  // namespace
+
+void Histogram::observe(std::uint64_t v) {
+  buckets_[static_cast<std::size_t>(bucket_of(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  std::uint64_t prev = max_.load(std::memory_order_relaxed);
+  while (v > prev &&
+         !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the quantile observation (1-based, ceil).
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(p * static_cast<double>(n - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += bucket(b);
+    if (seen >= rank)
+      return b == kBuckets - 1 ? max() : bucket_upper(b);
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+void MetricsRegistry::write_json(JsonWriter& w) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, c] : counters_) w.kv(name, c->value());
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.kv("count", h->count());
+    w.kv("sum", h->sum());
+    w.kv("mean", h->mean());
+    w.kv("max", h->max());
+    w.kv("p50", h->percentile(0.50));
+    w.kv("p90", h->percentile(0.90));
+    w.kv("p99", h->percentile(0.99));
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MetricsRegistry::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) out.emplace_back(name, c->value());
+  return out;
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never dtor'd
+  return *registry;
+}
+
+bool metrics_active() {
+  return g_metrics_on.load(std::memory_order_relaxed);
+}
+
+void metrics_enable(bool on) {
+  g_metrics_on.store(on, std::memory_order_relaxed);
+}
+
+}  // namespace refbmc::obs

@@ -1,0 +1,120 @@
+// Named counters and bounded histograms, aggregated across threads.
+//
+// The trace (obs/trace.hpp) answers "when did it happen"; this registry
+// answers "how much, in total" — wall time per engine phase, import
+// drain latency, cancellation latency — without anybody having to
+// post-process a timeline.  Counters and histogram buckets are plain
+// atomics, so every thread records into the same instance and the
+// registry IS the cross-thread aggregation; collection points (bench
+// epilogues, --metrics export) just read it.
+//
+// Histograms are bounded by construction: power-of-two buckets (one per
+// log2 of the observed value, values in microseconds by convention)
+// plus exact count/sum/max, so memory is ~30 words per histogram no
+// matter how many observations land.  Percentiles are bucket upper
+// bounds — coarse, but monotone and allocation-free.
+//
+// Entries are never deleted: counter()/histogram() return references
+// that stay valid for the registry's lifetime, and reset() zeroes
+// values without invalidating them — instrumentation sites may cache
+// the reference across sessions.
+//
+// Like tracing, recording is gated (metrics_active(), one relaxed
+// load); all instrumentation sites sit at cold boundaries (per depth,
+// per restart, per race), so the enabled cost is a map lookup + an
+// atomic add, far off every hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace refbmc {
+class JsonWriter;
+}
+
+namespace refbmc::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    n_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return n_.load(std::memory_order_relaxed); }
+  void reset() { n_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> n_{0};
+};
+
+class Histogram {
+ public:
+  /// Bucket b holds values in [2^(b-1), 2^b) (bucket 0 holds {0}); the
+  /// last bucket is open-ended.  26 buckets cover up to ~33s in µs.
+  static constexpr int kBuckets = 26;
+
+  void observe(std::uint64_t v);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+  /// Upper bound of the bucket containing the p-quantile (p in [0,1]);
+  /// the top bucket reports the exact observed max.
+  std::uint64_t percentile(double p) const;
+  std::uint64_t bucket(int b) const {
+    return buckets_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+  }
+
+  void reset();
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+class MetricsRegistry {
+ public:
+  /// Both lookups create on first use and return a stable reference.
+  /// Thread-safe; O(log n) map under a mutex — fine for cold sites.
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Zeroes every entry (references stay valid).
+  void reset();
+
+  /// {"counters": {name: n, ...}, "histograms": {name: {count, sum,
+  /// mean, max, p50, p90, p99}, ...}} — names in sorted order, so the
+  /// document is deterministic given the same set of entries.
+  void write_json(JsonWriter& w) const;
+
+  /// Snapshot of all counters, sorted by name.
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// The process-wide registry every instrumentation site records into.
+MetricsRegistry& metrics();
+
+/// Recording gate (one relaxed load), switched by the session owner
+/// (--metrics, bench epilogues).  Off by default.
+bool metrics_active();
+void metrics_enable(bool on);
+
+}  // namespace refbmc::obs

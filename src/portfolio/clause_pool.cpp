@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace refbmc::portfolio {
@@ -21,6 +22,10 @@ bool SharedClausePool::publish(std::span<const sat::Lit> tape_lits,
   slot.lbd = lbd;
   slot.producer = producer;
   head_.store(seq + 1, std::memory_order_release);
+  // Lands on the publishing entrant's own track; value = pool sequence,
+  // so cross-track publish order is reconstructible from the trace.
+  REFBMC_TRACE_EVENT(obs::EventKind::PoolPublish, -1,
+                     static_cast<std::int64_t>(seq));
   return true;
 }
 

@@ -10,7 +10,10 @@
 #include <tuple>
 
 #include "bmc/rank_source.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
+#include "util/log.hpp"
 #include "util/timer.hpp"
 
 namespace refbmc::portfolio {
@@ -112,12 +115,27 @@ RaceResult PortfolioScheduler::race(
   std::atomic<int> winner{-1};
   std::atomic<std::size_t> done{0};
   std::vector<std::exception_ptr> errors(policies.size());
+  // Cancellation-latency bookkeeping: the winner stamps verdict_ts at
+  // its CAS success, every entrant stamps end_ts when its job function
+  // returns.  Plain monotonic microseconds — no tracing required.
+  std::atomic<std::uint64_t> verdict_ts{0};
+  std::vector<std::uint64_t> end_ts(policies.size(), 0);
   Timer timer;
 
   std::vector<std::thread> threads;
   threads.reserve(policies.size());
   for (std::size_t i = 0; i < policies.size(); ++i) {
+    // Submit lands on the CALLER's track (the race driver); the rest of
+    // the lifecycle lands on the entrant's own.
+    REFBMC_TRACE_EVENT(obs::EventKind::JobSubmit, -1,
+                       static_cast<std::int64_t>(i));
     threads.emplace_back([&, i] {
+      // One trace track and one log tag per entrant, named after its
+      // policy — the per-solver lanes the Perfetto view hinges on.
+      obs::trace_set_thread_track(to_string(policies[i]));
+      set_log_thread_tag(to_string(policies[i]));
+      REFBMC_TRACE_EVENT(obs::EventKind::JobStart, -1,
+                         static_cast<std::int64_t>(i));
       try {
         Job job;
         job.net = &net;
@@ -146,9 +164,19 @@ RaceResult PortfolioScheduler::race(
         if (r.result.status != bmc::BmcResult::Status::ResourceLimit) {
           int expected = -1;
           if (winner.compare_exchange_strong(expected, static_cast<int>(i))) {
+            verdict_ts.store(obs::monotonic_now_us(),
+                             std::memory_order_release);
+            REFBMC_TRACE_EVENT(obs::EventKind::JobVerdict, -1,
+                               static_cast<std::int64_t>(r.result.status));
+            REFBMC_TRACE_EVENT(obs::EventKind::CancelRequest, -1,
+                               static_cast<std::int64_t>(i));
             // Epoch close: the race is decided — losers wind down without
             // publishing lemmas nobody will read.
-            if (pool != nullptr) pool->close();
+            if (pool != nullptr) {
+              pool->close();
+              REFBMC_TRACE_EVENT(obs::EventKind::PoolClose, -1,
+                                 static_cast<std::int64_t>(pool->published()));
+            }
             stop.store(true, std::memory_order_release);
           }
         }
@@ -157,6 +185,10 @@ RaceResult PortfolioScheduler::race(
         errors[i] = std::current_exception();
         stop.store(true, std::memory_order_release);
       }
+      end_ts[i] = obs::monotonic_now_us();
+      REFBMC_TRACE_EVENT(obs::EventKind::JobStop, -1,
+                         static_cast<std::int64_t>(i));
+      set_log_thread_tag({});
       done.fetch_add(1, std::memory_order_release);
     });
   }
@@ -168,6 +200,21 @@ RaceResult PortfolioScheduler::race(
   out.winner = winner.load();
   out.wall_time_sec = timer.elapsed_sec();
   out.frames_encoded = tape.frames_encoded();
+  // Verdict -> last loser actually stopped.  Losers that finished before
+  // the verdict cost nothing; the clamp keeps an all-early race at 0.
+  if (out.winner >= 0 && policies.size() > 1) {
+    const std::uint64_t verdict = verdict_ts.load(std::memory_order_acquire);
+    std::uint64_t last_stop = 0;
+    for (std::size_t i = 0; i < policies.size(); ++i) {
+      if (static_cast<int>(i) == out.winner) continue;
+      last_stop = std::max(last_stop, end_ts[i]);
+    }
+    out.cancel_latency_us = last_stop > verdict ? last_stop - verdict : 0;
+    if (obs::metrics_active())
+      obs::metrics()
+          .histogram("race.cancel_latency_us")
+          .observe(out.cancel_latency_us);
+  }
   if (pool != nullptr) {
     out.sharing = true;
     out.clauses_exported = pool->published();
@@ -266,6 +313,9 @@ BatchReport PortfolioScheduler::run_batch(
   threads.reserve(static_cast<std::size_t>(workers));
   for (int w = 0; w < workers; ++w) {
     threads.emplace_back([&, w] {
+      const std::string tag = "w" + std::to_string(w);
+      obs::trace_set_thread_track(tag);
+      set_log_thread_tag(tag);
       try {
         WorkerContext ctx;
         ctx.id = w;

@@ -95,6 +95,13 @@ struct RaceResult {
   std::uint64_t ranks_published = 0;
   std::uint64_t rank_refreshes = 0;
   std::uint64_t rank_epoch = 0;
+  /// Cancellation latency in microseconds: from the winner's verdict
+  /// (its winner-CAS success) to the LAST losing entrant actually
+  /// stopping.  The observable cost of "cancel the rest" — bounded by
+  /// one BCP pass plus a conflict/decision check interval.  Zero when
+  /// the race had no winner or only one entrant.  Measured on the
+  /// obs::monotonic_now_us axis; available whether or not tracing is on.
+  std::uint64_t cancel_latency_us = 0;
 
   bool has_winner() const { return winner >= 0; }
   const JobResult& winning() const;

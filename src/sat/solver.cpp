@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace refbmc::sat {
@@ -386,6 +388,13 @@ bool Solver::import_shared_clauses() {
   if (!exchange_->has_pending()) return ok_;  // one relaxed load, hot case
   REFBMC_ASSERT(trail_.decision_level() == 0);
 
+  // Import latency covers the whole batch: drain, attach, re-propagate.
+  // Conflicting batches (the solve ends here) are deliberately unmeasured;
+  // they are a verdict, not a latency.
+  const bool observed = obs::trace_active() || obs::metrics_active();
+  const std::uint64_t t0 = observed ? obs::monotonic_now_us() : 0;
+  const std::uint64_t imported_before = stats_.clauses_imported;
+
   // Drain BCP the formula already queued (a freshly replayed instance
   // arrives with its root units unpropagated): those propagations belong
   // to ordinary solving, and must not be billed to the imports below.
@@ -418,6 +427,18 @@ bool Solver::import_shared_clauses() {
     }
   }
   stats_.import_propagations += stats_.propagations - props_before;
+  if (observed && ok_) {
+    const std::uint64_t dur = obs::monotonic_now_us() - t0;
+    if (obs::trace_active())
+      obs::trace_record_span(
+          obs::EventKind::ImportBatch, t0, dur, /*depth=*/-1,
+          static_cast<std::int64_t>(stats_.clauses_imported -
+                                    imported_before));
+    if (obs::metrics_active()) {
+      obs::metrics().histogram("sat.import_us").observe(dur);
+      obs::metrics().counter("sat.import_batches").add(1);
+    }
+  }
   return ok_;
 }
 
@@ -483,7 +504,21 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
   std::vector<Lit> learnt;
   std::vector<ClauseId> antecedents;
 
+  // Export events are batched at decision-level-0 boundaries (restarts and
+  // solve end): one event per batch with value = clauses exported since the
+  // previous boundary, so tracing never touches the per-conflict path.
+  std::uint64_t exported_mark = stats_.clauses_exported;
+  const auto note_export_batch = [&] {
+    if (!obs::trace_active() || stats_.clauses_exported == exported_mark)
+      return;
+    obs::trace_record(
+        obs::EventKind::ExportBatch, /*depth=*/-1,
+        static_cast<std::int64_t>(stats_.clauses_exported - exported_mark));
+    exported_mark = stats_.clauses_exported;
+  };
+
   const auto finish = [&](Result r) {
+    note_export_batch();
     backtrack(0);
     assumptions_.clear();
     stats_.solve_time_sec += timer.elapsed_sec();
@@ -545,6 +580,9 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
     if (restart_budget >= 0 && conflicts_this_restart >= restart_budget) {
       if (stop_requested()) return finish(Result::Unknown);
       ++stats_.restarts;
+      REFBMC_TRACE_EVENT(obs::EventKind::Restart, -1,
+                         static_cast<std::int64_t>(stats_.restarts));
+      note_export_batch();
       conflicts_this_restart = 0;
       restart_budget = config_.restart_base *
                        luby(static_cast<std::int64_t>(stats_.restarts));
@@ -561,6 +599,8 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
     }
     if (config_.enable_reduce_db &&
         static_cast<std::int64_t>(db_.num_learned()) >= reduce_limit) {
+      REFBMC_TRACE_EVENT(obs::EventKind::ReduceDb, -1,
+                         static_cast<std::int64_t>(db_.num_learned()));
       db_.reduce(trail_, prop_, /*strengthen=*/!config_.track_cdg, stats_);
       reduce_limit =
           static_cast<std::int64_t>(static_cast<double>(reduce_limit) *
@@ -607,6 +647,8 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
     if (queue_->on_decision(stats_.decisions, db_.num_original_literals(),
                             config_.dynamic_switch_divisor)) {
       stats_.rank_switched = true;
+      REFBMC_TRACE_EVENT(obs::EventKind::DynamicFallback, -1,
+                         static_cast<std::int64_t>(stats_.decisions));
     }
     trail_.new_decision_level();
     trail_.assign(next, kClauseRefUndef);

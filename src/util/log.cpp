@@ -1,12 +1,20 @@
 #include "util/log.hpp"
 
 #include <cstdio>
+#include <mutex>
 
 namespace refbmc {
 namespace {
 
+// One mutex guards level, sink and emission: racing solvers log
+// concurrently, and a line must reach the sink/stderr whole.  Level
+// reads on the filter path take the same mutex — logging sits at cold
+// boundaries (per depth, per race), never inside BCP.
+std::mutex g_mu;
 LogLevel g_level = LogLevel::Warn;
 LogSink g_sink;  // empty → default stderr sink
+
+thread_local std::string t_tag;  // per-thread line tag (entrant/job id)
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -22,25 +30,41 @@ const char* level_tag(LogLevel level) {
 }  // namespace
 
 LogLevel set_log_level(LogLevel level) {
+  const std::lock_guard<std::mutex> lock(g_mu);
   const LogLevel prev = g_level;
   g_level = level;
   return prev;
 }
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() {
+  const std::lock_guard<std::mutex> lock(g_mu);
+  return g_level;
+}
 
 LogSink set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(g_mu);
   LogSink prev = g_sink;
   g_sink = std::move(sink);
   return prev;
 }
 
+std::string set_log_thread_tag(std::string tag) {
+  std::string prev = std::move(t_tag);
+  t_tag = std::move(tag);
+  return prev;
+}
+
+const std::string& log_thread_tag() { return t_tag; }
+
 void log_message(LogLevel level, const std::string& msg) {
+  const std::string& line =
+      t_tag.empty() ? msg : "|" + t_tag + "| " + msg;
+  const std::lock_guard<std::mutex> lock(g_mu);
   if (level < g_level || g_level == LogLevel::Off) return;
   if (g_sink) {
-    g_sink(level, msg);
+    g_sink(level, line);
   } else {
-    std::fprintf(stderr, "[refbmc %s] %s\n", level_tag(level), msg.c_str());
+    std::fprintf(stderr, "[refbmc %s] %s\n", level_tag(level), line.c_str());
   }
 }
 

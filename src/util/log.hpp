@@ -1,8 +1,15 @@
-// Minimal leveled logger.
+// Minimal leveled logger, thread-safe per line.
 //
 // The library itself is quiet by default (level = Warn); examples and
 // benches raise the level explicitly.  No global mutable state other than
 // the level and sink, both settable for tests.
+//
+// Concurrency: racing portfolio entrants log from their own threads, so
+// emission (level read, sink dispatch, stderr write) happens under one
+// mutex — lines never interleave mid-character.  Each thread can label
+// itself with set_log_thread_tag ("static", "w0", ...); tagged lines
+// prefix the message with `|tag| ` (visible to custom sinks as well),
+// untagged ones are byte-identical to the single-threaded format.
 #pragma once
 
 #include <functional>
@@ -23,7 +30,14 @@ LogLevel log_level();
 /// the default sink.  Returns the previous sink.
 LogSink set_log_sink(LogSink sink);
 
-/// Emits a message if `level >= log_level()`.
+/// Labels every line the *calling thread* logs from now on (entrant /
+/// worker id in portfolio runs).  An empty tag restores untagged lines.
+/// Returns the previous tag.
+std::string set_log_thread_tag(std::string tag);
+const std::string& log_thread_tag();
+
+/// Emits a message if `level >= log_level()`.  Serialized: one line at a
+/// time, whole, no matter how many threads log concurrently.
 void log_message(LogLevel level, const std::string& msg);
 
 namespace detail {

@@ -122,6 +122,11 @@ PortfolioConfig PortfolioConfig::from_options(const Options& opts) {
     throw std::invalid_argument("option --share-cap expects a value >= 1");
   cfg.share_rank = opts.get_bool("share-rank", cfg.share_rank);
   cfg.core_weighting = opts.get("core-weighting", cfg.core_weighting);
+  cfg.trace_file = opts.get("trace", cfg.trace_file);
+  cfg.trace_buffer_kb = opts.get_int("trace-buffer-kb", cfg.trace_buffer_kb);
+  if (cfg.trace_buffer_kb < 1)
+    throw std::invalid_argument("option --trace-buffer-kb expects a value >= 1");
+  cfg.metrics_file = opts.get("metrics", cfg.metrics_file);
   return cfg;
 }
 

@@ -69,15 +69,24 @@ struct PortfolioConfig {
   /// cannot depend on bmc; the portfolio layer resolves and validates):
   /// linear | uniform | last-only | exp-decay.
   std::string core_weighting = "linear";  // --core-weighting
+  /// Observability (src/obs): `--trace FILE` records a race-wide event
+  /// trace and writes it as Chrome trace-event JSON (open in Perfetto or
+  /// chrome://tracing; one track per racing solver); `--metrics FILE`
+  /// enables the counter/histogram registry and writes it as flat JSON.
+  /// Empty (the default) = off, one predicted branch per site.
+  std::string trace_file;     // --trace FILE ("" = tracing off)
+  int trace_buffer_kb = 256;  // --trace-buffer-kb: per-thread ring size
+  std::string metrics_file;   // --metrics FILE ("" = metrics off)
 
   /// Reads `--threads`, `--policies a,b,c`, `--depth`, `--budget`,
   /// `--seed`, `--incremental`, `--simplify 0|1`, `--decision chaff|evsids`,
   /// `--glue-lbd`, `--tier-lbd`, `--share 0|1`, `--share-lbd`,
   /// `--share-size`, `--share-cap`, `--share-rank 0|1`,
-  /// `--core-weighting W`; absent options keep the defaults above.
+  /// `--core-weighting W`, `--trace FILE`, `--trace-buffer-kb KB`,
+  /// `--metrics FILE`; absent options keep the defaults above.
   /// Throws std::invalid_argument on malformed values (threads < 1,
   /// empty policy list, non-numeric numbers, tier-lbd below glue-lbd,
-  /// negative share filters, share-cap < 1).
+  /// negative share filters, share-cap < 1, trace-buffer-kb < 1).
   static PortfolioConfig from_options(const Options& opts);
 };
 

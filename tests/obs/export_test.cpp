@@ -1,0 +1,224 @@
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "util/json.hpp"
+
+namespace refbmc::obs {
+namespace {
+
+std::size_t count_of(const std::string& doc, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t at = doc.find(needle); at != std::string::npos;
+       at = doc.find(needle, at + needle.size()))
+    ++n;
+  return n;
+}
+
+/// Structural sanity stand-in for a full parser: every brace/bracket
+/// outside string literals balances and never goes negative.
+bool braces_balance(const std::string& doc) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < doc.size(); ++i) {
+    const char c = doc[i];
+    if (in_string) {
+      if (c == '\\')
+        ++i;  // skip the escaped character
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TraceDump two_track_dump() {
+  TraceDump dump;
+  TrackDump a;
+  a.name = "static";
+  TraceEvent span;
+  span.ts_us = 100;
+  span.dur_us = 50;
+  span.kind = EventKind::SpanSolve;
+  span.depth = 3;
+  span.value = 7;
+  a.events.push_back(span);
+  TraceEvent instant;
+  instant.ts_us = 160;
+  instant.kind = EventKind::Restart;
+  instant.depth = -1;
+  instant.value = 2;
+  a.events.push_back(instant);
+  dump.tracks.push_back(a);
+
+  TrackDump b;
+  b.name = "dynamic";
+  b.dropped = 4;
+  TraceEvent e;
+  e.ts_us = 90;
+  e.kind = EventKind::PoolPublish;
+  e.value = 11;
+  b.events.push_back(e);
+  dump.tracks.push_back(b);
+  return dump;
+}
+
+TEST(ExportTest, ChromeTraceShape) {
+  JsonWriter w;
+  write_chrome_trace(w, two_track_dump());
+  const std::string doc = w.str();
+
+  EXPECT_TRUE(braces_balance(doc)) << doc;
+  EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+  // One thread_name metadata record per track, with the track's label.
+  EXPECT_EQ(count_of(doc, "\"thread_name\""), 2u);
+  EXPECT_NE(doc.find("\"static\""), std::string::npos);
+  EXPECT_NE(doc.find("\"dynamic\""), std::string::npos);
+  // The span is a complete event with a duration; the instants are
+  // thread-scoped.
+  EXPECT_EQ(count_of(doc, "\"ph\":\"X\""), 1u);
+  EXPECT_NE(doc.find("\"dur\":50"), std::string::npos);
+  EXPECT_EQ(count_of(doc, "\"ph\":\"i\""), 2u);
+  EXPECT_EQ(count_of(doc, "\"s\":\"t\""), 2u);
+  // One pid, tids 0 and 1.
+  EXPECT_GE(count_of(doc, "\"pid\":1"), 5u);  // 2 metadata + 3 events
+  EXPECT_GE(count_of(doc, "\"tid\":0"), 3u);
+  EXPECT_GE(count_of(doc, "\"tid\":1"), 2u);
+  // Kind names and categories from the catalog.
+  EXPECT_NE(doc.find("\"solve\""), std::string::npos);
+  EXPECT_NE(doc.find("\"restart\""), std::string::npos);
+  EXPECT_NE(doc.find("\"pool_publish\""), std::string::npos);
+  EXPECT_NE(doc.find("\"cat\":\"sat\""), std::string::npos);
+  EXPECT_NE(doc.find("\"cat\":\"race\""), std::string::npos);
+  // Trailer.
+  EXPECT_NE(doc.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(doc.find("\"tracks\":2"), std::string::npos);
+  EXPECT_NE(doc.find("\"events\":3"), std::string::npos);
+  EXPECT_NE(doc.find("\"dropped_events\":4"), std::string::npos);
+}
+
+TEST(ExportTest, DepthTravelsInArgsOnlyWhenSet) {
+  JsonWriter w;
+  write_chrome_trace(w, two_track_dump());
+  const std::string doc = w.str();
+  // Exactly one event (the depth-3 span) carries a depth arg.
+  EXPECT_EQ(count_of(doc, "\"depth\":3"), 1u);
+  EXPECT_EQ(count_of(doc, "\"depth\":-1"), 0u);
+  EXPECT_EQ(count_of(doc, "\"value\":"), 3u);
+}
+
+TEST(ExportTest, FileRoundTrip) {
+  const std::string path =
+      ::testing::TempDir() + "/refbmc_export_test_trace.json";
+  ASSERT_TRUE(write_chrome_trace_file(path, two_track_dump()));
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string doc = ss.str();
+  EXPECT_TRUE(braces_balance(doc));
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(ExportTest, MetricsFileRoundTrip) {
+  MetricsRegistry reg;
+  reg.counter("bmc.depths").add(3);
+  reg.histogram("bmc.solve_us").observe(1234);
+  const std::string path =
+      ::testing::TempDir() + "/refbmc_export_test_metrics.json";
+  ASSERT_TRUE(write_metrics_file(path, reg));
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string doc = ss.str();
+  EXPECT_TRUE(braces_balance(doc));
+  EXPECT_NE(doc.find("\"bmc.depths\":3"), std::string::npos);
+  EXPECT_NE(doc.find("\"bmc.solve_us\""), std::string::npos);
+}
+
+TEST(ExportTest, RetroactiveSpansAreEmittedInTsOrder) {
+  // The engine stamps a depth's encode span only after its solve
+  // finishes, so the ring holds events out of ts order.  The exporter
+  // must still emit each track sorted by ts (parent span first on
+  // ties) — the invariant trace_check.py asserts on CI artifacts.
+  TraceDump dump;
+  TrackDump t;
+  t.name = "retro";
+  const auto ev = [](std::uint64_t ts, std::uint32_t dur, EventKind kind) {
+    TraceEvent e;
+    e.ts_us = ts;
+    e.dur_us = dur;
+    e.kind = kind;
+    return e;
+  };
+  // Ring (= record) order: an instant during the solve, then the
+  // retroactive encode / solve / depth spans, then a later instant.
+  t.events.push_back(ev(500, 0, EventKind::Restart));
+  t.events.push_back(ev(100, 150, EventKind::SpanEncode));
+  t.events.push_back(ev(300, 400, EventKind::SpanSolve));
+  t.events.push_back(ev(100, 600, EventKind::SpanDepth));
+  t.events.push_back(ev(800, 0, EventKind::PoolPublish));
+  dump.tracks.push_back(t);
+
+  JsonWriter w;
+  write_chrome_trace(w, dump);
+  const std::string doc = w.str();
+  // File order by ts, depth span (longer) before encode span on the tie.
+  const std::size_t at_depth = doc.find("\"dur\":600");
+  const std::size_t at_encode = doc.find("\"dur\":150");
+  const std::size_t at_solve = doc.find("\"dur\":400");
+  const std::size_t at_restart = doc.find("\"ts\":500");
+  const std::size_t at_publish = doc.find("\"ts\":800");
+  ASSERT_NE(at_depth, std::string::npos);
+  ASSERT_NE(at_encode, std::string::npos);
+  ASSERT_NE(at_solve, std::string::npos);
+  ASSERT_NE(at_restart, std::string::npos);
+  ASSERT_NE(at_publish, std::string::npos);
+  EXPECT_LT(at_depth, at_encode);
+  EXPECT_LT(at_encode, at_solve);
+  EXPECT_LT(at_solve, at_restart);
+  EXPECT_LT(at_restart, at_publish);
+}
+
+TEST(ExportTest, LiveSessionRecordPointsAreMonotonePerTrack) {
+  // Checked at the source, on the raw dump rather than the JSON: within
+  // one track, record points (ts for instants, ts + dur for RAII spans —
+  // both equal the moment the event entered the ring) never decrease,
+  // because each ring is single-writer and append-ordered.
+  if (trace_active()) trace_end();
+  ASSERT_TRUE(trace_begin());
+  trace_set_thread_track("mono");
+  for (int i = 0; i < 50; ++i) {
+    if (i % 3 == 0) {
+      TraceSpan span(EventKind::SpanSolve, i);
+      span.set_value(i);
+    } else {
+      trace_record(EventKind::Restart, -1, i);
+    }
+  }
+  const TraceDump dump = trace_end();
+  ASSERT_EQ(dump.tracks.size(), 1u);
+  std::uint64_t prev = 0;
+  for (const TraceEvent& e : dump.tracks[0].events) {
+    const std::uint64_t point =
+        is_span(e.kind) ? e.ts_us + e.dur_us : e.ts_us;
+    EXPECT_GE(point, prev);
+    prev = point;
+  }
+}
+
+}  // namespace
+}  // namespace refbmc::obs

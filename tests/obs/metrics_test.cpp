@@ -1,0 +1,126 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/json.hpp"
+
+namespace refbmc::obs {
+namespace {
+
+TEST(MetricsTest, CounterBasics) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("a");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name, same counter (stable reference).
+  EXPECT_EQ(&reg.counter("a"), &c);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(MetricsTest, HistogramBucketsAndStats) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.5), 0u);
+
+  h.observe(0);    // bucket 0
+  h.observe(1);    // bucket 1: [1, 2)
+  h.observe(3);    // bucket 2: [2, 4)
+  h.observe(100);  // bucket 7: [64, 128)
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 104u);
+  EXPECT_EQ(h.max(), 100u);
+  EXPECT_DOUBLE_EQ(h.mean(), 26.0);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(7), 1u);
+}
+
+TEST(MetricsTest, PercentilesAreMonotoneUpperBounds) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("p");
+  for (int i = 0; i < 90; ++i) h.observe(10);    // bucket 4: [8, 16)
+  for (int i = 0; i < 10; ++i) h.observe(1000);  // bucket 10: [512, 1024)
+
+  const std::uint64_t p50 = h.percentile(0.5);
+  const std::uint64_t p90 = h.percentile(0.9);
+  const std::uint64_t p99 = h.percentile(0.99);
+  EXPECT_GE(p50, 10u);   // upper bound of the bucket holding the median
+  EXPECT_LT(p50, 512u);  // but not in the tail bucket
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(p99, 1000u);  // the tail observation dominates p99
+}
+
+TEST(MetricsTest, HistogramMaxIsExactInTopBucket) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("top");
+  h.observe(123456789);  // far beyond the last closed bucket boundary
+  EXPECT_EQ(h.max(), 123456789u);
+  EXPECT_EQ(h.percentile(1.0), 123456789u);
+}
+
+TEST(MetricsTest, ResetKeepsReferencesValid) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("keep");
+  Histogram& h = reg.histogram("keep");
+  c.add(5);
+  h.observe(7);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  c.add(1);  // still wired to the registry
+  EXPECT_EQ(reg.counter("keep").value(), 1u);
+}
+
+TEST(MetricsTest, JsonIsDeterministicAndSorted) {
+  MetricsRegistry reg;
+  reg.counter("z.last").add(1);
+  reg.counter("a.first").add(2);
+  reg.histogram("m.hist").observe(10);
+
+  JsonWriter w1;
+  reg.write_json(w1);
+  JsonWriter w2;
+  reg.write_json(w2);
+  EXPECT_EQ(w1.str(), w2.str());
+
+  const std::string doc = w1.str();
+  // Sorted member order: a.first before z.last.
+  EXPECT_LT(doc.find("\"a.first\""), doc.find("\"z.last\""));
+  EXPECT_NE(doc.find("\"counters\""), std::string::npos);
+  EXPECT_NE(doc.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(doc.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricsTest, CountersSnapshot) {
+  MetricsRegistry reg;
+  reg.counter("b").add(2);
+  reg.counter("a").add(1);
+  const auto snap = reg.counters();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "a");
+  EXPECT_EQ(snap[0].second, 1u);
+  EXPECT_EQ(snap[1].first, "b");
+  EXPECT_EQ(snap[1].second, 2u);
+}
+
+TEST(MetricsTest, GlobalGateDefaultsOff) {
+  EXPECT_FALSE(metrics_active());
+  metrics_enable(true);
+  EXPECT_TRUE(metrics_active());
+  metrics_enable(false);
+  EXPECT_FALSE(metrics_active());
+}
+
+}  // namespace
+}  // namespace refbmc::obs
