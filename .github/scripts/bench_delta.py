@@ -128,6 +128,14 @@ def main():
             # are too noisy to gate on.
             ("max cancel latency, us (all races)",
              lambda d: d.get("max_cancel_latency_us"), None),
+            # preprocess_* keys arrived with the tape-preprocessing PR;
+            # older artifacts lack them and print "n/a".
+            ("vars eliminated (preprocess)",
+             lambda d: d.get("total_vars_eliminated"), None),
+            ("clauses subsumed (preprocess)",
+             lambda d: d.get("total_clauses_subsumed"), None),
+            ("preprocess time, us (suite)",
+             lambda d: d.get("total_preprocess_us"), None),
             ("traced-race retained events",
              lambda d: (d.get("trace") or {}).get("events"), None),
             ("hardware threads on runner",

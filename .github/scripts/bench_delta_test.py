@@ -47,6 +47,9 @@ CURRENT_PORTFOLIO = {
     "total_rank_refreshes": 14,
     "race_setup": {"speedup": 5.8},
     "max_cancel_latency_us": 850,
+    "total_vars_eliminated": 900,
+    "total_clauses_subsumed": 400,
+    "total_preprocess_us": 5200,
     "trace": {"events": 4200},
     "hw_threads": 4,
 }
@@ -77,6 +80,27 @@ class BenchDeltaTest(unittest.TestCase):
         for label in ("rank-sharing race ratio vs lemma-only race",
                       "cores published (rank-sharing races)",
                       "rank refreshes (rank-sharing races)"):
+            row = [l for l in out.splitlines() if label in l]
+            self.assertEqual(len(row), 1, label)
+            self.assertIn("n/a", row[0])
+
+    def test_previous_artifact_missing_preprocess_keys(self):
+        # Same diff one PR later: the previous run's artifact predates
+        # the preprocess_* totals.  Those rows print "n/a" previous
+        # cells instead of raising.
+        old = {k: v for k, v in CURRENT_PORTFOLIO.items()
+               if k not in ("total_vars_eliminated",
+                            "total_clauses_subsumed",
+                            "total_preprocess_us")}
+        with tempfile.TemporaryDirectory() as prev, \
+                tempfile.TemporaryDirectory() as cur:
+            write_json(prev, "BENCH_portfolio.json", old)
+            write_json(cur, "BENCH_portfolio.json", CURRENT_PORTFOLIO)
+            rc, out = run_delta(prev, cur)
+        self.assertEqual(rc, 0)
+        for label in ("vars eliminated (preprocess)",
+                      "clauses subsumed (preprocess)",
+                      "preprocess time, us (suite)"):
             row = [l for l in out.splitlines() if label in l]
             self.assertEqual(len(row), 1, label)
             self.assertIn("n/a", row[0])

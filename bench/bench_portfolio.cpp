@@ -325,6 +325,82 @@ int run(int argc, char** argv) {
                                   traced.cancel_latency_us);
   }
 
+  // ---- (e) tape preprocessing: clause reduction and solve-time ratio ------
+  // The PR 7 claim: BVE + subsumption over the encoded tape shrinks the
+  // formula every scratch entrant replays, without changing any verdict.
+  // Per model: formula size at the suggested bound with and without the
+  // pass, plus a single-engine solve either way (same policy, same
+  // budget) for the end-to-end ratio.
+  std::uint64_t total_vars_eliminated = 0, total_clauses_subsumed = 0;
+  std::uint64_t total_preprocess_us = 0;
+  {
+    std::printf("\ntape preprocessing (BVE + subsumption at the bound)\n");
+    std::printf("%-26s %6s %9s %9s %7s %10s %10s %7s\n", "model", "depth",
+                "clauses", "simpl", "red%", "plain(s)", "prep(s)", "ratio");
+    json.key("preprocess");
+    json.begin_array();
+    for (const auto& bm : suite) {
+      const int depth = opts.get_int("depth", bm.suggested_bound);
+
+      bmc::PreprocessOptions po;
+      po.enabled = true;
+      bmc::SharedTape tape(bm.net, 0, {}, po);
+      const std::uint64_t plain_clauses = tape.mark_at(depth).clauses;
+      const std::uint64_t simpl_clauses = tape.simplified_clauses_at(depth);
+      const bmc::PreprocessStats ps = tape.preprocess_stats_at(depth);
+      const double reduction =
+          plain_clauses > 0
+              ? 1.0 - static_cast<double>(simpl_clauses) /
+                          static_cast<double>(plain_clauses)
+              : 0.0;
+
+      bmc::EngineConfig plain_cfg;
+      plain_cfg.policy = bmc::OrderingPolicy::Dynamic;
+      plain_cfg.max_depth = depth;
+      plain_cfg.total_time_limit_sec = budget;
+      bmc::EngineConfig prep_cfg = plain_cfg;
+      prep_cfg.preprocess.enabled = true;
+      prep_cfg.solver.inprocess.vivify_interval = 8;
+
+      Timer plain_timer;
+      bmc::BmcEngine plain_engine(bm.net, plain_cfg);
+      const bmc::BmcResult plain_result = plain_engine.run();
+      const double plain_sec = plain_timer.elapsed_sec();
+      Timer prep_timer;
+      bmc::BmcEngine prep_engine(bm.net, prep_cfg);
+      const bmc::BmcResult prep_result = prep_engine.run();
+      const double prep_sec = prep_timer.elapsed_sec();
+      const double solve_ratio = plain_sec > 0.0 ? prep_sec / plain_sec : 0.0;
+      const bool verdicts_match = plain_result.status == prep_result.status;
+
+      total_vars_eliminated += ps.vars_eliminated;
+      total_clauses_subsumed += ps.clauses_subsumed;
+      total_preprocess_us += ps.preprocess_us;
+      std::printf("%-26s %6d %9llu %9llu %6.1f%% %10.3f %10.3f %7.2f%s\n",
+                  bm.name.c_str(), depth,
+                  static_cast<unsigned long long>(plain_clauses),
+                  static_cast<unsigned long long>(simpl_clauses),
+                  100.0 * reduction, plain_sec, prep_sec, solve_ratio,
+                  verdicts_match ? "" : "  VERDICT MISMATCH");
+      json.begin_object();
+      json.kv("name", bm.name);
+      json.kv("depth", depth);
+      json.kv("clauses_plain", plain_clauses);
+      json.kv("clauses_simplified", simpl_clauses);
+      json.kv("clause_reduction", reduction);
+      json.kv("vars_eliminated", ps.vars_eliminated);
+      json.kv("clauses_subsumed", ps.clauses_subsumed);
+      json.kv("lits_strengthened", ps.lits_strengthened);
+      json.kv("preprocess_us", ps.preprocess_us);
+      json.kv("plain_sec", plain_sec);
+      json.kv("preprocess_sec", prep_sec);
+      json.kv("solve_ratio_vs_plain", solve_ratio);
+      json.kv("verdicts_match", verdicts_match);
+      json.end_object();
+    }
+    json.end_array();
+  }
+
   const double total_ratio = total_best > 0.0 ? total_race / total_best : 0.0;
   std::printf(
       "\nTOTAL best %.3fs, race %.3fs (ratio %.2f), sharing race %.3fs "
@@ -349,6 +425,9 @@ int run(int argc, char** argv) {
   json.kv("total_ranks_published", total_published);
   json.kv("total_rank_refreshes", total_refreshes);
   json.kv("max_cancel_latency_us", max_cancel_latency);
+  json.kv("total_vars_eliminated", total_vars_eliminated);
+  json.kv("total_clauses_subsumed", total_clauses_subsumed);
+  json.kv("total_preprocess_us", total_preprocess_us);
   json.end_object();
 
   if (!json.write_file("BENCH_portfolio.json"))

@@ -52,6 +52,14 @@ inline void write_depth_stats(JsonWriter& w, const bmc::DepthStats& d) {
   w.kv("encode_us", d.encode_us);
   w.kv("simplify_us", d.simplify_us);
   w.kv("solve_us", d.solve_us);
+  // Preprocess / inprocess counters (PR 7): what the tape pass removed
+  // before solving and what vivification trimmed during it.
+  w.kv("vars_eliminated", d.vars_eliminated);
+  w.kv("clauses_subsumed", d.clauses_subsumed);
+  w.kv("lits_strengthened", d.lits_strengthened);
+  w.kv("preprocess_us", d.preprocess_us);
+  w.kv("vivify_rounds", d.vivify_rounds);
+  w.kv("inprocess_us", d.inprocess_us);
   w.end_object();
 }
 

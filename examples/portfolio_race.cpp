@@ -8,6 +8,8 @@
 //                      [--share 0|1] [--share-lbd L] [--share-size S]
 //                      [--share-cap N] [--share-rank 0|1]
 //                      [--core-weighting linear|uniform|last-only|exp-decay]
+//                      [--preprocess 0|1] [--bve-budget N]
+//                      [--vivify-interval N]
 //                      [--trace FILE] [--trace-buffer-kb KB] [--metrics FILE]
 //
 // --trace FILE records a race-wide event timeline and writes it as

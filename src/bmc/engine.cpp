@@ -56,18 +56,25 @@ BmcEngine::BmcEngine(const model::Netlist& net, EngineConfig config,
                            shared.bad_index() == bad_index_ &&
                            shared.options().mode == config_.bad_mode &&
                            shared.options().simplify == config_.simplify &&
-                           shared.options().constrain_init,
+                           shared.options().constrain_init &&
+                           shared.preprocess_options() == config_.preprocess,
                        "shared tape does not match the engine's formula "
-                       "(netlist / property / bad mode / simplify)");
+                       "(netlist / property / bad mode / simplify / "
+                       "preprocess)");
     tape_ = &shared;
   } else {
     EncoderOptions opts;
     opts.mode = config_.bad_mode;
     opts.constrain_init = true;
     opts.simplify = config_.simplify;
-    owned_tape_ = std::make_unique<SharedTape>(net_, bad_index_, opts);
+    owned_tape_ = std::make_unique<SharedTape>(net_, bad_index_, opts,
+                                               config_.preprocess);
     tape_ = owned_tape_.get();
   }
+  // Tape preprocessing is a scratch-session feature: the incremental
+  // session replays the plain tape (see EngineConfig::preprocess), so
+  // drop the flag rather than cache simplifications nobody consumes.
+  if (config_.incremental) config_.preprocess.enabled = false;
 }
 
 sat::SolverConfig BmcEngine::solver_config_for_policy() const {
@@ -196,6 +203,21 @@ BmcResult BmcEngine::run() {
     stats.simplified_vars_removed = encode.vars_removed;
     stats.simplified_clauses_removed = encode.clauses_removed;
     stats.rank_switched = solver.stats().rank_switched;
+    stats.vivify_rounds =
+        solver.stats().vivify_rounds - before.vivify_rounds;
+    stats.vivified_literals =
+        solver.stats().vivified_literals - before.vivified_literals;
+    stats.inprocess_us = solver.stats().inprocess_us - before.inprocess_us;
+    if (!config_.incremental && config_.preprocess.enabled) {
+      // The pass ran (cached) inside prepare(); pull its counters.  In a
+      // race every entrant reports the same numbers — the simplification
+      // is per-depth, race-wide, like the encode itself.
+      const PreprocessStats ps = tape_->preprocess_stats_at(k);
+      stats.vars_eliminated = ps.vars_eliminated;
+      stats.clauses_subsumed = ps.clauses_subsumed;
+      stats.lits_strengthened = ps.lits_strengthened;
+      stats.preprocess_us = ps.preprocess_us;
+    }
     // Phase split: prepare = this entrant's materialization cost; the
     // simplify share is the tape's fold/strash time for the frames that
     // became encoded at this depth (delta of the cumulative snapshots —

@@ -101,6 +101,14 @@ struct EngineConfig {
   /// initial states, structural hashing of the unrolled AIG, latch
   /// aliasing) on top of the COI cut.  DepthStats reports the savings.
   bool simplify = true;
+  /// Tape-level CNF preprocessing (bounded variable elimination,
+  /// pure-literal, subsumption / self-subsuming resolution — see
+  /// bmc/preprocess.hpp), run once per depth over the shared tape.
+  /// Scratch sessions only: an incremental session keeps one growing
+  /// formula, whose future frames could re-introduce eliminated
+  /// variables, so it always replays the plain tape.  Off by default
+  /// (and then bit-identical to an engine without the pass).
+  PreprocessOptions preprocess;
   /// When non-null, this engine replays the given shared formula instead
   /// of encoding its own — the portfolio's encode-once racing.  Must
   /// match (netlist, bad_index, bad_mode, simplify) and outlive run().
@@ -192,6 +200,21 @@ struct DepthStats {
   /// encoder removed relative to the unsimplified encoding).
   std::uint64_t simplified_vars_removed = 0;
   std::uint64_t simplified_clauses_removed = 0;
+  /// Tape preprocessing at this depth (zero with preprocess off or in
+  /// incremental mode; the pass runs once per depth race-wide but its
+  /// counters are reported identically to every entrant, like
+  /// simplify_us).  lits_strengthened counts self-subsuming resolution
+  /// plus unit-propagation strips.
+  std::uint64_t vars_eliminated = 0;
+  std::uint64_t clauses_subsumed = 0;
+  std::uint64_t lits_strengthened = 0;
+  std::uint64_t preprocess_us = 0;
+  /// Restart-boundary inprocessing by THIS engine's solver at this depth
+  /// (zero with vivify_interval 0): vivification passes, literals they
+  /// removed from learned clauses, and time spent.
+  std::uint64_t vivify_rounds = 0;
+  std::uint64_t vivified_literals = 0;
+  std::uint64_t inprocess_us = 0;
   std::size_t core_clauses = 0;  // when UNSAT and cores tracked
   std::size_t core_vars = 0;
   bool rank_switched = false;  // dynamic policy fell back to VSIDS

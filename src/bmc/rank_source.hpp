@@ -169,16 +169,34 @@ class RankProjector final : public sat::RankRefresh {
     source_ = &source;
     origin_ = &origin;
     seen_epoch_ = seen_epoch;
+    last_refresh_us_ = 0;
+  }
+
+  /// Minimum wall-clock gap between two mid-solve re-projections.  A
+  /// full projection walks the whole origin map; on restart-heavy
+  /// instances with chatty rivals that cost used to land at every
+  /// restart.  The throttle caps the refresh *rate* without losing any
+  /// update — a deferred epoch is still pending at the next boundary
+  /// past the window.  0 disables the throttle (tests that count
+  /// refreshes deterministically rely on that).
+  void set_min_refresh_interval_us(std::uint64_t us) {
+    min_interval_us_ = us;
   }
 
   bool has_update() const override {
-    return source_ != nullptr && source_->epoch() != seen_epoch_;
+    // Epoch check first: it is the cheap common case (one relaxed-ish
+    // atomic load, almost always equal), and the clock is only read
+    // when there is actually something to fetch.
+    if (source_ == nullptr || source_->epoch() == seen_epoch_) return false;
+    if (min_interval_us_ == 0 || last_refresh_us_ == 0) return true;
+    return obs::monotonic_now_us() - last_refresh_us_ >= min_interval_us_;
   }
   std::span<const double> refresh() override {
     // Span = the projection cost of one mid-solve refresh, on the
     // solving thread; value = the accumulation epoch it caught up to.
     obs::TraceSpan span(obs::EventKind::RankRefresh);
     buf_ = source_->project(*origin_, &seen_epoch_);
+    last_refresh_us_ = obs::monotonic_now_us();
     span.set_value(static_cast<std::int64_t>(seen_epoch_));
     return buf_;
   }
@@ -187,6 +205,8 @@ class RankProjector final : public sat::RankRefresh {
   const RankSource* source_ = nullptr;
   const std::vector<VarOrigin>* origin_ = nullptr;
   std::uint64_t seen_epoch_ = 0;
+  std::uint64_t min_interval_us_ = 2000;  // 2ms between re-projections
+  std::uint64_t last_refresh_us_ = 0;     // 0 = never refreshed this bind
   std::vector<double> buf_;
 };
 

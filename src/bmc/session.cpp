@@ -22,7 +22,18 @@ class ScratchSession final : public FormulaSession {
     origin_.clear();
     ClauseTape::Cursor cursor;
     SolverSink sink(*solver_, origin_);
-    tape_.replay_to(k, cursor, sink);
+    const bool preprocessed = tape_.preprocess_options().enabled;
+    if (preprocessed) {
+      tape_.replay_simplified_to(k, cursor, sink);
+      // Round-trip guard: a fresh replay of the cached simplified
+      // stream must land the exact clause count the cache reports —
+      // remapper drift between sessions would break the shard group's
+      // "one formula, many solvers" premise silently.
+      REFBMC_ASSERT(solver_->num_original_clauses() ==
+                    tape_.simplified_clauses_at(k));
+    } else {
+      tape_.replay_to(k, cursor, sink);
+    }
 
     const sat::Lit prop = cursor.translate(tape_.property(k));
     Prepared p;

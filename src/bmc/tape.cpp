@@ -22,11 +22,27 @@ void ClauseTape::replay(Cursor& cursor, const Mark& upto,
   }
 }
 
+void ClauseTape::export_clauses(const Mark& upto,
+                                std::vector<std::vector<sat::Lit>>& out) const {
+  REFBMC_EXPECTS(upto.ops <= ops_.size());
+  out.clear();
+  out.reserve(upto.clauses);
+  std::size_t lit = 0;
+  for (std::size_t i = 0; i < upto.ops; ++i) {
+    const std::int32_t op = ops_[i];
+    if (op == kVarOp) continue;
+    out.emplace_back(lits_.begin() + static_cast<std::ptrdiff_t>(lit),
+                     lits_.begin() + static_cast<std::ptrdiff_t>(lit) + op);
+    lit += static_cast<std::size_t>(op);
+  }
+}
+
 SharedTape::SharedTape(const model::Netlist& net, std::size_t bad_index,
-                       EncoderOptions opts)
+                       EncoderOptions opts, PreprocessOptions preprocess)
     : net_(net),
       bad_index_(bad_index),
       opts_(opts),
+      preprocess_(preprocess),
       encoder_(net, tape_, bad_index, opts) {}
 
 void SharedTape::ensure_locked(int k) {
@@ -54,6 +70,94 @@ void SharedTape::replay_to(int k, ClauseTape::Cursor& cursor,
   const std::lock_guard<std::mutex> lock(mu_);
   ensure_locked(k);
   tape_.replay(cursor, depth_marks_[static_cast<std::size_t>(k)], out);
+}
+
+void SharedTape::ensure_simplified_locked(int k) {
+  ensure_locked(k);
+  const auto idx = static_cast<std::size_t>(k);
+  if (simplified_.size() <= idx) simplified_.resize(idx + 1);
+  if (simplified_[idx].ready) return;
+
+  const ClauseTape::Mark& mark = depth_marks_[idx];
+  obs::TraceSpan span(obs::EventKind::SpanPreprocess, k);
+
+  std::vector<std::vector<sat::Lit>> clauses;
+  tape_.export_clauses(mark, clauses);
+
+  // Frozen set: everything whose tape variable must survive to the
+  // solver.  Inputs and latches at every frame (trace extraction and
+  // cross-depth identity), the auxiliary constant (frame -1), and the
+  // per-frame property/bad literals (the scratch session asserts or
+  // assumes them; the prefix-disjunction chain under BadMode::Any rides
+  // on the bad literals it references).
+  std::vector<char> frozen(mark.vars, 0);
+  const auto& origin = tape_.origin();
+  for (std::size_t v = 0; v < mark.vars; ++v) {
+    const VarOrigin& o = origin[v];
+    if (o.frame < 0) {
+      frozen[v] = 1;
+      continue;
+    }
+    const model::NodeKind kind = net_.kind(o.node);
+    if (kind == model::NodeKind::Input || kind == model::NodeKind::Latch)
+      frozen[v] = 1;
+  }
+  for (int j = 0; j <= k; ++j) {
+    frozen[static_cast<std::size_t>(encoder_.property(j).var())] = 1;
+    frozen[static_cast<std::size_t>(encoder_.bad(j).var())] = 1;
+  }
+
+  const TapePreprocessor pp(preprocess_);
+  simplified_[idx].result =
+      pp.run(static_cast<int>(mark.vars), clauses, frozen);
+  simplified_[idx].ready = true;
+  span.set_value(
+      static_cast<std::int64_t>(simplified_[idx].result.clauses.size()));
+}
+
+void SharedTape::replay_simplified_to(int k, ClauseTape::Cursor& cursor,
+                                      ClauseSink& out) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  REFBMC_EXPECTS_MSG(cursor.op == 0 && cursor.var_map.empty(),
+                     "simplified replay requires a fresh consumer");
+  ensure_simplified_locked(k);
+  const ClauseTape::Mark& mark = depth_marks_[static_cast<std::size_t>(k)];
+  const SimplifyResult& res = simplified_[static_cast<std::size_t>(k)].result;
+
+  const auto& origin = tape_.origin();
+  for (std::size_t v = 0; v < mark.vars; ++v) {
+    cursor.var_map.push_back(res.remap.is_kept(static_cast<sat::Var>(v))
+                                 ? out.add_var(origin[v])
+                                 : sat::kVarUndef);
+  }
+  std::vector<sat::Lit> clause;
+  for (const auto& c : res.clauses) {
+    clause.clear();
+    for (const sat::Lit l : c) clause.push_back(cursor.translate(l));
+    out.add_clause(clause);
+  }
+  // Park the cursor at the depth mark: translate() keeps working for
+  // property/bad/latch literals over kept (frozen) variables.
+  cursor.op = mark.ops;
+  cursor.lit = mark.lits;
+}
+
+PreprocessStats SharedTape::preprocess_stats_at(int k) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ensure_simplified_locked(k);
+  return simplified_[static_cast<std::size_t>(k)].result.stats;
+}
+
+std::size_t SharedTape::simplified_clauses_at(int k) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ensure_simplified_locked(k);
+  return simplified_[static_cast<std::size_t>(k)].result.clauses.size();
+}
+
+VarRemapper SharedTape::remapper_at(int k) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ensure_simplified_locked(k);
+  return simplified_[static_cast<std::size_t>(k)].result.remap;
 }
 
 sat::Lit SharedTape::property(int k) {

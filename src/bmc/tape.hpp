@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "bmc/encoder.hpp"
+#include "bmc/preprocess.hpp"
 
 namespace refbmc::bmc {
 
@@ -75,6 +76,11 @@ class ClauseTape final : public ClauseSink {
   /// Replays events in [cursor, upto) into `out`, advancing the cursor.
   void replay(Cursor& cursor, const Mark& upto, ClauseSink& out) const;
 
+  /// Copies the clauses recorded up to `upto`, in tape variable space
+  /// (the preprocessing pass consumes them without a sink).
+  void export_clauses(const Mark& upto,
+                      std::vector<std::vector<sat::Lit>>& out) const;
+
  private:
   static constexpr std::int32_t kVarOp = -1;
 
@@ -89,11 +95,14 @@ class ClauseTape final : public ClauseSink {
 class SharedTape {
  public:
   SharedTape(const model::Netlist& net, std::size_t bad_index = 0,
-             EncoderOptions opts = {});
+             EncoderOptions opts = {}, PreprocessOptions preprocess = {});
 
   const model::Netlist& net() const { return net_; }
   std::size_t bad_index() const { return bad_index_; }
   const EncoderOptions& options() const { return opts_; }
+  /// Immutable after construction; racing consumers must agree on it
+  /// (the engine asserts a shared tape's options match its own config).
+  const PreprocessOptions& preprocess_options() const { return preprocess_; }
 
   /// Encodes frames up to depth k if not yet present.  Thread-safe; the
   /// frames_encoded() counter advances at most once per depth, ever.
@@ -102,6 +111,28 @@ class SharedTape {
   /// Replays everything up to depth k's mark (ensuring it first) into
   /// `out`, advancing `cursor`.  Thread-safe.
   void replay_to(int k, ClauseTape::Cursor& cursor, ClauseSink& out);
+
+  /// Replays the PREPROCESSED formula of depth k into a fresh consumer
+  /// (the cursor must not have replayed anything yet: the simplified
+  /// stream is per-depth, not incremental).  Kept tape variables are
+  /// created in tape order so their sink numbering matches a plain
+  /// replay's relative order; eliminated variables occupy a
+  /// sat::kVarUndef slot in the var_map and never reach the sink.  The
+  /// simplification runs (and is cached) once per depth, race-wide.
+  /// Thread-safe.
+  void replay_simplified_to(int k, ClauseTape::Cursor& cursor,
+                            ClauseSink& out);
+
+  /// Preprocessing counters for depth k (runs the cached pass first).
+  PreprocessStats preprocess_stats_at(int k);
+  /// Clause count of the simplified formula at depth k — what a
+  /// preprocessed scratch consumer's solver must end up holding (the
+  /// session asserts the round trip).
+  std::size_t simplified_clauses_at(int k);
+  /// The remapper of depth k (witness stack for model completion).
+  /// Returned by value: the per-depth cache may reallocate as deeper
+  /// frames are simplified.
+  VarRemapper remapper_at(int k);
 
   // Tape-space literals (ensure_depth is implied); translate through a
   // replay cursor before handing them to a sink's solver.
@@ -120,15 +151,24 @@ class SharedTape {
 
  private:
   void ensure_locked(int k);
+  void ensure_simplified_locked(int k);
+
+  /// One depth's cached simplification (clauses + remapper + stats).
+  struct SimplifiedDepth {
+    bool ready = false;
+    SimplifyResult result;
+  };
 
   mutable std::mutex mu_;
   const model::Netlist& net_;
   std::size_t bad_index_;
   EncoderOptions opts_;
+  PreprocessOptions preprocess_;
   ClauseTape tape_;
   FrameEncoder encoder_;
   std::vector<ClauseTape::Mark> depth_marks_;  // per encoded depth
   std::vector<EncodeStats> depth_stats_;       // cumulative per depth
+  std::vector<SimplifiedDepth> simplified_;    // per depth, lazy
 };
 
 }  // namespace refbmc::bmc

@@ -29,6 +29,8 @@ const char* to_string(EventKind kind) {
     case EventKind::PoolPublish: return "pool_publish";
     case EventKind::PoolClose: return "pool_close";
     case EventKind::RankPublish: return "rank_publish";
+    case EventKind::SpanPreprocess: return "preprocess";
+    case EventKind::SpanVivify: return "vivify";
   }
   return "?";
 }
@@ -40,6 +42,7 @@ const char* category(EventKind kind) {
     case EventKind::SpanSimplify:
     case EventKind::SpanSolve:
     case EventKind::TapeEncode:
+    case EventKind::SpanPreprocess:
       return "bmc";
     case EventKind::Restart:
     case EventKind::ReduceDb:
@@ -47,6 +50,7 @@ const char* category(EventKind kind) {
     case EventKind::ExportBatch:
     case EventKind::RankRefresh:
     case EventKind::DynamicFallback:
+    case EventKind::SpanVivify:
       return "sat";
     case EventKind::JobSubmit:
     case EventKind::JobStart:
@@ -70,6 +74,8 @@ bool is_span(EventKind kind) {
     case EventKind::TapeEncode:
     case EventKind::ImportBatch:
     case EventKind::RankRefresh:
+    case EventKind::SpanPreprocess:
+    case EventKind::SpanVivify:
       return true;
     default:
       return false;

@@ -62,6 +62,10 @@ void PoolEndpoint::sync_vars(const std::vector<sat::Var>& tape_to_solver) {
        ++t) {
     const sat::Var sv = tape_to_solver[t];
     tape_to_solver_.push_back(sv);
+    // Preprocessing leaves eliminated tape variables as kVarUndef slots:
+    // they have no solver image, so only the forward map records them
+    // (deliver() drops clauses that mention one; export never sees one).
+    if (sv < 0) continue;
     const auto s = static_cast<std::size_t>(sv);
     if (s >= solver_to_tape_.size()) solver_to_tape_.resize(s + 1, -1);
     solver_to_tape_[s] = static_cast<sat::Var>(t);
@@ -113,6 +117,14 @@ void PoolEndpoint::deliver(const SharedClausePool::PoolClause& pc,
       // retry below gate on that, so restarts don't churn the park list).
       parked_.push_back(pc);
       parked_map_size_ = tape_to_solver_.size();
+      return;
+    }
+    if (tape_to_solver_[t] < 0) {
+      // The variable was eliminated by this consumer's preprocessing:
+      // no solver image exists and none ever will, so drop the clause
+      // for good (parking would retry forever).  The lemma is still
+      // implied by the shared tape — other consumers keep it.
+      ++dropped_eliminated_;
       return;
     }
     lit_buf_.push_back(sat::Lit::make(tape_to_solver_[t], l.negated()));

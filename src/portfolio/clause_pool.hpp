@@ -171,6 +171,10 @@ class PoolEndpoint final : public sat::ClauseExchange {
   /// Export attempts refused because a literal's variable has no tape
   /// counterpart (activation guards and other solver-local variables).
   std::uint64_t rejected_unmapped() const { return rejected_unmapped_; }
+  /// Imports dropped because this consumer's preprocessing eliminated a
+  /// variable the clause mentions (the lemma stays valid for everyone
+  /// else; it just has no image in this solver's simplified space).
+  std::uint64_t dropped_eliminated() const { return dropped_eliminated_; }
 
  private:
   /// Translates `pc` into solver space and hands it to `sink`; parks it
@@ -190,6 +194,7 @@ class PoolEndpoint final : public sat::ClauseExchange {
   std::uint64_t published_ = 0;
   std::uint64_t imported_ = 0;
   std::uint64_t rejected_unmapped_ = 0;
+  std::uint64_t dropped_eliminated_ = 0;
 };
 
 }  // namespace refbmc::portfolio

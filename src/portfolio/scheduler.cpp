@@ -92,7 +92,7 @@ RaceResult PortfolioScheduler::race(
   bmc::EncoderOptions tape_opts;
   tape_opts.mode = base.bad_mode;
   tape_opts.simplify = base.simplify;
-  bmc::SharedTape tape(net, bad_index, tape_opts);
+  bmc::SharedTape tape(net, bad_index, tape_opts, base.preprocess);
 
   // One lemma pool per race: every entrant replays the same tape, so the
   // pool's tape-space clauses are meaningful to all of them.  A
@@ -256,13 +256,21 @@ BatchReport PortfolioScheduler::run_batch(
   std::vector<std::unique_ptr<bmc::SharedRankSource>> rank_sources;
   const std::vector<Job>* run_jobs = &jobs;
   if ((sharing_.enabled || sharing_.rank) && jobs.size() > 1) {
-    using GroupKey = std::tuple<const model::Netlist*, std::size_t, int, bool>;
+    // Preprocess settings join the key: the pool's clauses live in tape
+    // space, which preprocessing never renumbers, but members of a group
+    // must agree on *which* variables got eliminated or their endpoints
+    // would silently drop each other's best lemmas.
+    using GroupKey = std::tuple<const model::Netlist*, std::size_t, int, bool,
+                                bool, int, int, int>;
     std::map<GroupKey, std::vector<std::size_t>> groups;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       const Job& j = jobs[i];
       groups[GroupKey{j.net, j.bad_index,
                       static_cast<int>(j.config.bad_mode),
-                      j.config.simplify}]
+                      j.config.simplify, j.config.preprocess.enabled,
+                      j.config.preprocess.bve_budget,
+                      j.config.preprocess.bve_max_resolvent,
+                      j.config.preprocess.rounds}]
           .push_back(i);
     }
     for (const auto& [key, members] : groups) {
@@ -383,6 +391,12 @@ ResolvedPortfolio resolve(const PortfolioConfig& cfg) {
         "unknown core weighting '" + cfg.core_weighting +
         "' (expected linear, uniform, last-only or exp-decay)");
   r.engine.weighting = *weighting;
+  r.engine.preprocess.enabled = cfg.preprocess;
+  r.engine.preprocess.bve_budget = cfg.bve_budget;
+  // Vivification rides the same switch: `--preprocess off` must restore
+  // the PR 6 pipeline bit for bit, inprocessing included.
+  r.engine.solver.inprocess.vivify_interval =
+      cfg.preprocess ? cfg.vivify_interval : 0;
   r.sharing.enabled = cfg.share;
   r.sharing.lbd_max = cfg.share_lbd;
   r.sharing.size_max = cfg.share_size;

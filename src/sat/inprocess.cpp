@@ -1,0 +1,169 @@
+#include "sat/inprocess.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "sat/solver.hpp"
+#include "util/assert.hpp"
+
+namespace refbmc::sat {
+
+bool Solver::inprocess_at_restart() {
+  if (config_.inprocess.vivify_interval <= 0) return ok_;  // bit-identical off
+  if (++restarts_since_vivify_ <
+      static_cast<std::uint64_t>(config_.inprocess.vivify_interval))
+    return ok_;
+  restarts_since_vivify_ = 0;
+  if (!ok_) return false;
+  REFBMC_ASSERT(trail_.decision_level() == 0);
+
+  const std::uint64_t t0 = obs::monotonic_now_us();
+  obs::TraceSpan span(obs::EventKind::SpanVivify);
+  ++stats_.vivify_rounds;
+
+  // Snapshot the most recent learned clauses: they are the ones the
+  // search is actively deriving around, hence the likeliest to shorten.
+  // Locked clauses (currently a reason) and binaries are skipped.
+  const auto& learned = db_.learned();
+  const std::size_t want =
+      static_cast<std::size_t>(config_.inprocess.vivify_max_clauses);
+  std::vector<ClauseRef> candidates;
+  candidates.reserve(std::min(want, learned.size()));
+  for (std::size_t i = learned.size(); i-- > 0 && candidates.size() < want;)
+    candidates.push_back(learned[i]);
+
+  const std::uint64_t props_start = stats_.propagations;
+  std::int64_t shortened = 0;
+  std::vector<Lit> kept;
+  std::vector<ClauseId> ants;
+
+  for (const ClauseRef cref : candidates) {
+    if (!ok_) break;
+    if (stats_.propagations - props_start >
+        static_cast<std::uint64_t>(config_.inprocess.vivify_prop_budget))
+      break;
+    {
+      const Clause c = db_.get(cref);
+      if (c.dead() || c.size() < 3) continue;
+      // Re-check locked each time: a unit derived by an earlier
+      // vivification in this pass may have made this clause a reason.
+      if (trail_.reason(c[0].var()) == cref && trail_.value(c[0]) == l_True)
+        continue;
+    }
+
+    // Detach first: the probe must not let C propagate itself, or the
+    // shortened clause would be self-justified instead of implied by
+    // the rest of the formula.
+    prop_.detach(db_.arena(), cref);
+
+    std::vector<Lit> lits;
+    {
+      const Clause c = db_.get(cref);
+      lits.reserve(c.size());
+      for (std::uint32_t k = 0; k < c.size(); ++k) lits.push_back(c[k]);
+    }
+
+    kept.clear();
+    ants.clear();
+    bool root_satisfied = false;
+    for (const Lit l : lits) {
+      const lbool v = trail_.value(l);
+      if (v == l_True) {
+        if (trail_.level(l.var()) == 0) {
+          root_satisfied = true;  // satisfied forever: delete outright
+        } else {
+          // Implied by the negated prefix: keep the prefix plus l.
+          if (config_.track_cdg) collect_reason_closure(l.var(), ants);
+          kept.push_back(l);
+        }
+        break;
+      }
+      if (v == l_False) {
+        // Redundant under the negated prefix (or at the root): drop.
+        if (config_.track_cdg) collect_reason_closure(l.var(), ants);
+        continue;
+      }
+      trail_.new_decision_level();
+      trail_.assign(~l, kClauseRefUndef);
+      const ClauseRef confl = propagate();
+      if (confl != kClauseRefUndef) {
+        // The negated prefix plus ~l is contradictory: prefix + l holds.
+        if (config_.track_cdg) {
+          const Clause cc = db_.get(confl);
+          ants.push_back(cc.id());
+          for (std::uint32_t k = 0; k < cc.size(); ++k)
+            collect_reason_closure(cc[k].var(), ants);
+        }
+        kept.push_back(l);
+        break;
+      }
+      kept.push_back(l);
+    }
+    backtrack(0);
+    if (config_.track_cdg) clear_closure_marks();
+
+    if (root_satisfied) {
+      db_.remove_learned(cref);
+      ++stats_.deleted_clauses;
+      continue;
+    }
+    if (kept.size() == lits.size()) {
+      // kept is always a subsequence of lits, so equal size means the
+      // identical clause: restore it as-was.
+      prop_.attach(db_.arena(), cref);
+      continue;
+    }
+
+    // Replace C with the shortened clause.  Antecedent sets may be
+    // supersets of the minimal derivation (closures stop at probe
+    // decisions, which contribute nothing) — supersets keep cores valid.
+    ++shortened;
+    ++stats_.vivified_clauses;
+    stats_.vivified_literals +=
+        static_cast<std::uint64_t>(lits.size() - kept.size());
+    if (config_.track_cdg) {
+      std::sort(ants.begin(), ants.end());
+      ants.erase(std::unique(ants.begin(), ants.end()), ants.end());
+    }
+    const ClauseId id = db_.register_learned();
+    if (config_.track_cdg) cdg_.add_learned(id, ants);
+
+    if (kept.empty()) {
+      if (config_.track_cdg) cdg_.set_final_conflict({id});
+      ok_ = false;
+      db_.remove_learned(cref);
+      break;
+    }
+    const std::uint32_t old_lbd = db_.get(cref).lbd();
+    db_.remove_learned(cref);
+    const std::uint32_t lbd =
+        std::min(old_lbd, static_cast<std::uint32_t>(kept.size()));
+    const bool managed = kept.size() >= 2;
+    const ClauseRef ncref = db_.alloc_learned(kept, id, lbd, managed);
+    if (managed) {
+      prop_.attach(db_.arena(), ncref);
+    } else {
+      // Unit: a permanent root fact (kept out of the managed list, like
+      // unit learnts from conflict analysis).
+      trail_.assign(kept[0], ncref);
+      const ClauseRef confl = propagate();
+      if (confl != kClauseRefUndef) {
+        ++stats_.conflicts;
+        if (config_.track_cdg) analyze_final_conflict(confl);
+        ok_ = false;
+        break;
+      }
+    }
+  }
+
+  // Reclaim the words the replaced clauses left behind as soon as the
+  // waste crosses the arena's threshold — not only inside reduceDB.
+  if (ok_) db_.garbage_collect_if_needed(trail_, prop_, stats_);
+
+  stats_.inprocess_us += obs::monotonic_now_us() - t0;
+  span.set_value(shortened);
+  return ok_;
+}
+
+}  // namespace refbmc::sat

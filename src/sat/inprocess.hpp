@@ -1,0 +1,50 @@
+// Restart-boundary inprocessing: periodic clause vivification.
+//
+// Vivification (clause distillation) probes a learned clause literal by
+// literal at a fresh decision level: assert the negation of each kept
+// literal in turn and propagate.  Three things can happen to C = (l1 …
+// ln) while walking li:
+//
+//   * li is already true  → the prefix plus li is itself an implied
+//     clause: C shrinks to it (or, if li is true at the root, C is
+//     satisfied forever and is deleted outright);
+//   * li is already false → li is redundant under the negated prefix:
+//     drop it;
+//   * propagating ~li conflicts → the prefix plus li is implied: C
+//     shrinks to it.
+//
+// The probed clause is DETACHED first so it never propagates itself —
+// that is what makes every shortened clause implied by F \ {C} and the
+// replacement sound.  Runs at the same decision-level-0 seam as clause
+// import and rank refresh (restart boundaries), every
+// `vivify_interval` restarts, under a propagation budget so it never
+// dominates search.  With track_cdg, each replacement records the
+// reason-closure clause ids as antecedents, keeping unsat cores valid
+// (a superset of an unsatisfiable antecedent set is unsatisfiable).
+//
+// The pass ends with an arena garbage-collection opportunity:
+// strengthened and replaced clauses leave dead words behind, and
+// waiting for the next reduceDB to reclaim them wastes cache on the
+// propagation hot path.
+//
+// `vivify_interval = 0` (the default) disables the pass entirely and
+// leaves every search trajectory bit-identical to a solver without it.
+#pragma once
+
+#include <cstdint>
+
+namespace refbmc::sat {
+
+struct InprocessConfig {
+  /// Restarts between vivification passes; 0 disables inprocessing.
+  int vivify_interval = 0;
+  /// Most-recent learned clauses considered per pass.
+  int vivify_max_clauses = 256;
+  /// Propagations a pass may spend before stopping early.
+  std::int64_t vivify_prop_budget = 20000;
+
+  friend bool operator==(const InprocessConfig&,
+                         const InprocessConfig&) = default;
+};
+
+}  // namespace refbmc::sat

@@ -595,6 +595,13 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
         return finish(Result::Unsat);
       }
       poll_rank_refresh();
+      // Same seam, third consumer: periodic clause vivification (and an
+      // arena-GC opportunity) once the imported lemmas and refreshed
+      // ranks are in place.
+      if (!inprocess_at_restart()) {
+        solved_unsat_ = true;
+        return finish(Result::Unsat);
+      }
       continue;
     }
     if (config_.enable_reduce_db &&

@@ -43,6 +43,7 @@
 #include "sat/clausedb.hpp"
 #include "sat/decision.hpp"
 #include "sat/heuristic.hpp"
+#include "sat/inprocess.hpp"
 #include "sat/propagator.hpp"
 #include "sat/stats.hpp"
 #include "sat/trail.hpp"
@@ -131,6 +132,10 @@ struct SolverConfig {
   // size <= share_size.
   int share_lbd = 4;
   int share_size = 2;
+  // Restart-boundary inprocessing (clause vivification; see
+  // inprocess.hpp).  vivify_interval 0 (the default) disables it and
+  // keeps every search trajectory bit-identical to a solver without it.
+  InprocessConfig inprocess;
   // Conflict-dependency graph / core tracking (paper §3.1).  Turning this
   // off disables unsat_core() but removes the bookkeeping overhead.
   bool track_cdg = true;
@@ -302,6 +307,13 @@ class Solver {
   /// as a learned-tier clause (or asserts it when it reduces to a unit).
   void import_clause(std::span<const Lit> lits, std::uint32_t lbd);
 
+  // -- inprocessing ---------------------------------------------------------
+  /// Runs the periodic vivification pass when its restart interval is
+  /// due (defined in inprocess.cpp).  Called at the restart level-0
+  /// seam, after clause import and rank refresh.  Returns ok_: false
+  /// means inprocessing derived the empty clause (formula unsat).
+  bool inprocess_at_restart();
+
   // -- shared-ordering refresh ----------------------------------------------
   /// Polls the attached RankRefresh at decision level 0 (solve start and
   /// restarts) and re-feeds the decision queue when the shared
@@ -337,6 +349,7 @@ class Solver {
   RankRefresh* rank_refresh_ = nullptr;      // not owned; may be null
   bool ok_ = true;
   bool solved_unsat_ = false;
+  std::uint64_t restarts_since_vivify_ = 0;
   /// Whether the decision queue wants per-variable analysis bumps (the
   /// EVSIDS scorer); cached to keep the no-op virtual hop out of the
   /// analyze loop for Chaff.

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <stdexcept>
+#include <thread>
 
 namespace refbmc {
 
@@ -120,8 +121,21 @@ PortfolioConfig PortfolioConfig::from_options(const Options& opts) {
   cfg.share_cap = opts.get_int("share-cap", cfg.share_cap);
   if (cfg.share_cap < 1)
     throw std::invalid_argument("option --share-cap expects a value >= 1");
-  cfg.share_rank = opts.get_bool("share-rank", cfg.share_rank);
+  // Hardware-adaptive default: with one hardware thread the racing
+  // entrants timeslice, so mid-solve rank refreshes buy nothing and the
+  // epoch polling is pure overhead.  (hardware_concurrency() may report
+  // 0 = unknown; treat that as multi-core and keep the feature on.)
+  cfg.share_rank = opts.get_bool(
+      "share-rank", std::thread::hardware_concurrency() != 1);
   cfg.core_weighting = opts.get("core-weighting", cfg.core_weighting);
+  cfg.preprocess = opts.get_bool("preprocess", cfg.preprocess);
+  cfg.bve_budget = opts.get_int("bve-budget", cfg.bve_budget);
+  if (cfg.bve_budget < 1)
+    throw std::invalid_argument("option --bve-budget expects a value >= 1");
+  cfg.vivify_interval = opts.get_int("vivify-interval", cfg.vivify_interval);
+  if (cfg.vivify_interval < 0)
+    throw std::invalid_argument(
+        "option --vivify-interval expects a value >= 0");
   cfg.trace_file = opts.get("trace", cfg.trace_file);
   cfg.trace_buffer_kb = opts.get_int("trace-buffer-kb", cfg.trace_buffer_kb);
   if (cfg.trace_buffer_kb < 1)

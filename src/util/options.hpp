@@ -63,8 +63,20 @@ struct PortfolioConfig {
   int share_cap = 4096;    // pool ring capacity, in clauses
   /// Portfolio ordering sharing (one race-wide rank accumulation fed by
   /// every entrant's unsat cores, refreshed mid-solve).  `--share-rank
-  /// off` restores engine-private core rankings, bit for bit.
-  bool share_rank = true;  // --share-rank on|off
+  /// off` restores engine-private core rankings, bit for bit.  The
+  /// default adapts to the hardware: on a single-hardware-thread host the
+  /// racing entrants timeslice, so mid-solve refreshes only add epoch
+  /// polling overhead — the default flips to off there (explicit
+  /// `--share-rank on` still wins).
+  bool share_rank = true;  // --share-rank on|off (default is hw-adaptive)
+  /// Tape preprocessing (PR 7): bounded variable elimination, subsumption
+  /// and self-subsuming resolution over the encoded formula, run once per
+  /// depth race-wide, plus clause vivification inside the solver at
+  /// restart boundaries.  `--preprocess off` restores the unsimplified
+  /// pipeline bit for bit (and disables vivification with it).
+  bool preprocess = true;   // --preprocess on|off
+  int bve_budget = 16;      // --bve-budget: max occurrences of an elim var
+  int vivify_interval = 8;  // --vivify-interval: restarts between passes
   /// Core-score weighting of §3.2 (the ablation knob), as a name (util
   /// cannot depend on bmc; the portfolio layer resolves and validates):
   /// linear | uniform | last-only | exp-decay.
@@ -82,11 +94,14 @@ struct PortfolioConfig {
   /// `--seed`, `--incremental`, `--simplify 0|1`, `--decision chaff|evsids`,
   /// `--glue-lbd`, `--tier-lbd`, `--share 0|1`, `--share-lbd`,
   /// `--share-size`, `--share-cap`, `--share-rank 0|1`,
-  /// `--core-weighting W`, `--trace FILE`, `--trace-buffer-kb KB`,
-  /// `--metrics FILE`; absent options keep the defaults above.
+  /// `--core-weighting W`, `--preprocess 0|1`, `--bve-budget N`,
+  /// `--vivify-interval N`, `--trace FILE`, `--trace-buffer-kb KB`,
+  /// `--metrics FILE`; absent options keep the defaults above
+  /// (share_rank defaulting off when the host has one hardware thread).
   /// Throws std::invalid_argument on malformed values (threads < 1,
   /// empty policy list, non-numeric numbers, tier-lbd below glue-lbd,
-  /// negative share filters, share-cap < 1, trace-buffer-kb < 1).
+  /// negative share filters, share-cap < 1, bve-budget < 1,
+  /// vivify-interval < 0, trace-buffer-kb < 1).
   static PortfolioConfig from_options(const Options& opts);
 };
 

@@ -180,7 +180,8 @@ TEST_F(TraceTest, KindMetadataIsTotal) {
       EventKind::JobStart,     EventKind::JobVerdict,
       EventKind::CancelRequest, EventKind::JobStop,
       EventKind::PoolPublish,  EventKind::PoolClose,
-      EventKind::RankPublish};
+      EventKind::RankPublish,  EventKind::SpanPreprocess,
+      EventKind::SpanVivify};
   for (const EventKind k : kinds) {
     EXPECT_STRNE(to_string(k), "");
     const std::string cat = category(k);
@@ -190,6 +191,8 @@ TEST_F(TraceTest, KindMetadataIsTotal) {
   EXPECT_TRUE(is_span(EventKind::SpanSolve));
   EXPECT_TRUE(is_span(EventKind::ImportBatch));
   EXPECT_TRUE(is_span(EventKind::RankRefresh));
+  EXPECT_TRUE(is_span(EventKind::SpanPreprocess));
+  EXPECT_TRUE(is_span(EventKind::SpanVivify));
   EXPECT_FALSE(is_span(EventKind::Restart));
   EXPECT_FALSE(is_span(EventKind::PoolPublish));
 }

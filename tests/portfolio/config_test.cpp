@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <thread>
 
 #include "portfolio/scheduler.hpp"
 #include "util/options.hpp"
@@ -252,16 +253,62 @@ TEST(WeightingNameTest, UnknownWeightingIsRejected) {
   EXPECT_THROW(resolve(cfg), std::invalid_argument);
 }
 
-TEST(PortfolioConfigTest, ShareRankDefaultsOnAndParses) {
+TEST(PortfolioConfigTest, ShareRankDefaultIsHardwareAdaptive) {
+  // Mid-solve rank refreshes only pay off when rivals actually run in
+  // parallel: on a single-hardware-thread host the unflagged default is
+  // off; anywhere else (including unknown = 0) it stays on.  An explicit
+  // flag always wins over the probe.
   const PortfolioConfig defaults = PortfolioConfig::from_options(parse({}));
-  EXPECT_TRUE(defaults.share_rank);
+  EXPECT_EQ(defaults.share_rank, std::thread::hardware_concurrency() != 1);
   EXPECT_EQ(defaults.core_weighting, "linear");
 
+  EXPECT_TRUE(PortfolioConfig::from_options(parse({"--share-rank", "on"}))
+                  .share_rank);
   const PortfolioConfig cfg =
       PortfolioConfig::from_options(parse({"--share-rank", "off"}));
   EXPECT_FALSE(cfg.share_rank);
   EXPECT_THROW(PortfolioConfig::from_options(parse({"--share-rank", "maybe"})),
                std::invalid_argument);
+}
+
+TEST(PortfolioConfigTest, PreprocessDefaultsOnAndParses) {
+  const PortfolioConfig defaults = PortfolioConfig::from_options(parse({}));
+  EXPECT_TRUE(defaults.preprocess);
+  EXPECT_EQ(defaults.bve_budget, 16);
+  EXPECT_EQ(defaults.vivify_interval, 8);
+
+  const PortfolioConfig cfg = PortfolioConfig::from_options(
+      parse({"--preprocess", "off", "--bve-budget", "32",
+             "--vivify-interval", "0"}));
+  EXPECT_FALSE(cfg.preprocess);
+  EXPECT_EQ(cfg.bve_budget, 32);
+  EXPECT_EQ(cfg.vivify_interval, 0);
+
+  EXPECT_THROW(PortfolioConfig::from_options(parse({"--bve-budget", "0"})),
+               std::invalid_argument);
+  EXPECT_THROW(
+      PortfolioConfig::from_options(parse({"--vivify-interval", "-1"})),
+      std::invalid_argument);
+  EXPECT_THROW(PortfolioConfig::from_options(parse({"--preprocess", "maybe"})),
+               std::invalid_argument);
+}
+
+TEST(ResolveTest, PreprocessKnobsResolve) {
+  PortfolioConfig cfg;
+  cfg.preprocess = true;
+  cfg.bve_budget = 24;
+  cfg.vivify_interval = 3;
+  const ResolvedPortfolio on = resolve(cfg);
+  EXPECT_TRUE(on.engine.preprocess.enabled);
+  EXPECT_EQ(on.engine.preprocess.bve_budget, 24);
+  EXPECT_EQ(on.engine.solver.inprocess.vivify_interval, 3);
+
+  // --preprocess off must restore the pre-PR pipeline bit for bit, so it
+  // also forces vivification off regardless of --vivify-interval.
+  cfg.preprocess = false;
+  const ResolvedPortfolio off = resolve(cfg);
+  EXPECT_FALSE(off.engine.preprocess.enabled);
+  EXPECT_EQ(off.engine.solver.inprocess.vivify_interval, 0);
 }
 
 TEST(ResolveTest, RankSharingKnobResolves) {

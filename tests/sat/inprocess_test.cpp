@@ -1,0 +1,156 @@
+// Clause vivification at restart boundaries (PR 7): the in-solver
+// half of the simplification layer.  Vivification rewrites learned
+// clauses, so the contract under test is behavioural — verdicts,
+// models, and unsat cores must be exactly what the plain solver
+// produces — plus the counters that prove the pass actually ran, and
+// the default-off guarantee that keeps `--preprocess off` bit-identical
+// to the previous pipeline.
+#include "sat/inprocess.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../helpers.hpp"
+#include "sat/core_verify.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace refbmc::sat {
+namespace {
+
+using test::load;
+using test::model_satisfies;
+using test::pigeonhole;
+using test::random_ksat;
+
+/// A config that restarts early and vivifies at every restart, so even
+/// modest instances exercise the pass (the production default of 256
+/// conflicts per Luby unit needs bigger formulas than a unit test
+/// should carry).
+SolverConfig vivify_config() {
+  SolverConfig cfg;
+  cfg.restart_base = 16;
+  cfg.inprocess.vivify_interval = 1;
+  cfg.inprocess.vivify_max_clauses = 1024;
+  cfg.inprocess.vivify_prop_budget = 200000;
+  return cfg;
+}
+
+TEST(InprocessTest, DefaultConfigNeverVivifies) {
+  // vivify_interval defaults to 0: the restart seam must stay inert
+  // even on an instance that restarts many times.
+  SolverConfig cfg;
+  cfg.restart_base = 16;
+  Solver s(cfg);
+  load(s, pigeonhole(7, 6));
+  EXPECT_EQ(s.solve(), Result::Unsat);
+  EXPECT_GT(s.stats().restarts, 0u);
+  EXPECT_EQ(s.stats().vivify_rounds, 0u);
+  EXPECT_EQ(s.stats().vivified_clauses, 0u);
+  EXPECT_EQ(s.stats().vivified_literals, 0u);
+  EXPECT_EQ(s.stats().inprocess_us, 0u);
+}
+
+TEST(InprocessTest, VivifiesOnRestartingUnsatInstance) {
+  // PHP(7,6) restarts plenty; with interval 1 every restart runs a
+  // round, and the verdict must stay Unsat.
+  Solver s(vivify_config());
+  load(s, pigeonhole(7, 6));
+  EXPECT_EQ(s.solve(), Result::Unsat);
+  EXPECT_GT(s.stats().restarts, 0u);
+  EXPECT_GT(s.stats().vivify_rounds, 0u);
+}
+
+TEST(InprocessTest, SatVerdictAndModelSurviveVivification) {
+  // Satisfiable random 3-SAT near the phase transition: enough
+  // conflicts to restart, and the final model must still satisfy the
+  // ORIGINAL formula (vivification touches only learned clauses, but
+  // this is the end-to-end check that it never corrupted the search).
+  Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Cnf cnf = random_ksat(rng, 60, 240, 3);
+    Solver plain;
+    load(plain, cnf);
+    const Result expected = plain.solve();
+
+    Solver vivified(vivify_config());
+    load(vivified, cnf);
+    EXPECT_EQ(vivified.solve(), expected) << "trial " << trial;
+    if (expected == Result::Sat) {
+      EXPECT_TRUE(model_satisfies(vivified, cnf)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(InprocessTest, UnsatCoreStaysValidAfterVivification) {
+  // The CDG tracks antecedents through clause rewrites; the extracted
+  // core must still refute on an independent check.
+  Solver s(vivify_config());
+  load(s, pigeonhole(6, 5));
+  ASSERT_EQ(s.solve(), Result::Unsat);
+  ASSERT_GT(s.stats().vivify_rounds, 0u);
+  const CoreCheck check = verify_core(s);
+  EXPECT_TRUE(check.core_unsat);
+  EXPECT_EQ(check.total_clauses, s.num_original_clauses());
+}
+
+TEST(InprocessTest, ShortenedClausesAreCounted) {
+  // Across a batch of seeds at least one instance must yield an actual
+  // literal removal — and whenever clauses are counted, literals are
+  // too (a "vivified" clause with zero removed literals would be churn,
+  // which the pass filters out).
+  Rng rng(13);
+  std::uint64_t clauses = 0, literals = 0;
+  for (int trial = 0; trial < 8; ++trial) {
+    const Cnf cnf = random_ksat(rng, 50, 220, 3);
+    Solver s(vivify_config());
+    load(s, cnf);
+    s.solve();
+    clauses += s.stats().vivified_clauses;
+    literals += s.stats().vivified_literals;
+    EXPECT_EQ(s.stats().vivified_clauses == 0,
+              s.stats().vivified_literals == 0)
+        << "trial " << trial;
+  }
+  EXPECT_GT(clauses, 0u);
+  EXPECT_GE(literals, clauses);  // every vivified clause lost >= 1 literal
+}
+
+TEST(InprocessTest, BudgetsBoundTheWork) {
+  // vivify_max_clauses 1 examines at most one candidate per round, so
+  // the clause counter can never outrun the round counter.
+  SolverConfig cfg = vivify_config();
+  cfg.inprocess.vivify_max_clauses = 1;
+  Solver s(cfg);
+  load(s, pigeonhole(7, 6));
+  EXPECT_EQ(s.solve(), Result::Unsat);
+  EXPECT_LE(s.stats().vivified_clauses, s.stats().vivify_rounds);
+}
+
+TEST(InprocessTest, IntervalThrottlesRounds) {
+  // Interval N runs a round every N restarts: the round count at
+  // interval 4 can be at most a quarter (rounded up) of the restarts,
+  // while interval 1 tracks them one-for-one.
+  SolverConfig sparse = vivify_config();
+  sparse.inprocess.vivify_interval = 4;
+  Solver s(sparse);
+  load(s, pigeonhole(7, 6));
+  EXPECT_EQ(s.solve(), Result::Unsat);
+  const auto& st = s.stats();
+  ASSERT_GT(st.restarts, 0u);
+  EXPECT_LE(st.vivify_rounds, st.restarts / 4 + 1);
+}
+
+TEST(InprocessTest, ConfigEqualityDrivesGroupKeys) {
+  // Shard groups compare InprocessConfig to decide whether two entrants
+  // may share a formula; equality must be field-wise.
+  InprocessConfig a, b;
+  EXPECT_TRUE(a == b);
+  b.vivify_interval = 8;
+  EXPECT_FALSE(a == b);
+  b = a;
+  b.vivify_prop_budget = 1;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace refbmc::sat
