@@ -164,7 +164,62 @@ def main():
         print("_no BENCH_portfolio.json in the current run_")
         print()
 
-    if not prev_rows and not prev_p:
+    # ---- incremental: fast-path ratios + savepoint/retirement counters --
+    prev_i = load(prev_dir, "BENCH_incremental.json") or {}
+    cur_i = load(cur_dir, "BENCH_incremental.json") or {}
+    if cur_i:
+        # BENCH_incremental.json arrived with the incremental fast-path
+        # PR; older artifacts lack it and every row prints "n/a".
+        metrics = [
+            ("fast-path ratio vs plain incremental",
+             lambda d: d.get("total_fast_ratio_vs_incremental"), False),
+            ("rows with fewer decisions (fast path)",
+             lambda d: d.get("rows_decisions_improved"), None),
+            ("rows with fewer propagations (fast path)",
+             lambda d: d.get("rows_propagations_improved"), None),
+            ("rows compared",
+             lambda d: d.get("rows_compared"), None),
+            ("verdicts all match",
+             lambda d: d.get("verdicts_all_match"), None),
+        ]
+        print("### Incremental fast path")
+        print()
+        print("| metric | previous | current | delta |")
+        print("|---|---:|---:|---:|")
+        for label, get, higher_is_better in metrics:
+            prev_v, cur_v = get(prev_i), get(cur_i)
+            if isinstance(prev_v, bool):
+                prev_v = str(prev_v)
+            if isinstance(cur_v, bool):
+                cur_v = str(cur_v)
+            numeric = (isinstance(prev_v, (int, float)) and
+                       isinstance(cur_v, (int, float)))
+            print(f"| {label} | {fmt(prev_v) if not isinstance(prev_v, str) else prev_v} "
+                  f"| {fmt(cur_v) if not isinstance(cur_v, str) else cur_v} "
+                  f"| {delta(prev_v, cur_v) if numeric else 'n/a'} |")
+            if higher_is_better is None or not numeric or not prev_v:
+                continue
+            ratio = cur_v / prev_v
+            regressed = (ratio < REGRESSION_TOLERANCE if higher_is_better
+                         else ratio > 1 / REGRESSION_TOLERANCE)
+            if regressed:
+                warn(f"incremental regression: {label} "
+                     f"{fmt(prev_v)} -> {fmt(cur_v)}")
+        # Savepoint hit rate per row — informational (tiny rows solve by
+        # propagation alone and legitimately read 0%).
+        rows = cur_i.get("rows") or []
+        rates = [r.get("savepoint_hit_rate") for r in rows
+                 if isinstance(r, dict) and
+                 isinstance(r.get("savepoint_hit_rate"), (int, float))]
+        if rates:
+            print(f"\nmean savepoint hit rate: "
+                  f"{100.0 * sum(rates) / len(rates):.1f}%")
+        print()
+    else:
+        print("_no BENCH_incremental.json in the current run_")
+        print()
+
+    if not prev_rows and not prev_p and not prev_i:
         print("_previous run had no bench artifacts — "
               "this run seeds the trajectory_")
 

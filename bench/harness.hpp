@@ -60,6 +60,12 @@ inline void write_depth_stats(JsonWriter& w, const bmc::DepthStats& d) {
   w.kv("preprocess_us", d.preprocess_us);
   w.kv("vivify_rounds", d.vivify_rounds);
   w.kv("inprocess_us", d.inprocess_us);
+  // Incremental fast path (PR 8): savepoint resumes and frame-retirement
+  // sweeps (zero for scratch sessions / savepoint off).
+  w.kv("savepoint_hits", d.savepoint_hits);
+  w.kv("savepoint_misses", d.savepoint_misses);
+  w.kv("savepoint_levels_reused", d.savepoint_levels_reused);
+  w.kv("retired_frame_clauses", d.retired_frame_clauses);
   w.end_object();
 }
 

@@ -71,10 +71,6 @@ BmcEngine::BmcEngine(const model::Netlist& net, EngineConfig config,
                                                config_.preprocess);
     tape_ = owned_tape_.get();
   }
-  // Tape preprocessing is a scratch-session feature: the incremental
-  // session replays the plain tape (see EngineConfig::preprocess), so
-  // drop the flag rather than cache simplifications nobody consumes.
-  if (config_.incremental) config_.preprocess.enabled = false;
 }
 
 sat::SolverConfig BmcEngine::solver_config_for_policy() const {
@@ -106,6 +102,11 @@ sat::SolverConfig BmcEngine::solver_config_for_policy() const {
   // the caller put into the base SolverConfig stays in force.
   if (config_.per_instance_conflict_limit >= 0)
     scfg.conflict_limit = config_.per_instance_conflict_limit;
+  // The assumption savepoint only pays off for a persistent solver with
+  // a growing assumption prefix; a scratch session's fresh solver has no
+  // previous trail to resume, so keep its restart/solve loop on the
+  // classic (root-boundary) path.
+  if (!config_.incremental) scfg.assumption_savepoint = false;
   return scfg;
 }
 
@@ -117,6 +118,7 @@ BmcResult BmcEngine::run() {
   BmcResult result;
   Timer total_timer;
   const Deadline total_deadline(config_.total_time_limit_sec);
+  std::uint64_t retired_seen = 0;
 
   const sat::SolverConfig scfg = solver_config_for_policy();
   const std::unique_ptr<FormulaSession> session =
@@ -208,11 +210,28 @@ BmcResult BmcEngine::run() {
     stats.vivified_literals =
         solver.stats().vivified_literals - before.vivified_literals;
     stats.inprocess_us = solver.stats().inprocess_us - before.inprocess_us;
-    if (!config_.incremental && config_.preprocess.enabled) {
+    stats.savepoint_hits =
+        solver.stats().savepoint_hits - before.savepoint_hits;
+    stats.savepoint_misses =
+        solver.stats().savepoint_misses - before.savepoint_misses;
+    stats.savepoint_levels_reused =
+        solver.stats().savepoint_levels_reused -
+        before.savepoint_levels_reused;
+    // Retirement flushes happen inside prepare() — before the `before`
+    // snapshot — so this delta is taken against the previous depth's
+    // cumulative count instead (scratch solvers always read zero).
+    stats.retired_frame_clauses =
+        solver.stats().retired_frame_clauses - retired_seen;
+    retired_seen = solver.stats().retired_frame_clauses;
+    if (config_.preprocess.enabled) {
       // The pass ran (cached) inside prepare(); pull its counters.  In a
       // race every entrant reports the same numbers — the simplification
-      // is per-depth, race-wide, like the encode itself.
-      const PreprocessStats ps = tape_->preprocess_stats_at(k);
+      // is per-depth, race-wide, like the encode itself.  Incremental
+      // sessions report their depth's DELTA pass (cumulative state, same
+      // race-wide caching).
+      const PreprocessStats ps =
+          config_.incremental ? tape_->incremental_preprocess_stats_at(k)
+                              : tape_->preprocess_stats_at(k);
       stats.vars_eliminated = ps.vars_eliminated;
       stats.clauses_subsumed = ps.clauses_subsumed;
       stats.lits_strengthened = ps.lits_strengthened;

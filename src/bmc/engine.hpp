@@ -104,10 +104,12 @@ struct EngineConfig {
   /// Tape-level CNF preprocessing (bounded variable elimination,
   /// pure-literal, subsumption / self-subsuming resolution — see
   /// bmc/preprocess.hpp), run once per depth over the shared tape.
-  /// Scratch sessions only: an incremental session keeps one growing
-  /// formula, whose future frames could re-introduce eliminated
-  /// variables, so it always replays the plain tape.  Off by default
-  /// (and then bit-identical to an engine without the pass).
+  /// Scratch sessions replay the whole simplified formula per depth;
+  /// incremental sessions replay simplified per-depth DELTAS under a
+  /// cumulative witness stack — a future frame that re-references an
+  /// eliminated variable transparently resurrects it (see
+  /// SharedTape::replay_simplified_delta).  Off by default (and then
+  /// bit-identical to an engine without the pass).
   PreprocessOptions preprocess;
   /// When non-null, this engine replays the given shared formula instead
   /// of encoding its own — the portfolio's encode-once racing.  Must
@@ -200,9 +202,10 @@ struct DepthStats {
   /// encoder removed relative to the unsimplified encoding).
   std::uint64_t simplified_vars_removed = 0;
   std::uint64_t simplified_clauses_removed = 0;
-  /// Tape preprocessing at this depth (zero with preprocess off or in
-  /// incremental mode; the pass runs once per depth race-wide but its
-  /// counters are reported identically to every entrant, like
+  /// Tape preprocessing at this depth (zero with preprocess off;
+  /// incremental sessions report the per-depth DELTA pass instead of
+  /// the full-formula one; either pass runs once per depth race-wide
+  /// but its counters are reported identically to every entrant, like
   /// simplify_us).  lits_strengthened counts self-subsuming resolution
   /// plus unit-propagation strips.
   std::uint64_t vars_eliminated = 0;
@@ -215,6 +218,16 @@ struct DepthStats {
   std::uint64_t vivify_rounds = 0;
   std::uint64_t vivified_literals = 0;
   std::uint64_t inprocess_us = 0;
+  /// Incremental fast path at this depth (zero for scratch sessions or
+  /// with --assumption-savepoint off): solve() calls that resumed from a
+  /// kept assumption prefix vs. fell back to the root, decision levels
+  /// the resumes reused, and clauses the frame-retirement sweep freed
+  /// (flushes run inside prepare, batched — most depths read zero and
+  /// the flushing depth reads the whole batch).
+  std::uint64_t savepoint_hits = 0;
+  std::uint64_t savepoint_misses = 0;
+  std::uint64_t savepoint_levels_reused = 0;
+  std::uint64_t retired_frame_clauses = 0;
   std::size_t core_clauses = 0;  // when UNSAT and cores tracked
   std::size_t core_vars = 0;
   bool rank_switched = false;  // dynamic policy fell back to VSIDS

@@ -15,12 +15,33 @@ using sat::lbool;
 using sat::Lit;
 using sat::Var;
 
+void VarRemapper::grow(int num_vars) {
+  REFBMC_EXPECTS(num_vars >= this->num_vars());
+  kept_.resize(static_cast<std::size_t>(num_vars), 1);
+}
+
+VarRemapper::Witness VarRemapper::resurrect(Var v) {
+  REFBMC_EXPECTS(kept_[static_cast<std::size_t>(v)] == 0);
+  kept_[static_cast<std::size_t>(v)] = 1;
+  // Newest-first scan: resurrections chase references out of fresh
+  // deltas, which overwhelmingly hit recent eliminations.
+  for (auto it = witnesses_.rbegin(); it != witnesses_.rend(); ++it) {
+    if (it->lit.var() != v) continue;
+    Witness w = std::move(*it);
+    witnesses_.erase(std::next(it).base());
+    return w;
+  }
+  REFBMC_ASSERT_MSG(false, "eliminated variable has no witness");
+  return Witness{};
+}
+
 void VarRemapper::eliminate(Lit lit,
-                            std::vector<std::vector<Lit>> clauses) {
+                            std::vector<std::vector<Lit>> clauses,
+                            std::vector<std::vector<Lit>> removed) {
   const auto v = static_cast<std::size_t>(lit.var());
   REFBMC_ASSERT(kept_[v] != 0);
   kept_[v] = 0;
-  witnesses_.push_back(Witness{lit, std::move(clauses)});
+  witnesses_.push_back(Witness{lit, std::move(clauses), std::move(removed)});
 }
 
 void VarRemapper::complete_model(std::vector<lbool>& values) const {
@@ -88,6 +109,7 @@ struct Simplifier {
   std::vector<std::vector<std::uint32_t>> occ;  // by Lit::index(); lazy
   std::vector<std::int32_t> occ_count;          // by Lit::index(); exact
   std::vector<lbool> assigned;                  // by var
+  std::vector<char> seeded;                     // by var: fact predates us
   std::vector<Lit> unit_queue;
   VarRemapper remap;
   PreprocessStats stats;
@@ -95,14 +117,28 @@ struct Simplifier {
   bool changed = false;
 
   Simplifier(const PreprocessOptions& o, int nv,
-             const std::vector<char>& fr)
+             const std::vector<char>& fr, const std::vector<lbool>* seed)
       : opts(o),
         num_vars(nv),
         frozen(fr),
         occ(static_cast<std::size_t>(nv) * 2),
         occ_count(static_cast<std::size_t>(nv) * 2, 0),
         assigned(static_cast<std::size_t>(nv), l_Undef),
-        remap(nv) {}
+        seeded(static_cast<std::size_t>(nv), 0),
+        remap(nv) {
+    if (seed == nullptr) return;
+    REFBMC_EXPECTS(seed->size() == static_cast<std::size_t>(nv));
+    // Seeded facts simplify the input like any root assignment but are
+    // not new discoveries: they bypass assign() (no units_propagated,
+    // no changed flag) and output() never re-emits them.
+    for (Var v = 0; v < nv; ++v) {
+      const lbool val = (*seed)[static_cast<std::size_t>(v)];
+      if (val == l_Undef) continue;
+      assigned[static_cast<std::size_t>(v)] = val;
+      seeded[static_cast<std::size_t>(v)] = 1;
+      unit_queue.push_back(Lit::make(v, val == l_False));
+    }
+  }
 
   lbool value(Lit l) const {
     return assigned[static_cast<std::size_t>(l.var())] ^ l.negated();
@@ -379,13 +415,16 @@ struct Simplifier {
 
       // Witness: the positive occurrence list.  The default completion
       // (v = false) satisfies the negative side; the flip case is
-      // covered by the resolvents now entering the formula.
-      std::vector<std::vector<Lit>> witness;
+      // covered by the resolvents now entering the formula.  The
+      // negative side rides along as the resurrection kit's other half.
+      std::vector<std::vector<Lit>> witness, removed;
       witness.reserve(p_idx.size());
+      removed.reserve(n_idx.size());
       for (const std::uint32_t pi : p_idx) witness.push_back(cls[pi].lits);
+      for (const std::uint32_t ni : n_idx) removed.push_back(cls[ni].lits);
       for (const std::uint32_t pi : p_idx) kill(pi);
       for (const std::uint32_t ni : n_idx) kill(ni);
-      remap.eliminate(pos, std::move(witness));
+      remap.eliminate(pos, std::move(witness), std::move(removed));
       ++stats.vars_eliminated;
       changed = true;
       for (auto& r : resolvents) add_clause(std::move(r));
@@ -432,6 +471,7 @@ struct Simplifier {
     // unsimplified replay would have reached), then survivors in tape
     // order — fully deterministic.
     for (Var v = 0; v < num_vars; ++v) {
+      if (seeded[static_cast<std::size_t>(v)] != 0) continue;
       const lbool val = assigned[static_cast<std::size_t>(v)];
       if (val != l_Undef) out.push_back({Lit::make(v, val == l_False)});
     }
@@ -448,11 +488,12 @@ struct Simplifier {
 
 SimplifyResult TapePreprocessor::run(
     int num_vars, const std::vector<std::vector<Lit>>& clauses,
-    const std::vector<char>& frozen) const {
+    const std::vector<char>& frozen,
+    const std::vector<lbool>* seed) const {
   REFBMC_EXPECTS(frozen.size() == static_cast<std::size_t>(num_vars));
   const std::uint64_t t0 = obs::monotonic_now_us();
 
-  Simplifier s(opts_, num_vars, frozen);
+  Simplifier s(opts_, num_vars, frozen, seed);
   s.load(clauses);
   if (!s.contradiction) s.run();
 
@@ -463,6 +504,8 @@ SimplifyResult TapePreprocessor::run(
     // original formula so verdicts and cores stay authoritative.
     result.clauses = clauses;
     result.remap = VarRemapper(num_vars);
+    if (seed != nullptr) result.assigned = *seed;
+    result.assigned.resize(static_cast<std::size_t>(num_vars), l_Undef);
     result.fell_back = true;
     result.stats.clauses_in = clauses.size();
     result.stats.clauses_out = clauses.size();
@@ -474,6 +517,7 @@ SimplifyResult TapePreprocessor::run(
     result.clauses = s.output();
     result.remap = std::move(s.remap);
     result.stats = s.stats;
+    result.assigned = std::move(s.assigned);
   }
   result.stats.preprocess_us = obs::monotonic_now_us() - t0;
   return result;

@@ -93,6 +93,14 @@ class VarRemapper {
     /// The clauses removed with the variable (BVE: the positive
     /// occurrence list; pure: all occurrences; zero-occ: empty).
     std::vector<std::vector<sat::Lit>> clauses;
+    /// The remaining clauses removed with the variable (BVE: the
+    /// negative occurrence list; empty otherwise).  `clauses` +
+    /// `removed` together are the variable's full resurrection kit:
+    /// re-adding both restores every constraint the elimination
+    /// deleted, which is what lets an *incremental* delta reference a
+    /// variable eliminated at an earlier depth (global strashing makes
+    /// later frames point at earlier gate variables).
+    std::vector<std::vector<sat::Lit>> removed;
   };
 
   VarRemapper() = default;
@@ -106,9 +114,23 @@ class VarRemapper {
   std::size_t num_eliminated() const { return witnesses_.size(); }
   const std::vector<Witness>& witnesses() const { return witnesses_; }
 
+  /// Appends newly encoded tape variables (kept by default).  Used by
+  /// the incremental delta pass, whose variable universe grows with
+  /// each depth while the witness stack persists.
+  void grow(int num_vars);
+
+  /// Re-admits an eliminated variable: marks it kept again and returns
+  /// (removes) its witness entry.  The caller must re-add the entry's
+  /// `clauses` + `removed` kit to the formula — afterwards the variable
+  /// behaves as if it had never been eliminated, and `complete_model`
+  /// reads its value from the solver model like any kept variable.
+  Witness resurrect(sat::Var v);
+
   /// Marks lit.var() eliminated, recording its witness clauses (each
-  /// must contain `lit`).
-  void eliminate(sat::Lit lit, std::vector<std::vector<sat::Lit>> clauses);
+  /// must contain `lit`) plus the opposite-polarity clauses removed
+  /// with it (resurrection kit; not consulted by complete_model).
+  void eliminate(sat::Lit lit, std::vector<std::vector<sat::Lit>> clauses,
+                 std::vector<std::vector<sat::Lit>> removed = {});
 
   /// Extends a model of the simplified formula (tape-var indexed; kept
   /// variables assigned, eliminated ones l_Undef) to a model of the
@@ -130,6 +152,10 @@ struct SimplifyResult {
   std::vector<std::vector<sat::Lit>> clauses;
   VarRemapper remap;
   PreprocessStats stats;
+  /// Post-run root assignment per tape variable (includes any seeded
+  /// facts).  The incremental pass carries this across depths so later
+  /// deltas are simplified against everything already known.
+  std::vector<sat::lbool> assigned;
   /// True when the pass derived the empty clause (should not happen on
   /// a definitional tape) and returned the input unsimplified.
   bool fell_back = false;
@@ -142,9 +168,16 @@ class TapePreprocessor {
   /// Simplifies `clauses` (over variables 0..num_vars-1) with the
   /// variables marked in `frozen` (size num_vars) protected from
   /// elimination.  Pure function of its inputs; thread-safe.
+  ///
+  /// `seed` (optional, size num_vars) pre-assigns root facts from
+  /// earlier incremental deltas: seeded literals simplify the input
+  /// (satisfied clauses die, false literals strip) but are neither
+  /// counted as new units nor re-emitted in the output — the consuming
+  /// solver already owns them.
   SimplifyResult run(int num_vars,
                      const std::vector<std::vector<sat::Lit>>& clauses,
-                     const std::vector<char>& frozen) const;
+                     const std::vector<char>& frozen,
+                     const std::vector<sat::lbool>* seed = nullptr) const;
 
  private:
   PreprocessOptions opts_;

@@ -75,7 +75,10 @@ class IncrementalSession final : public FormulaSession {
  public:
   IncrementalSession(SharedTape& tape, const sat::SolverConfig& scfg,
                      portfolio::SharedClausePool* pool, int producer)
-      : tape_(tape), solver_(std::make_unique<sat::Solver>(scfg)) {
+      : tape_(tape),
+        preprocess_(tape.preprocess_options().enabled),
+        savepoint_(scfg.assumption_savepoint),
+        solver_(std::make_unique<sat::Solver>(scfg)) {
     if (pool != nullptr) {
       endpoint_ =
           std::make_unique<portfolio::PoolEndpoint>(*pool, producer);
@@ -86,8 +89,24 @@ class IncrementalSession final : public FormulaSession {
   Prepared prepare(int k) override {
     REFBMC_EXPECTS_MSG(k >= prepared_depth_,
                        "incremental session depths must be non-decreasing");
+    // Deferred retirements flush in batches: each flush costs a trip to
+    // the root (the savepoint prefix is rebuilt on the next solve), so
+    // amortize it over several proven depths.  Before the flush the dead
+    // guards are disabled by assumption instead.
+    if (pending_retire_.size() >= kRetireBatch) flush_retirements();
+
     SolverSink sink(*solver_, origin_);
-    tape_.replay_to(k, cursor_, sink);
+    if (preprocess_) {
+      // Activation-aware preprocessing: each depth's tape delta arrives
+      // simplified against everything already replayed (cumulative root
+      // facts, shared witness stack, transitive resurrection of
+      // variables a later frame re-references) — see
+      // SharedTape::replay_simplified_delta.
+      for (int f = prepared_depth_ + 1; f <= k; ++f)
+        tape_.replay_simplified_delta(f, cursor_, sink);
+    } else {
+      tape_.replay_to(k, cursor_, sink);
+    }
     prepared_depth_ = k;
     // Activation guards are solver-local (absent from the map), so the
     // endpoint's export filter refuses any learnt that mentions one —
@@ -100,6 +119,11 @@ class IncrementalSession final : public FormulaSession {
     if (guard.is_undef()) {
       origin_.push_back(VarOrigin{model::kConstNode, -2});
       guard = sat::Lit::make(solver_->new_var());
+      // Live guards shield their clauses from vivification and, once
+      // retired, key the frame-retirement sweep.  Registration only in
+      // savepoint mode: without it the solver must stay bit-identical
+      // to a plain incremental session.
+      if (savepoint_) solver_->register_frame_guard(guard.var());
       // Guarded property: assuming `guard` asserts the violation at k.
       solver_->add_clause({~guard, cursor_.translate(tape_.property(k))});
       activation_[static_cast<std::size_t>(k)] = guard;
@@ -107,7 +131,18 @@ class IncrementalSession final : public FormulaSession {
 
     Prepared p;
     p.solver = solver_.get();
-    p.assumptions = {guard};
+    if (savepoint_) {
+      // Stable, growing assumption prefix: every retired depth's guard
+      // negated (in depth order — flushed ones are root facts and cost a
+      // placeholder level), the live depth's guard last.  Successive
+      // depths share all but the final entry, which is exactly what the
+      // solver's assumption savepoint keeps assigned between calls.
+      for (std::size_t j = 0; j < retired_.size(); ++j)
+        if (retired_[j]) p.assumptions.push_back(~activation_[j]);
+      p.assumptions.push_back(guard);
+    } else {
+      p.assumptions = {guard};
+    }
     p.property_lit = cursor_.translate(tape_.property(k));
     p.cnf_vars = origin_.size();
     p.cnf_clauses = solver_->num_original_clauses();
@@ -122,6 +157,13 @@ class IncrementalSession final : public FormulaSession {
       retired_.push_back(0);
     if (retired_[static_cast<std::size_t>(k)]) return;
     retired_[static_cast<std::size_t>(k)] = 1;
+    if (savepoint_) {
+      // Defer the permanent unit: until the next flush the dead guard is
+      // disabled by assumption (~g leads the next depth's prefix), which
+      // keeps the savepoint trail intact.
+      pending_retire_.push_back(activation_[static_cast<std::size_t>(k)]);
+      return;
+    }
     // Permanently disable the guard so BCP never revisits the dead
     // property clause at deeper depths.
     solver_->add_clause({~activation_[static_cast<std::size_t>(k)]});
@@ -130,13 +172,24 @@ class IncrementalSession final : public FormulaSession {
   const std::vector<VarOrigin>& origin() const override { return origin_; }
 
  private:
+  // Depths retired between flushes of the permanent units + arena sweep.
+  static constexpr std::size_t kRetireBatch = 4;
+
+  void flush_retirements() {
+    solver_->retire_frame_guards(pending_retire_);
+    pending_retire_.clear();
+  }
+
   SharedTape& tape_;
+  bool preprocess_;
+  bool savepoint_;
   std::unique_ptr<sat::Solver> solver_;
   std::unique_ptr<portfolio::PoolEndpoint> endpoint_;
   ClauseTape::Cursor cursor_;
   std::vector<VarOrigin> origin_;
   std::vector<sat::Lit> activation_;  // per depth; undef = not created
   std::vector<char> retired_;         // per depth
+  std::vector<sat::Lit> pending_retire_;  // savepoint mode: await flush
   int prepared_depth_ = -1;
 };
 

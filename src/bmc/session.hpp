@@ -12,7 +12,15 @@
 //                   conclusion proposes).  Learned clauses — and, for the
 //                   refined ordering, VSIDS scores — carry over between
 //                   depths; retire(k) permanently disables a proven
-//                   depth's guard so BCP never revisits it.
+//                   depth's guard so BCP never revisits it.  With tape
+//                   preprocessing enabled the deltas arrive simplified
+//                   (SharedTape::replay_simplified_delta); with the
+//                   solver's assumption savepoint enabled the session
+//                   presents a growing assumption prefix (retired guards
+//                   negated, live guard last) so successive solves reuse
+//                   the trail, and retirements are batched through
+//                   Solver::retire_frame_guards so dead-frame clauses
+//                   actually leave the arena.
 //
 // Either way the formula itself is encoded exactly once, by whichever
 // SharedTape the session was given — private to one engine, or shared

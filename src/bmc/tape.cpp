@@ -37,6 +37,22 @@ void ClauseTape::export_clauses(const Mark& upto,
   }
 }
 
+void ClauseTape::export_clauses_range(
+    const Mark& from, const Mark& upto,
+    std::vector<std::vector<sat::Lit>>& out) const {
+  REFBMC_EXPECTS(from.ops <= upto.ops && upto.ops <= ops_.size());
+  out.clear();
+  out.reserve(upto.clauses - from.clauses);
+  std::size_t lit = from.lits;
+  for (std::size_t i = from.ops; i < upto.ops; ++i) {
+    const std::int32_t op = ops_[i];
+    if (op == kVarOp) continue;
+    out.emplace_back(lits_.begin() + static_cast<std::ptrdiff_t>(lit),
+                     lits_.begin() + static_cast<std::ptrdiff_t>(lit) + op);
+    lit += static_cast<std::size_t>(op);
+  }
+}
+
 SharedTape::SharedTape(const model::Netlist& net, std::size_t bad_index,
                        EncoderOptions opts, PreprocessOptions preprocess)
     : net_(net),
@@ -72,27 +88,19 @@ void SharedTape::replay_to(int k, ClauseTape::Cursor& cursor,
   tape_.replay(cursor, depth_marks_[static_cast<std::size_t>(k)], out);
 }
 
-void SharedTape::ensure_simplified_locked(int k) {
-  ensure_locked(k);
-  const auto idx = static_cast<std::size_t>(k);
-  if (simplified_.size() <= idx) simplified_.resize(idx + 1);
-  if (simplified_[idx].ready) return;
-
-  const ClauseTape::Mark& mark = depth_marks_[idx];
-  obs::TraceSpan span(obs::EventKind::SpanPreprocess, k);
-
-  std::vector<std::vector<sat::Lit>> clauses;
-  tape_.export_clauses(mark, clauses);
-
-  // Frozen set: everything whose tape variable must survive to the
-  // solver.  Inputs and latches at every frame (trace extraction and
-  // cross-depth identity), the auxiliary constant (frame -1), and the
-  // per-frame property/bad literals (the scratch session asserts or
-  // assumes them; the prefix-disjunction chain under BadMode::Any rides
-  // on the bad literals it references).
-  std::vector<char> frozen(mark.vars, 0);
+// Frozen set: everything whose tape variable must survive to the
+// solver.  Inputs and latches at every frame (trace extraction and
+// cross-depth identity), the auxiliary constant (frame -1), and the
+// per-frame property/bad literals (the scratch session asserts or
+// assumes them; the prefix-disjunction chain under BadMode::Any rides
+// on the bad literals it references).  Incremental activation guards
+// never appear here: they are solver-local variables created OUTSIDE
+// the tape, so the pass cannot touch them by construction — the guard
+// clause's tape-side anchor is the property literal, which is frozen.
+void SharedTape::build_frozen_locked(int k, std::size_t num_vars,
+                                     std::vector<char>& frozen) const {
   const auto& origin = tape_.origin();
-  for (std::size_t v = 0; v < mark.vars; ++v) {
+  for (std::size_t v = 0; v < num_vars; ++v) {
     const VarOrigin& o = origin[v];
     if (o.frame < 0) {
       frozen[v] = 1;
@@ -106,6 +114,22 @@ void SharedTape::ensure_simplified_locked(int k) {
     frozen[static_cast<std::size_t>(encoder_.property(j).var())] = 1;
     frozen[static_cast<std::size_t>(encoder_.bad(j).var())] = 1;
   }
+}
+
+void SharedTape::ensure_simplified_locked(int k) {
+  ensure_locked(k);
+  const auto idx = static_cast<std::size_t>(k);
+  if (simplified_.size() <= idx) simplified_.resize(idx + 1);
+  if (simplified_[idx].ready) return;
+
+  const ClauseTape::Mark& mark = depth_marks_[idx];
+  obs::TraceSpan span(obs::EventKind::SpanPreprocess, k);
+
+  std::vector<std::vector<sat::Lit>> clauses;
+  tape_.export_clauses(mark, clauses);
+
+  std::vector<char> frozen(mark.vars, 0);
+  build_frozen_locked(k, mark.vars, frozen);
 
   const TapePreprocessor pp(preprocess_);
   simplified_[idx].result =
@@ -113,6 +137,124 @@ void SharedTape::ensure_simplified_locked(int k) {
   simplified_[idx].ready = true;
   span.set_value(
       static_cast<std::int64_t>(simplified_[idx].result.clauses.size()));
+}
+
+void SharedTape::ensure_inc_delta_locked(int f) {
+  ensure_locked(f);
+  const auto idx = static_cast<std::size_t>(f);
+  if (inc_deltas_.size() <= idx) inc_deltas_.resize(idx + 1);
+  if (inc_deltas_[idx].ready) return;
+  // The cumulative state (remapper, root facts) only makes sense built
+  // strictly in depth order; consumers replay deltas in order anyway.
+  if (f > 0) ensure_inc_delta_locked(f - 1);
+
+  const ClauseTape::Mark prev =
+      f > 0 ? depth_marks_[idx - 1] : ClauseTape::Mark{};
+  const ClauseTape::Mark& mark = depth_marks_[idx];
+  obs::TraceSpan span(obs::EventKind::SpanPreprocess, f);
+
+  IncDelta& d = inc_deltas_[idx];
+  inc_remap_.grow(static_cast<int>(mark.vars));
+  inc_assigned_.resize(mark.vars, sat::l_Undef);
+
+  std::vector<std::vector<sat::Lit>> input;
+  tape_.export_clauses_range(prev, mark, input);
+
+  // Transitive resurrection: the delta may reference variables BVE
+  // eliminated at an earlier depth (global strashing aliases later
+  // frames onto earlier gate variables).  Re-admit each one and re-add
+  // its removed-clause kit ahead of the delta; kit clauses may
+  // themselves reference other eliminated variables, so chase to
+  // fixpoint.  Kit clauses join the simplifier input — seeded root
+  // facts and the delta get to simplify them like anything else.
+  std::vector<std::vector<sat::Lit>> kit;
+  const auto scan_clause = [&](const std::vector<sat::Lit>& c) {
+    for (const sat::Lit l : c) {
+      const sat::Var v = l.var();
+      if (inc_remap_.is_kept(v)) continue;
+      VarRemapper::Witness w = inc_remap_.resurrect(v);
+      d.resurrected.push_back(v);
+      for (auto& kc : w.clauses) kit.push_back(std::move(kc));
+      for (auto& kc : w.removed) kit.push_back(std::move(kc));
+    }
+  };
+  for (const auto& c : input) scan_clause(c);
+  for (std::size_t i = 0; i < kit.size(); ++i) {
+    const std::vector<sat::Lit> c = kit[i];  // copy: kit may grow
+    scan_clause(c);
+  }
+  if (!kit.empty())
+    input.insert(input.begin(), kit.begin(), kit.end());
+
+  // Frozen: the scratch recipe for the new variables, plus EVERY
+  // variable of earlier depths — cross-depth identity is what makes
+  // the persistent solver's clauses stay meaningful, so only this
+  // delta's fresh gate variables are elimination candidates.
+  std::vector<char> frozen(mark.vars, 0);
+  build_frozen_locked(f, mark.vars, frozen);
+  for (std::size_t v = 0; v < prev.vars; ++v) frozen[v] = 1;
+
+  const TapePreprocessor pp(preprocess_);
+  SimplifyResult result =
+      pp.run(static_cast<int>(mark.vars), input, frozen, &inc_assigned_);
+
+  // Fold the delta's outcome into the cumulative state.  On fallback
+  // (contradiction — degenerate input) the raw delta is cached and no
+  // new eliminations or facts are recorded; the resurrections above
+  // stand either way (the raw delta references those variables too).
+  if (!result.fell_back) {
+    for (const auto& w : result.remap.witnesses())
+      inc_remap_.eliminate(w.lit, w.clauses, w.removed);
+  }
+  inc_assigned_ = std::move(result.assigned);
+  d.kept_new.assign(mark.vars - prev.vars, 1);
+  for (std::size_t v = prev.vars; v < mark.vars; ++v) {
+    if (!inc_remap_.is_kept(static_cast<sat::Var>(v)))
+      d.kept_new[v - prev.vars] = 0;
+  }
+  d.clauses = std::move(result.clauses);
+  d.stats = result.stats;
+  d.remap_after = inc_remap_;
+  d.ready = true;
+  span.set_value(static_cast<std::int64_t>(d.clauses.size()));
+}
+
+void SharedTape::replay_simplified_delta(int f, ClauseTape::Cursor& cursor,
+                                         ClauseSink& out) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ensure_inc_delta_locked(f);
+  const auto idx = static_cast<std::size_t>(f);
+  const ClauseTape::Mark prev =
+      f > 0 ? depth_marks_[idx - 1] : ClauseTape::Mark{};
+  const ClauseTape::Mark& mark = depth_marks_[idx];
+  REFBMC_EXPECTS_MSG(cursor.var_map.size() == prev.vars,
+                     "delta replay requires a cursor parked at the "
+                     "previous depth's mark");
+  const IncDelta& d = inc_deltas_[idx];
+  const auto& origin = tape_.origin();
+
+  // Resurrected variables first (the cached delta stream references
+  // them), then this delta's surviving variables in tape order —
+  // identical creation order for every incremental consumer.
+  for (const sat::Var v : d.resurrected) {
+    auto& slot = cursor.var_map[static_cast<std::size_t>(v)];
+    REFBMC_ASSERT(slot == sat::kVarUndef);
+    slot = out.add_var(origin[static_cast<std::size_t>(v)]);
+  }
+  for (std::size_t v = prev.vars; v < mark.vars; ++v) {
+    cursor.var_map.push_back(d.kept_new[v - prev.vars] != 0
+                                 ? out.add_var(origin[v])
+                                 : sat::kVarUndef);
+  }
+  std::vector<sat::Lit> clause;
+  for (const auto& c : d.clauses) {
+    clause.clear();
+    for (const sat::Lit l : c) clause.push_back(cursor.translate(l));
+    out.add_clause(clause);
+  }
+  // Park at the depth mark, exactly like the scratch simplified replay.
+  cursor.op = mark.ops;
+  cursor.lit = mark.lits;
 }
 
 void SharedTape::replay_simplified_to(int k, ClauseTape::Cursor& cursor,
@@ -158,6 +300,18 @@ VarRemapper SharedTape::remapper_at(int k) {
   const std::lock_guard<std::mutex> lock(mu_);
   ensure_simplified_locked(k);
   return simplified_[static_cast<std::size_t>(k)].result.remap;
+}
+
+PreprocessStats SharedTape::incremental_preprocess_stats_at(int k) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ensure_inc_delta_locked(k);
+  return inc_deltas_[static_cast<std::size_t>(k)].stats;
+}
+
+VarRemapper SharedTape::incremental_remapper_at(int k) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  ensure_inc_delta_locked(k);
+  return inc_deltas_[static_cast<std::size_t>(k)].remap_after;
 }
 
 sat::Lit SharedTape::property(int k) {

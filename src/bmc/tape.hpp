@@ -81,6 +81,11 @@ class ClauseTape final : public ClauseSink {
   void export_clauses(const Mark& upto,
                       std::vector<std::vector<sat::Lit>>& out) const;
 
+  /// Copies the clauses recorded in (from, upto], in tape variable
+  /// space — one depth's delta for the incremental preprocessing pass.
+  void export_clauses_range(const Mark& from, const Mark& upto,
+                            std::vector<std::vector<sat::Lit>>& out) const;
+
  private:
   static constexpr std::int32_t kVarOp = -1;
 
@@ -123,8 +128,33 @@ class SharedTape {
   void replay_simplified_to(int k, ClauseTape::Cursor& cursor,
                             ClauseSink& out);
 
+  /// Replays the PREPROCESSED DELTA of depth f — the clauses frame f
+  /// added on top of frame f-1, simplified against everything already
+  /// replayed — into an incremental consumer whose cursor is parked at
+  /// depth f-1's mark (or fresh, for f = 0).  Unlike
+  /// replay_simplified_to, the simplification state is cumulative: root
+  /// facts from earlier deltas seed the pass, the VarRemapper witness
+  /// stack is shared across depths, and a delta that references a
+  /// variable eliminated at an earlier depth transparently RESURRECTS
+  /// it (the variable is re-created in the sink and its removed-clause
+  /// kit is re-emitted before the delta, restoring every deleted
+  /// constraint).  Deltas are computed (and cached) once per depth,
+  /// race-wide, so every incremental consumer sees the identical
+  /// stream.  Thread-safe.
+  void replay_simplified_delta(int f, ClauseTape::Cursor& cursor,
+                               ClauseSink& out);
+
   /// Preprocessing counters for depth k (runs the cached pass first).
   PreprocessStats preprocess_stats_at(int k);
+  /// Preprocessing counters for depth k's incremental DELTA (runs the
+  /// cached delta passes up to k first).
+  PreprocessStats incremental_preprocess_stats_at(int k);
+  /// The cumulative incremental remapper as of depth k's delta (witness
+  /// stack for model completion across depths): exactly the elimination
+  /// state a consumer that replayed deltas 0..k is solving under, even
+  /// when a faster consumer has already advanced the cumulative state
+  /// past k.  Returned by value (snapshot).
+  VarRemapper incremental_remapper_at(int k);
   /// Clause count of the simplified formula at depth k — what a
   /// preprocessed scratch consumer's solver must end up holding (the
   /// session asserts the round trip).
@@ -152,11 +182,31 @@ class SharedTape {
  private:
   void ensure_locked(int k);
   void ensure_simplified_locked(int k);
+  void ensure_inc_delta_locked(int f);
+  void build_frozen_locked(int k, std::size_t num_vars,
+                           std::vector<char>& frozen) const;
 
   /// One depth's cached simplification (clauses + remapper + stats).
   struct SimplifiedDepth {
     bool ready = false;
     SimplifyResult result;
+  };
+
+  /// One depth's cached incremental delta: the variables resurrected
+  /// for it, which of its new variables survived, and the simplified
+  /// delta clauses (kit clauses included), all in tape space.
+  /// Consumers replay deltas strictly in depth order, so caching makes
+  /// the stream identical race-wide — and each delta snapshots the
+  /// remapper as of its own depth, so a consumer completing a model at
+  /// depth k is immune to faster consumers advancing the cumulative
+  /// state past k.
+  struct IncDelta {
+    bool ready = false;
+    std::vector<sat::Var> resurrected;       // sink creation order
+    std::vector<char> kept_new;              // per var in (prev, mark]
+    std::vector<std::vector<sat::Lit>> clauses;  // kits + simplified delta
+    PreprocessStats stats;
+    VarRemapper remap_after;                 // cumulative, as of this depth
   };
 
   mutable std::mutex mu_;
@@ -169,6 +219,11 @@ class SharedTape {
   std::vector<ClauseTape::Mark> depth_marks_;  // per encoded depth
   std::vector<EncodeStats> depth_stats_;       // cumulative per depth
   std::vector<SimplifiedDepth> simplified_;    // per depth, lazy
+  // Cumulative incremental preprocessing state (delta mode): witness
+  // stack shared across depths + root facts carried forward.
+  std::vector<IncDelta> inc_deltas_;           // per depth, lazy
+  VarRemapper inc_remap_{0};
+  std::vector<sat::lbool> inc_assigned_;       // per tape var
 };
 
 }  // namespace refbmc::bmc

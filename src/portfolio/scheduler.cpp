@@ -394,9 +394,19 @@ ResolvedPortfolio resolve(const PortfolioConfig& cfg) {
   r.engine.preprocess.enabled = cfg.preprocess;
   r.engine.preprocess.bve_budget = cfg.bve_budget;
   // Vivification rides the same switch: `--preprocess off` must restore
-  // the PR 6 pipeline bit for bit, inprocessing included.
+  // the PR 6 pipeline bit for bit, inprocessing included.  The interval
+  // itself applies to scratch and incremental sessions alike; when the
+  // user asked for it explicitly and --preprocess off overrides it, say
+  // so — a set knob must never be dropped silently.
+  if (!cfg.preprocess && cfg.vivify_interval_set && cfg.vivify_interval > 0)
+    REFBMC_WARN() << "--vivify-interval " << cfg.vivify_interval
+                  << " ignored: --preprocess off disables inprocessing "
+                     "(bit-identity with the unpreprocessed pipeline)";
   r.engine.solver.inprocess.vivify_interval =
       cfg.preprocess ? cfg.vivify_interval : 0;
+  // Scratch engines clear this themselves (solver_config_for_policy);
+  // the knob reaches only incremental sessions.
+  r.engine.solver.assumption_savepoint = cfg.assumption_savepoint;
   r.sharing.enabled = cfg.share;
   r.sharing.lbd_max = cfg.share_lbd;
   r.sharing.size_max = cfg.share_size;

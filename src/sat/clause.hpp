@@ -133,6 +133,21 @@ class ClauseArena {
   /// every live clause so the solver can patch watches/reasons.
   void garbage_collect(std::vector<std::pair<ClauseRef, ClauseRef>>& relocation);
 
+  /// Calls fn(cref, clause) for every live clause, in arena order (the
+  /// same walk as garbage_collect).  fn must not allocate arena clauses
+  /// (the walk caches framing); freeing the visited clause mid-walk is
+  /// safe (free_clause mutates in place).
+  template <typename Fn>
+  void for_each_live(Fn&& fn) {
+    std::size_t at = 0;
+    while (at < data_.size()) {
+      const auto cref = static_cast<ClauseRef>(at);
+      Clause c = get(cref);
+      at += Clause::kHeaderWords + c.capacity();
+      if (!c.dead()) fn(cref, c);
+    }
+  }
+
  private:
   std::vector<std::uint32_t> data_;
   std::size_t wasted_ = 0;

@@ -176,6 +176,52 @@ void ClauseDB::reduce(Trail& trail, Propagator& propagator, bool strengthen,
   garbage_collect_if_needed(trail, propagator, stats);
 }
 
+std::uint64_t ClauseDB::retire_root_satisfied(
+    Trail& trail, Propagator& propagator,
+    const std::vector<char>& guard_state) {
+  std::vector<ClauseRef> doomed_learned;
+  std::uint64_t retired = 0;
+  arena_.for_each_live([&](ClauseRef cref, Clause c) {
+    bool satisfied_by_dead = false;
+    for (std::uint32_t k = 0; k < c.size(); ++k) {
+      const Lit l = c[k];
+      const auto v = static_cast<std::size_t>(l.var());
+      if (v >= guard_state.size() || guard_state[v] != 2) continue;
+      if (trail.value(l) == l_True && trail.level(l.var()) == 0) {
+        satisfied_by_dead = true;
+        break;
+      }
+    }
+    if (!satisfied_by_dead) return;
+    // Reasons of current root assignments stay — the retirement unit
+    // itself, and anything a dead guard helped propagate at the root —
+    // so the trail and the CDG keep their anchors.  Long clauses assert
+    // through position 0; inlined binaries through either watch.
+    const std::uint32_t reason_positions = c.size() >= 2 ? 2u : 1u;
+    for (std::uint32_t k = 0; k < reason_positions; ++k) {
+      if (trail.reason(c[k].var()) == cref && trail.value(c[k]) == l_True)
+        return;
+    }
+    if (c.size() >= 2 && propagator.is_attached(arena_, cref))
+      propagator.detach(arena_, cref);
+    if (c.learnt()) doomed_learned.push_back(cref);
+    arena_.free_clause(cref);
+    ++retired;
+  });
+  if (!doomed_learned.empty()) {
+    std::sort(doomed_learned.begin(), doomed_learned.end());
+    learned_.erase(
+        std::remove_if(learned_.begin(), learned_.end(),
+                       [&](ClauseRef cref) {
+                         return std::binary_search(doomed_learned.begin(),
+                                                   doomed_learned.end(),
+                                                   cref);
+                       }),
+        learned_.end());
+  }
+  return retired;
+}
+
 void ClauseDB::garbage_collect_if_needed(Trail& trail,
                                          Propagator& propagator,
                                          SolverStats& stats) {

@@ -116,6 +116,16 @@ class ClauseDB {
   void garbage_collect_if_needed(Trail& trail, Propagator& propagator,
                                  SolverStats& stats);
 
+  /// Frame retirement sweep (incremental sessions, at decision level 0):
+  /// frees every clause satisfied by a root-true literal over a variable
+  /// marked 2 ("dead guard") in `guard_state`, detaching it from the
+  /// propagator first.  Clauses that are the reason of a root assignment
+  /// — including the retirement units themselves — are kept (they anchor
+  /// CDG antecedents and the root trail).  Returns the number of clauses
+  /// freed; the caller should follow up with garbage_collect_if_needed.
+  std::uint64_t retire_root_satisfied(Trail& trail, Propagator& propagator,
+                                      const std::vector<char>& guard_state);
+
  private:
   bool clause_locked(ClauseRef cref, const Trail& trail) const;
   void strengthen_learned(ClauseRef cref, Trail& trail,

@@ -50,6 +50,21 @@ bool Solver::inprocess_at_restart() {
       // vivification in this pass may have made this clause a reason.
       if (trail_.reason(c[0].var()) == cref && trail_.value(c[0]) == l_True)
         continue;
+      // Incremental sessions: skip clauses over a live activation guard.
+      // The guard is unassigned at the root, so the probe would burn its
+      // propagation budget deciding guard polarity and walking frames
+      // the current depth never assumes.  Retired (dead) guards are root
+      // facts, so their clauses simplify away normally.  No-op when no
+      // guards are registered (scratch bit-identity).
+      bool guarded = false;
+      const Clause c2 = db_.get(cref);
+      for (std::uint32_t k = 0; k < c2.size(); ++k) {
+        if (is_live_guard(c2[k].var())) {
+          guarded = true;
+          break;
+        }
+      }
+      if (guarded) continue;
     }
 
     // Detach first: the probe must not let C propagate itself, or the

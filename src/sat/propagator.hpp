@@ -61,6 +61,17 @@ class Propagator {
   std::size_t num_binary_watches(Lit l) const;
   std::size_t num_long_watches(Lit l) const;
 
+  /// True when `cref` currently appears in the watch lists (scans the
+  /// first watched literal's list).  Frame retirement uses it to skip
+  /// the rare never-attached originals (added while already root-true).
+  bool is_attached(const ClauseArena& arena, ClauseRef cref) const {
+    const Clause c = arena.get(cref);
+    const auto& wl = watches_[static_cast<std::size_t>((~c[0]).index())];
+    for (const Watcher& w : wl)
+      if (w.cref() == cref) return true;
+    return false;
+  }
+
  private:
   // High bit of the stored reference tags an inlined binary watcher;
   // arena offsets stay below it (a 2^31-word arena).

@@ -34,8 +34,9 @@ void Solver::set_variable_rank(std::span<const double> rank_by_var) {
 }
 
 bool Solver::add_clause(const std::vector<Lit>& lits) {
-  REFBMC_EXPECTS_MSG(trail_.decision_level() == 0,
-                     "clauses can only be added at the root level");
+  REFBMC_EXPECTS_MSG(
+      trail_.decision_level() == 0 || config_.assumption_savepoint,
+      "clauses can only be added at the root level");
   for (const Lit l : lits)
     REFBMC_EXPECTS_MSG(!l.is_undef() && l.var() < num_vars(),
                        "literal over unknown variable");
@@ -66,6 +67,24 @@ bool Solver::add_clause(const std::vector<Lit>& lits) {
     ok_ = false;
     if (config_.track_cdg) cdg_.set_final_conflict({id});
     return false;
+  }
+
+  if (trail_.decision_level() > 0) {
+    // Savepoint mode: the trail still holds a kept assumption prefix.
+    // When the clause has two literals non-false under the live prefix it
+    // attaches in place (watch invariants hold; nothing propagates).
+    // Otherwise flush to the root and fall through to the usual handling
+    // — the savepoint is rebuilt by the next solve().
+    std::size_t nnf = 0;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      if (value(c[i]) != l_False) std::swap(c[nnf++], c[i]);
+    }
+    if (nnf >= 2) {
+      const ClauseRef cref = db_.alloc_original(c, id);
+      prop_.attach(db_.arena(), cref);
+      return ok_;
+    }
+    backtrack(0);
   }
 
   // Partition: non-false-at-root literals first.  False-at-root literals
@@ -451,6 +470,34 @@ void Solver::poll_rank_refresh() {
   ++stats_.rank_refreshes;
 }
 
+void Solver::register_frame_guard(Var v) {
+  REFBMC_EXPECTS(v >= 0 && v < num_vars());
+  if (guard_state_.size() < static_cast<std::size_t>(num_vars()))
+    guard_state_.resize(static_cast<std::size_t>(num_vars()), 0);
+  guard_state_[static_cast<std::size_t>(v)] = 1;
+}
+
+bool Solver::retire_frame_guards(const std::vector<Lit>& guards) {
+  if (guards.empty()) return ok_;
+  backtrack(0);
+  for (const Lit g : guards) {
+    const auto v = static_cast<std::size_t>(g.var());
+    REFBMC_EXPECTS_MSG(v < guard_state_.size() && guard_state_[v] == 1,
+                       "retiring an unregistered or already dead guard");
+    guard_state_[v] = 2;
+    add_clause({~g});
+    if (!ok_) return false;
+  }
+  // The retirement units are now root facts: every clause satisfied by a
+  // dead guard is permanently satisfied and can be dropped wholesale —
+  // the one route by which a retired frame's clauses ever leave the
+  // arena in an incremental session.
+  stats_.retired_frame_clauses +=
+      db_.retire_root_satisfied(trail_, prop_, guard_state_);
+  db_.garbage_collect_if_needed(trail_, prop_, stats_);
+  return ok_;
+}
+
 std::int64_t Solver::luby(std::int64_t x) {
   // Luby sequence 1,1,2,1,1,2,4,... at 0-based index x (MiniSat's scheme:
   // find the finite subsequence containing x, then recurse into it).
@@ -519,21 +566,63 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
 
   const auto finish = [&](Result r) {
     note_export_batch();
-    backtrack(0);
+    if (config_.assumption_savepoint && ok_) {
+      // Keep the assumption prefix assigned (decisions and placeholders
+      // for levels 1..keep map to assumptions_[0..keep-1]); the next
+      // solve() resumes from the longest common prefix instead of
+      // re-deciding and re-propagating every frame guard.
+      const int keep = std::min(trail_.decision_level(),
+                                static_cast<int>(assumptions_.size()));
+      backtrack(keep);
+      savepoint_assumptions_ = assumptions_;
+      savepoint_levels_ = keep;
+    } else {
+      backtrack(0);
+      savepoint_assumptions_.clear();
+      savepoint_levels_ = 0;
+    }
     assumptions_.clear();
     stats_.solve_time_sec += timer.elapsed_sec();
     return r;
   };
 
-  // Foreign lemmas first: solve() starts at decision level 0, the one
-  // place imported clauses can be attached and root-propagated safely.
-  if (!import_shared_clauses()) {
-    solved_unsat_ = true;
-    return finish(Result::Unsat);
+  if (config_.assumption_savepoint) {
+    // Resume from the longest common prefix of the kept assumption
+    // levels.  Pending cross-thread work (clause import, rank refresh)
+    // needs the root, so it forces a miss.
+    int lcp = 0;
+    const int reusable = std::min(
+        {savepoint_levels_, trail_.decision_level(),
+         static_cast<int>(assumptions_.size())});
+    while (lcp < reusable &&
+           assumptions_[static_cast<std::size_t>(lcp)] ==
+               savepoint_assumptions_[static_cast<std::size_t>(lcp)])
+      ++lcp;
+    if ((exchange_ != nullptr && exchange_->has_pending()) ||
+        (rank_refresh_ != nullptr && rank_refresh_->has_update()))
+      lcp = 0;
+    backtrack(lcp);
+    if (lcp > 0) {
+      ++stats_.savepoint_hits;
+      stats_.savepoint_levels_reused += static_cast<std::uint64_t>(lcp);
+    } else {
+      ++stats_.savepoint_misses;
+    }
   }
-  // Shared-ordering refresh rides the same boundary: rivals may have
-  // published cores since this solver's rank was projected.
-  poll_rank_refresh();
+
+  // Foreign lemmas first: a solve() starting at decision level 0 is the
+  // one place imported clauses can be attached and root-propagated
+  // safely.  A savepoint resume skips the boundary (the LCP was forced
+  // to 0 above whenever either feed had pending work).
+  if (trail_.decision_level() == 0) {
+    if (!import_shared_clauses()) {
+      solved_unsat_ = true;
+      return finish(Result::Unsat);
+    }
+    // Shared-ordering refresh rides the same boundary: rivals may have
+    // published cores since this solver's rank was projected.
+    poll_rank_refresh();
+  }
 
   while (true) {
     const ClauseRef confl = propagate();
@@ -586,6 +675,21 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       conflicts_this_restart = 0;
       restart_budget = config_.restart_base *
                        luby(static_cast<std::int64_t>(stats_.restarts));
+      // Savepoint: restart only down to the assumption prefix unless
+      // root-level work is pending (clause import, rank refresh, a due
+      // vivification pass).  The partial restart still counts toward the
+      // vivification cadence so the interval is honored exactly.
+      const bool need_root =
+          !config_.assumption_savepoint ||
+          (exchange_ != nullptr && exchange_->has_pending()) ||
+          (rank_refresh_ != nullptr && rank_refresh_->has_update()) ||
+          inprocess_due();
+      if (!need_root) {
+        backtrack(std::min(trail_.decision_level(),
+                           static_cast<int>(assumptions_.size())));
+        if (config_.inprocess.vivify_interval > 0) ++restarts_since_vivify_;
+        continue;
+      }
       backtrack(0);
       // Restart = decision-level-zero boundary: the import point where
       // foreign lemmas learned since the last visit are integrated, and

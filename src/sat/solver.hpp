@@ -143,6 +143,14 @@ struct SolverConfig {
   // instead of the Chaff literal-score phase.  Off by default (the paper
   // predates phase saving; keeping it off stays faithful to Chaff).
   bool phase_saving = false;
+  // Assumption savepoint (incremental sessions): when successive solve()
+  // calls share an assumption prefix, keep that prefix's trail levels
+  // alive instead of backtracking to level 0 — solve start and restarts
+  // return only to the longest common prefix still on the trail, and
+  // clauses added between calls attach at the current level when their
+  // watch invariants allow it.  Off (the default) is bit-identical to a
+  // solver without the feature.
+  bool assumption_savepoint = false;
   // Resource limits per solve() call (negative = unlimited).
   std::int64_t conflict_limit = -1;
   double time_limit_sec = -1.0;
@@ -225,6 +233,17 @@ class Solver {
   /// solve() — and every search trajectory bit-identical to a solver
   /// without the hook.
   void set_rank_refresh(RankRefresh* refresh) { rank_refresh_ = refresh; }
+
+  // ---- incremental frame guards ---------------------------------------
+  /// Declares `v` a frame activation guard (incremental sessions).  Live
+  /// guards shield their clauses from vivification probing; retired ones
+  /// drive the retirement sweep.
+  void register_frame_guard(Var v);
+  /// Permanently falsifies a batch of activation guards: backtracks to
+  /// the root, adds the unit ~g for each, then sweeps every clause a
+  /// dead guard satisfies out of the arena (stats_.retired_frame_clauses)
+  /// and compacts if worthwhile.  Returns ok_.
+  bool retire_frame_guards(const std::vector<Lit>& guards);
 
   // ---- solving ---------------------------------------------------------
   Result solve() { return solve({}); }
@@ -313,6 +332,20 @@ class Solver {
   /// seam, after clause import and rank refresh.  Returns ok_: false
   /// means inprocessing derived the empty clause (formula unsat).
   bool inprocess_at_restart();
+  /// Whether the NEXT restart's vivification pass would run — partial
+  /// (savepoint) restarts consult this to decide if they must fall back
+  /// to a full level-0 restart, keeping the vivify cadence intact.
+  bool inprocess_due() const {
+    return config_.inprocess.vivify_interval > 0 &&
+           restarts_since_vivify_ + 1 >=
+               static_cast<std::uint64_t>(config_.inprocess.vivify_interval);
+  }
+  /// True when `v` is a live (unretired) activation guard — vivification
+  /// skips clauses mentioning one (their truth is frame-conditional).
+  bool is_live_guard(Var v) const {
+    return static_cast<std::size_t>(v) < guard_state_.size() &&
+           guard_state_[static_cast<std::size_t>(v)] == 1;
+  }
 
   // -- shared-ordering refresh ----------------------------------------------
   /// Polls the attached RankRefresh at decision level 0 (solve start and
@@ -350,6 +383,13 @@ class Solver {
   bool ok_ = true;
   bool solved_unsat_ = false;
   std::uint64_t restarts_since_vivify_ = 0;
+  // Assumption savepoint: the assumption list whose decision levels were
+  // kept on the trail by the previous solve()'s finish (levels 1..m map
+  // to entries 0..m-1, placeholders included), and how many were kept.
+  std::vector<Lit> savepoint_assumptions_;
+  int savepoint_levels_ = 0;
+  // Per-variable frame-guard state: 0 = not a guard, 1 = live, 2 = dead.
+  std::vector<char> guard_state_;
   /// Whether the decision queue wants per-variable analysis bumps (the
   /// EVSIDS scorer); cached to keep the no-op virtual hop out of the
   /// analyze loop for Chaff.

@@ -49,6 +49,16 @@ struct SolverStats {
   std::uint64_t vivified_clauses = 0;
   std::uint64_t vivified_literals = 0;
   std::uint64_t inprocess_us = 0;
+  /// Assumption savepoint (zero with assumption_savepoint off): solve()
+  /// calls that kept a non-empty trail prefix from the previous call,
+  /// calls that had to fall back to level 0, and the total decision
+  /// levels the hits preserved (re-propagation avoided).
+  std::uint64_t savepoint_hits = 0;
+  std::uint64_t savepoint_misses = 0;
+  std::uint64_t savepoint_levels_reused = 0;
+  /// Frame retirement (incremental sessions): clauses deleted from the
+  /// arena because a permanently false activation guard satisfies them.
+  std::uint64_t retired_frame_clauses = 0;
   bool rank_switched = false;  // dynamic fallback fired (last solve call)
   double solve_time_sec = 0.0;  // accumulated across solve calls
 };

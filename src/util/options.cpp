@@ -133,9 +133,12 @@ PortfolioConfig PortfolioConfig::from_options(const Options& opts) {
   if (cfg.bve_budget < 1)
     throw std::invalid_argument("option --bve-budget expects a value >= 1");
   cfg.vivify_interval = opts.get_int("vivify-interval", cfg.vivify_interval);
+  cfg.vivify_interval_set = opts.has("vivify-interval");
   if (cfg.vivify_interval < 0)
     throw std::invalid_argument(
         "option --vivify-interval expects a value >= 0");
+  cfg.assumption_savepoint =
+      opts.get_bool("assumption-savepoint", cfg.assumption_savepoint);
   cfg.trace_file = opts.get("trace", cfg.trace_file);
   cfg.trace_buffer_kb = opts.get_int("trace-buffer-kb", cfg.trace_buffer_kb);
   if (cfg.trace_buffer_kb < 1)

@@ -77,6 +77,16 @@ struct PortfolioConfig {
   bool preprocess = true;   // --preprocess on|off
   int bve_budget = 16;      // --bve-budget: max occurrences of an elim var
   int vivify_interval = 8;  // --vivify-interval: restarts between passes
+  /// True when the user set --vivify-interval explicitly; the scheduler
+  /// uses it to log (instead of silently dropping) a request that another
+  /// knob overrides.
+  bool vivify_interval_set = false;
+  /// Incremental-session fast path (PR 8): successive solve() calls
+  /// resume from the longest common assumption prefix instead of the
+  /// root, and frame retirements are batched through an arena sweep.
+  /// `--assumption-savepoint off` restores the per-depth root restart
+  /// bit for bit.  No effect on scratch sessions.
+  bool assumption_savepoint = true;  // --assumption-savepoint on|off
   /// Core-score weighting of §3.2 (the ablation knob), as a name (util
   /// cannot depend on bmc; the portfolio layer resolves and validates):
   /// linear | uniform | last-only | exp-decay.
@@ -95,7 +105,8 @@ struct PortfolioConfig {
   /// `--glue-lbd`, `--tier-lbd`, `--share 0|1`, `--share-lbd`,
   /// `--share-size`, `--share-cap`, `--share-rank 0|1`,
   /// `--core-weighting W`, `--preprocess 0|1`, `--bve-budget N`,
-  /// `--vivify-interval N`, `--trace FILE`, `--trace-buffer-kb KB`,
+  /// `--vivify-interval N`, `--assumption-savepoint 0|1`, `--trace FILE`,
+  /// `--trace-buffer-kb KB`,
   /// `--metrics FILE`; absent options keep the defaults above
   /// (share_rank defaulting off when the host has one hardware thread).
   /// Throws std::invalid_argument on malformed values (threads < 1,

@@ -1,0 +1,157 @@
+// Assumption savepoint and frame retirement at the solver level (PR 8):
+// solve() calls with growing assumption prefixes resume from the kept
+// trail instead of the root, retired guards' clauses leave the arena,
+// and none of it may change a verdict.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "../helpers.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace refbmc::sat {
+namespace {
+
+using test::load;
+using test::random_ksat;
+
+SolverConfig savepoint_config() {
+  SolverConfig cfg;
+  cfg.assumption_savepoint = true;
+  return cfg;
+}
+
+/// Builds the session-shaped assumption list for step k over guards g:
+/// retired prefix [~g0..~g_{k-1}] then the live guard g_k.
+std::vector<Lit> step_assumptions(const std::vector<Var>& guards, int k) {
+  std::vector<Lit> out;
+  for (int i = 0; i < k; ++i) out.push_back(Lit::make(guards[i], true));
+  out.push_back(Lit::make(guards[k]));
+  return out;
+}
+
+TEST(SolverSavepointTest, AgreesWithPlainSolverOnGrowingPrefixes) {
+  // Two identical solvers, savepoint on vs off, walked through the
+  // session assumption pattern over guarded clause groups — verdicts
+  // must match at every step, and only the savepoint solver may record
+  // prefix resumes.
+  Rng rng(0x5AFE);
+  const Cnf base = random_ksat(rng, 12, 30, 3);
+  Solver on(savepoint_config());
+  Solver off;
+  for (Solver* s : {&on, &off}) load(*s, base);
+
+  constexpr int kGuards = 6;
+  std::vector<Var> guards;
+  for (int i = 0; i < kGuards; ++i) {
+    const Var ga = on.new_var();
+    const Var gb = off.new_var();
+    ASSERT_EQ(ga, gb);
+    guards.push_back(ga);
+  }
+  on.register_frame_guard(guards.back());
+  for (int i = 0; i < kGuards; ++i) {
+    for (int c = 0; c < 5; ++c) {
+      std::vector<Lit> clause{Lit::make(guards[i], true)};
+      for (int j = 0; j < 2; ++j)
+        clause.push_back(Lit::make(rng.next_int(0, 11), rng.next_bool()));
+      on.add_clause(clause);
+      off.add_clause(clause);
+    }
+  }
+  // The last guard activates a contradiction so the sweep ends Unsat.
+  const Lit x = Lit::make(0);
+  on.add_clause({Lit::make(guards.back(), true), x});
+  off.add_clause({Lit::make(guards.back(), true), x});
+  on.add_clause({Lit::make(guards.back(), true), ~x});
+  off.add_clause({Lit::make(guards.back(), true), ~x});
+
+  for (int k = 0; k < kGuards; ++k) {
+    const std::vector<Lit> assumptions = step_assumptions(guards, k);
+    EXPECT_EQ(on.solve(assumptions), off.solve(assumptions)) << "step " << k;
+  }
+  EXPECT_EQ(on.stats().savepoint_hits + on.stats().savepoint_misses,
+            static_cast<std::uint64_t>(kGuards));
+  EXPECT_GT(on.stats().savepoint_hits, 0u);
+  EXPECT_GE(on.stats().savepoint_levels_reused, on.stats().savepoint_hits);
+  EXPECT_EQ(off.stats().savepoint_hits, 0u);
+  EXPECT_EQ(off.stats().savepoint_misses, 0u);
+}
+
+TEST(SolverSavepointTest, RetirementEqualsManualUnitClauses) {
+  // retire_frame_guards(g...) must be semantically the unit clauses
+  // {~g...}: after retiring guards 0..2 on the savepoint solver and
+  // adding the units by hand on the plain one, the remaining steps
+  // still agree.
+  Rng rng(0xD1CE);
+  const Cnf base = random_ksat(rng, 10, 24, 3);
+  Solver on(savepoint_config());
+  Solver off;
+  for (Solver* s : {&on, &off}) load(*s, base);
+
+  constexpr int kGuards = 5;
+  std::vector<Var> guards;
+  for (int i = 0; i < kGuards; ++i) {
+    const Var ga = on.new_var();
+    off.new_var();
+    guards.push_back(ga);
+    on.register_frame_guard(ga);
+  }
+  for (int i = 0; i < kGuards; ++i) {
+    for (int c = 0; c < 4; ++c) {
+      std::vector<Lit> clause{Lit::make(guards[i], true)};
+      for (int j = 0; j < 2; ++j)
+        clause.push_back(Lit::make(rng.next_int(0, 9), rng.next_bool()));
+      on.add_clause(clause);
+      off.add_clause(clause);
+    }
+  }
+
+  for (int k = 0; k < 3; ++k) {
+    const std::vector<Lit> assumptions = step_assumptions(guards, k);
+    ASSERT_EQ(on.solve(assumptions), off.solve(assumptions)) << "step " << k;
+  }
+  std::vector<Lit> retired;
+  for (int i = 0; i < 3; ++i) retired.push_back(Lit::make(guards[i]));
+  ASSERT_TRUE(on.retire_frame_guards(retired));
+  for (int i = 0; i < 3; ++i)
+    ASSERT_TRUE(off.add_clause({Lit::make(guards[i], true)}));
+  EXPECT_GT(on.stats().retired_frame_clauses, 0u);
+
+  for (int k = 3; k < kGuards; ++k) {
+    const std::vector<Lit> assumptions = step_assumptions(guards, k);
+    EXPECT_EQ(on.solve(assumptions), off.solve(assumptions)) << "step " << k;
+  }
+}
+
+TEST(SolverSavepointTest, RetirementReclaimsArenaSpace) {
+  // A solver whose clauses are almost all guarded: retiring the guard
+  // must credit the arena's wasted counter with every guarded clause
+  // and — past the >20% dead threshold — compact it back to zero.
+  Solver s(savepoint_config());
+  constexpr int kVars = 10;
+  for (int i = 0; i < kVars; ++i) s.new_var();
+  const Var g = s.new_var();
+  s.register_frame_guard(g);
+  constexpr std::uint64_t kGuarded = 40;
+  for (std::uint64_t i = 0; i < kGuarded; ++i) {
+    s.add_clause({Lit::make(g, true),
+                  Lit::make(static_cast<Var>(i % kVars)),
+                  Lit::make(static_cast<Var>((i + 3) % kVars), true)});
+  }
+  s.add_clause({Lit::make(0), Lit::make(1)});  // unguarded survivor
+
+  ASSERT_EQ(s.solve({Lit::make(g)}), Result::Sat);
+  ASSERT_TRUE(s.retire_frame_guards({Lit::make(g)}));
+  EXPECT_EQ(s.stats().retired_frame_clauses, kGuarded);
+  EXPECT_GT(s.stats().arena_gcs, 0u);
+  EXPECT_EQ(s.clause_db().arena().wasted_words(), 0u);
+
+  // The survivors still solve, and the dead guard is a root fact.
+  ASSERT_EQ(s.solve(), Result::Sat);
+  EXPECT_TRUE(s.model_literal_true(Lit::make(g, true)));
+}
+
+}  // namespace
+}  // namespace refbmc::sat
