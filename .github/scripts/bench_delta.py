@@ -219,6 +219,53 @@ def main():
         print("_no BENCH_incremental.json in the current run_")
         print()
 
+    # ---- service: cache speedup + serving throughput --------------------
+    prev_s = load(prev_dir, "BENCH_service.json") or {}
+    cur_s = load(cur_dir, "BENCH_service.json") or {}
+    if cur_s:
+        # BENCH_service.json arrived with the serving-layer PR; older
+        # artifacts lack it and every row prints "n/a".
+        metrics = [
+            ("result-cache speedup (cold / cached round)",
+             lambda d: d.get("cache_speedup"), True),
+            ("cached jobs/sec (serving pipeline)",
+             lambda d: d.get("cached_jobs_per_sec"), True),
+            ("dispatch ops/sec (handle_request)",
+             lambda d: d.get("dispatch_ops_per_sec"), True),
+            ("round-2 submissions all served from cache",
+             lambda d: d.get("all_cached"), None),
+            ("queue_full rejections in the admission burst",
+             lambda d: d.get("burst_rejected_queue_full"), None),
+        ]
+        print("### Service")
+        print()
+        print("| metric | previous | current | delta |")
+        print("|---|---:|---:|---:|")
+        for label, get, higher_is_better in metrics:
+            prev_v, cur_v = get(prev_s), get(cur_s)
+            if isinstance(prev_v, bool):
+                prev_v = str(prev_v)
+            if isinstance(cur_v, bool):
+                cur_v = str(cur_v)
+            numeric = (isinstance(prev_v, (int, float)) and
+                       isinstance(cur_v, (int, float)))
+            print(f"| {label} "
+                  f"| {fmt(prev_v) if not isinstance(prev_v, str) else prev_v} "
+                  f"| {fmt(cur_v) if not isinstance(cur_v, str) else cur_v} "
+                  f"| {delta(prev_v, cur_v) if numeric else 'n/a'} |")
+            if higher_is_better is None or not numeric or not prev_v:
+                continue
+            ratio = cur_v / prev_v
+            regressed = (ratio < REGRESSION_TOLERANCE if higher_is_better
+                         else ratio > 1 / REGRESSION_TOLERANCE)
+            if regressed:
+                warn(f"service regression: {label} "
+                     f"{fmt(prev_v)} -> {fmt(cur_v)}")
+        print()
+    else:
+        print("_no BENCH_service.json in the current run_")
+        print()
+
     if not prev_rows and not prev_p and not prev_i:
         print("_previous run had no bench artifacts — "
               "this run seeds the trajectory_")

@@ -28,6 +28,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "api/refbmc.hpp"
 #include "bmc/tape.hpp"
 #include "harness.hpp"
 #include "obs/export.hpp"
@@ -115,26 +116,25 @@ int run(int argc, char** argv) {
   json.end_array();
 
   // ---- (b) race vs. best single policy, by exchange regime ----------------
-  // Three schedulers, same seed: all exchange off (the PR 3 baseline
-  // race), lemma sharing only (the PR 4 regime, isolating the clause
-  // exchange), and lemma + rank sharing (this PR's shared ordering on
-  // top).  The share/rank columns show whether portfolio diversity
-  // compounds or the instance is too easy to learn anything worth
-  // exchanging.  NB: like the race itself, the exchange payoff needs
-  // real parallelism; on a box with fewer cores than entrants the
-  // wall-clock comparison degrades to time-slicing noise while the
-  // counters stay meaningful.
+  // Three exchange regimes, same seed: all exchange off (the PR 3
+  // baseline race), lemma sharing only (the PR 4 regime, isolating the
+  // clause exchange), and lemma + rank sharing (shared ordering on
+  // top).  Each race is one api::check — the bench exercises the same
+  // façade entry the examples and the job server use — while the
+  // single-policy baselines stay on scheduler-level run_job (a race of
+  // one would add thread overhead to the very number being compared).
+  // The share/rank columns show whether portfolio diversity compounds
+  // or the instance is too easy to learn anything worth exchanging.
+  // NB: like the race itself, the exchange payoff needs real
+  // parallelism; on a box with fewer cores than entrants the wall-clock
+  // comparison degrades to time-slicing noise while the counters stay
+  // meaningful.
   const auto policies = default_race_policies();
-  SharingConfig no_sharing;
-  no_sharing.enabled = false;
-  no_sharing.rank = false;
-  SharingConfig lemma_only;
-  lemma_only.rank = false;
-  PortfolioScheduler racer(static_cast<int>(policies.size()),
-                           /*base_seed=*/1, no_sharing);
-  PortfolioScheduler racer_share(static_cast<int>(policies.size()),
-                                 /*base_seed=*/1, lemma_only);
-  PortfolioScheduler racer_rank(static_cast<int>(policies.size()));
+  api::RaceOptions plain_race;
+  plain_race.seed(1).share(false).share_rank(false);
+  api::RaceOptions lemma_race;
+  lemma_race.seed(1).share(true).share_rank(false);
+  api::RaceOptions rank_race;  // defaults: lemma + rank exchange on
 
   std::printf(
       "\nrace vs. best single policy (plain / lemma-sharing / +rank)\n");
@@ -148,9 +148,19 @@ int run(int argc, char** argv) {
   std::uint64_t total_exported = 0, total_imported = 0;
   std::uint64_t total_published = 0, total_refreshes = 0;
   std::uint64_t max_cancel_latency = 0;
+  const auto race_once = [&](const model::Benchmark& bm,
+                             const api::RaceOptions& regime, int depth) {
+    api::CheckRequest req;
+    req.net = bm.net;
+    req.name = bm.name;
+    req.options = regime;
+    req.options.max_depth(depth).budget_sec(budget);
+    return api::check(req);
+  };
   for (const auto& bm : suite) {
+    const int depth = opts.get_int("depth", bm.suggested_bound);
     bmc::EngineConfig engine;
-    engine.max_depth = opts.get_int("depth", bm.suggested_bound);
+    engine.max_depth = depth;
     engine.total_time_limit_sec = budget;
 
     double best_sec = -1.0;
@@ -168,9 +178,9 @@ int run(int argc, char** argv) {
       }
     }
 
-    const RaceResult race = racer.race(bm.net, 0, engine, policies);
-    const RaceResult shared = racer_share.race(bm.net, 0, engine, policies);
-    const RaceResult ranked = racer_rank.race(bm.net, 0, engine, policies);
+    const api::CheckResult race = race_once(bm, plain_race, depth);
+    const api::CheckResult shared = race_once(bm, lemma_race, depth);
+    const api::CheckResult ranked = race_once(bm, rank_race, depth);
     const double ratio = best_sec > 0.0 ? race.wall_time_sec / best_sec : 0.0;
     total_best += best_sec;
     total_race += race.wall_time_sec;
@@ -198,14 +208,14 @@ int run(int argc, char** argv) {
     json.kv("best_policy", to_string(best_policy));
     json.kv("race_sec", race.wall_time_sec);
     json.kv("race_winner",
-            race.has_winner() ? to_string(race.winning().policy) : "-");
-    json.kv("race_verdict", to_string(race.status()));
+            race.winner_policy.empty() ? "-" : race.winner_policy);
+    json.kv("race_verdict", api::to_string(race.status));
     json.kv("ratio", ratio);
     json.kv("frames_encoded", race.frames_encoded);
     json.kv("race_share_sec", shared.wall_time_sec);
     json.kv("race_share_winner",
-            shared.has_winner() ? to_string(shared.winning().policy) : "-");
-    json.kv("race_share_verdict", to_string(shared.status()));
+            shared.winner_policy.empty() ? "-" : shared.winner_policy);
+    json.kv("race_share_verdict", api::to_string(shared.status));
     json.kv("share_ratio_vs_plain",
             race.wall_time_sec > 0.0
                 ? shared.wall_time_sec / race.wall_time_sec
@@ -214,15 +224,14 @@ int run(int argc, char** argv) {
     json.kv("clauses_imported", shared.clauses_imported);
     json.kv("race_rank_sec", ranked.wall_time_sec);
     json.kv("race_rank_winner",
-            ranked.has_winner() ? to_string(ranked.winning().policy) : "-");
-    json.kv("race_rank_verdict", to_string(ranked.status()));
+            ranked.winner_policy.empty() ? "-" : ranked.winner_policy);
+    json.kv("race_rank_verdict", api::to_string(ranked.status));
     json.kv("rank_ratio_vs_share",
             shared.wall_time_sec > 0.0
                 ? ranked.wall_time_sec / shared.wall_time_sec
                 : 0.0);
     json.kv("ranks_published", ranked.ranks_published);
     json.kv("rank_refreshes", ranked.rank_refreshes);
-    json.kv("rank_epoch", ranked.rank_epoch);
     // Cancellation latency per exchange regime: verdict -> last loser
     // actually stopped (the satellite metric of the observability PR).
     json.kv("cancel_latency_us", race.cancel_latency_us);
@@ -299,6 +308,7 @@ int run(int argc, char** argv) {
     tc.buffer_events = 64 * 1024;
     obs::trace_begin(tc);
     obs::trace_set_thread_track("driver");
+    PortfolioScheduler racer_rank(static_cast<int>(policies.size()));
     const RaceResult traced = racer_rank.race(bm.net, 0, engine, policies);
     const obs::TraceDump dump = obs::trace_end();
     const bool trace_written =

@@ -1,0 +1,206 @@
+// Serving-layer bench: what BMC-as-a-service costs on top of the race,
+// and what the result cache gives back.
+//
+//   $ ./bench_service [--quick] [--rounds N] [--jobs N] [--workers N]
+//
+//  (a) cold vs cached — every suite row is submitted once (a real race)
+//      and then resubmitted identically; the second round must be served
+//      from the ResultCache, so its latency is pure serving overhead.
+//      Reports per-row latencies and the aggregate speedup;
+//  (b) serving throughput — one warmed row resubmitted --jobs times;
+//      every one is a cache hit, so completed jobs/sec bounds the
+//      submit -> executor -> finish pipeline, not the solver;
+//  (c) dispatch overhead — the socket-free handle_request path
+//      (JSON parse, poll, JSON encode) in ops/sec, the per-round-trip
+//      cost a client pays before any queueing;
+//  (d) admission control — a one-slot queue under a burst, counting the
+//      typed queue_full rejections (admission must reject, not block).
+//
+// Results go to stdout and, machine-readably, to BENCH_service.json for
+// the CI bench-trajectory step.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "service/transport.hpp"
+#include "util/options.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  using namespace refbmc;
+  using benchharness::JsonWriter;
+
+  const Options opts = Options::parse(argc, argv);
+  const auto suite = opts.get_bool("quick", false) ? model::quick_suite()
+                                                   : model::standard_suite();
+  const int throughput_jobs = opts.get_int("jobs", 200);
+  const int workers = opts.get_int("workers", 2);
+
+  const auto request_for = [](const model::Benchmark& bm) {
+    api::CheckRequest r;
+    r.net = bm.net;
+    r.name = bm.name;
+    r.options.max_depth(bm.suggested_bound);
+    return r;
+  };
+
+  JsonWriter json;
+  json.begin_object();
+  json.kv("bench", "service");
+  json.kv("rows", static_cast<std::uint64_t>(suite.size()));
+  json.kv("workers", workers);
+
+  // ---- (a) cold vs cached latency per suite row ---------------------------
+  service::ServerConfig cfg;
+  cfg.workers = workers;
+  service::JobServer server(cfg);
+
+  std::printf("cold vs cached (identical resubmission), %d workers\n",
+              workers);
+  std::printf("%-26s %-8s %10s %10s %10s\n", "model", "verdict", "cold(s)",
+              "cached(s)", "speedup");
+  json.key("cold_vs_cached");
+  json.begin_array();
+  double total_cold = 0.0, total_cached = 0.0;
+  bool all_cached = true;
+  for (const auto& bm : suite) {
+    Timer cold_timer;
+    const auto cold_out = server.submit(request_for(bm));
+    const auto cold = server.wait(cold_out.id);
+    const double cold_sec = cold_timer.elapsed_sec();
+
+    Timer cached_timer;
+    const auto cached_out = server.submit(request_for(bm));
+    const auto cached = server.wait(cached_out.id);
+    const double cached_sec = cached_timer.elapsed_sec();
+
+    const bool hit = cached && cached->result.from_cache;
+    all_cached &= hit;
+    total_cold += cold_sec;
+    total_cached += cached_sec;
+    const double speedup = cached_sec > 0.0 ? cold_sec / cached_sec : 0.0;
+    const char* verdict =
+        cold ? api::to_string(cold->result.status) : "?";
+    std::printf("%-26s %-8s %10.4f %10.6f %9.0fx%s\n", bm.name.c_str(),
+                verdict, cold_sec, cached_sec, speedup,
+                hit ? "" : "  <-- NOT SERVED FROM CACHE");
+    json.begin_object();
+    json.kv("name", bm.name);
+    json.kv("verdict", verdict);
+    json.kv("cold_sec", cold_sec);
+    json.kv("cached_sec", cached_sec);
+    json.kv("speedup", speedup);
+    json.kv("from_cache", hit);
+    json.end_object();
+  }
+  json.end_array();
+  json.kv("total_cold_sec", total_cold);
+  json.kv("total_cached_sec", total_cached);
+  const double cache_speedup =
+      total_cached > 0.0 ? total_cold / total_cached : 0.0;
+  json.kv("cache_speedup", cache_speedup);
+  json.kv("all_cached", all_cached);
+  std::printf("TOTAL cold %.3fs, cached %.4fs (%.0fx)%s\n\n", total_cold,
+              total_cached, cache_speedup,
+              all_cached ? "" : "  <-- CACHE MISSES IN ROUND 2");
+
+  // ---- (b) serving throughput on a warmed cache ---------------------------
+  {
+    const model::Benchmark& bm = suite.front();
+    Timer timer;
+    std::vector<service::JobId> ids;
+    ids.reserve(static_cast<std::size_t>(throughput_jobs));
+    for (int j = 0; j < throughput_jobs; ++j) {
+      const auto out = server.submit(request_for(bm));
+      if (out.accepted) ids.push_back(out.id);
+    }
+    for (const service::JobId id : ids) server.wait(id);
+    const double wall = timer.elapsed_sec();
+    const double jobs_per_sec =
+        wall > 0.0 ? static_cast<double>(ids.size()) / wall : 0.0;
+    std::printf("serving throughput: %zu cached jobs in %.3fs "
+                "(%.0f jobs/s)\n",
+                ids.size(), wall, jobs_per_sec);
+    json.kv("throughput_jobs", static_cast<std::uint64_t>(ids.size()));
+    json.kv("throughput_wall_sec", wall);
+    json.kv("cached_jobs_per_sec", jobs_per_sec);
+  }
+
+  // ---- (c) dispatch overhead: handle_request round trips ------------------
+  {
+    const auto out = server.submit(request_for(suite.front()));
+    server.wait(out.id);
+    const std::string poll_req =
+        R"({"op": "poll", "id": )" + std::to_string(out.id) + "}";
+    const int rounds = 2000;
+    Timer timer;
+    for (int i = 0; i < rounds; ++i)
+      service::handle_request(server, poll_req);
+    const double wall = timer.elapsed_sec();
+    const double ops_per_sec =
+        wall > 0.0 ? static_cast<double>(rounds) / wall : 0.0;
+    std::printf("dispatch overhead: %d poll round trips in %.3fs "
+                "(%.0f ops/s)\n",
+                rounds, wall, ops_per_sec);
+    json.kv("dispatch_rounds", rounds);
+    json.kv("dispatch_wall_sec", wall);
+    json.kv("dispatch_ops_per_sec", ops_per_sec);
+  }
+
+  // ---- (d) admission control under a burst --------------------------------
+  {
+    service::ServerConfig tiny;
+    tiny.workers = 1;
+    tiny.queue_capacity = 1;
+    service::JobServer bursty(tiny);
+    int accepted = 0, rejected_full = 0;
+    std::vector<service::JobId> ids;
+    for (int j = 0; j < 32; ++j) {
+      api::CheckRequest req = request_for(suite.front());
+      service::JobOptions jopts;
+      jopts.use_cache = false;  // force real work so the queue backs up
+      const auto out = bursty.submit(std::move(req), jopts);
+      if (out.accepted) {
+        ++accepted;
+        ids.push_back(out.id);
+      } else if (out.reason == service::RejectReason::QueueFull) {
+        ++rejected_full;
+      }
+    }
+    for (const service::JobId id : ids) bursty.cancel(id);
+    for (const service::JobId id : ids) bursty.wait(id);
+    std::printf("admission burst (queue=1): %d accepted, %d queue_full of "
+                "32\n",
+                accepted, rejected_full);
+    json.kv("burst_accepted", accepted);
+    json.kv("burst_rejected_queue_full", rejected_full);
+  }
+
+  const service::JobServer::Stats stats = server.stats();
+  json.kv("submitted", stats.submitted);
+  json.kv("completed", stats.completed);
+  json.kv("cache_hits", stats.cache_hits);
+  json.kv("cache_misses", stats.cache_misses);
+  json.end_object();
+
+  if (!json.write_file("BENCH_service.json"))
+    std::fprintf(stderr, "warning: could not write BENCH_service.json\n");
+  else
+    std::printf("wrote BENCH_service.json\n");
+  return all_cached ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_service: %s\n", e.what());
+    return 2;
+  }
+}

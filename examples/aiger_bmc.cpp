@@ -1,30 +1,23 @@
-// File-based BMC driver: check an invariant of an AIGER (.aag) model.
+// File-based BMC driver: check an invariant of an AIGER (.aag) model
+// through the stable façade (api/refbmc.hpp).
 //
-//   $ ./aiger_bmc <model.aag> [--bound N] [--policy baseline|static|dynamic|shtrichman]
-//                 [--property I] [--any-frame] [--incremental]
-//                 [--simplify 0|1] [--dump-trace]
+//   $ ./aiger_bmc <model.aag> [--bound N] [--policy baseline|static|dynamic|
+//                 shtrichman|evsids] [--policies a,b,c] [--property I]
+//                 [--any-frame] [--incremental] [--simplify 0|1]
+//                 [--dump-trace] [any other race option]
 //
-// With no file argument the example writes a demo circuit to a temporary
+// The flag set is the one shared from_options path every example uses:
+// --policy picks a single ordering (default dynamic, the paper's best);
+// --policies races several and the first definitive verdict wins.  With
+// no file argument the example writes a demo circuit to a temporary
 // .aag first, then checks it — so it is runnable out of the box.
 #include <cstdio>
 #include <string>
 
-#include "bmc/engine.hpp"
+#include "api/refbmc.hpp"
 #include "model/aiger.hpp"
 #include "model/benchgen.hpp"
 #include "util/options.hpp"
-
-namespace {
-
-refbmc::bmc::OrderingPolicy parse_policy(const std::string& name) {
-  // The canonical name set (baseline, static, dynamic, replace,
-  // shtrichman, evsids) — one parser for every CLI.
-  const auto p = refbmc::bmc::parse_policy(name);
-  if (!p) throw std::invalid_argument("unknown --policy: " + name);
-  return *p;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace refbmc;
@@ -41,47 +34,48 @@ int main(int argc, char** argv) {
     path = opts.positionals()[0];
   }
 
-  const model::Netlist net = model::read_aiger_file(path);
+  api::CheckRequest request;
+  request.net = model::read_aiger_file(path);
+  request.name = path;
   std::printf("%s: %zu inputs, %zu latches, %zu ANDs, %zu properties\n",
-              path.c_str(), net.num_inputs(), net.num_latches(),
-              net.num_ands(), net.bad_properties().size());
-  if (net.bad_properties().empty()) {
+              path.c_str(), request.net.num_inputs(),
+              request.net.num_latches(), request.net.num_ands(),
+              request.net.bad_properties().size());
+  if (request.net.bad_properties().empty()) {
     std::printf("model has no bad-state property (B section); nothing to "
                 "check\n");
     return 2;
   }
 
-  bmc::EngineConfig cfg;
-  cfg.policy = parse_policy(opts.get("policy", "dynamic"));
-  cfg.max_depth = opts.get_int("bound", 30);
-  cfg.bad_mode = opts.get_bool("any-frame", false) ? bmc::BadMode::Any
-                                                   : bmc::BadMode::Last;
-  cfg.incremental = opts.get_bool("incremental", false);
-  cfg.simplify = opts.get_bool("simplify", true);
-  const auto property = static_cast<std::size_t>(opts.get_int("property", 0));
+  request.options = api::RaceOptions::from_options(opts);
+  // This example's historical default is a single dynamic-ordering
+  // engine; an explicit --policy/--policies still selects the lineup.
+  if (!opts.has("policy") && !opts.has("policies"))
+    request.options.policy("dynamic");
+  if (!opts.has("bound") && !opts.has("depth")) request.options.max_depth(30);
+  request.bad_index = static_cast<std::size_t>(opts.get_int("property", 0));
 
-  bmc::BmcEngine engine(net, cfg, property);
-  const bmc::BmcResult r = engine.run();
+  const api::CheckResult r = api::check(request);
 
   switch (r.status) {
-    case bmc::BmcResult::Status::CounterexampleFound:
+    case api::CheckResult::Status::CounterexampleFound:
       std::printf("FAIL: counter-example of length %d (validated on the "
-                  "simulator)\n",
-                  r.counterexample_depth);
+                  "simulator; %s won)\n",
+                  r.counterexample_depth, r.winner_policy.c_str());
       if (opts.get_bool("dump-trace", false))
-        std::printf("%s", r.counterexample->to_string(net).c_str());
+        std::printf("%s", r.counterexample->to_string(request.net).c_str());
       break;
-    case bmc::BmcResult::Status::BoundReached:
+    case api::CheckResult::Status::BoundReached:
       std::printf("PASS up to depth %d (%zu UNSAT instances, %llu total "
                   "decisions)\n",
-                  cfg.max_depth, r.per_depth.size(),
+                  request.options.max_depth(), r.per_depth.size(),
                   static_cast<unsigned long long>(r.total_decisions()));
       break;
-    case bmc::BmcResult::Status::ResourceLimit:
+    case api::CheckResult::Status::ResourceLimit:
       std::printf("UNDECIDED: resource limit after depth %d\n",
                   r.last_completed_depth);
       break;
   }
-  std::printf("time: %.3f s\n", r.total_time_sec);
-  return r.status == bmc::BmcResult::Status::CounterexampleFound ? 1 : 0;
+  std::printf("time: %.3f s\n", r.wall_time_sec);
+  return r.found_counterexample() ? 1 : 0;
 }

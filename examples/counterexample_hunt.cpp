@@ -1,22 +1,23 @@
 // Counter-example hunting across a family of protocol bugs.
 //
-//   $ ./counterexample_hunt [--bound N]
+//   $ ./counterexample_hunt [--bound N] [--policy P | --policies a,b,c]
 //
-// Runs refined-ordering BMC on the buggy control-logic benchmarks
-// (arbiter, FIFO, Peterson, traffic), prints each counter-example, and
-// replays every trace on the cycle-accurate simulator as a cross-check —
-// the workflow of a verification engineer triaging failures.
+// Runs refined-ordering BMC (through the api façade) on the buggy
+// control-logic benchmarks (arbiter, FIFO, Peterson, traffic), prints
+// each counter-example, and replays every trace on the cycle-accurate
+// simulator as a cross-check — the workflow of a verification engineer
+// triaging failures.
 #include <cstdio>
 #include <vector>
 
-#include "bmc/engine.hpp"
+#include "api/refbmc.hpp"
+#include "bmc/trace.hpp"
 #include "model/benchgen.hpp"
 #include "util/options.hpp"
 
 int main(int argc, char** argv) {
   using namespace refbmc;
   const Options opts = Options::parse(argc, argv);
-  const int bound = opts.get_int("bound", 24);
 
   std::vector<model::Benchmark> targets;
   targets.push_back(model::arbiter_buggy(6));
@@ -25,16 +26,22 @@ int main(int argc, char** argv) {
   targets.push_back(model::traffic_buggy(4));
   targets.push_back(model::with_distractor(model::fifo_buggy(4), 24, 2024));
 
+  api::RaceOptions options = api::RaceOptions::from_options(opts);
+  if (!opts.has("policy") && !opts.has("policies"))
+    options.policy("dynamic");
+  if (!opts.has("bound") && !opts.has("depth")) options.max_depth(24);
+  const int bound = options.max_depth();
+
   int failures_found = 0;
   for (const auto& bm : targets) {
     std::printf("=== %s ===\n", bm.name.c_str());
-    bmc::EngineConfig cfg;
-    cfg.policy = bmc::OrderingPolicy::Dynamic;
-    cfg.max_depth = bound;
-    bmc::BmcEngine engine(bm.net, cfg);
-    const bmc::BmcResult r = engine.run();
+    api::CheckRequest request;
+    request.net = bm.net;
+    request.name = bm.name;
+    request.options = options;
+    const api::CheckResult r = api::check(request);
 
-    if (r.status != bmc::BmcResult::Status::CounterexampleFound) {
+    if (!r.found_counterexample()) {
       std::printf("no counter-example up to depth %d (unexpected!)\n\n",
                   bound);
       continue;

@@ -7,11 +7,13 @@
 // Prints per-depth decision counts for standard BMC (pure VSIDS), the
 // static and dynamic refined orderings (§3.3), the Shtrichman time-axis
 // ordering (related work), and the EVSIDS scorer (the portfolio's fifth
-// entrant), plus totals and speedup ratios.
+// entrant), plus totals and speedup ratios.  Each policy is one
+// single-entrant api::check — the same façade path the portfolio race
+// takes, minus the racing.
 #include <cstdio>
 #include <string>
 
-#include "bmc/engine.hpp"
+#include "api/refbmc.hpp"
 #include "model/benchgen.hpp"
 #include "util/options.hpp"
 
@@ -30,7 +32,6 @@ refbmc::model::Benchmark pick_model(const std::string& name) {
 
 int main(int argc, char** argv) {
   using namespace refbmc;
-  using bmc::OrderingPolicy;
 
   const Options opts = Options::parse(argc, argv);
   model::Benchmark bm = pick_model(opts.get("model", "arb8"));
@@ -43,25 +44,22 @@ int main(int argc, char** argv) {
 
   std::printf("model %s, depths 0..%d\n\n", bm.name.c_str(), bound);
 
-  const OrderingPolicy policies[] = {
-      OrderingPolicy::Baseline, OrderingPolicy::Static,
-      OrderingPolicy::Dynamic, OrderingPolicy::Shtrichman,
-      OrderingPolicy::Evsids};
+  const char* policies[] = {"baseline", "static", "dynamic", "shtrichman",
+                            "evsids"};
   constexpr int kNumPolicies = 5;
 
   const double budget = opts.get_double("budget", 5.0);
-  bmc::BmcResult results[kNumPolicies];
+  api::CheckResult results[kNumPolicies];
   for (int p = 0; p < kNumPolicies; ++p) {
-    bmc::EngineConfig cfg;
-    cfg.policy = policies[p];
-    cfg.max_depth = bound;
-    cfg.total_time_limit_sec = budget;  // some orderings lose badly here
-    bmc::BmcEngine engine(bm.net, cfg);
-    results[p] = engine.run();
-    if (results[p].status == bmc::BmcResult::Status::ResourceLimit)
-      std::printf("note: %s hit the %.0fs budget at depth %d\n",
-                  to_string(policies[p]), budget,
-                  results[p].last_completed_depth);
+    api::CheckRequest request;
+    request.net = bm.net;
+    request.name = bm.name;
+    request.options.policy(policies[p]).max_depth(bound).budget_sec(
+        budget);  // some orderings lose badly here
+    results[p] = api::check(request);
+    if (results[p].status == api::CheckResult::Status::ResourceLimit)
+      std::printf("note: %s hit the %.0fs budget at depth %d\n", policies[p],
+                  budget, results[p].last_completed_depth);
   }
 
   std::printf("%5s %12s %12s %12s %12s %12s   (decisions)\n", "depth",
@@ -82,15 +80,14 @@ int main(int argc, char** argv) {
 
   std::printf("\n%-12s %12s %14s %10s %8s\n", "policy", "decisions",
               "implications", "time(s)", "ratio");
-  const double base_time = results[0].total_time_sec;
+  const double base_time = results[0].wall_time_sec;
   for (int p = 0; p < kNumPolicies; ++p) {
-    std::printf("%-12s %12llu %14llu %10.3f %7.0f%%\n",
-                to_string(policies[p]),
+    std::printf("%-12s %12llu %14llu %10.3f %7.0f%%\n", policies[p],
                 static_cast<unsigned long long>(results[p].total_decisions()),
                 static_cast<unsigned long long>(
                     results[p].total_propagations()),
-                results[p].total_time_sec,
-                100.0 * results[p].total_time_sec / base_time);
+                results[p].wall_time_sec,
+                100.0 * results[p].wall_time_sec / base_time);
   }
   return 0;
 }

@@ -18,81 +18,45 @@
 // track.  --metrics FILE writes the counter/histogram registry as flat
 // JSON.  Both default to off (zero recording overhead).
 //
-// race:  every suite row is raced across the ordering policies on its own
-//        set of threads; the first definitive verdict wins and cancels
-//        the losers.  Entrants exchange short/low-LBD learned clauses
-//        through a SharedClausePool unless --share off, and pool their
-//        unsat cores into one SharedRankSource — refining every rival's
-//        decision ordering mid-solve — unless --share-rank off.  Prints
-//        the winning policy and the exchange counters, and checks the
+// race:  every suite row is raced across the ordering policies — one
+//        api::check per row, the same façade call the job server makes.
+//        The first definitive verdict wins and cancels the losers.
+//        Entrants exchange short/low-LBD learned clauses through a
+//        SharedClausePool unless --share off, and pool their unsat cores
+//        into one SharedRankSource — refining every rival's decision
+//        ordering mid-solve — unless --share-rank off.  Prints the
+//        winning policy and the exchange counters, and checks the
 //        verdict against the suite's expectation — the portfolio must
 //        never disagree with a single-policy run, sharing or not.
 // shard: the suite is expanded into one job per (netlist, property) and
 //        distributed over a work-stealing pool; prints the batch report
 //        and the parallel speedup over the sequential-equivalent time.
-#include <algorithm>
+//        (Batch sharding is a scheduler-level feature, below the façade.)
 #include <cstdio>
 #include <exception>
 #include <string>
 
+#include "api/refbmc.hpp"
 #include "model/benchgen.hpp"
-#include "obs/export.hpp"
-#include "obs/metrics.hpp"
-#include "obs/trace.hpp"
 #include "portfolio/scheduler.hpp"
 #include "util/options.hpp"
 
 namespace {
-
-/// Starts trace/metrics sessions per the CLI flags (no-ops when unset).
-void begin_observability(const refbmc::PortfolioConfig& cli) {
-  using namespace refbmc;
-  if (!cli.trace_file.empty()) {
-    obs::TraceConfig tc;
-    tc.buffer_events = std::max<std::size_t>(
-        1, static_cast<std::size_t>(cli.trace_buffer_kb) * 1024 /
-               sizeof(obs::TraceEvent));
-    obs::trace_begin(tc);
-    obs::trace_set_thread_track("driver");
-  }
-  if (!cli.metrics_file.empty()) obs::metrics_enable(true);
-}
-
-/// Writes the trace / metrics files (called after all workers joined —
-/// the collection contract of obs::trace_end).
-void end_observability(const refbmc::PortfolioConfig& cli) {
-  using namespace refbmc;
-  if (!cli.trace_file.empty()) {
-    const obs::TraceDump dump = obs::trace_end();
-    obs::write_chrome_trace_file(cli.trace_file, dump);
-    std::printf(
-        "\ntrace: %llu events on %zu tracks (%llu dropped) -> %s\n",
-        static_cast<unsigned long long>(dump.total_events()),
-        dump.tracks.size(),
-        static_cast<unsigned long long>(dump.total_dropped()),
-        cli.trace_file.c_str());
-  }
-  if (!cli.metrics_file.empty()) {
-    obs::write_metrics_file(cli.metrics_file, obs::metrics());
-    std::printf("metrics -> %s\n", cli.metrics_file.c_str());
-  }
-}
 
 int run(int argc, char** argv) {
   using namespace refbmc;
   using namespace refbmc::portfolio;
 
   const Options opts = Options::parse(argc, argv);
-  const PortfolioConfig cli = PortfolioConfig::from_options(opts);
-  const ResolvedPortfolio cfg = resolve(cli);
+  const api::RaceOptions options = api::RaceOptions::from_options(opts);
   const std::string mode = opts.get("mode", "race");
   const auto suite = opts.get_bool("quick", false) ? model::quick_suite()
                                                    : model::standard_suite();
 
-  PortfolioScheduler scheduler(cfg.num_threads, cfg.seed, cfg.sharing);
-  begin_observability(cli);
+  api::ObservabilityScope observability(options);
 
   if (mode == "race") {
+    const ResolvedPortfolio cfg = options.resolve();
     std::printf(
         "racing %zu policies on %zu instances (%d threads/race, lemma "
         "sharing %s, rank sharing %s)\n\n",
@@ -105,35 +69,37 @@ int run(int argc, char** argv) {
                 "imported", "publ", "refr", "cxl(us)");
     int mismatches = 0;
     for (const auto& bm : suite) {
-      bmc::EngineConfig engine = cfg.engine;
-      if (!opts.has("depth")) engine.max_depth = bm.suggested_bound;
-      const RaceResult race =
-          scheduler.race(bm.net, 0, engine, cfg.policies);
+      api::CheckRequest request;
+      request.net = bm.net;
+      request.name = bm.name;
+      request.options = options;
+      if (!opts.has("depth") && !opts.has("bound"))
+        request.options.max_depth(bm.suggested_bound);
+      const api::CheckResult r = api::check(request);
 
-      const bool found_cex =
-          race.status() == bmc::BmcResult::Status::CounterexampleFound;
-      const bool ok = race.has_winner() && found_cex == bm.expect_fail;
+      const bool ok =
+          !r.winner_policy.empty() && r.found_counterexample() == bm.expect_fail;
       if (!ok) ++mismatches;
       std::printf(
           "%-26s %-8s %-12s %10.3f %10s %9llu %9llu %6llu %6llu %8llu%s\n",
-          bm.name.c_str(), to_string(race.status()),
-          race.has_winner() ? to_string(race.winning().policy) : "-",
-          race.wall_time_sec, bm.expect_fail ? "cex" : "bound",
-          static_cast<unsigned long long>(race.clauses_exported),
-          static_cast<unsigned long long>(race.clauses_imported),
-          static_cast<unsigned long long>(race.ranks_published),
-          static_cast<unsigned long long>(race.rank_refreshes),
-          static_cast<unsigned long long>(race.cancel_latency_us),
+          bm.name.c_str(), to_string(r.status),
+          r.winner_policy.empty() ? "-" : r.winner_policy.c_str(),
+          r.wall_time_sec, bm.expect_fail ? "cex" : "bound",
+          static_cast<unsigned long long>(r.clauses_exported),
+          static_cast<unsigned long long>(r.clauses_imported),
+          static_cast<unsigned long long>(r.ranks_published),
+          static_cast<unsigned long long>(r.rank_refreshes),
+          static_cast<unsigned long long>(r.cancel_latency_us),
           ok ? "" : "  <-- MISMATCH");
     }
     std::printf("\n%s\n", mismatches == 0
                               ? "all race verdicts match the expectations"
                               : "VERDICT MISMATCHES FOUND");
-    end_observability(cli);
     return mismatches == 0 ? 0 : 1;
   }
 
   if (mode == "shard") {
+    const ResolvedPortfolio cfg = options.resolve();
     std::vector<Job> jobs;
     for (const auto& bm : suite) {
       bmc::EngineConfig engine = cfg.engine;
@@ -144,7 +110,9 @@ int run(int argc, char** argv) {
     }
     std::printf("sharding %zu jobs over %d workers\n\n", jobs.size(),
                 cfg.num_threads);
-    const BatchReport report = scheduler.run_batch(jobs, cli.budget_sec);
+    PortfolioScheduler scheduler(cfg.num_threads, cfg.seed, cfg.sharing);
+    const BatchReport report =
+        scheduler.run_batch(jobs, options.budget_sec());
 
     std::printf("%-30s %-8s %8s %8s  %s\n", "job", "verdict", "depth",
                 "time(s)", "worker");
@@ -167,7 +135,6 @@ int run(int argc, char** argv) {
         static_cast<unsigned long long>(report.clauses_imported),
         static_cast<unsigned long long>(report.ranks_published),
         static_cast<unsigned long long>(report.rank_refreshes));
-    end_observability(cli);
     return 0;
   }
 

@@ -14,24 +14,17 @@
 #include "model/benchgen.hpp"
 #include "util/options.hpp"
 
-namespace {
-
-refbmc::bmc::OrderingPolicy parse_policy(const std::string& name) {
-  using refbmc::bmc::OrderingPolicy;
-  if (name == "baseline") return OrderingPolicy::Baseline;
-  if (name == "static") return OrderingPolicy::Static;
-  if (name == "dynamic") return OrderingPolicy::Dynamic;
-  throw std::invalid_argument("unknown --policy: " + name);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   using namespace refbmc;
 
   const Options opts = Options::parse(argc, argv);
   const int max_k = opts.get_int("max-k", 24);
-  const auto policy = parse_policy(opts.get("policy", "dynamic"));
+  const auto policy = bmc::parse_policy(opts.get("policy", "dynamic"));
+  if (!policy) {
+    std::fprintf(stderr, "unknown --policy: %s\n",
+                 opts.get("policy", "dynamic").c_str());
+    return 2;
+  }
 
   std::vector<model::Benchmark> targets;
   targets.push_back(model::peterson_safe());
@@ -44,7 +37,7 @@ int main(int argc, char** argv) {
   int proved = 0, refuted = 0;
   for (const auto& bm : targets) {
     bmc::InductionConfig cfg;
-    cfg.policy = policy;
+    cfg.policy = *policy;
     cfg.max_k = max_k;
     bmc::InductionProver prover(bm.net, cfg);
     const bmc::InductionResult r = prover.run();

@@ -1,5 +1,5 @@
-// Quickstart: build a circuit, state an invariant, run BMC with the
-// refined decision ordering, and inspect the result.
+// Quickstart: build a circuit, state an invariant, check it through the
+// stable façade (api/refbmc.hpp), and inspect the result.
 //
 //   $ ./quickstart
 //
@@ -7,7 +7,7 @@
 // full check; BMC finds the overflow and prints the validated input trace.
 #include <cstdio>
 
-#include "bmc/engine.hpp"
+#include "api/refbmc.hpp"
 #include "model/benchgen.hpp"
 #include "model/builder.hpp"
 
@@ -24,27 +24,29 @@ int main() {
   std::printf("property: \"%s\" never holds\n\n",
               bm.net.bad_properties()[0].name.c_str());
 
-  // 2. Configure the BMC engine.  OrderingPolicy::Dynamic is the paper's
-  //    best configuration: decision ordering is driven by the unsat cores
-  //    of previous depths, falling back to plain VSIDS on hard instances.
-  bmc::EngineConfig config;
-  config.policy = bmc::OrderingPolicy::Dynamic;
-  config.max_depth = 24;
+  // 2. Build the request.  policy("dynamic") is the paper's best
+  //    configuration: decision ordering driven by the unsat cores of
+  //    previous depths, falling back to plain VSIDS on hard instances.
+  //    (Drop the .policy call to race the whole policy lineup instead.)
+  api::CheckRequest request;
+  request.net = bm.net;
+  request.name = bm.name;
+  request.options.policy("dynamic").max_depth(24);
 
-  bmc::BmcEngine engine(bm.net, config);
-  const bmc::BmcResult result = engine.run();
+  const api::CheckResult result = api::check(request);
 
   // 3. Inspect the result.
   switch (result.status) {
-    case bmc::BmcResult::Status::CounterexampleFound:
+    case api::CheckResult::Status::CounterexampleFound:
       std::printf("property FAILS at depth %d\n\n",
                   result.counterexample_depth);
       std::printf("%s\n", result.counterexample->to_string(bm.net).c_str());
       break;
-    case bmc::BmcResult::Status::BoundReached:
-      std::printf("no counter-example up to depth %d\n", config.max_depth);
+    case api::CheckResult::Status::BoundReached:
+      std::printf("no counter-example up to depth %d\n",
+                  request.options.max_depth());
       break;
-    case bmc::BmcResult::Status::ResourceLimit:
+    case api::CheckResult::Status::ResourceLimit:
       std::printf("stopped by resource limit at depth %d\n",
                   result.last_completed_depth);
       break;
@@ -64,6 +66,6 @@ int main() {
                 static_cast<unsigned long long>(d.simplified_vars_removed),
                 static_cast<unsigned long long>(d.simplified_clauses_removed));
   }
-  std::printf("\ntotal time: %.3f s\n", result.total_time_sec);
-  return result.status == bmc::BmcResult::Status::CounterexampleFound ? 0 : 1;
+  std::printf("\ntotal time: %.3f s\n", result.wall_time_sec);
+  return result.found_counterexample() ? 0 : 1;
 }

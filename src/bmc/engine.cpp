@@ -20,6 +20,30 @@ std::optional<OrderingPolicy> parse_policy(std::string_view name) {
   return std::nullopt;
 }
 
+std::uint64_t formula_fingerprint(const EngineConfig& config) {
+  // FNV-1a over the formula-shaping fields, each preceded by a field tag
+  // so adjacent fields can never alias under reordering.  Extend this
+  // list whenever EngineConfig grows an option that changes the encoded
+  // clauses — the api fingerprint round-trip test flips every field and
+  // will catch a forgotten one only if it is listed here or in
+  // api::config_fingerprint.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t tag, std::uint64_t v) {
+    for (const std::uint64_t word : {tag, v})
+      for (int byte = 0; byte < 8; ++byte) {
+        h ^= (word >> (byte * 8)) & 0xff;
+        h *= 1099511628211ull;
+      }
+  };
+  mix(1, static_cast<std::uint64_t>(config.bad_mode));
+  mix(2, config.simplify ? 1 : 0);
+  mix(3, config.preprocess.enabled ? 1 : 0);
+  mix(4, static_cast<std::uint64_t>(config.preprocess.bve_budget));
+  mix(5, static_cast<std::uint64_t>(config.preprocess.bve_max_resolvent));
+  mix(6, static_cast<std::uint64_t>(config.preprocess.rounds));
+  return h;
+}
+
 std::uint64_t BmcResult::total_decisions() const {
   std::uint64_t n = 0;
   for (const auto& d : per_depth) n += d.decisions;
@@ -278,6 +302,7 @@ BmcResult BmcEngine::run() {
                           "replay on the simulator");
       }
       result.per_depth.push_back(stats);
+      if (config_.on_depth) config_.on_depth(stats);
       result.status = BmcResult::Status::CounterexampleFound;
       result.counterexample = std::move(trace);
       result.counterexample_depth = k;
@@ -286,6 +311,7 @@ BmcResult BmcEngine::run() {
     }
     if (res == sat::Result::Unknown) {
       result.per_depth.push_back(stats);
+      if (config_.on_depth) config_.on_depth(stats);
       result.status = BmcResult::Status::ResourceLimit;
       break;
     }
@@ -309,6 +335,7 @@ BmcResult BmcEngine::run() {
     }
     session->retire(k);
     result.per_depth.push_back(stats);
+    if (config_.on_depth) config_.on_depth(stats);
     result.last_completed_depth = k;
     REFBMC_DEBUG() << "depth " << k << " UNSAT, decisions=" << stats.decisions
                    << ", core_vars=" << stats.core_vars;

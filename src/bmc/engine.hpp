@@ -29,6 +29,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string_view>
@@ -82,6 +83,8 @@ inline constexpr std::array<OrderingPolicy, 6> all_policies() {
 /// Inverse of to_string: parses a policy name (exactly as printed).
 /// Returns nullopt for unknown names.
 std::optional<OrderingPolicy> parse_policy(std::string_view name);
+
+struct DepthStats;
 
 struct EngineConfig {
   OrderingPolicy policy = OrderingPolicy::Baseline;
@@ -149,6 +152,16 @@ struct EngineConfig {
   /// policy wins), run() stops at the next depth / solver checkpoint and
   /// reports Status::ResourceLimit.  Not owned; must outlive run().
   const std::atomic<bool>* stop = nullptr;
+  /// Per-depth progress hook: invoked with every completed depth's
+  /// DepthStats, right after it is appended to the result (SAT, UNSAT
+  /// and resource-limit depths alike).  This is the serving layer's
+  /// stream seam — a JobServer forwards these to polling clients while
+  /// the engine is still running.  Called on the solving thread; in a
+  /// portfolio race every entrant carries a copy of this callback and
+  /// they fire concurrently, so the target must be thread-safe.  Keep it
+  /// cheap: it sits between depths, not inside the search, but a slow
+  /// callback still delays the next depth.
+  std::function<void(const DepthStats&)> on_depth;
   /// Base solver knobs (restarts, reduceDB, VSIDS period, …).  rank_mode,
   /// track_cdg and limits are overridden per instance by the engine.
   sat::SolverConfig solver;
@@ -290,8 +303,23 @@ class BmcEngine {
   RankProjector rank_refresher_;  // bound per depth under a shared source
 };
 
+/// Fingerprint of everything that determines the FORMULA an engine
+/// solves — bad mode, frame-wise simplification, and the full tape
+/// preprocessing recipe — but nothing about how it is searched (policy,
+/// solver knobs, sharing).  Two configs with equal formula fingerprints
+/// on the same (netlist, bad index) produce identical tape variable
+/// spaces and identical eliminated-variable sets, so they may share a
+/// clause pool; the portfolio's shard grouping and the service's result
+/// cache both build on this one function, which is what keeps the two
+/// keys from drifting apart (asserted by the api fingerprint tests).
+std::uint64_t formula_fingerprint(const EngineConfig& config);
+
 /// One-call convenience used by examples: checks property `bad_index` of
 /// `net` up to `max_depth` with the given policy.
+///
+/// Deprecated for new call sites: prefer the stable façade in
+/// api/refbmc.hpp (api::check over a CheckRequest), which adds racing,
+/// budgets and result caching behind the same one-call shape.
 BmcResult check_invariant(const model::Netlist& net, int max_depth,
                           OrderingPolicy policy = OrderingPolicy::Dynamic,
                           std::size_t bad_index = 0);

@@ -52,6 +52,16 @@ void SharedRankSource::publish(const std::vector<VarOrigin>& origin,
       static_cast<std::int64_t>(epoch_.load(std::memory_order_relaxed)));
 }
 
+void SharedRankSource::seed(const CoreRanking& ranking) {
+  REFBMC_EXPECTS_MSG(ranking.weighting() == weighting_,
+                     "rank seed weighting does not match the source's");
+  const std::lock_guard<std::mutex> lock(mu_);
+  REFBMC_EXPECTS_MSG(scores_.empty() && deepest_ == -1,
+                     "rank seed must precede every publish");
+  scores_ = ranking.scores();
+  if (!scores_.empty()) epoch_.fetch_add(1, std::memory_order_release);
+}
+
 std::vector<double> SharedRankSource::project(
     const std::vector<VarOrigin>& origin, std::uint64_t* epoch_out) const {
   // Copy the node-axis scores (small) under the lock — with the epoch,

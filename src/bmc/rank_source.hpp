@@ -138,6 +138,16 @@ class SharedRankSource final : public RankSource {
                const std::vector<sat::Var>& core_vars, int k) override;
   std::vector<double> project(const std::vector<VarOrigin>& origin,
                               std::uint64_t* epoch_out) const override;
+  /// Warm start: installs a previously accumulated node-axis ranking
+  /// (e.g. the snapshot a JobServer persisted for this netlist hash)
+  /// before the race begins, so depth 0 already projects a refined
+  /// ordering instead of re-learning it from scratch.  Scores are pure
+  /// heuristic weight, so a stale seed can only cost time, never a
+  /// verdict.  `ranking.weighting()` must match; call before any entrant
+  /// publishes or projects — seeding is a construction-time operation,
+  /// not a mid-race merge (it REPLACES the accumulation).  Advances the
+  /// epoch when it installs anything, like any other change.
+  void seed(const CoreRanking& ranking);
   std::uint64_t epoch() const override {
     return epoch_.load(std::memory_order_acquire);
   }

@@ -179,4 +179,37 @@ void Netlist::check() const {
       throw std::logic_error("netlist: bad signal out of range");
 }
 
+std::uint64_t structural_hash(const Netlist& net) {
+  // FNV-1a, with a distinct tag byte folded in ahead of every section so
+  // e.g. "two inputs" can never collide with "one input + one output".
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (byte * 8)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(0xA1);
+  mix(net.num_nodes());
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    const Node& n = net.node(id);
+    mix(static_cast<std::uint64_t>(n.kind));
+    mix(n.fanin0.raw());
+    if (n.kind == NodeKind::And) mix(n.fanin1.raw());
+  }
+  mix(0xA2);
+  for (const NodeId id : net.inputs()) mix(id);
+  mix(0xA3);
+  for (const NodeId id : net.latches()) {
+    mix(id);
+    const sat::lbool init = net.latch_init(id);
+    mix(init.is_true() ? 1u : init.is_false() ? 0u : 2u);
+  }
+  mix(0xA4);
+  for (const Signal s : net.outputs()) mix(s.raw());
+  mix(0xA5);
+  for (const BadProperty& b : net.bad_properties()) mix(b.signal.raw());
+  return h;
+}
+
 }  // namespace refbmc::model

@@ -169,4 +169,15 @@ class Netlist {
   std::unordered_map<NodeId, std::size_t> latch_pos_;  // latch id → index
 };
 
+/// Order-stable 64-bit structural hash of the circuit: node kinds and
+/// fanins in id order, latch initial values, input/latch creation order,
+/// outputs and bad-property signals.  Names are excluded — two netlists
+/// that differ only in labels describe the same transition system and
+/// hash equal.  This is the identity the serving layer keys on: the
+/// result cache's (netlist, bad, depth, config) lookup and the
+/// rank-warm-start store both use it, and node ids of equal-hash
+/// netlists line up (construction is deterministic), so persisted
+/// node-axis rank scores project onto a re-submitted model unchanged.
+std::uint64_t structural_hash(const Netlist& net);
+
 }  // namespace refbmc::model

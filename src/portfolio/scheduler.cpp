@@ -106,10 +106,16 @@ RaceResult PortfolioScheduler::race(
   // merged accumulation is meaningful to every entrant regardless of its
   // solver's variable numbering (each projects through its own origin
   // map).  Entrants whose policy ignores the rank feed simply never
-  // publish or refresh.
-  std::unique_ptr<bmc::SharedRankSource> rank_source;
-  if (sharing_.rank && policies.size() > 1)
-    rank_source = std::make_unique<bmc::SharedRankSource>(base.weighting);
+  // publish or refresh.  A caller-supplied base.rank_source takes
+  // precedence over creating our own — that is how the serving layer
+  // warm-starts a race from a persisted accumulation (and reads the
+  // merged snapshot back out afterwards).
+  std::unique_ptr<bmc::SharedRankSource> owned_rank_source;
+  bmc::RankSource* rank_source = base.rank_source;
+  if (rank_source == nullptr && sharing_.rank && policies.size() > 1) {
+    owned_rank_source = std::make_unique<bmc::SharedRankSource>(base.weighting);
+    rank_source = owned_rank_source.get();
+  }
 
   std::atomic<bool> stop{false};
   std::atomic<int> winner{-1};
@@ -150,7 +156,7 @@ RaceResult PortfolioScheduler::race(
           job.config.solver.share_lbd = sharing_.lbd_max;
           job.config.solver.share_size = sharing_.size_max;
         }
-        if (rank_source != nullptr) job.config.rank_source = rank_source.get();
+        if (rank_source != nullptr) job.config.rank_source = rank_source;
         // The Shtrichman ordering has no incremental mode; demote that
         // entrant to scratch solving rather than disqualifying it
         // (scratch and incremental sessions replay the same tape).
@@ -256,21 +262,19 @@ BatchReport PortfolioScheduler::run_batch(
   std::vector<std::unique_ptr<bmc::SharedRankSource>> rank_sources;
   const std::vector<Job>* run_jobs = &jobs;
   if ((sharing_.enabled || sharing_.rank) && jobs.size() > 1) {
-    // Preprocess settings join the key: the pool's clauses live in tape
-    // space, which preprocessing never renumbers, but members of a group
-    // must agree on *which* variables got eliminated or their endpoints
-    // would silently drop each other's best lemmas.
-    using GroupKey = std::tuple<const model::Netlist*, std::size_t, int, bool,
-                                bool, int, int, int>;
+    // The formula fingerprint joins the key: the pool's clauses live in
+    // tape space, which preprocessing never renumbers, but members of a
+    // group must agree on *which* variables got eliminated or their
+    // endpoints would silently drop each other's best lemmas.  The
+    // fingerprint covers bad mode, frame-wise simplify and the whole
+    // preprocess recipe — the same function the service's result cache
+    // keys on, so the two notions of "same formula" cannot drift apart.
+    using GroupKey = std::tuple<const model::Netlist*, std::size_t,
+                                std::uint64_t>;
     std::map<GroupKey, std::vector<std::size_t>> groups;
     for (std::size_t i = 0; i < jobs.size(); ++i) {
       const Job& j = jobs[i];
-      groups[GroupKey{j.net, j.bad_index,
-                      static_cast<int>(j.config.bad_mode),
-                      j.config.simplify, j.config.preprocess.enabled,
-                      j.config.preprocess.bve_budget,
-                      j.config.preprocess.bve_max_resolvent,
-                      j.config.preprocess.rounds}]
+      groups[GroupKey{j.net, j.bad_index, bmc::formula_fingerprint(j.config)}]
           .push_back(i);
     }
     for (const auto& [key, members] : groups) {

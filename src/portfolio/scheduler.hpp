@@ -134,7 +134,10 @@ class PortfolioScheduler {
 
   /// Races `policies` on property `bad_index` of `net`.  `base` supplies
   /// everything but the policy (depth, limits, incremental mode...); its
-  /// `stop` hook, when set, cancels the whole race from outside.
+  /// `stop` hook, when set, cancels the whole race from outside.  When
+  /// `base.rank_source` is non-null the race exchanges orderings through
+  /// THAT source instead of creating its own — the serving layer's
+  /// warm-start seam (seed it, race, snapshot it back).
   RaceResult race(const model::Netlist& net, std::size_t bad_index,
                   const bmc::EngineConfig& base,
                   const std::vector<bmc::OrderingPolicy>& policies =

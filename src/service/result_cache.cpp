@@ -1,0 +1,66 @@
+#include "service/result_cache.hpp"
+
+namespace refbmc::service {
+
+CacheKey cache_key(const api::CheckRequest& request) {
+  CacheKey key;
+  key.netlist_hash = model::structural_hash(request.net);
+  key.bad_index = static_cast<std::uint64_t>(request.bad_index);
+  key.max_depth = request.options.max_depth();
+  key.config = api::config_fingerprint(request.options);
+  return key;
+}
+
+std::optional<api::CheckResult> ResultCache::lookup(const CacheKey& key) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  api::CheckResult result = it->second->second;
+  result.from_cache = true;
+  return result;
+}
+
+void ResultCache::insert(const CacheKey& key, const api::CheckResult& result) {
+  if (capacity_ == 0) return;
+  if (result.status == api::CheckResult::Status::ResourceLimit) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = result;
+    it->second->second.from_cache = false;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, result);
+  lru_.front().second.from_cache = false;
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+std::size_t ResultCache::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+std::uint64_t ResultCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+std::uint64_t ResultCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+std::uint64_t ResultCache::evictions() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace refbmc::service

@@ -1,0 +1,208 @@
+// refbmc-client — the CLI half of the serving wire protocol.
+//
+//   $ ./refbmc-client --socket /tmp/refbmc.sock <command> [args]
+//
+//   submit FILE.aag [--bad N] [--name X] [--priority high|normal|batch]
+//                   [--deadline SEC] [--no-cache] [--wait]
+//                   [race options: --depth, --policies, --budget, ...]
+//   suite  [--quick] [--rounds N] [--depth K] [race options]
+//          submits the benchgen suite (server-side wait), checks every
+//          verdict against the suite's expectation; with --rounds >= 2
+//          also asserts the later rounds were served from the result
+//          cache — the CI smoke in one command.
+//   poll ID | events ID [--after N] | cancel ID
+//   wait ID [--timeout SEC] | stats | shutdown
+//
+// All responses are printed as their raw JSON payload (scriptable);
+// suite prints a verdict table and sets the exit code.
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "api/refbmc.hpp"
+#include "model/aiger.hpp"
+#include "model/benchgen.hpp"
+#include "service/transport.hpp"
+#include "util/options.hpp"
+
+namespace {
+
+using namespace refbmc;
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "refbmc-client: %s\n", message.c_str());
+  return 2;
+}
+
+service::Client::SubmitArgs submit_args_from(const Options& opts) {
+  service::Client::SubmitArgs args;
+  args.bad_index = static_cast<std::size_t>(opts.get_int("bad", 0));
+  args.name = opts.get("name");
+  if (opts.has("priority")) {
+    const auto p = service::parse_priority(opts.get("priority"));
+    if (!p)
+      throw std::invalid_argument("unknown priority '" +
+                                  opts.get("priority") + "'");
+    args.priority = *p;
+  }
+  args.deadline_sec = opts.get_double("deadline", -1.0);
+  args.use_cache = !opts.get_bool("no-cache", false);
+  args.wait = opts.get_bool("wait", false);
+  args.options = api::RaceOptions::from_options(opts);
+  return args;
+}
+
+int cmd_submit(service::Client& client, const Options& opts,
+               const std::string& path) {
+  service::Client::SubmitArgs args = submit_args_from(opts);
+  args.aiger = model::to_aiger_string(model::read_aiger_file(path));
+  if (args.name.empty()) args.name = path;
+  std::string error;
+  const auto response = client.submit(args, &error);
+  if (!response) return fail(error);
+  if (!response->get_bool("ok", false))
+    return fail("server error: " + response->get_string("error", "?"));
+  if (!response->get_bool("accepted", false)) {
+    std::printf("rejected: %s\n",
+                response->get_string("reason", "?").c_str());
+    return 1;
+  }
+  std::printf("id %llu\n", static_cast<unsigned long long>(
+                               response->get_uint64("id")));
+  if (const service::JsonValue* status = response->find("status"))
+    if (const service::JsonValue* result = status->find("result"))
+      std::printf("%s: %s (depth %lld, %s)\n",
+                  status->get_string("state", "?").c_str(),
+                  result->get_string("verdict", "?").c_str(),
+                  static_cast<long long>(
+                      result->get_int("counterexample_depth", -1)),
+                  result->get_bool("from_cache") ? "cached" : "solved");
+  return 0;
+}
+
+int cmd_suite(service::Client& client, const Options& opts) {
+  const auto suite = opts.get_bool("quick", false) ? model::quick_suite()
+                                                   : model::standard_suite();
+  const int rounds = opts.get_int("rounds", 1);
+  if (rounds < 1) return fail("--rounds must be >= 1");
+
+  int mismatches = 0;
+  std::uint64_t cached_results = 0;
+  for (int round = 0; round < rounds; ++round) {
+    std::printf("round %d/%d\n", round + 1, rounds);
+    std::printf("  %-26s %-8s %-10s %8s %s\n", "model", "verdict",
+                "expected", "depths", "served");
+    for (const auto& bm : suite) {
+      service::Client::SubmitArgs args = submit_args_from(opts);
+      args.aiger = model::to_aiger_string(bm.net);
+      args.name = bm.name;
+      args.wait = true;
+      if (!opts.has("depth") && !opts.has("bound"))
+        args.options.max_depth(bm.suggested_bound);
+      std::string error;
+      const auto response = client.submit(args, &error);
+      if (!response) return fail(error);
+      if (!response->get_bool("ok", false))
+        return fail("server error: " + response->get_string("error", "?"));
+      if (!response->get_bool("accepted", false))
+        return fail("submission rejected: " +
+                    response->get_string("reason", "?"));
+      const service::JsonValue* status = response->find("status");
+      const service::JsonValue* result =
+          status != nullptr ? status->find("result") : nullptr;
+      if (result == nullptr) return fail("wait returned no result");
+
+      const std::string verdict = result->get_string("verdict", "?");
+      const bool from_cache = result->get_bool("from_cache", false);
+      const bool ok = verdict == (bm.expect_fail ? "cex" : "bound");
+      if (!ok) ++mismatches;
+      if (from_cache) ++cached_results;
+      std::printf("  %-26s %-8s %-10s %8lld %s%s\n", bm.name.c_str(),
+                  verdict.c_str(), bm.expect_fail ? "cex" : "bound",
+                  static_cast<long long>(
+                      result->get_int("last_completed_depth", -1)),
+                  from_cache ? "cache" : "solve",
+                  ok ? "" : "  <-- MISMATCH");
+    }
+  }
+
+  std::printf("\n%d mismatches, %llu cached results\n", mismatches,
+              static_cast<unsigned long long>(cached_results));
+  if (mismatches != 0) return 1;
+  if (rounds >= 2 && cached_results < suite.size()) {
+    // Every second-round submission is identical to a first-round one,
+    // so each must be a cache hit — anything less means the cache key
+    // broke.
+    std::fprintf(stderr,
+                 "refbmc-client: expected >= %zu cached results, got %llu\n",
+                 suite.size(),
+                 static_cast<unsigned long long>(cached_results));
+    return 1;
+  }
+  return 0;
+}
+
+int run(int argc, char** argv) {
+  const Options opts = Options::parse(argc, argv);
+  const auto& pos = opts.positionals();
+  if (pos.empty())
+    return fail(
+        "usage: refbmc-client --socket PATH "
+        "submit|suite|poll|events|cancel|wait|stats|shutdown ...");
+  const std::string command = pos[0];
+
+  service::Client client;
+  std::string error;
+  if (!client.connect(opts.get("socket", "/tmp/refbmc.sock"), &error))
+    return fail("cannot connect: " + error);
+
+  const auto id_arg = [&]() -> service::JobId {
+    if (pos.size() < 2)
+      throw std::invalid_argument(command + " needs a job id");
+    return static_cast<service::JobId>(std::stoull(pos[1]));
+  };
+
+  if (command == "submit") {
+    if (pos.size() < 2) return fail("submit needs an AIGER file");
+    return cmd_submit(client, opts, pos[1]);
+  }
+  if (command == "suite") return cmd_suite(client, opts);
+
+  std::optional<service::JsonValue> response;
+  if (command == "poll") {
+    response = client.poll(id_arg(), &error);
+  } else if (command == "events") {
+    response = client.events(
+        id_arg(), opts.get_int("after", 0) < 0
+                      ? 0
+                      : static_cast<std::uint64_t>(opts.get_int("after", 0)),
+        &error);
+  } else if (command == "cancel") {
+    response = client.cancel(id_arg(), &error);
+  } else if (command == "wait") {
+    response = client.wait(id_arg(), opts.get_double("timeout", -1.0),
+                           &error);
+  } else if (command == "stats") {
+    response = client.stats(&error);
+  } else if (command == "shutdown") {
+    response = client.shutdown(&error);
+  } else {
+    return fail("unknown command '" + command + "'");
+  }
+
+  if (!response) return fail(error);
+  // Print the exact payload the server sent (scriptable output).
+  std::printf("%s\n", client.last_raw().c_str());
+  return response->get_bool("ok", false) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "refbmc-client: %s\n", e.what());
+    return 2;
+  }
+}
