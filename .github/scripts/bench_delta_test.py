@@ -160,6 +160,57 @@ class BenchDeltaTest(unittest.TestCase):
         self.assertEqual(rc, 0)
         self.assertIn("no BENCH_portfolio.json", out)
 
+    def test_memory_artifact_absent_degrades(self):
+        # The previous run predates BENCH_memory.json entirely AND the
+        # current run lacks it too (bench_memory leg skipped): the
+        # Memory section must degrade to its absence note, exit 0.
+        with tempfile.TemporaryDirectory() as prev, \
+                tempfile.TemporaryDirectory() as cur:
+            write_json(cur, "BENCH_portfolio.json", CURRENT_PORTFOLIO)
+            rc, out = run_delta(prev, cur)
+        self.assertEqual(rc, 0)
+        self.assertIn("no BENCH_memory.json", out)
+
+    def test_memory_metrics_diff_and_degrade(self):
+        # Current run has the full memory artifact, previous has none:
+        # every cell on the previous side is "n/a"; with both present
+        # the compression ratio diffs numerically.
+        cur_memory = {
+            "codec_totals": {"clauses": 12000, "raw_bytes": 180000,
+                             "encoded_bytes": 54000, "compression": 3.33},
+            "pauses": {
+                "arena.chunk_alloc_us": {"count": 40, "p99_us": 63},
+                "arena.gc_pause_us": {"count": 2, "p99_us": 1023},
+            },
+            "rank_row": {
+                "demoted": {"wall_sec": 0.08, "ranks_published": 0},
+                "forced": {"wall_sec": 0.09, "ranks_published": 40},
+            },
+            "process": {"vm_hwm_kb": 9600},
+        }
+        with tempfile.TemporaryDirectory() as prev, \
+                tempfile.TemporaryDirectory() as cur:
+            write_json(cur, "BENCH_memory.json", cur_memory)
+            rc, out = run_delta(prev, cur)
+        self.assertEqual(rc, 0)
+        self.assertIn("### Memory", out)
+        self.assertIn("| tape codec compression (raw / encoded) | n/a "
+                      "| 3.330 | n/a |", out)
+
+        prev_memory = dict(cur_memory)
+        prev_memory["codec_totals"] = {"clauses": 12000,
+                                       "raw_bytes": 180000,
+                                       "encoded_bytes": 60000,
+                                       "compression": 3.0}
+        with tempfile.TemporaryDirectory() as prev, \
+                tempfile.TemporaryDirectory() as cur:
+            write_json(prev, "BENCH_memory.json", prev_memory)
+            write_json(cur, "BENCH_memory.json", cur_memory)
+            rc, out = run_delta(prev, cur)
+        self.assertEqual(rc, 0)
+        self.assertIn("| tape codec compression (raw / encoded) | 3.000 "
+                      "| 3.330 | +11.0% |", out)
+
 
 if __name__ == "__main__":
     unittest.main()

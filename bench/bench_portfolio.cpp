@@ -358,6 +358,19 @@ int run(int argc, char** argv) {
       const std::uint64_t plain_clauses = tape.mark_at(depth).clauses;
       const std::uint64_t simpl_clauses = tape.simplified_clauses_at(depth);
       const bmc::PreprocessStats ps = tape.preprocess_stats_at(depth);
+      // Reserve heuristic (PR 10): the same frames encoded into a bare
+      // tape (geometric vector growth) vs through SharedTape's
+      // netlist-derived per-frame reserve — the capacity overshoot the
+      // estimate trades away.
+      bmc::ClauseTape bare_tape;
+      {
+        bmc::FrameEncoder bare_enc(bm.net, bare_tape);
+        bare_enc.encode_to(depth);
+      }
+      bmc::SharedTape reserved_tape(bm.net, 0, {});
+      reserved_tape.mark_at(depth);
+      const std::uint64_t tape_bytes_before = bare_tape.memory_bytes();
+      const std::uint64_t tape_bytes_after = reserved_tape.memory_bytes();
       const double reduction =
           plain_clauses > 0
               ? 1.0 - static_cast<double>(simpl_clauses) /
@@ -402,6 +415,8 @@ int run(int argc, char** argv) {
       json.kv("clauses_subsumed", ps.clauses_subsumed);
       json.kv("lits_strengthened", ps.lits_strengthened);
       json.kv("preprocess_us", ps.preprocess_us);
+      json.kv("tape_bytes_before", tape_bytes_before);
+      json.kv("tape_bytes_after", tape_bytes_after);
       json.kv("plain_sec", plain_sec);
       json.kv("preprocess_sec", prep_sec);
       json.kv("solve_ratio_vs_plain", solve_ratio);

@@ -66,6 +66,11 @@ inline void write_depth_stats(JsonWriter& w, const bmc::DepthStats& d) {
   w.kv("savepoint_misses", d.savepoint_misses);
   w.kv("savepoint_levels_reused", d.savepoint_levels_reused);
   w.kv("retired_frame_clauses", d.retired_frame_clauses);
+  // Formula-state footprint (PR 10): tracker high-water mark plus this
+  // entrant's arena and the (race-wide) tape residency at depth end.
+  w.kv("peak_bytes", d.peak_bytes);
+  w.kv("arena_bytes", d.arena_bytes);
+  w.kv("tape_bytes", d.tape_bytes);
   w.end_object();
 }
 

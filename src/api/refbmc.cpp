@@ -111,6 +111,14 @@ RaceOptions& RaceOptions::assumption_savepoint(bool on) {
   cli_.assumption_savepoint = on;
   return *this;
 }
+RaceOptions& RaceOptions::mem_ceiling_mb(int mb) {
+  cli_.mem_ceiling_mb = mb;
+  return *this;
+}
+RaceOptions& RaceOptions::tape_cold(bool on) {
+  cli_.tape_cold = on;
+  return *this;
+}
 
 portfolio::ResolvedPortfolio RaceOptions::resolve() const {
   portfolio::ResolvedPortfolio r = portfolio::resolve(cli_);
@@ -159,6 +167,8 @@ CheckResult check(const CheckRequest& request, const CheckHooks& hooks) {
   out.ranks_published = race.ranks_published;
   out.rank_refreshes = race.rank_refreshes;
   out.cancel_latency_us = race.cancel_latency_us;
+  out.peak_mem_bytes = race.peak_mem_bytes;
+  out.mem_limit_hit = race.mem_limit_hit;
   if (race.has_winner()) {
     const portfolio::JobResult& w = race.winning();
     out.winner_policy = w.name;
@@ -255,6 +265,11 @@ std::uint64_t config_fingerprint(const RaceOptions& options) {
   mix(0x22, r.sharing.rank ? 1 : 0);
   mix(0x23, static_cast<std::uint64_t>(
                 r.engine.preprocess.bve_max_resolvent));
+  // The memory ceiling changes when a run is cut off, hence verdicts —
+  // it must key the cache.  tape_cold is deliberately ABSENT: cold
+  // storage re-encodes the same clauses (round-trip-exact codec), so the
+  // formula, the search and every verdict are bit-identical either way.
+  mix(0x24, r.engine.mem_ceiling_bytes);
   return h;
 }
 

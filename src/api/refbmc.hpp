@@ -80,6 +80,12 @@ class RaceOptions {
   RaceOptions& bve_budget(int occurrences);
   RaceOptions& vivify_interval(int restarts);
   RaceOptions& assumption_savepoint(bool on);
+  /// Formula-state memory ceiling in MiB (0 = unlimited); a breach ends
+  /// the race with Status::ResourceLimit and mem_limit_hit set.
+  RaceOptions& mem_ceiling_mb(int mb);
+  /// Keep replayed tape prefixes codec-encoded (~3x smaller resident
+  /// formula).  Representation-only: excluded from config_fingerprint.
+  RaceOptions& tape_cold(bool on);
 
   // ---- inspection ----------------------------------------------------------
   const PortfolioConfig& cli() const { return cli_; }
@@ -131,6 +137,10 @@ struct CheckResult {
   std::uint64_t ranks_published = 0;
   std::uint64_t rank_refreshes = 0;
   std::uint64_t cancel_latency_us = 0;
+  /// Race-wide formula-state footprint high-water mark, and whether a
+  /// --mem-ceiling breach (not a timeout) produced the ResourceLimit.
+  std::uint64_t peak_mem_bytes = 0;
+  bool mem_limit_hit = false;
 
   /// Set by the serving layer when this result was returned from the
   /// ResultCache without running a race.
@@ -204,9 +214,11 @@ class ObservabilityScope {
 /// layers can never disagree about formula identity; on top of it hashes
 /// the search-affecting knobs: policy lineup, threads, seed, budget,
 /// incremental mode, decision scorer, reduceDB tiers, the whole sharing
-/// family, vivification cadence and the assumption savepoint.
-/// Observability settings (trace/metrics files) are deliberately
-/// excluded — they never change a verdict or a counter.
+/// family, vivification cadence, the assumption savepoint and the
+/// memory ceiling.  Observability settings (trace/metrics files) and
+/// tape cold storage are deliberately excluded — they never change a
+/// verdict or a counter (cold storage is representation-only; the codec
+/// round-trip is exact).
 std::uint64_t config_fingerprint(const RaceOptions& options);
 
 }  // namespace refbmc::api

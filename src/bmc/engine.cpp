@@ -95,6 +95,18 @@ BmcEngine::BmcEngine(const model::Netlist& net, EngineConfig config,
                                                config_.preprocess);
     tape_ = owned_tape_.get();
   }
+  if (config_.mem_tracker != nullptr) {
+    mem_ = config_.mem_tracker;
+  } else {
+    owned_mem_ = std::make_unique<MemTracker>();
+    mem_ = owned_mem_.get();
+  }
+  if (config_.mem_ceiling_bytes > 0) mem_->set_ceiling(config_.mem_ceiling_bytes);
+  // Idempotent under a shared tape: every racing entrant carries the same
+  // tracker / cold flag, and SharedTape's setters transfer charges rather
+  // than double-count (tape.cpp).
+  tape_->set_mem_tracker(mem_);
+  tape_->set_cold_storage(config_.tape_cold);
 }
 
 sat::SolverConfig BmcEngine::solver_config_for_policy() const {
@@ -131,6 +143,10 @@ sat::SolverConfig BmcEngine::solver_config_for_policy() const {
   // previous trail to resume, so keep its restart/solve loop on the
   // classic (root-boundary) path.
   if (!config_.incremental) scfg.assumption_savepoint = false;
+  // Formula-state accounting: the solver charges its arena and watcher
+  // heap here and bails (Result::Unknown) at the next conflict / decision
+  // checkpoint once the ceiling is breached.
+  scfg.mem_tracker = mem_;
   return scfg;
 }
 
@@ -155,6 +171,13 @@ BmcResult BmcEngine::run() {
   for (int k = config_.start_depth; k <= config_.max_depth; ++k) {
     if (total_deadline.expired() || cancelled()) {
       result.status = BmcResult::Status::ResourceLimit;
+      break;
+    }
+    if (mem_->breached()) {
+      // Depth boundary: the cheapest clean stop.  Mid-depth breaches are
+      // caught by the solver's conflict/decision checkpoints instead.
+      result.status = BmcResult::Status::ResourceLimit;
+      result.mem_limit_hit = true;
       break;
     }
 
@@ -222,6 +245,9 @@ BmcResult BmcEngine::run() {
     stats.rank_refreshes =
         solver.stats().rank_refreshes - before.rank_refreshes;
     stats.rank_epoch = rank_epoch;
+    stats.peak_bytes = mem_->peak();
+    stats.arena_bytes = solver.clause_db().arena().allocated_bytes();
+    stats.tape_bytes = tape_->memory_bytes();
     stats.time_sec = solver.stats().solve_time_sec - before.solve_time_sec;
     stats.cnf_vars = prep.cnf_vars;
     stats.cnf_clauses = prep.cnf_clauses;
@@ -313,6 +339,7 @@ BmcResult BmcEngine::run() {
       result.per_depth.push_back(stats);
       if (config_.on_depth) config_.on_depth(stats);
       result.status = BmcResult::Status::ResourceLimit;
+      if (mem_->breached()) result.mem_limit_hit = true;
       break;
     }
 
@@ -342,6 +369,7 @@ BmcResult BmcEngine::run() {
   }
 
   result.total_time_sec = total_timer.elapsed_sec();
+  result.peak_mem_bytes = mem_->peak();
   return result;
 }
 

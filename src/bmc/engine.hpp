@@ -44,6 +44,7 @@
 #include "model/netlist.hpp"
 #include "sat/solver.hpp"
 #include "util/assert.hpp"
+#include "util/mem_tracker.hpp"
 
 namespace refbmc::portfolio {
 class SharedClausePool;
@@ -147,6 +148,23 @@ struct EngineConfig {
   double total_time_limit_sec = -1.0;
   double per_instance_time_limit_sec = -1.0;
   std::int64_t per_instance_conflict_limit = -1;
+  /// Formula-state memory ceiling in bytes (0 = unlimited).  The tracked
+  /// footprint — clause arena chunks, watcher-list heap, and the shared
+  /// tape with its per-depth caches — is checked at conflict / decision /
+  /// depth boundaries; a breach ends the run with Status::ResourceLimit
+  /// and mem_limit_hit set.  Accounting itself is always on, so a zero
+  /// ceiling is bit-identical to a build without one.
+  std::uint64_t mem_ceiling_bytes = 0;
+  /// Race-wide memory accounting: when non-null the engine charges its
+  /// formula state to this tracker (shared by every entrant of a race)
+  /// instead of an engine-private one; the ceiling then bounds the SUM
+  /// across entrants.  Not owned; must outlive run().
+  MemTracker* mem_tracker = nullptr;
+  /// Cold storage: the shared tape keeps replayed depth prefixes and
+  /// consumed preprocessing caches codec-encoded (bmc/tape_codec.hpp),
+  /// trading replay-time decode for a ~3x smaller resident formula.
+  /// Representation-only — excluded from formula/config fingerprints.
+  bool tape_cold = false;
   /// Cooperative cancellation: when non-null and set to true (possibly
   /// from another thread, e.g. by the portfolio scheduler when a rival
   /// policy wins), run() stops at the next depth / solver checkpoint and
@@ -241,6 +259,13 @@ struct DepthStats {
   std::uint64_t savepoint_misses = 0;
   std::uint64_t savepoint_levels_reused = 0;
   std::uint64_t retired_frame_clauses = 0;
+  /// Formula-state footprint at the end of this depth: the tracker's
+  /// high-water mark (race-wide under a shared tracker), this entrant's
+  /// clause-arena bytes, and the shared tape's resident bytes (raw +
+  /// frozen segments + preprocessing caches; a race-wide figure).
+  std::uint64_t peak_bytes = 0;
+  std::uint64_t arena_bytes = 0;
+  std::uint64_t tape_bytes = 0;
   std::size_t core_clauses = 0;  // when UNSAT and cores tracked
   std::size_t core_vars = 0;
   bool rank_switched = false;  // dynamic policy fell back to VSIDS
@@ -258,6 +283,12 @@ struct BmcResult {
   int last_completed_depth = -1;
   std::vector<DepthStats> per_depth;
   double total_time_sec = 0.0;
+  /// Set when the run ended on a memory-ceiling breach (the status is
+  /// ResourceLimit, indistinguishable from a timeout without this flag).
+  bool mem_limit_hit = false;
+  /// High-water mark of the tracked formula-state footprint over the
+  /// whole run (race-wide when the tracker is shared).
+  std::uint64_t peak_mem_bytes = 0;
 
   std::uint64_t total_decisions() const;
   std::uint64_t total_propagations() const;
@@ -301,6 +332,8 @@ class BmcEngine {
   std::unique_ptr<LocalRankSource> owned_rank_;  // when no shared source
   RankSource* rank_;
   RankProjector rank_refresher_;  // bound per depth under a shared source
+  std::unique_ptr<MemTracker> owned_mem_;  // when no shared tracker given
+  MemTracker* mem_;
 };
 
 /// Fingerprint of everything that determines the FORMULA an engine

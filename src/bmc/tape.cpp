@@ -1,56 +1,143 @@
 #include "bmc/tape.hpp"
 
+#include <algorithm>
+
+#include "bmc/tape_codec.hpp"
+#include "model/stats.hpp"
 #include "obs/trace.hpp"
 #include "util/assert.hpp"
 
 namespace refbmc::bmc {
 
-void ClauseTape::replay(Cursor& cursor, const Mark& upto,
-                        ClauseSink& out) const {
-  REFBMC_EXPECTS(upto.ops <= ops_.size());
-  std::vector<sat::Lit> clause;
-  while (cursor.op < upto.ops) {
-    const std::int32_t op = ops_[cursor.op++];
+void ClauseTape::scan(
+    std::size_t op_begin, std::size_t op_end,
+    const std::function<void(std::size_t)>& on_vars,
+    const std::function<void(std::span<const sat::Lit>)>& on_clause) const {
+  REFBMC_EXPECTS(op_begin <= op_end && op_end <= base_ops_ + ops_.size());
+  std::size_t at = op_begin;
+
+  // Frozen prefix: decode every segment the range touches.  The codec's
+  // delta chain spans a whole segment, so a partially-wanted segment is
+  // decoded in full and clipped — the price of cold storage, paid only
+  // by late joiners (steady-state consumers read the raw tail).
+  std::size_t seg_start = 0;
+  for (const FrozenSegment& seg : frozen_) {
+    const std::size_t seg_end = seg_start + seg.ops;
+    if (at >= op_end) return;
+    if (at < seg_end) {
+      std::size_t op = seg_start;
+      TapeCodec::for_each(
+          seg.bytes,
+          [&](std::size_t n) {
+            const std::size_t lo = std::max(op, at);
+            const std::size_t hi = std::min(op + n, op_end);
+            if (on_vars && hi > lo) on_vars(hi - lo);
+            op += n;
+          },
+          [&](std::span<const sat::Lit> lits) {
+            if (on_clause && op >= at && op < op_end) on_clause(lits);
+            ++op;
+          });
+      at = std::min(seg_end, op_end);
+    }
+    seg_start = seg_end;
+  }
+  if (at >= op_end) return;
+
+  // Raw tail.  Literal offsets are not stored per op, so recover the
+  // start offset by summing clause sizes up to `at` — a linear walk over
+  // plain ints, negligible next to the clause copying that follows.
+  REFBMC_ASSERT(at >= base_ops_);
+  std::size_t local = at - base_ops_;
+  const std::size_t local_end = op_end - base_ops_;
+  std::size_t lit = 0;
+  for (std::size_t i = 0; i < local; ++i)
+    if (ops_[i] != kVarOp) lit += static_cast<std::size_t>(ops_[i]);
+  std::size_t var_run = 0;
+  while (local < local_end) {
+    const std::int32_t op = ops_[local++];
     if (op == kVarOp) {
-      cursor.var_map.push_back(out.add_var(origin_[cursor.var_map.size()]));
+      ++var_run;
       continue;
     }
-    clause.clear();
-    for (std::int32_t i = 0; i < op; ++i)
-      clause.push_back(cursor.translate(lits_[cursor.lit++]));
-    out.add_clause(clause);
+    if (var_run != 0) {
+      if (on_vars) on_vars(var_run);
+      var_run = 0;
+    }
+    if (on_clause)
+      on_clause(std::span<const sat::Lit>(lits_.data() + lit,
+                                          static_cast<std::size_t>(op)));
+    lit += static_cast<std::size_t>(op);
   }
+  if (var_run != 0 && on_vars) on_vars(var_run);
+}
+
+void ClauseTape::freeze_prefix(const Mark& upto) {
+  REFBMC_EXPECTS_MSG(upto.ops >= base_ops_ &&
+                         upto.ops <= base_ops_ + ops_.size(),
+                     "freeze_prefix is monotone over the raw region");
+  if (upto.ops == base_ops_) return;
+  FrozenSegment seg;
+  seg.ops = upto.ops - base_ops_;
+  seg.lits = upto.lits - base_lits_;
+  {
+    TapeCodec::Writer w(seg.bytes);
+    std::size_t lit = 0;
+    for (std::size_t i = 0; i < seg.ops; ++i) {
+      const std::int32_t op = ops_[i];
+      if (op == kVarOp) {
+        w.add_var();
+        continue;
+      }
+      w.add_clause(std::span<const sat::Lit>(lits_.data() + lit,
+                                             static_cast<std::size_t>(op)));
+      lit += static_cast<std::size_t>(op);
+    }
+    REFBMC_ASSERT(lit == seg.lits);
+    w.finish();
+  }
+  ops_.erase(ops_.begin(), ops_.begin() + static_cast<std::ptrdiff_t>(seg.ops));
+  lits_.erase(lits_.begin(),
+              lits_.begin() + static_cast<std::ptrdiff_t>(seg.lits));
+  ops_.shrink_to_fit();
+  lits_.shrink_to_fit();
+  base_ops_ += seg.ops;
+  base_lits_ += seg.lits;
+  seg.bytes.shrink_to_fit();
+  frozen_.push_back(std::move(seg));
+}
+
+void ClauseTape::replay(Cursor& cursor, const Mark& upto,
+                        ClauseSink& out) const {
+  std::vector<sat::Lit> clause;
+  scan(cursor.op, upto.ops,
+       [&](std::size_t n) {
+         for (std::size_t i = 0; i < n; ++i)
+           cursor.var_map.push_back(
+               out.add_var(origin_[cursor.var_map.size()]));
+       },
+       [&](std::span<const sat::Lit> lits) {
+         clause.clear();
+         for (const sat::Lit l : lits) clause.push_back(cursor.translate(l));
+         out.add_clause(clause);
+       });
+  cursor.op = upto.ops;
+  cursor.lit = upto.lits;
 }
 
 void ClauseTape::export_clauses(const Mark& upto,
                                 std::vector<std::vector<sat::Lit>>& out) const {
-  REFBMC_EXPECTS(upto.ops <= ops_.size());
-  out.clear();
-  out.reserve(upto.clauses);
-  std::size_t lit = 0;
-  for (std::size_t i = 0; i < upto.ops; ++i) {
-    const std::int32_t op = ops_[i];
-    if (op == kVarOp) continue;
-    out.emplace_back(lits_.begin() + static_cast<std::ptrdiff_t>(lit),
-                     lits_.begin() + static_cast<std::ptrdiff_t>(lit) + op);
-    lit += static_cast<std::size_t>(op);
-  }
+  export_clauses_range(Mark{}, upto, out);
 }
 
 void ClauseTape::export_clauses_range(
     const Mark& from, const Mark& upto,
     std::vector<std::vector<sat::Lit>>& out) const {
-  REFBMC_EXPECTS(from.ops <= upto.ops && upto.ops <= ops_.size());
   out.clear();
   out.reserve(upto.clauses - from.clauses);
-  std::size_t lit = from.lits;
-  for (std::size_t i = from.ops; i < upto.ops; ++i) {
-    const std::int32_t op = ops_[i];
-    if (op == kVarOp) continue;
-    out.emplace_back(lits_.begin() + static_cast<std::ptrdiff_t>(lit),
-                     lits_.begin() + static_cast<std::ptrdiff_t>(lit) + op);
-    lit += static_cast<std::size_t>(op);
-  }
+  scan(from.ops, upto.ops, {}, [&](std::span<const sat::Lit> lits) {
+    out.emplace_back(lits.begin(), lits.end());
+  });
 }
 
 SharedTape::SharedTape(const model::Netlist& net, std::size_t bad_index,
@@ -59,12 +146,51 @@ SharedTape::SharedTape(const model::Netlist& net, std::size_t bad_index,
       bad_index_(bad_index),
       opts_(opts),
       preprocess_(preprocess),
-      encoder_(net, tape_, bad_index, opts) {}
+      encoder_(net, tape_, bad_index, opts) {
+  // Netlist-derived reserve heuristic: a frame creates roughly one tape
+  // variable per input/latch/gate and one Tseitin clause triple per AND
+  // plus the latch-transition binaries; strashing only shrinks these, so
+  // the estimate is a safe upper bound for the common case and merely a
+  // hint otherwise.
+  const model::NetlistStats ns = model::analyze(net);
+  const std::size_t vars_frame = ns.num_inputs + ns.num_latches + ns.num_ands + 2;
+  const std::size_t clauses_frame = 3 * ns.num_ands + 2 * ns.num_latches + 4;
+  est_ops_frame_ = vars_frame + clauses_frame;
+  est_lits_frame_ = 3 * clauses_frame;
+}
+
+void SharedTape::recharge_locked() {
+  const auto clause_list_bytes =
+      [](const std::vector<std::vector<sat::Lit>>& cs) {
+        std::size_t n = cs.capacity() * sizeof(std::vector<sat::Lit>);
+        for (const auto& c : cs) n += c.capacity() * sizeof(sat::Lit);
+        return n;
+      };
+  std::size_t caches = 0;
+  for (const SimplifiedDepth& s : simplified_)
+    caches += clause_list_bytes(s.result.clauses) + s.cold.capacity();
+  for (const IncDelta& d : inc_deltas_) {
+    caches += clause_list_bytes(d.clauses) + d.cold.capacity();
+    caches += d.resurrected.capacity() * sizeof(sat::Var) +
+              d.kept_new.capacity();
+  }
+  cache_bytes_ = caches;
+  const std::size_t now = tape_.memory_bytes() + cache_bytes_;
+  if (mem_ != nullptr) {
+    if (now >= last_charged_)
+      mem_->add(now - last_charged_);
+    else
+      mem_->sub(last_charged_ - now);
+  }
+  last_charged_ = now;
+}
 
 void SharedTape::ensure_locked(int k) {
   REFBMC_EXPECTS(k >= 0);
+  const std::uint64_t before = encoder_.stats().frames_encoded;
   while (encoder_.encoded_depth() < k) {
     const int frame = encoder_.encoded_depth() + 1;
+    tape_.reserve_additional(est_ops_frame_, est_lits_frame_);
     // The frame is encoded exactly once race-wide (this is the
     // encode-once guarantee), so the span lands on whichever entrant's
     // track got here first — one tape_encode span per frame, total.
@@ -73,7 +199,13 @@ void SharedTape::ensure_locked(int k) {
     span.set_value(static_cast<std::int64_t>(encoder_.stats().clauses_emitted));
     depth_marks_.push_back(tape_.mark());
     depth_stats_.push_back(encoder_.stats());
+    // Cold storage: the depth just superseded is fully replayable from
+    // its mark, so its raw words can be frozen; the newest depth stays
+    // raw (it is what steady-state consumers are about to read).
+    if (cold_ && depth_marks_.size() >= 2)
+      tape_.freeze_prefix(depth_marks_[depth_marks_.size() - 2]);
   }
+  if (encoder_.stats().frames_encoded != before) recharge_locked();
 }
 
 void SharedTape::ensure_depth(int k) {
@@ -132,11 +264,21 @@ void SharedTape::ensure_simplified_locked(int k) {
   build_frozen_locked(k, mark.vars, frozen);
 
   const TapePreprocessor pp(preprocess_);
-  simplified_[idx].result =
-      pp.run(static_cast<int>(mark.vars), clauses, frozen);
-  simplified_[idx].ready = true;
-  span.set_value(
-      static_cast<std::int64_t>(simplified_[idx].result.clauses.size()));
+  SimplifiedDepth& s = simplified_[idx];
+  s.result = pp.run(static_cast<int>(mark.vars), clauses, frozen);
+  s.clause_count = s.result.clauses.size();
+  if (cold_) {
+    // The clause list is consumed through replay only; keep it encoded
+    // and decode on demand (the remapper stays hot — model completion
+    // needs it structurally).
+    s.cold = TapeCodec::encode_clauses(s.result.clauses);
+    s.cold.shrink_to_fit();
+    std::vector<std::vector<sat::Lit>>().swap(s.result.clauses);
+    s.is_cold = true;
+  }
+  s.ready = true;
+  span.set_value(static_cast<std::int64_t>(s.clause_count));
+  recharge_locked();
 }
 
 void SharedTape::ensure_inc_delta_locked(int f) {
@@ -215,8 +357,16 @@ void SharedTape::ensure_inc_delta_locked(int f) {
   d.clauses = std::move(result.clauses);
   d.stats = result.stats;
   d.remap_after = inc_remap_;
+  const std::size_t clause_count = d.clauses.size();
+  if (cold_) {
+    d.cold = TapeCodec::encode_clauses(d.clauses);
+    d.cold.shrink_to_fit();
+    std::vector<std::vector<sat::Lit>>().swap(d.clauses);
+    d.is_cold = true;
+  }
   d.ready = true;
-  span.set_value(static_cast<std::int64_t>(d.clauses.size()));
+  span.set_value(static_cast<std::int64_t>(clause_count));
+  recharge_locked();
 }
 
 void SharedTape::replay_simplified_delta(int f, ClauseTape::Cursor& cursor,
@@ -247,10 +397,15 @@ void SharedTape::replay_simplified_delta(int f, ClauseTape::Cursor& cursor,
                                  : sat::kVarUndef);
   }
   std::vector<sat::Lit> clause;
-  for (const auto& c : d.clauses) {
+  const auto emit = [&](std::span<const sat::Lit> c) {
     clause.clear();
     for (const sat::Lit l : c) clause.push_back(cursor.translate(l));
     out.add_clause(clause);
+  };
+  if (d.is_cold) {
+    TapeCodec::decode_clauses(d.cold, emit);
+  } else {
+    for (const auto& c : d.clauses) emit(c);
   }
   // Park at the depth mark, exactly like the scratch simplified replay.
   cursor.op = mark.ops;
@@ -264,7 +419,8 @@ void SharedTape::replay_simplified_to(int k, ClauseTape::Cursor& cursor,
                      "simplified replay requires a fresh consumer");
   ensure_simplified_locked(k);
   const ClauseTape::Mark& mark = depth_marks_[static_cast<std::size_t>(k)];
-  const SimplifyResult& res = simplified_[static_cast<std::size_t>(k)].result;
+  const SimplifiedDepth& s = simplified_[static_cast<std::size_t>(k)];
+  const SimplifyResult& res = s.result;
 
   const auto& origin = tape_.origin();
   for (std::size_t v = 0; v < mark.vars; ++v) {
@@ -273,10 +429,15 @@ void SharedTape::replay_simplified_to(int k, ClauseTape::Cursor& cursor,
                                  : sat::kVarUndef);
   }
   std::vector<sat::Lit> clause;
-  for (const auto& c : res.clauses) {
+  const auto emit = [&](std::span<const sat::Lit> c) {
     clause.clear();
     for (const sat::Lit l : c) clause.push_back(cursor.translate(l));
     out.add_clause(clause);
+  };
+  if (s.is_cold) {
+    TapeCodec::decode_clauses(s.cold, emit);
+  } else {
+    for (const auto& c : res.clauses) emit(c);
   }
   // Park the cursor at the depth mark: translate() keeps working for
   // property/bad/latch literals over kept (frozen) variables.
@@ -293,7 +454,7 @@ PreprocessStats SharedTape::preprocess_stats_at(int k) {
 std::size_t SharedTape::simplified_clauses_at(int k) {
   const std::lock_guard<std::mutex> lock(mu_);
   ensure_simplified_locked(k);
-  return simplified_[static_cast<std::size_t>(k)].result.clauses.size();
+  return simplified_[static_cast<std::size_t>(k)].clause_count;
 }
 
 VarRemapper SharedTape::remapper_at(int k) {
@@ -352,6 +513,38 @@ EncodeStats SharedTape::stats_at(int k) {
 EncodeStats SharedTape::stats() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return encoder_.stats();
+}
+
+void SharedTape::set_cold_storage(bool on) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  cold_ = on;
+}
+
+bool SharedTape::cold_storage() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return cold_;
+}
+
+void SharedTape::set_mem_tracker(MemTracker* tracker) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (mem_ != nullptr) mem_->sub(last_charged_);
+  mem_ = tracker;
+  if (mem_ != nullptr) mem_->add(last_charged_);
+}
+
+std::size_t SharedTape::memory_bytes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return tape_.memory_bytes() + cache_bytes_;
+}
+
+std::size_t SharedTape::tape_raw_bytes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return tape_.raw_bytes();
+}
+
+std::size_t SharedTape::tape_encoded_bytes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return tape_.encoded_bytes();
 }
 
 }  // namespace refbmc::bmc

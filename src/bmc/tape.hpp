@@ -14,14 +14,24 @@
 // replay_to() streams a consumer forward.  Replay happens under the lock
 // too — clause copying is orders of magnitude cheaper than solving, so
 // contention is negligible next to the O(P × k²) re-encoding it replaces.
+// Cold storage (PR 10): freeze_prefix() re-encodes an already-replayed
+// event prefix into the compact codec form (tape_codec.hpp) and drops
+// the raw vectors — indices stay absolute, every reader goes through
+// scan(), and late joiners decode transparently.  SharedTape's
+// set_cold_storage(true) freezes each depth's prefix as the next one is
+// encoded and keeps the consumed SimplifiedDepth/IncDelta caches
+// encoded too.  Representation-only: verdicts, counters and replay
+// streams are bit-identical with the mode off or on.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <vector>
 
 #include "bmc/encoder.hpp"
 #include "bmc/preprocess.hpp"
+#include "util/mem_tracker.hpp"
 
 namespace refbmc::bmc {
 
@@ -67,7 +77,8 @@ class ClauseTape final : public ClauseSink {
 
   // ---- reading ---------------------------------------------------------
   Mark mark() const {
-    return Mark{ops_.size(), lits_.size(), origin_.size(), num_clauses_};
+    return Mark{base_ops_ + ops_.size(), base_lits_ + lits_.size(),
+                origin_.size(), num_clauses_};
   }
   std::size_t num_vars() const { return origin_.size(); }
   std::size_t num_clauses() const { return num_clauses_; }
@@ -86,12 +97,70 @@ class ClauseTape final : public ClauseSink {
   void export_clauses_range(const Mark& from, const Mark& upto,
                             std::vector<std::vector<sat::Lit>>& out) const;
 
+  /// Walks ops [op_begin, op_end): on_vars(n) per run of add_var ops,
+  /// on_clause(lits) per clause in tape literal space (span valid until
+  /// the next callback).  Transparent over frozen segments — they are
+  /// decoded on the fly.  Either callback may be empty.
+  void scan(std::size_t op_begin, std::size_t op_end,
+            const std::function<void(std::size_t)>& on_vars,
+            const std::function<void(std::span<const sat::Lit>)>& on_clause)
+      const;
+
+  // ---- cold storage ----------------------------------------------------
+  /// Re-encodes every raw event below `upto` into a compact codec
+  /// segment and drops the raw words.  Indices stay absolute (mark(),
+  /// Cursor positions and replay() keep working unchanged); reading a
+  /// frozen range decodes it through scan().  Monotone: upto must not
+  /// precede an earlier freeze.
+  void freeze_prefix(const Mark& upto);
+
+  /// Capacity hints for the recording vectors, ADDED to what is already
+  /// stored (netlist-derived, see SharedTape's per-frame estimate).
+  void reserve_additional(std::size_t ops, std::size_t lits) {
+    ops_.reserve(ops_.size() + ops);
+    lits_.reserve(lits_.size() + lits);
+  }
+
+  std::size_t frozen_segments() const { return frozen_.size(); }
+  /// What the whole event stream costs in raw vector form (4 bytes per
+  /// op + 4 per literal), frozen or not — the codec's baseline.
+  std::size_t raw_bytes() const {
+    return (base_ops_ + ops_.size()) * sizeof(std::int32_t) +
+           (base_lits_ + lits_.size()) * sizeof(sat::Lit);
+  }
+  /// Encoded bytes held by frozen segments.
+  std::size_t encoded_bytes() const {
+    std::size_t n = 0;
+    for (const FrozenSegment& s : frozen_) n += s.bytes.size();
+    return n;
+  }
+  /// The tape's actual heap footprint: raw-tail capacity + frozen
+  /// segment bytes + the origin vector.
+  std::size_t memory_bytes() const {
+    std::size_t n = ops_.capacity() * sizeof(std::int32_t) +
+                    lits_.capacity() * sizeof(sat::Lit) +
+                    origin_.capacity() * sizeof(VarOrigin);
+    for (const FrozenSegment& s : frozen_) n += s.bytes.capacity();
+    return n;
+  }
+
  private:
   static constexpr std::int32_t kVarOp = -1;
 
-  std::vector<std::int32_t> ops_;  // kVarOp or a literal count
-  std::vector<sat::Lit> lits_;     // flattened clause literals
-  std::vector<VarOrigin> origin_;  // per tape variable
+  /// One frozen (codec-encoded) prefix range; segments are contiguous
+  /// from op 0 and cover base_ops_ ops / base_lits_ lits in total.
+  struct FrozenSegment {
+    std::size_t ops = 0;
+    std::size_t lits = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  std::vector<FrozenSegment> frozen_;  // encoded prefix, in order
+  std::size_t base_ops_ = 0;   // absolute index of ops_[0]
+  std::size_t base_lits_ = 0;  // absolute index of lits_[0]
+  std::vector<std::int32_t> ops_;  // raw tail: kVarOp or a literal count
+  std::vector<sat::Lit> lits_;     // raw tail: flattened clause literals
+  std::vector<VarOrigin> origin_;  // per tape variable (never frozen)
   std::size_t num_clauses_ = 0;
 };
 
@@ -179,17 +248,43 @@ class SharedTape {
   EncodeStats stats_at(int k);
   EncodeStats stats() const;
 
+  // ---- space accounting -----------------------------------------------
+  /// Cold storage: when on, each depth's event prefix is frozen (codec-
+  /// encoded, raw words dropped) as the next depth is encoded, and the
+  /// consumed SimplifiedDepth/IncDelta caches are kept encoded too,
+  /// decoding on replay.  Representation-only — replay streams are
+  /// bit-identical either way — so it is excluded from
+  /// api::config_fingerprint.  Applies to depths encoded after the call.
+  void set_cold_storage(bool on);
+  bool cold_storage() const;
+
+  /// Tape + cache footprint deltas are charged here (may be null).
+  void set_mem_tracker(MemTracker* tracker);
+
+  /// Heap footprint of the tape and its per-depth caches (the value
+  /// charged to the MemTracker).
+  std::size_t memory_bytes() const;
+  /// Raw-form cost of the event stream (the codec baseline) and the
+  /// bytes frozen segments actually hold — the bench_memory ratio.
+  std::size_t tape_raw_bytes() const;
+  std::size_t tape_encoded_bytes() const;
+
  private:
   void ensure_locked(int k);
   void ensure_simplified_locked(int k);
   void ensure_inc_delta_locked(int f);
   void build_frozen_locked(int k, std::size_t num_vars,
                            std::vector<char>& frozen) const;
+  void recharge_locked();
 
   /// One depth's cached simplification (clauses + remapper + stats).
+  /// Under cold storage the clause list is kept codec-encoded.
   struct SimplifiedDepth {
     bool ready = false;
     SimplifyResult result;
+    std::size_t clause_count = 0;
+    std::vector<std::uint8_t> cold;  // encoded result.clauses
+    bool is_cold = false;
   };
 
   /// One depth's cached incremental delta: the variables resurrected
@@ -205,6 +300,8 @@ class SharedTape {
     std::vector<sat::Var> resurrected;       // sink creation order
     std::vector<char> kept_new;              // per var in (prev, mark]
     std::vector<std::vector<sat::Lit>> clauses;  // kits + simplified delta
+    std::vector<std::uint8_t> cold;          // encoded `clauses` (cold mode)
+    bool is_cold = false;
     PreprocessStats stats;
     VarRemapper remap_after;                 // cumulative, as of this depth
   };
@@ -224,6 +321,15 @@ class SharedTape {
   std::vector<IncDelta> inc_deltas_;           // per depth, lazy
   VarRemapper inc_remap_{0};
   std::vector<sat::lbool> inc_assigned_;       // per tape var
+
+  // Space accounting (PR 10): cold-storage switch, netlist-derived
+  // per-frame reserve estimate, and the footprint charged to `mem_`.
+  bool cold_ = false;
+  std::size_t est_ops_frame_ = 0;
+  std::size_t est_lits_frame_ = 0;
+  std::size_t cache_bytes_ = 0;   // SimplifiedDepth/IncDelta payloads
+  std::size_t last_charged_ = 0;  // last value pushed to mem_
+  MemTracker* mem_ = nullptr;
 };
 
 }  // namespace refbmc::bmc

@@ -12,13 +12,33 @@ SharedClausePool::SharedClausePool(std::size_t capacity)
   REFBMC_EXPECTS_MSG(capacity >= 1, "clause pool needs capacity >= 1");
 }
 
+SharedClausePool::~SharedClausePool() {
+  if (mem_ != nullptr) mem_->sub(charged_);
+}
+
+void SharedClausePool::set_mem_tracker(MemTracker* tracker) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (mem_ != nullptr) mem_->sub(charged_);
+  mem_ = tracker;
+  if (mem_ != nullptr) mem_->add(charged_);
+}
+
 bool SharedClausePool::publish(std::span<const sat::Lit> tape_lits,
                                std::uint32_t lbd, int producer) {
   if (closed()) return false;  // losing entrants wind down without the lock
   const std::lock_guard<std::mutex> lock(mu_);
   const std::uint64_t seq = head_.load(std::memory_order_relaxed);
   PoolClause& slot = ring_[seq % capacity_];
+  const std::size_t cap_before = slot.lits.capacity();
   slot.lits.assign(tape_lits.begin(), tape_lits.end());
+  if (slot.lits.capacity() != cap_before) {
+    // Slot buffers are only ever regrown (assign never shrinks capacity),
+    // so the delta is what the ring newly holds.
+    const std::size_t delta =
+        (slot.lits.capacity() - cap_before) * sizeof(sat::Lit);
+    charged_ += delta;
+    if (mem_ != nullptr) mem_->add(delta);
+  }
   slot.lbd = lbd;
   slot.producer = producer;
   head_.store(seq + 1, std::memory_order_release);

@@ -50,6 +50,7 @@
 
 #include "sat/solver.hpp"
 #include "sat/types.hpp"
+#include "util/mem_tracker.hpp"
 
 namespace refbmc::portfolio {
 
@@ -63,9 +64,14 @@ class SharedClausePool {
   };
 
   explicit SharedClausePool(std::size_t capacity = 4096);
+  ~SharedClausePool();
 
   SharedClausePool(const SharedClausePool&) = delete;
   SharedClausePool& operator=(const SharedClausePool&) = delete;
+
+  /// Ring heap (slot literal buffers) is charged here (may be null);
+  /// bytes already held move to the new tracker.  Thread-safe.
+  void set_mem_tracker(MemTracker* tracker);
 
   std::size_t capacity() const { return capacity_; }
 
@@ -127,6 +133,8 @@ class SharedClausePool {
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::vector<PoolClause> ring_;  // slot = seq % capacity_
+  std::size_t charged_ = 0;       // ring heap bytes pushed to mem_ (under mu_)
+  MemTracker* mem_ = nullptr;     // guarded by mu_
   std::atomic<std::uint64_t> head_{0};
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> overwritten_{0};

@@ -48,6 +48,23 @@ void rethrow_first(const std::vector<std::exception_ptr>& errors) {
     if (e) std::rethrow_exception(e);
 }
 
+/// Policies that actually read the rank feed (and publish cores into
+/// it).  Baseline / Evsids ignore it entirely; Shtrichman ranks a fixed
+/// instance from scratch each depth and never consumes the accumulation.
+bool consumes_rank(bmc::OrderingPolicy p) {
+  return p == bmc::OrderingPolicy::Static ||
+         p == bmc::OrderingPolicy::Dynamic ||
+         p == bmc::OrderingPolicy::Replace;
+}
+
+/// A shared rank source pays off only when two+ consumers can overlap;
+/// see SharingConfig::rank.  `rank_force` bypasses the check for tests.
+bool shared_rank_pays_off(const SharingConfig& sharing,
+                          std::size_t consumers) {
+  if (sharing.rank_force) return true;
+  return std::thread::hardware_concurrency() > 1 && consumers >= 2;
+}
+
 }  // namespace
 
 const JobResult& RaceResult::winning() const {
@@ -86,6 +103,15 @@ RaceResult PortfolioScheduler::race(
   RaceResult out;
   out.entrants.resize(policies.size());
 
+  // One formula-state tracker per race: the tape, every entrant's clause
+  // arena and watcher heap, and the lemma pool all charge here, so a
+  // --mem-ceiling bounds the race's SUM, not each entrant separately.  A
+  // caller-supplied tracker (service seam) takes precedence.  Declared
+  // before tape and pool: its chargers must not outlive it.
+  MemTracker race_mem;
+  MemTracker* mem =
+      base.mem_tracker != nullptr ? base.mem_tracker : &race_mem;
+
   // Encode once: every entrant replays this shared formula instead of
   // unrolling its own copy (frames_encoded stays one-per-depth no matter
   // how many policies race).
@@ -98,9 +124,11 @@ RaceResult PortfolioScheduler::race(
   // pool's tape-space clauses are meaningful to all of them.  A
   // single-entrant race has nobody to share with.
   std::unique_ptr<SharedClausePool> pool;
-  if (sharing_.enabled && policies.size() > 1)
+  if (sharing_.enabled && policies.size() > 1) {
     pool = std::make_unique<SharedClausePool>(
         static_cast<std::size_t>(sharing_.capacity));
+    pool->set_mem_tracker(mem);
+  }
 
   // And one rank source per race: cores live in model-node space, so the
   // merged accumulation is meaningful to every entrant regardless of its
@@ -113,8 +141,13 @@ RaceResult PortfolioScheduler::race(
   std::unique_ptr<bmc::SharedRankSource> owned_rank_source;
   bmc::RankSource* rank_source = base.rank_source;
   if (rank_source == nullptr && sharing_.rank && policies.size() > 1) {
-    owned_rank_source = std::make_unique<bmc::SharedRankSource>(base.weighting);
-    rank_source = owned_rank_source.get();
+    const std::size_t consumers = static_cast<std::size_t>(
+        std::count_if(policies.begin(), policies.end(), consumes_rank));
+    if (shared_rank_pays_off(sharing_, consumers)) {
+      owned_rank_source =
+          std::make_unique<bmc::SharedRankSource>(base.weighting);
+      rank_source = owned_rank_source.get();
+    }
   }
 
   std::atomic<bool> stop{false};
@@ -157,6 +190,7 @@ RaceResult PortfolioScheduler::race(
           job.config.solver.share_size = sharing_.size_max;
         }
         if (rank_source != nullptr) job.config.rank_source = rank_source;
+        job.config.mem_tracker = mem;
         // The Shtrichman ordering has no incremental mode; demote that
         // entrant to scratch solving rather than disqualifying it
         // (scratch and incremental sessions replay the same tape).
@@ -234,6 +268,9 @@ RaceResult PortfolioScheduler::race(
       for (const auto& d : entrant.result.per_depth)
         out.rank_refreshes += d.rank_refreshes;
   }
+  out.peak_mem_bytes = mem->peak();
+  for (const auto& entrant : out.entrants)
+    if (entrant.result.mem_limit_hit) out.mem_limit_hit = true;
   return out;
 }
 
@@ -298,6 +335,13 @@ BatchReport PortfolioScheduler::run_batch(
               .push_back(m);
         for (const auto& [w, twins] : by_weighting) {
           if (twins.size() < 2) continue;
+          // Same pays-off demotion as race(): a twin group without two
+          // rank-consuming policies leaves everyone on their private
+          // LocalRankSource (no exchange to be had).
+          std::size_t consumers = 0;
+          for (const std::size_t m : twins)
+            if (consumes_rank(shared_jobs[m].config.policy)) ++consumers;
+          if (!shared_rank_pays_off(sharing_, consumers)) continue;
           rank_sources.push_back(std::make_unique<bmc::SharedRankSource>(
               shared_jobs[twins.front()].config.weighting));
           for (const std::size_t m : twins)
@@ -411,6 +455,9 @@ ResolvedPortfolio resolve(const PortfolioConfig& cfg) {
   // Scratch engines clear this themselves (solver_config_for_policy);
   // the knob reaches only incremental sessions.
   r.engine.solver.assumption_savepoint = cfg.assumption_savepoint;
+  r.engine.mem_ceiling_bytes =
+      static_cast<std::uint64_t>(cfg.mem_ceiling_mb) * 1024 * 1024;
+  r.engine.tape_cold = cfg.tape_cold;
   r.sharing.enabled = cfg.share;
   r.sharing.lbd_max = cfg.share_lbd;
   r.sharing.size_max = cfg.share_size;

@@ -63,7 +63,19 @@ struct SharingConfig {
   /// Ordering exchange (--share-rank): entrants of a race (and shard
   /// twins on the same formula) publish unsat cores into one
   /// SharedRankSource and refresh their solvers' rank feed mid-solve.
+  ///
+  /// Even when on, the scheduler only materialises a shared source when
+  /// it can pay off: at least two entrants whose policy actually
+  /// consumes the rank feed (Static / Dynamic / Replace), on a machine
+  /// with more than one hardware thread.  A lineup like {Static, Evsids}
+  /// has nobody to exchange WITH — the lone consumer falls back to its
+  /// engine-private LocalRankSource, which accumulates the same scores
+  /// without the shared source's mutex/epoch machinery on the solve path.
   bool rank = true;
+  /// Test hook: create the shared source whenever `rank` is on,
+  /// bypassing the pays-off demotion above (single-core CI runners would
+  /// otherwise never exercise the exchange).
+  bool rank_force = false;
 };
 
 /// Outcome of one race.  `entrants` line up with the policy list passed
@@ -102,6 +114,12 @@ struct RaceResult {
   /// the race had no winner or only one entrant.  Measured on the
   /// obs::monotonic_now_us axis; available whether or not tracing is on.
   std::uint64_t cancel_latency_us = 0;
+  /// Formula-state memory over the race: high-water mark of the shared
+  /// tracker (tape + every entrant's arena / watcher heap / pool ring),
+  /// and whether the race ended on a ceiling breach rather than a
+  /// verdict or timeout.
+  std::uint64_t peak_mem_bytes = 0;
+  bool mem_limit_hit = false;
 
   bool has_winner() const { return winner >= 0; }
   const JobResult& winning() const;

@@ -1,20 +1,83 @@
 #include "sat/clause.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace refbmc::sat {
+
+void ClauseArena::charge(std::size_t bytes) {
+  allocated_bytes_ += bytes;
+  if (mem_ != nullptr) mem_->add(bytes);
+}
+
+void ClauseArena::credit(std::size_t bytes) {
+  REFBMC_ASSERT(bytes <= allocated_bytes_);
+  allocated_bytes_ -= bytes;
+  if (mem_ != nullptr) mem_->sub(bytes);
+}
+
+std::uint32_t ClauseArena::open_chunk(std::size_t words) {
+  const bool observed = obs::metrics_active();
+  const std::uint64_t t0 = observed ? obs::monotonic_now_us() : 0;
+  std::uint32_t ci;
+  if (!free_chunks_.empty()) {
+    ci = free_chunks_.back();
+    free_chunks_.pop_back();
+  } else {
+    REFBMC_ASSERT(chunks_.size() < kMaxChunks);
+    ci = static_cast<std::uint32_t>(chunks_.size());
+    chunks_.emplace_back();
+  }
+  Chunk& ch = chunks_[ci];
+  ch.words.resize(words);
+  ch.used = 0;
+  charge(words * sizeof(std::uint32_t));
+  if (observed)
+    obs::metrics().histogram("arena.chunk_alloc_us")
+        .observe(obs::monotonic_now_us() - t0);
+  return ci;
+}
+
+void ClauseArena::release_chunk(std::uint32_t index) {
+  Chunk& ch = chunks_[index];
+  credit(ch.words.size() * sizeof(std::uint32_t));
+  std::vector<std::uint32_t>().swap(ch.words);
+  ch.used = 0;
+  free_chunks_.push_back(index);
+}
 
 ClauseRef ClauseArena::alloc(const std::vector<Lit>& lits, ClauseId id,
                              bool learnt) {
   REFBMC_EXPECTS(!lits.empty());
-  const auto cref = static_cast<ClauseRef>(data_.size());
-  data_.reserve(data_.size() + Clause::kHeaderWords + lits.size());
-  data_.push_back(id);
-  data_.push_back((static_cast<std::uint32_t>(lits.size()) << 9) |
-                  (learnt ? 2u : 0u));  // lbd bits start at 0
-  data_.push_back(0);  // activity = 0.0f bit pattern
-  data_.push_back(static_cast<std::uint32_t>(lits.size()));  // capacity
-  for (const Lit l : lits)
-    data_.push_back(static_cast<std::uint32_t>(l.index()));
-  return cref;
+  const std::size_t footprint = Clause::kHeaderWords + lits.size();
+  std::uint32_t ci;
+  if (footprint > kChunkWords) {
+    // Dedicated exact-size chunk: the clause lives alone and is never
+    // moved by collection.
+    ci = open_chunk(footprint);
+  } else if (chunks_.empty() ||
+             chunks_[active_].used + footprint >
+                 chunks_[active_].words.size()) {
+    // The active chunk's tail remainder (if any) stays unused until the
+    // next collection packs it away; live clauses are untouched.
+    ci = open_chunk(kChunkWords);
+    active_ = ci;
+  } else {
+    ci = active_;
+  }
+  Chunk& ch = chunks_[ci];
+  const std::uint32_t off = ch.used;
+  std::uint32_t* w = ch.words.data() + off;
+  w[0] = id;
+  w[1] = (static_cast<std::uint32_t>(lits.size()) << 9) |
+         (learnt ? 2u : 0u);  // lbd bits start at 0
+  w[2] = 0;  // activity = 0.0f bit pattern
+  w[3] = static_cast<std::uint32_t>(lits.size());  // capacity
+  for (std::size_t i = 0; i < lits.size(); ++i)
+    w[Clause::kHeaderWords + i] = static_cast<std::uint32_t>(lits[i].index());
+  ch.used += static_cast<std::uint32_t>(footprint);
+  used_ += footprint;
+  return (ci << kChunkBits) | off;
 }
 
 void ClauseArena::free_clause(ClauseRef cref) {
@@ -36,27 +99,86 @@ void ClauseArena::shrink_clause(ClauseRef cref, std::uint32_t n) {
 void ClauseArena::garbage_collect(
     std::vector<std::pair<ClauseRef, ClauseRef>>& relocation) {
   relocation.clear();
-  std::size_t write = 0;
-  std::size_t read = 0;
-  while (read < data_.size()) {
-    Clause c(data_.data() + read);
-    // Advance by the allocation footprint; copy only the live prefix, so
-    // shrunk tails are reclaimed here.
-    const std::uint32_t live_lits = c.size();  // before the move clobbers c
-    const std::size_t footprint = Clause::kHeaderWords + c.capacity();
-    const std::size_t live = Clause::kHeaderWords + live_lits;
-    if (!c.dead()) {
-      relocation.emplace_back(static_cast<ClauseRef>(read),
-                              static_cast<ClauseRef>(write));
-      if (write != read)
-        std::memmove(data_.data() + write, data_.data() + read,
-                     live * sizeof(std::uint32_t));
-      Clause(data_.data() + write).set_capacity(live_lits);
-      write += live;
+  // In-place compaction in (chunk, offset) order: the write cursor
+  // (wc, wo) never overtakes the read cursor, so a clause always moves
+  // into space that has already been read — no full-arena scratch copy.
+  // Oversize (dedicated-chunk) clauses stay in place when live and
+  // release their whole chunk when dead; the write cursor skips them.
+  bool writing = false;
+  std::uint32_t wc = 0, wo = 0;
+  std::size_t live_words = 0;
+  for (std::uint32_t rc = 0; rc < chunks_.size(); ++rc) {
+    Chunk& ch = chunks_[rc];
+    if (ch.words.empty()) continue;  // already on the free list
+    if (ch.words.size() > kChunkWords) {
+      Clause c(ch.words.data());
+      if (c.dead()) {
+        release_chunk(rc);
+      } else {
+        const auto cref = static_cast<ClauseRef>(rc << kChunkBits);
+        relocation.emplace_back(cref, cref);
+        live_words += ch.used;
+      }
+      continue;
     }
-    read += footprint;
+    std::uint32_t ro = 0;
+    while (ro < ch.used) {
+      Clause c(ch.words.data() + ro);
+      const std::uint32_t live_lits = c.size();  // before the move clobbers c
+      const std::uint32_t footprint = Clause::kHeaderWords + c.capacity();
+      const std::uint32_t live = Clause::kHeaderWords + live_lits;
+      if (!c.dead()) {
+        if (!writing) {
+          writing = true;
+          wc = rc;
+          wo = 0;
+        } else if (wc != rc &&
+                   wo + live > chunks_[wc].words.size()) {
+          // Close the full write chunk and advance to the next normal
+          // chunk (skipping oversize and released ones); lands on rc at
+          // the latest, where wo = 0 <= ro keeps the move in-place safe.
+          chunks_[wc].used = wo;
+          do {
+            ++wc;
+          } while (wc < rc && chunks_[wc].words.size() != kChunkWords);
+          wo = 0;
+        }
+        if (wc != rc || wo != ro)
+          std::memmove(chunks_[wc].words.data() + wo, ch.words.data() + ro,
+                       live * sizeof(std::uint32_t));
+        Clause(chunks_[wc].words.data() + wo).set_capacity(live_lits);
+        relocation.emplace_back(static_cast<ClauseRef>((rc << kChunkBits) | ro),
+                                static_cast<ClauseRef>((wc << kChunkBits) | wo));
+        wo += live;
+        live_words += live;
+      }
+      ro += footprint;
+    }
   }
-  data_.resize(write);
+  if (writing) {
+    chunks_[wc].used = wo;
+    active_ = wc;
+    // Every normal chunk past the final write position was compacted out.
+    for (std::uint32_t ci = wc + 1;
+         ci < static_cast<std::uint32_t>(chunks_.size()); ++ci)
+      if (chunks_[ci].words.size() == kChunkWords) release_chunk(ci);
+  } else {
+    // Nothing live in the normal chunks: keep the lowest buffered normal
+    // chunk (emptied) as the active spare, release the rest.
+    bool kept = false;
+    for (std::uint32_t ci = 0;
+         ci < static_cast<std::uint32_t>(chunks_.size()); ++ci) {
+      if (chunks_[ci].words.size() != kChunkWords) continue;
+      if (!kept) {
+        chunks_[ci].used = 0;
+        active_ = ci;
+        kept = true;
+      } else {
+        release_chunk(ci);
+      }
+    }
+  }
+  used_ = live_words;
   wasted_ = 0;
 }
 

@@ -1,8 +1,24 @@
-// Clause storage: a relocatable arena of 32-bit words.
+// Clause storage: a chunked, relocatable arena of 32-bit words.
 //
-// Clauses are referenced by ClauseRef (an offset into the arena), never by
-// pointer, so the arena can be garbage-collected when clause deletion has
-// left enough dead space.  Layout per clause:
+// Clauses are referenced by ClauseRef, never by pointer.  The arena is a
+// list of fixed-size chunks (64 Ki words = 256 KiB); a reference packs
+// the chunk index into the high bits and the word offset into the low 16:
+//
+//   ClauseRef = chunk << 16 | offset        (chunk < 2^15, so refs stay
+//                                            below the propagator's
+//                                            kBinaryTag bit — an 8 GiB
+//                                            arena ceiling)
+//
+// Growing the arena appends (or reuses) a chunk and never touches the
+// existing ones, so live clauses are NEVER relocated by allocation — only
+// garbage_collect moves them, and it compacts in place chunk-by-chunk
+// (write cursor trails the read cursor, no full-arena scratch copy).
+// Freed-out chunks return their memory and go to a free list for reuse.
+// A clause larger than one chunk gets a dedicated exact-size chunk of its
+// own; such clauses are never moved by collection either.
+//
+// Layout per clause (unchanged since PR 3 — a 5th header word cost ~15%
+// of BCP throughput, so the header stays at four words):
 //
 //   [ id ] [ size<<9 | lbd<<2 | learnt<<1 | dead ] [ activity(float) ]
 //   [ capacity ] [ lits... (capacity slots, first `size` live) ]
@@ -11,8 +27,7 @@
 // in the clause at learn time, lowered when re-derived): the tier key of
 // the ClauseDB's learned-clause deletion.  0 for original clauses.  It is
 // packed into seven spare bits of the flags word — saturating at 127,
-// far above any deletion-tier boundary — so the header stays at four
-// words and BCP cache density is untouched.  Sizes are bounded by 2^23
+// far above any deletion-tier boundary.  Sizes are bounded by 2^23
 // literals per clause.
 //
 // `capacity` is the allocation size; in-place shrinking (tail-literal
@@ -30,6 +45,7 @@
 
 #include "sat/types.hpp"
 #include "util/assert.hpp"
+#include "util/mem_tracker.hpp"
 
 namespace refbmc::sat {
 
@@ -94,21 +110,42 @@ class Clause {
   std::uint32_t* base_;
 };
 
-/// Bump allocator for clauses with mark-and-compact garbage collection.
+/// Chunked bump allocator for clauses with mark-and-compact garbage
+/// collection.  Growth never relocates live clauses; only
+/// garbage_collect() does, reporting every move through the relocation
+/// map.
 class ClauseArena {
  public:
-  ClauseArena() = default;
+  /// chunk-index / word-offset split of a ClauseRef.
+  static constexpr std::uint32_t kChunkBits = 16;
+  static constexpr std::uint32_t kChunkWords = 1u << kChunkBits;  // 256 KiB
+  static constexpr std::uint32_t kOffsetMask = kChunkWords - 1;
+  /// Chunk indices stay below 2^15 so every ClauseRef stays below the
+  /// propagator's binary-watcher tag bit (2^31).
+  static constexpr std::uint32_t kMaxChunks = 1u << 15;
 
-  /// Allocates a clause; returns its reference.
+  ClauseArena() = default;
+  ~ClauseArena() {
+    if (mem_ != nullptr) mem_->sub(allocated_bytes_);
+  }
+
+  /// Every chunk allocation / release is charged here (may be null).
+  /// Bytes already held move to the new tracker.
+  void set_mem_tracker(MemTracker* tracker) {
+    if (mem_ != nullptr) mem_->sub(allocated_bytes_);
+    mem_ = tracker;
+    if (mem_ != nullptr) mem_->add(allocated_bytes_);
+  }
+
+  /// Allocates a clause; returns its reference.  Never moves existing
+  /// clauses.
   ClauseRef alloc(const std::vector<Lit>& lits, ClauseId id, bool learnt);
 
   Clause get(ClauseRef cref) {
-    REFBMC_ASSERT(cref < data_.size());
-    return Clause(data_.data() + cref);
+    return Clause(word_ptr(cref));
   }
   const Clause get(ClauseRef cref) const {
-    REFBMC_ASSERT(cref < data_.size());
-    return Clause(const_cast<std::uint32_t*>(data_.data()) + cref);
+    return Clause(const_cast<ClauseArena*>(this)->word_ptr(cref));
   }
 
   /// Marks a clause dead and accounts for its space.  The words remain
@@ -122,15 +159,22 @@ class ClauseArena {
   void shrink_clause(ClauseRef cref, std::uint32_t n);
 
   std::size_t wasted_words() const { return wasted_; }
-  std::size_t used_words() const { return data_.size(); }
+  /// Words occupied by clause allocations (live + dead, excluding chunk
+  /// tail slack).
+  std::size_t used_words() const { return used_; }
+  /// Bytes actually held from the allocator (whole chunks, including
+  /// free-list chunks' headers — their buffers are released).
+  std::size_t allocated_bytes() const { return allocated_bytes_; }
 
   /// True when enough space is dead that compaction is worthwhile.
   bool should_collect() const {
-    return wasted_ > 0 && wasted_ * 5 > data_.size();  // >20% dead
+    return wasted_ > 0 && wasted_ * 5 > used_;  // >20% dead
   }
 
-  /// Compacts live clauses.  Fills `relocation` with old→new references for
-  /// every live clause so the solver can patch watches/reasons.
+  /// Compacts live clauses in place, chunk by chunk.  Fills `relocation`
+  /// with old→new references (sorted by old reference) for every live
+  /// clause so the solver can patch watches/reasons.  Chunks emptied by
+  /// the compaction release their memory to the free list.
   void garbage_collect(std::vector<std::pair<ClauseRef, ClauseRef>>& relocation);
 
   /// Calls fn(cref, clause) for every live clause, in arena order (the
@@ -139,18 +183,46 @@ class ClauseArena {
   /// safe (free_clause mutates in place).
   template <typename Fn>
   void for_each_live(Fn&& fn) {
-    std::size_t at = 0;
-    while (at < data_.size()) {
-      const auto cref = static_cast<ClauseRef>(at);
-      Clause c = get(cref);
-      at += Clause::kHeaderWords + c.capacity();
-      if (!c.dead()) fn(cref, c);
+    for (std::size_t ci = 0; ci < chunks_.size(); ++ci) {
+      Chunk& ch = chunks_[ci];
+      std::uint32_t at = 0;
+      while (at < ch.used) {
+        const auto cref =
+            static_cast<ClauseRef>((ci << kChunkBits) | at);
+        Clause c(ch.words.data() + at);
+        at += Clause::kHeaderWords + c.capacity();
+        if (!c.dead()) fn(cref, c);
+      }
     }
   }
 
  private:
-  std::vector<std::uint32_t> data_;
+  struct Chunk {
+    std::vector<std::uint32_t> words;  // heap buffer: stable across growth
+    std::uint32_t used = 0;            // bump cursor / end of allocations
+  };
+
+  std::uint32_t* word_ptr(ClauseRef cref) {
+    const std::size_t chunk = cref >> kChunkBits;
+    REFBMC_ASSERT(chunk < chunks_.size());
+    REFBMC_ASSERT((cref & kOffsetMask) < chunks_[chunk].used);
+    return chunks_[chunk].words.data() + (cref & kOffsetMask);
+  }
+
+  /// Opens a chunk of `words` capacity (normal chunks: kChunkWords;
+  /// oversize clauses: their exact footprint) and returns its index.
+  std::uint32_t open_chunk(std::size_t words);
+  void release_chunk(std::uint32_t index);
+  void charge(std::size_t bytes);
+  void credit(std::size_t bytes);
+
+  std::vector<Chunk> chunks_;
+  std::vector<std::uint32_t> free_chunks_;  // released, reusable indices
+  std::uint32_t active_ = 0;   // bump-allocation chunk (when any exist)
+  std::size_t used_ = 0;       // sum of chunk.used
   std::size_t wasted_ = 0;
+  std::size_t allocated_bytes_ = 0;
+  MemTracker* mem_ = nullptr;
 };
 
 }  // namespace refbmc::sat

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace refbmc::sat {
 
 ClauseId ClauseDB::register_original(const std::vector<Lit>& dedup_lits,
@@ -227,11 +230,16 @@ void ClauseDB::garbage_collect_if_needed(Trail& trail,
                                          SolverStats& stats) {
   if (!arena_.should_collect()) return;
   ++stats.arena_gcs;
+  const bool observed = obs::metrics_active();
+  const std::uint64_t t0 = observed ? obs::monotonic_now_us() : 0;
   std::vector<std::pair<ClauseRef, ClauseRef>> map;
   arena_.garbage_collect(map);  // map is sorted by old ref (scan order)
   propagator.relocate(map);
   trail.relocate_reasons(map);
   for (auto& cref : learned_) cref = relocate_ref(cref, map);
+  if (observed)
+    obs::metrics().histogram("arena.gc_pause_us")
+        .observe(obs::monotonic_now_us() - t0);
 }
 
 }  // namespace refbmc::sat

@@ -7,12 +7,12 @@ void Propagator::attach(ClauseArena& arena, ClauseRef cref) {
   REFBMC_ASSERT(c.size() >= 2);
   REFBMC_ASSERT((cref & kBinaryTag) == 0);
   if (c.size() == 2) {
-    list(c[0]).push_back(Watcher{cref | kBinaryTag, c[1]});
-    list(c[1]).push_back(Watcher{cref | kBinaryTag, c[0]});
+    push_watcher(list(c[0]), Watcher{cref | kBinaryTag, c[1]});
+    push_watcher(list(c[1]), Watcher{cref | kBinaryTag, c[0]});
     return;
   }
-  list(c[0]).push_back(Watcher{cref, c[1]});
-  list(c[1]).push_back(Watcher{cref, c[0]});
+  push_watcher(list(c[0]), Watcher{cref, c[1]});
+  push_watcher(list(c[1]), Watcher{cref, c[0]});
 }
 
 void Propagator::remove_watcher(std::vector<Watcher>& wl, ClauseRef cref) {
@@ -98,7 +98,7 @@ ClauseRef Propagator::propagate(Trail& trail, ClauseArena& arena,
       for (std::uint32_t k = 2; k < c.size(); ++k) {
         if (trail.value(c[k]) != l_False) {
           c.swap_lits(1, k);
-          list(c[1]).push_back(Watcher{w.tagged, first});
+          push_watcher(list(c[1]), Watcher{w.tagged, first});
           found = true;
           break;
         }

@@ -32,9 +32,27 @@ namespace refbmc::sat {
 
 class Propagator {
  public:
+  Propagator() = default;
+  ~Propagator() {
+    if (mem_ != nullptr) mem_->sub(charged_);
+  }
+  Propagator(const Propagator&) = delete;
+  Propagator& operator=(const Propagator&) = delete;
+
+  /// Watcher-list heap growth is charged here (may be null); bytes
+  /// already held move to the new tracker.
+  void set_mem_tracker(MemTracker* tracker) {
+    if (mem_ != nullptr) mem_->sub(charged_);
+    mem_ = tracker;
+    if (mem_ != nullptr) mem_->add(charged_);
+  }
+
   void new_var() {
+    const std::size_t before = watches_.capacity();
     watches_.emplace_back();
     watches_.emplace_back();
+    if (watches_.capacity() != before)
+      charge((watches_.capacity() - before) * sizeof(std::vector<Watcher>));
   }
 
   /// Starts watching `cref` (size >= 2); binary clauses become inlined
@@ -90,7 +108,22 @@ class Propagator {
   }
   void remove_watcher(std::vector<Watcher>& wl, ClauseRef cref);
 
+  /// push_back that charges capacity growth to the tracker (capacity
+  /// only ever grows — resize/pop never release watcher heap).
+  void push_watcher(std::vector<Watcher>& wl, const Watcher& w) {
+    const std::size_t before = wl.capacity();
+    wl.push_back(w);
+    if (wl.capacity() != before)
+      charge((wl.capacity() - before) * sizeof(Watcher));
+  }
+  void charge(std::size_t bytes) {
+    charged_ += bytes;
+    if (mem_ != nullptr) mem_->add(bytes);
+  }
+
   std::vector<std::vector<Watcher>> watches_;  // per Lit::index()
+  std::size_t charged_ = 0;  // watcher heap bytes pushed to mem_
+  MemTracker* mem_ = nullptr;
 };
 
 }  // namespace refbmc::sat

@@ -15,7 +15,12 @@ Solver::Solver(SolverConfig config)
       queue_(make_decision_queue(config.decision, config.rank_mode,
                                  config.vsids_update_period,
                                  config.evsids_decay)),
-      bump_analyzed_(config.decision == DecisionMode::Evsids) {}
+      bump_analyzed_(config.decision == DecisionMode::Evsids) {
+  if (config_.mem_tracker != nullptr) {
+    db_.arena().set_mem_tracker(config_.mem_tracker);
+    prop_.set_mem_tracker(config_.mem_tracker);
+  }
+}
 
 Var Solver::new_var() {
   const Var v = trail_.new_var();
@@ -659,7 +664,9 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
            static_cast<std::int64_t>(stats_.conflicts) -
                    conflicts_at_solve_start >=
                config_.conflict_limit) ||
-          ((stats_.conflicts & 127) == 0 && deadline.expired())) {
+          ((stats_.conflicts & 127) == 0 &&
+           (deadline.expired() || (config_.mem_tracker != nullptr &&
+                                   config_.mem_tracker->breached())))) {
         return finish(Result::Unknown);
       }
       continue;
@@ -751,7 +758,9 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
     // off the decision heap; put it back or it would be lost to every
     // later solve() on this solver.
     if ((stats_.decisions & 255) == 0 &&
-        (stop_requested() || deadline.expired())) {
+        (stop_requested() || deadline.expired() ||
+         (config_.mem_tracker != nullptr &&
+          config_.mem_tracker->breached()))) {
       queue_->insert(next.var());
       return finish(Result::Unknown);
     }

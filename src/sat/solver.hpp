@@ -154,6 +154,11 @@ struct SolverConfig {
   // Resource limits per solve() call (negative = unlimited).
   std::int64_t conflict_limit = -1;
   double time_limit_sec = -1.0;
+  // Formula-state memory accounting (may be shared race-wide; not
+  // owned).  The arena and the watcher lists charge their heap here,
+  // and solve() returns Result::Unknown at the next conflict/decision
+  // checkpoint once the tracker reports a ceiling breach.
+  MemTracker* mem_tracker = nullptr;
 };
 
 class Solver {

@@ -239,11 +239,14 @@ void JobServer::run_job(JobRecord& rec) {
 
   // Classify how the race ended.  A definitive verdict is Done no
   // matter what raced it; otherwise an explicit cancel wins over a
-  // deadline, which wins over the job's own budget.
+  // memory-ceiling breach (the engines flag it on the result), which
+  // wins over a deadline, which wins over the job's own budget.
   JobState state = JobState::Done;
   if (rec.result.status == api::CheckResult::Status::ResourceLimit) {
     if (rec.stop.load(std::memory_order_acquire)) {
       state = JobState::Cancelled;
+    } else if (rec.result.mem_limit_hit) {
+      state = JobState::MemLimitExceeded;
     } else if (rec.deadline_us != 0 &&
                obs::monotonic_now_us() >= rec.deadline_us) {
       state = JobState::DeadlineExceeded;
@@ -273,6 +276,10 @@ void JobServer::finish(JobRecord& rec, JobState state) {
     case JobState::DeadlineExceeded:
       ++stats_.deadline_evictions;
       bump("server.deadline_evictions");
+      break;
+    case JobState::MemLimitExceeded:
+      ++stats_.mem_limit_stops;
+      bump("server.mem_limit_stops");
       break;
     default:
       break;

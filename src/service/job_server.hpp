@@ -77,6 +77,9 @@ enum class JobState {
   Cancelled,         // cancel() — queued or running
   DeadlineExceeded,  // per-job deadline evicted it (queued or at a depth
                      // boundary while running)
+  MemLimitExceeded,  // the race breached its --mem-ceiling (typed, so
+                     // clients can resubmit with a higher ceiling rather
+                     // than a longer deadline)
   Rejected,          // never admitted; see RejectReason
 };
 inline const char* to_string(JobState s) {
@@ -86,6 +89,7 @@ inline const char* to_string(JobState s) {
     case JobState::Done: return "done";
     case JobState::Cancelled: return "cancelled";
     case JobState::DeadlineExceeded: return "deadline_exceeded";
+    case JobState::MemLimitExceeded: return "mem_limit_exceeded";
     case JobState::Rejected: return "rejected";
   }
   return "?";
@@ -196,6 +200,7 @@ class JobServer {
     std::uint64_t completed = 0;
     std::uint64_t cancelled = 0;
     std::uint64_t deadline_evictions = 0;
+    std::uint64_t mem_limit_stops = 0;
     std::uint64_t cache_hits = 0;
     std::uint64_t cache_misses = 0;
     std::uint64_t rank_warm_starts = 0;

@@ -494,6 +494,8 @@ void write_status(JsonWriter& w, const JobStatus& status) {
     w.kv("clauses_exported", r.clauses_exported);
     w.kv("clauses_imported", r.clauses_imported);
     w.kv("ranks_published", r.ranks_published);
+    w.kv("peak_mem_bytes", r.peak_mem_bytes);
+    if (r.mem_limit_hit) w.kv("mem_limit_hit", true);
     if (r.counterexample) {
       w.key("trace");
       write_trace(w, *r.counterexample);

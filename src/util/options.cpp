@@ -139,6 +139,10 @@ PortfolioConfig PortfolioConfig::from_options(const Options& opts) {
         "option --vivify-interval expects a value >= 0");
   cfg.assumption_savepoint =
       opts.get_bool("assumption-savepoint", cfg.assumption_savepoint);
+  cfg.mem_ceiling_mb = opts.get_int("mem-ceiling", cfg.mem_ceiling_mb);
+  if (cfg.mem_ceiling_mb < 0)
+    throw std::invalid_argument("option --mem-ceiling expects a value >= 0");
+  cfg.tape_cold = opts.get_bool("tape-cold", cfg.tape_cold);
   cfg.trace_file = opts.get("trace", cfg.trace_file);
   cfg.trace_buffer_kb = opts.get_int("trace-buffer-kb", cfg.trace_buffer_kb);
   if (cfg.trace_buffer_kb < 1)

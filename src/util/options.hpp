@@ -91,6 +91,17 @@ struct PortfolioConfig {
   /// cannot depend on bmc; the portfolio layer resolves and validates):
   /// linear | uniform | last-only | exp-decay.
   std::string core_weighting = "linear";  // --core-weighting
+  /// Formula-state memory ceiling in MiB (0 = unlimited).  Bounds the
+  /// tracked footprint — clause arenas, watcher heaps, the shared tape
+  /// and the lemma pool, summed race-wide — and turns a breach into a
+  /// clean ResourceLimit verdict at the next solver checkpoint.
+  /// Accounting runs either way, so 0 is bit-identical to no ceiling.
+  int mem_ceiling_mb = 0;  // --mem-ceiling MB
+  /// Keep replayed tape prefixes and consumed preprocessing caches
+  /// codec-encoded in memory (~3x smaller resident formula, paid for
+  /// with decode work on late replays).  Representation-only: verdicts
+  /// and fingerprints are unaffected.
+  bool tape_cold = false;  // --tape-cold on|off
   /// Observability (src/obs): `--trace FILE` records a race-wide event
   /// trace and writes it as Chrome trace-event JSON (open in Perfetto or
   /// chrome://tracing; one track per racing solver); `--metrics FILE`
@@ -105,14 +116,15 @@ struct PortfolioConfig {
   /// `--glue-lbd`, `--tier-lbd`, `--share 0|1`, `--share-lbd`,
   /// `--share-size`, `--share-cap`, `--share-rank 0|1`,
   /// `--core-weighting W`, `--preprocess 0|1`, `--bve-budget N`,
-  /// `--vivify-interval N`, `--assumption-savepoint 0|1`, `--trace FILE`,
+  /// `--vivify-interval N`, `--assumption-savepoint 0|1`,
+  /// `--mem-ceiling MB`, `--tape-cold 0|1`, `--trace FILE`,
   /// `--trace-buffer-kb KB`,
   /// `--metrics FILE`; absent options keep the defaults above
   /// (share_rank defaulting off when the host has one hardware thread).
   /// Throws std::invalid_argument on malformed values (threads < 1,
   /// empty policy list, non-numeric numbers, tier-lbd below glue-lbd,
   /// negative share filters, share-cap < 1, bve-budget < 1,
-  /// vivify-interval < 0, trace-buffer-kb < 1).
+  /// vivify-interval < 0, mem-ceiling < 0, trace-buffer-kb < 1).
   static PortfolioConfig from_options(const Options& opts);
 };
 

@@ -36,10 +36,18 @@ SharingConfig exchange_off() {
   return cfg;
 }
 
+/// Tests that assert the shared source EXISTS must force it past the
+/// pays-off demotion, or they would silently skip on single-core CI.
+SharingConfig rank_forced() {
+  SharingConfig cfg;
+  cfg.rank_force = true;
+  return cfg;
+}
+
 TEST(RankRaceTest, RankSharingRaceVerdictsMatchTheSuite) {
   // The race-is-a-pure-accelerator invariant must survive ordering
   // exchange: same verdict, same cex depth, on every quick-suite row.
-  const PortfolioScheduler scheduler(4, /*base_seed=*/21);  // all sharing on
+  const PortfolioScheduler scheduler(4, /*base_seed=*/21, rank_forced());
   ASSERT_TRUE(scheduler.sharing().rank);
   for (const auto& bm : model::quick_suite()) {
     const RaceResult race = scheduler.race(bm.net, 0, engine_for(bm));
@@ -66,7 +74,7 @@ TEST(RankRaceTest, CoreRankingEntrantsActuallyPublish) {
   // core-ranking policies publish one core per UNSAT depth they finish
   // (publishing is unconditional on the other threads' progress).
   const model::Benchmark bm = model::needle(6, 6, 40, 50);
-  const PortfolioScheduler scheduler(2, /*base_seed=*/7);
+  const PortfolioScheduler scheduler(2, /*base_seed=*/7, rank_forced());
   const RaceResult race =
       scheduler.race(bm.net, 0, engine_for(bm),
                      {OrderingPolicy::Static, OrderingPolicy::Dynamic});
@@ -150,7 +158,7 @@ TEST(RankRaceTest, ShardTwinsShareOneRankSource) {
     jobs[i].config = engine;
   }
 
-  const PortfolioScheduler scheduler(2, /*base_seed=*/19);
+  const PortfolioScheduler scheduler(2, /*base_seed=*/19, rank_forced());
   const BatchReport report = scheduler.run_batch(jobs);
   ASSERT_EQ(report.results.size(), 2u);
   for (const auto& r : report.results)
@@ -161,6 +169,30 @@ TEST(RankRaceTest, ShardTwinsShareOneRankSource) {
     for (const auto& d : r.result.per_depth) published += d.ranks_published;
   EXPECT_GT(report.ranks_published, 0u);
   EXPECT_EQ(published, report.ranks_published);
+}
+
+TEST(RankRaceTest, LoneConsumerLineupDemotesToPrivateRanking) {
+  // {Static, Evsids}: one rank consumer, nobody to exchange with.  The
+  // scheduler must NOT materialise a shared source (rank on, force off)
+  // — and the lone consumer still runs the paper's loop through its
+  // engine-private LocalRankSource, so its per-depth publish counters
+  // stay alive.
+  const model::Benchmark bm = model::needle(6, 6, 40, 50);
+  const PortfolioScheduler scheduler(2, /*base_seed=*/11);  // defaults
+  ASSERT_TRUE(scheduler.sharing().rank);
+  const RaceResult race =
+      scheduler.race(bm.net, 0, engine_for(bm),
+                     {OrderingPolicy::Static, OrderingPolicy::Evsids});
+  ASSERT_TRUE(race.has_winner());
+  EXPECT_FALSE(race.rank_sharing);
+  EXPECT_EQ(race.ranks_published, 0u);
+  EXPECT_EQ(race.rank_refreshes, 0u);
+  // entrants[0] is Static: its private accumulation published one core
+  // per UNSAT depth it completed (unless it was cancelled before any).
+  std::uint64_t static_published = 0;
+  for (const auto& d : race.entrants[0].result.per_depth)
+    static_published += d.ranks_published;
+  if (race.winner == 0) EXPECT_GT(static_published, 0u);
 }
 
 TEST(RankRaceTest, DistinctFormulasDoNotShareRanks) {

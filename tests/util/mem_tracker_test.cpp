@@ -1,0 +1,66 @@
+// MemTracker: the race-wide footprint accounting behind --mem-ceiling.
+#include "util/mem_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace refbmc {
+namespace {
+
+TEST(MemTrackerTest, TracksCurrentAndPeak) {
+  MemTracker mem;
+  EXPECT_EQ(mem.current(), 0u);
+  EXPECT_EQ(mem.peak(), 0u);
+  mem.add(1000);
+  mem.add(500);
+  EXPECT_EQ(mem.current(), 1500u);
+  EXPECT_EQ(mem.peak(), 1500u);
+  mem.sub(1200);
+  EXPECT_EQ(mem.current(), 300u);
+  EXPECT_EQ(mem.peak(), 1500u);  // peak is monotone
+  mem.add(100);
+  EXPECT_EQ(mem.peak(), 1500u);
+}
+
+TEST(MemTrackerTest, ZeroCeilingNeverBreaches) {
+  MemTracker mem;
+  mem.add(1u << 30);
+  EXPECT_FALSE(mem.breached());
+  mem.set_ceiling(0);
+  EXPECT_FALSE(mem.breached());
+}
+
+TEST(MemTrackerTest, BreachesOnlyAboveTheCeiling) {
+  MemTracker mem(1024);
+  EXPECT_EQ(mem.ceiling(), 1024u);
+  mem.add(1024);
+  EXPECT_FALSE(mem.breached());  // at the ceiling is still fine
+  mem.add(1);
+  EXPECT_TRUE(mem.breached());
+  mem.sub(512);
+  EXPECT_FALSE(mem.breached());  // freeing memory clears the condition
+}
+
+TEST(MemTrackerTest, ConcurrentChargesBalanceExactly) {
+  MemTracker mem;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        mem.add(64);
+        mem.sub(64);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mem.current(), 0u);
+  EXPECT_GE(mem.peak(), 64u);
+  EXPECT_LE(mem.peak(), 64u * kThreads);
+}
+
+}  // namespace
+}  // namespace refbmc
